@@ -1,0 +1,87 @@
+// Ablation benches for the design choices the paper asserts but does not
+// plot (DESIGN.md experiment index, last row):
+//   A. victim cache (8 blocks) on/off                 [Sec. 3.2]
+//   B. early W-bit block recording on/off             [Sec. 3.2]
+//   C. set associativity 1/2/4/8 ("4 is nearly best") [Sec. 3.2]
+//   D. replacement policy LRU/FIFO/random             [Sec. 3.2]
+//   E. criteria-selected control bits vs naive first-η bits vs random bits
+//      (partition quality feeding lookup performance) [Sec. 3.1]
+#include <random>
+
+#include "bench_util.h"
+
+using namespace spal;
+
+namespace {
+
+void run_and_print(const char* study, const char* variant,
+                   core::RouterConfig config, std::size_t packets) {
+  config.packets_per_lc = packets;
+  core::RouterSim router(bench::rt2(), config);
+  const auto result = router.run_workload(trace::profile_l92_1());
+  std::printf("%s,%s,%.3f,%.4f,%llu\n", study, variant,
+              result.mean_lookup_cycles(), result.cache_total.hit_rate(),
+              static_cast<unsigned long long>(result.fe_lookups));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  // Ablations are comparative; half the figure default keeps them quick.
+  const std::size_t packets = args.full ? args.packets_per_lc : args.packets_per_lc / 2;
+  bench::print_header("Ablations (psi=4, beta=4K, trace L_92-1 unless noted)",
+                      "study,variant,mean_cycles,hit_rate,fe_lookups");
+
+  {  // A: victim cache
+    core::RouterConfig with = bench::figure_config(4, packets);
+    run_and_print("victim_cache", "8_blocks", with, packets);
+    core::RouterConfig without = bench::figure_config(4, packets);
+    without.cache.victim_blocks = 0;
+    run_and_print("victim_cache", "disabled", without, packets);
+  }
+  {  // B: early reservation (W bit)
+    core::RouterConfig with = bench::figure_config(4, packets);
+    run_and_print("early_reservation", "enabled", with, packets);
+    core::RouterConfig without = bench::figure_config(4, packets);
+    without.early_reservation = false;
+    run_and_print("early_reservation", "disabled", without, packets);
+  }
+  {  // C: associativity
+    for (const std::size_t assoc : {1u, 2u, 4u, 8u}) {
+      core::RouterConfig config = bench::figure_config(4, packets);
+      config.cache.associativity = assoc;
+      const std::string variant = "ways_" + std::to_string(assoc);
+      run_and_print("associativity", variant.c_str(), config, packets);
+    }
+  }
+  {  // D: replacement policy
+    const struct {
+      cache::Replacement policy;
+      const char* label;
+    } kPolicies[] = {{cache::Replacement::kLru, "lru"},
+                     {cache::Replacement::kFifo, "fifo"},
+                     {cache::Replacement::kRandom, "random"}};
+    for (const auto& [policy, label] : kPolicies) {
+      core::RouterConfig config = bench::figure_config(4, packets);
+      config.cache.replacement = policy;
+      run_and_print("replacement", label, config, packets);
+    }
+  }
+  {  // E: control-bit selection quality
+    core::RouterConfig chosen = bench::figure_config(4, packets);
+    run_and_print("control_bits", "criteria", chosen, packets);
+    core::RouterConfig naive = bench::figure_config(4, packets);
+    naive.partition_config.control_bits = {0, 1};
+    run_and_print("control_bits", "first_eta_bits", naive, packets);
+    core::RouterConfig random_bits = bench::figure_config(4, packets);
+    std::mt19937_64 rng(11);
+    while (random_bits.partition_config.control_bits.size() < 2) {
+      const int bit = static_cast<int>(rng() % 32);
+      auto& bits = random_bits.partition_config.control_bits;
+      if (std::find(bits.begin(), bits.end(), bit) == bits.end()) bits.push_back(bit);
+    }
+    run_and_print("control_bits", "random_bits", random_bits, packets);
+  }
+  return 0;
+}

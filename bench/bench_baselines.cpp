@@ -1,0 +1,90 @@
+// Architecture comparison: SPAL against the three comparators the paper
+// discusses, on equal terms (RT_2, 40 Gbps LCs, ψ = 8, five traces).
+//
+//   spal            — table fragmented, LR-caches (β=4K, γ=50%)
+//   conventional    — full table per LC, no cache, 40-cycle Lulea FE; the
+//                     paper quotes its mean as the bare 40 cycles with FE
+//                     queueing "ignored optimistically" (at 40 Gbps the FE
+//                     is oversubscribed, so the measured mean diverges —
+//                     both are printed)
+//   cache_only      — LR-caches but no partitioning (Chiueh & Pradhan
+//                     [5,6]-style); per-LC storage unchanged, no sharing
+//   length_parallel — Akhbarizadeh & Nourani [1] (Sec. 2.3): per-length
+//                     partitions searched in parallel at the local LC. We
+//                     credit it fast lookups (two parallel engines, 12-cycle
+//                     exact-match service) but, as the paper critiques, it
+//                     keeps ALL subsets at every LC (no storage scaling) and
+//                     shares nothing between LCs.
+//
+// Printed per variant: mean/worst lookup cycles and per-LC table storage.
+#include "bench_util.h"
+#include "partition/rot_partition.h"
+
+using namespace spal;
+
+namespace {
+
+std::size_t spal_per_lc_prefixes(const net::RouteTable& table, int psi) {
+  const partition::RotPartition rot(table, psi);
+  std::size_t biggest = 0;
+  for (const std::size_t s : rot.partition_sizes()) biggest = std::max(biggest, s);
+  return biggest;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  constexpr int kPsi = 8;
+  bench::print_header("Architecture comparison (psi=8, RT_2, 40 Gbps)",
+                      "trace,variant,mean_cycles,worst_cycles,per_lc_prefixes");
+
+  const std::size_t spal_prefixes = spal_per_lc_prefixes(bench::rt2(), kPsi);
+  const std::size_t full_prefixes = bench::rt2().size();
+
+  struct Variant {
+    const char* name;
+    core::RouterConfig config;
+    std::size_t per_lc_prefixes;
+  };
+  std::vector<Variant> variants;
+  {
+    Variant v{"spal", bench::figure_config(kPsi, args.packets_per_lc), spal_prefixes};
+    variants.push_back(v);
+  }
+  {
+    Variant v{"conventional", bench::figure_config(kPsi, args.packets_per_lc),
+              full_prefixes};
+    v.config.partition = false;
+    v.config.use_lr_cache = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"cache_only", bench::figure_config(kPsi, args.packets_per_lc),
+              full_prefixes};
+    v.config.partition = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"length_parallel", bench::figure_config(kPsi, args.packets_per_lc),
+              full_prefixes};
+    v.config.partition = false;
+    v.config.use_lr_cache = false;
+    v.config.fe_service_cycles = 12;  // exact match per length, in parallel
+    v.config.fe_parallelism = 2;
+    variants.push_back(v);
+  }
+
+  for (const auto& profile : trace::all_profiles()) {
+    for (auto& variant : variants) {
+      core::RouterSim router(bench::rt2(), variant.config);
+      const auto result = router.run_workload(profile);
+      std::printf("%s,%s,%.3f,%llu,%zu\n", profile.name.c_str(), variant.name,
+                  result.mean_lookup_cycles(),
+                  static_cast<unsigned long long>(result.worst_lookup_cycles()),
+                  variant.per_lc_prefixes);
+    }
+  }
+  std::printf("# conventional's optimistic (queueing-free) mean per the paper: 40 cycles\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Reproduces Fig. 3: total SRAM (Kbytes) required for the DP, Lulea and LC
+// tries with (X_S) and without (X_W) SPAL partitioning, for ψ ∈ {4, 16} and
+// both routing tables.
+//
+// "Without" means every LC holds the full-table trie (a conventional
+// router), so router-total SRAM = ψ × whole-trie size. "With" sums the
+// per-LC partition tries. Per-LC numbers are printed too, since Sec. 4
+// quotes them (e.g. Lulea RT_1 ψ=4: 87-91 KB per LC vs ~260 KB whole).
+#include "bench_util.h"
+#include "partition/rot_partition.h"
+
+using namespace spal;
+
+namespace {
+
+void report(const char* table_name, const net::RouteTable& table, int psi) {
+  const partition::RotPartition rot(table, psi);
+  const struct {
+    trie::TrieKind kind;
+    const char* label;
+  } kTries[] = {
+      {trie::TrieKind::kDp, "DP"},
+      {trie::TrieKind::kLulea, "LL"},
+      {trie::TrieKind::kLc, "LC"},
+  };
+  for (const auto& [kind, label] : kTries) {
+    const auto whole = trie::build_lpm(kind, table);
+    std::size_t partitioned_total = 0;
+    std::size_t per_lc_min = ~std::size_t{0}, per_lc_max = 0;
+    for (int lc = 0; lc < psi; ++lc) {
+      const auto part = trie::build_lpm(kind, rot.table_of(lc));
+      const std::size_t bytes = part->storage_bytes();
+      partitioned_total += bytes;
+      per_lc_min = std::min(per_lc_min, bytes);
+      per_lc_max = std::max(per_lc_max, bytes);
+    }
+    const std::size_t replicated_total = whole->storage_bytes() * static_cast<std::size_t>(psi);
+    std::printf("%s_S,psi=%d,%s,%zu\n", label, psi, table_name,
+                partitioned_total / 1024);
+    std::printf("%s_W,psi=%d,%s,%zu\n", label, psi, table_name,
+                replicated_total / 1024);
+    std::printf("# %s %s psi=%d: whole-trie/LC=%zu KB, partitioned/LC=%zu-%zu KB, per-LC saving>=%zu KB\n",
+                label, table_name, psi, whole->storage_bytes() / 1024,
+                per_lc_min / 1024, per_lc_max / 1024,
+                (whole->storage_bytes() - per_lc_max) / 1024);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Fig. 3: total SRAM (KB) per trie, partitioned (_S) vs whole-table (_W)",
+      "series,psi,table,total_kbytes");
+  report("RT_1", bench::rt1(), 4);
+  report("RT_2", bench::rt2(), 4);
+  report("RT_1", bench::rt1(), 16);
+  report("RT_2", bench::rt2(), 16);
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Reproduces Fig. 6: mean lookup time (cycles) versus ψ (number of LCs,
+// any integer — 3 included deliberately) for β = 4K, γ = 50%, five traces.
+//
+// Paper shape: mean lookup time falls as ψ grows (finer fragmentation =>
+// better per-LC address-space coverage + more FE parallelism); ψ = 1 is
+// also what an LR-cache-without-partitioning router achieves regardless of
+// its LC count (the Sec. 5.2 comparison against [6]).
+#include "bench_util.h"
+
+using namespace spal;
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::print_header("Fig. 6: mean lookup time vs psi (beta=4K, gamma=50%)",
+                      "trace,psi,mean_cycles,hit_rate,remote_fraction");
+  for (const auto& profile : trace::all_profiles()) {
+    for (const int psi : {1, 2, 3, 4, 8, 16}) {
+      core::RouterConfig config = bench::figure_config(psi, args.packets_per_lc);
+      config.cache.blocks = 4096;
+      config.cache.remote_fraction = 0.50;
+      core::RouterSim router(bench::rt2(), config);
+      const auto result = router.run_workload(profile);
+      const double remote_share =
+          result.resolved_packets == 0
+              ? 0.0
+              : static_cast<double>(result.remote_requests) /
+                    static_cast<double>(result.resolved_packets);
+      std::printf("%s,%d,%.3f,%.4f,%.4f\n", profile.name.c_str(), psi,
+                  result.mean_lookup_cycles(), result.cache_total.hit_rate(),
+                  remote_share);
+    }
+  }
+  return 0;
+}

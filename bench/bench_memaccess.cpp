@@ -1,0 +1,45 @@
+// Reproduces the Sec. 5.1 access-count measurements: mean memory accesses
+// per lookup for each trie over RT_1 and RT_2, and the FE matching time
+// they imply (12 ns per access + 120 ns of matching code, in 5 ns cycles).
+//
+// Paper reference: Lulea 6.2 (RT_1) / 6.6 (RT_2) accesses -> ~40-cycle FE;
+// DP ~16 accesses -> ~62-cycle FE.
+#include "bench_util.h"
+
+using namespace spal;
+
+namespace {
+
+void report(const char* table_name, const net::RouteTable& table) {
+  const struct {
+    trie::TrieKind kind;
+    const char* label;
+  } kTries[] = {
+      {trie::TrieKind::kBinary, "binary"},
+      {trie::TrieKind::kDp, "dp"},
+      {trie::TrieKind::kLulea, "lulea"},
+      {trie::TrieKind::kLc, "lc"},
+      {trie::TrieKind::kGupta, "gupta"},
+      {trie::TrieKind::kStride, "stride_16_8_8"},
+  };
+  for (const auto& [kind, label] : kTries) {
+    const auto index = trie::build_lpm(kind, table);
+    const double accesses =
+        trie::mean_accesses_per_lookup(*index, table, 200'000, 0x5eed);
+    // Sec. 5.1's model: accesses x 12 ns + ~120 ns code, 5 ns cycles.
+    const double fe_cycles = (accesses * 12.0 + 120.0) / 5.0;
+    std::printf("%s,%s,%.2f,%.1f,%zu\n", label, table_name, accesses, fe_cycles,
+                index->storage_bytes() / 1024);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Sec. 5.1: mean memory accesses per lookup and implied FE service time",
+      "trie,table,mean_accesses,fe_cycles,storage_kbytes");
+  report("RT_1", bench::rt1());
+  report("RT_2", bench::rt2());
+  return 0;
+}

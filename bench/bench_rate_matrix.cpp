@@ -1,0 +1,32 @@
+// Sec. 5.2's four simulated cases: {10, 40} Gbps line rate × {40, 62}-cycle
+// FE lookup (Lulea vs DP trie service times). The paper presents only the
+// 40 Gbps / 40-cycle case because "those cases see their results follow a
+// similar trend" — this bench prints all four so the claim is checkable.
+//
+// Fixed: ψ = 4, β = 4K, γ = 50%.
+#include "bench_util.h"
+
+using namespace spal;
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::print_header(
+      "Sec. 5.2: mean lookup time across the four simulated cases (psi=4)",
+      "trace,line_gbps,fe_cycles,mean_cycles,hit_rate");
+  for (const auto& profile : trace::all_profiles()) {
+    for (const double gbps : {10.0, 40.0}) {
+      for (const int fe_cycles : {40, 62}) {
+        core::RouterConfig config = bench::figure_config(4, args.packets_per_lc);
+        config.line_rate_gbps = gbps;
+        config.fe_service_cycles = fe_cycles;
+        config.trie = fe_cycles == 40 ? trie::TrieKind::kLulea : trie::TrieKind::kDp;
+        core::RouterSim router(bench::rt2(), config);
+        const auto result = router.run_workload(profile);
+        std::printf("%s,%.0f,%d,%.3f,%.4f\n", profile.name.c_str(), gbps,
+                    fe_cycles, result.mean_lookup_cycles(),
+                    result.cache_total.hit_rate());
+      }
+    }
+  }
+  return 0;
+}

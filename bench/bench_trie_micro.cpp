@@ -1,0 +1,92 @@
+// Google-benchmark micro benches: build time and raw lookup throughput of
+// each LPM index over RT_1-scale tables, plus LR-cache probe throughput.
+// These are the host-machine numbers behind the simulator's abstract
+// 40-/62-cycle FE model.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "cache/lr_cache.h"
+#include "net/table_gen.h"
+#include "trie/lpm.h"
+
+using namespace spal;
+
+namespace {
+
+const net::RouteTable& bench_table() {
+  static const net::RouteTable table = [] {
+    net::TableGenConfig config;
+    config.size = 41'709;  // RT_1 scale
+    config.seed = 0x5eed'0001;
+    return net::generate_table(config);
+  }();
+  return table;
+}
+
+std::vector<net::Ipv4Addr> bench_addresses(std::size_t count) {
+  const net::RouteTable& table = bench_table();
+  std::mt19937_64 rng(99);
+  std::uniform_int_distribution<std::size_t> pick(0, table.size() - 1);
+  std::vector<net::Ipv4Addr> addresses;
+  addresses.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    addresses.push_back(net::random_address_in(table.entries()[pick(rng)].prefix, rng));
+  }
+  return addresses;
+}
+
+trie::TrieKind kind_of(int index) {
+  switch (index) {
+    case 0: return trie::TrieKind::kBinary;
+    case 1: return trie::TrieKind::kDp;
+    case 2: return trie::TrieKind::kLulea;
+    default: return trie::TrieKind::kLc;
+  }
+}
+
+void BM_TrieBuild(benchmark::State& state) {
+  const auto kind = kind_of(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto index = trie::build_lpm(kind, bench_table());
+    benchmark::DoNotOptimize(index);
+  }
+  state.SetLabel(std::string(trie::to_string(kind)));
+}
+BENCHMARK(BM_TrieBuild)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
+void BM_TrieLookup(benchmark::State& state) {
+  const auto kind = kind_of(static_cast<int>(state.range(0)));
+  const auto index = trie::build_lpm(kind, bench_table());
+  const auto addresses = bench_addresses(1 << 16);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index->lookup(addresses[i++ & 0xffff]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel(std::string(trie::to_string(kind)));
+}
+BENCHMARK(BM_TrieLookup)->DenseRange(0, 3);
+
+void BM_LrCacheProbe(benchmark::State& state) {
+  cache::LrCacheConfig config;
+  config.blocks = static_cast<std::size_t>(state.range(0));
+  cache::LrCache cache(config);
+  const auto addresses = bench_addresses(1 << 16);
+  std::uint64_t now = 0;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const net::Ipv4Addr addr = addresses[i++ & 0xffff];
+    const auto probe = cache.probe(addr, ++now);
+    if (probe.state == cache::ProbeState::kMiss) {
+      cache.insert(addr, 1, cache::Origin::kLocal, now);
+    }
+    benchmark::DoNotOptimize(probe);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LrCacheProbe)->Arg(1024)->Arg(4096)->Arg(8192);
+
+}  // namespace
+
+BENCHMARK_MAIN();

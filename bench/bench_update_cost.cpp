@@ -1,0 +1,76 @@
+// Extension bench: the forwarding-table side of routing updates.
+//
+// SPAL flushes LR-caches per update (Sec. 3.2), but each update also has to
+// reach the FE's trie. The compressed structures (Lulea, LC) are built for
+// lookup speed, not incremental update — the standard practice the paper's
+// [3] citation addresses is periodic rebuild. This bench measures, per
+// trie, the wall-clock rebuild cost of the whole-table structure vs the
+// per-LC partition structure (SPAL's fragmentation makes rebuilds ~ψ×
+// cheaper too), plus the binary trie's truly incremental path as contrast.
+#include <chrono>
+
+#include "bench_util.h"
+#include "net/update_stream.h"
+#include "partition/rot_partition.h"
+#include "trie/binary_trie.h"
+
+using namespace spal;
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Update handling: rebuild cost, whole table vs one SPAL partition (psi=16)",
+      "trie,scope,prefixes,rebuild_ms");
+  const net::RouteTable& table = bench::rt2();
+  const partition::RotPartition rot(table, 16);
+  const net::RouteTable& partition_table = rot.table_of(0);
+
+  for (const auto kind : {trie::TrieKind::kDp, trie::TrieKind::kLulea,
+                          trie::TrieKind::kLc, trie::TrieKind::kBinary}) {
+    for (const auto& [scope, scoped_table] :
+         {std::pair<const char*, const net::RouteTable*>{"whole", &table},
+          {"partition", &partition_table}}) {
+      // Median-ish over 3 builds.
+      double best = 1e18;
+      for (int i = 0; i < 3; ++i) {
+        const auto start = std::chrono::steady_clock::now();
+        auto index = trie::build_lpm(kind, *scoped_table);
+        best = std::min(best, ms_since(start));
+      }
+      std::printf("%s,%s,%zu,%.2f\n", std::string(trie::to_string(kind)).c_str(),
+                  scope, scoped_table->size(), best);
+    }
+  }
+
+  // Incremental contrast: the binary trie absorbs updates in place.
+  net::RouteTable evolving = table;
+  trie::BinaryTrie incremental(evolving);
+  const auto updates =
+      net::generate_update_stream(evolving, net::UpdateStreamConfig{10'000, 77});
+  const auto start = std::chrono::steady_clock::now();
+  for (const net::TableUpdate& update : updates) {
+    switch (update.kind) {
+      case net::UpdateKind::kAnnounce:
+      case net::UpdateKind::kHopChange:
+        incremental.insert(update.prefix, update.next_hop);
+        break;
+      case net::UpdateKind::kWithdraw:
+        (void)incremental.remove(update.prefix);
+        break;
+    }
+  }
+  const double total_ms = ms_since(start);
+  std::printf("binary,incremental_10k_updates,%zu,%.2f\n", table.size(), total_ms);
+  std::printf("# per-update incremental cost: %.2f us (vs a full rebuild per batch)\n",
+              total_ms / 10.0);
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Shared helpers for the table/figure reproduction benches.
+//
+// Every figure bench prints one CSV row per plotted point
+// (series,x,y[,extra...]) so the paper's figures can be re-plotted
+// directly, plus a human-readable header. Benches default to 100,000
+// packets per LC for quick runs; pass --full for the paper's 300,000 (or
+// --packets=N for anything else).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/spal.h"
+
+namespace spal::bench {
+
+struct BenchArgs {
+  std::size_t packets_per_lc = 100'000;
+  bool full = false;
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--full") == 0) {
+        args.full = true;
+        args.packets_per_lc = 300'000;  // the paper's per-LC packet count
+      } else if (std::strncmp(argv[i], "--packets=", 10) == 0) {
+        args.packets_per_lc = static_cast<std::size_t>(std::atoll(argv[i] + 10));
+      }
+    }
+    return args;
+  }
+};
+
+/// RT_2 stand-in, generated once per process (the paper presents RT_2
+/// results; RT_1 trends match).
+inline const net::RouteTable& rt2() {
+  static const net::RouteTable table = net::make_rt2();
+  return table;
+}
+
+inline const net::RouteTable& rt1() {
+  static const net::RouteTable table = net::make_rt1();
+  return table;
+}
+
+/// The paper's simulated case for Figs. 4-6: 40 Gbps LCs, 40-cycle (Lulea)
+/// FE lookups.
+inline core::RouterConfig figure_config(int num_lcs, std::size_t packets_per_lc) {
+  core::RouterConfig config = core::spal_default_config(num_lcs);
+  config.line_rate_gbps = 40.0;
+  config.fe_service_cycles = 40;
+  config.packets_per_lc = packets_per_lc;
+  return config;
+}
+
+inline void print_header(const char* title, const char* columns) {
+  std::printf("# %s\n", title);
+  std::printf("# paper: SPAL (Tzeng, ICPP 2004); tables/traces are synthetic "
+              "stand-ins, see DESIGN.md\n");
+  std::printf("%s\n", columns);
+}
+
+}  // namespace spal::bench

@@ -1,0 +1,62 @@
+// The paper's worst-case claim (Secs. 1, 3, 5.2): partitioning "may
+// possibly shorten the worst-case lookup time (thanks to fewer memory
+// accesses during longest-prefix matching search)".
+//
+// This bench measures the maximum memory accesses any lookup performs over
+// the whole-table trie vs each ψ=16 partition trie, per algorithm, on RT_2.
+// Sampling: every prefix's range endpoints plus 200k matched addresses —
+// the boundary addresses are where LPM walks run deepest.
+#include <algorithm>
+
+#include "bench_util.h"
+#include "partition/rot_partition.h"
+
+using namespace spal;
+
+namespace {
+
+std::uint64_t max_accesses(const trie::LpmIndex& index, const net::RouteTable& table,
+                           std::uint64_t seed) {
+  std::uint64_t worst = 0;
+  const auto probe = [&](net::Ipv4Addr addr) {
+    trie::MemAccessCounter counter;
+    (void)index.lookup_counted(addr, counter);
+    worst = std::max(worst, counter.total());
+  };
+  for (const net::RouteEntry& e : table.entries()) {
+    probe(e.prefix.range_first());
+    probe(e.prefix.range_last());
+  }
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::size_t> pick(0, table.size() - 1);
+  for (int i = 0; i < 200'000; ++i) {
+    probe(net::random_address_in(table.entries()[pick(rng)].prefix, rng));
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Worst-case memory accesses per lookup: whole table vs psi=16 partitions",
+      "trie,whole_max_accesses,partition_max_accesses(max over LCs)");
+  const net::RouteTable& table = bench::rt2();
+  const partition::RotPartition rot(table, 16);
+  for (const auto kind : {trie::TrieKind::kDp, trie::TrieKind::kLulea,
+                          trie::TrieKind::kLc, trie::TrieKind::kBinary}) {
+    const auto whole = trie::build_lpm(kind, table);
+    const std::uint64_t whole_worst = max_accesses(*whole, table, 0xbad);
+    std::uint64_t partition_worst = 0;
+    for (int lc = 0; lc < 16; ++lc) {
+      const auto part = trie::build_lpm(kind, rot.table_of(lc));
+      partition_worst = std::max(
+          partition_worst, max_accesses(*part, rot.table_of(lc), 0xbad + lc));
+    }
+    std::printf("%s,%llu,%llu\n", std::string(trie::to_string(kind)).c_str(),
+                static_cast<unsigned long long>(whole_worst),
+                static_cast<unsigned long long>(partition_worst));
+  }
+  std::printf("# paper: partitioning \"may possibly shorten the worst-case lookup time\"\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Partition explorer: shows how SPAL's two criteria pick control bits for a
+// routing table, what the resulting ROT-partitions look like, and how much
+// per-LC SRAM each trie needs before/after fragmentation.
+//
+// Usage: partition_explorer [psi] [table_size] [seed]
+//        partition_explorer 6 50000 7
+#include <cstdlib>
+#include <iostream>
+#include <numeric>
+
+#include "core/spal.h"
+
+using namespace spal;
+
+namespace {
+
+void show_bit_scores(const net::RouteTable& table) {
+  std::cout << "Per-bit statistics over the whole table (Sec. 3.1 criteria):\n"
+            << "  bit  phi0      phi1      phi*      |phi0-phi1|\n";
+  for (int bit = 0; bit < 20; ++bit) {
+    const auto stats = partition::compute_bit_stats(table.entries(), bit);
+    std::cout << "  " << (bit < 10 ? " " : "") << bit << "   " << stats.phi0
+              << "\t" << stats.phi1 << "\t" << stats.phi_star << "\t"
+              << stats.imbalance() << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int psi = argc > 1 ? std::atoi(argv[1]) : 6;
+  const std::size_t size = argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 50'000;
+  const std::uint64_t seed = argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 7;
+
+  net::TableGenConfig table_config;
+  table_config.size = size;
+  table_config.seed = seed;
+  const net::RouteTable table = net::generate_table(table_config);
+  std::cout << "Table: " << table.size() << " prefixes, "
+            << table.count_length_at_most(24) << " of length <= 24\n\n";
+
+  show_bit_scores(table);
+
+  const partition::RotPartition rot(table, psi);
+  std::cout << "\nChosen control bits for psi=" << psi << ": {";
+  for (std::size_t i = 0; i < rot.control_bits().size(); ++i) {
+    std::cout << (i ? "," : "") << rot.control_bits()[i];
+  }
+  std::cout << "}\nGroup -> LC mapping (" << rot.group_to_lc().size()
+            << " groups):";
+  for (const int lc : rot.group_to_lc()) std::cout << ' ' << lc;
+
+  const auto sizes = rot.partition_sizes();
+  const std::size_t total = std::accumulate(sizes.begin(), sizes.end(), std::size_t{0});
+  std::cout << "\nPartition sizes:";
+  for (const std::size_t s : sizes) std::cout << ' ' << s;
+  std::cout << "\nReplication factor: "
+            << static_cast<double>(total) / static_cast<double>(table.size())
+            << "\n\nPer-LC trie storage (KB), whole table vs largest partition:\n";
+
+  for (const auto kind :
+       {trie::TrieKind::kDp, trie::TrieKind::kLulea, trie::TrieKind::kLc}) {
+    const auto whole = trie::build_lpm(kind, table);
+    std::size_t biggest = 0;
+    for (int lc = 0; lc < psi; ++lc) {
+      biggest = std::max(biggest,
+                         trie::build_lpm(kind, rot.table_of(lc))->storage_bytes());
+    }
+    std::cout << "  " << trie::to_string(kind) << ": "
+              << whole->storage_bytes() / 1024 << " KB -> " << biggest / 1024
+              << " KB per LC (saving "
+              << (whole->storage_bytes() - biggest) / 1024 << " KB)\n";
+  }
+
+  // Demonstrate the home-LC invariant on a few addresses.
+  std::cout << "\nHome-LC lookups match the full table (spot check):\n";
+  std::mt19937_64 rng(1);
+  for (int i = 0; i < 5; ++i) {
+    const auto addr = net::random_address_in(
+        table.entries()[rng() % table.size()].prefix, rng);
+    const int home = rot.home_of(addr);
+    const auto full = table.lookup_linear(addr);
+    const auto part = rot.table_of(home).lookup_linear(addr);
+    std::cout << "  " << addr.to_string() << " -> home LC" << home
+              << ", next hop " << part << (part == full ? " (matches)" : " (MISMATCH!)")
+              << "\n";
+  }
+  return 0;
+}

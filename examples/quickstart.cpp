@@ -1,0 +1,44 @@
+// Quickstart: build a routing table, assemble a SPAL router with the
+// paper's default parameters (ψ = 16 LCs, 4K-block LR-caches, γ = 50%,
+// 40 Gbps line cards, 40-cycle Lulea FEs), push one workload through it and
+// print the headline numbers.
+//
+// Usage: quickstart [num_lcs] [packets_per_lc]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/spal.h"
+
+int main(int argc, char** argv) {
+  using namespace spal;
+
+  const int num_lcs = argc > 1 ? std::atoi(argv[1]) : 16;
+  const std::size_t packets = argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 100'000;
+
+  std::cout << "Generating RT_2-scale routing table (140,838 prefixes)...\n";
+  const net::RouteTable table = net::make_rt2();
+
+  core::RouterConfig config = core::spal_default_config(num_lcs);
+  config.packets_per_lc = packets;
+
+  core::RouterSim router(table, config);
+  std::cout << "Router: psi=" << num_lcs << " LCs, control bits {";
+  for (std::size_t i = 0; i < router.rot().control_bits().size(); ++i) {
+    std::cout << (i ? "," : "") << router.rot().control_bits()[i];
+  }
+  std::cout << "}, partition sizes:";
+  for (const std::size_t s : router.rot().partition_sizes()) std::cout << ' ' << s;
+  std::cout << "\n";
+
+  const auto profiles = trace::all_profiles();
+  for (const auto& profile : profiles) {
+    const core::RouterResult result = router.run_workload(profile);
+    std::cout << "workload " << profile.name
+              << ": mean lookup = " << result.mean_lookup_cycles() << " cycles"
+              << ", worst = " << result.worst_lookup_cycles() << " cycles"
+              << ", LR-cache hit rate = " << result.cache_total.hit_rate()
+              << ", router rate = "
+              << result.router_packets_per_second(num_lcs) / 1e6 << " Mpps\n";
+  }
+  return 0;
+}

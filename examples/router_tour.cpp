@@ -1,0 +1,160 @@
+// Router tour: a narrated, component-level walk through SPAL's lookup flow
+// (paper Sec. 3.3) using the library's building blocks directly — no
+// simulator. Five packets demonstrate the five interesting paths:
+//   1. cold miss, locally homed  -> local FE, block filled with M=LOC
+//   2. repeat of (1)             -> LR-cache hit
+//   3. cold miss, remotely homed -> fabric request, home FE, reply, M=REM
+//   4. repeat of (3)             -> satisfied locally from the REM block
+//   5. concurrent duplicate      -> W-bit waiting list, one FE lookup only
+#include <iostream>
+
+#include "core/spal.h"
+
+using namespace spal;
+
+namespace {
+
+struct Lc {
+  explicit Lc(const net::RouteTable& fwd, const cache::LrCacheConfig& config)
+      : trie(trie::build_lpm(trie::TrieKind::kLulea, fwd)), lr_cache(config) {}
+  std::unique_ptr<trie::LpmIndex> trie;
+  cache::LrCache lr_cache;
+};
+
+const char* origin_name(cache::Origin origin) {
+  return origin == cache::Origin::kLocal ? "LOC" : "REM";
+}
+
+}  // namespace
+
+int main() {
+  // A small router: 4 LCs over a 10k-prefix table.
+  net::TableGenConfig table_config;
+  table_config.size = 10'000;
+  table_config.seed = 99;
+  const net::RouteTable table = net::generate_table(table_config);
+  const partition::RotPartition rot(table, 4);
+
+  cache::LrCacheConfig cache_config;
+  cache_config.blocks = 1024;
+  std::vector<Lc> lcs;
+  for (int i = 0; i < 4; ++i) lcs.emplace_back(rot.table_of(i), cache_config);
+
+  fabric::FabricConfig fabric_config;
+  fabric_config.ports = 4;
+  fabric::Fabric fabric(fabric_config);
+
+  std::cout << "Router assembled: 4 LCs, control bits {";
+  for (std::size_t i = 0; i < rot.control_bits().size(); ++i) {
+    std::cout << (i ? "," : "") << rot.control_bits()[i];
+  }
+  std::cout << "}, fabric latency " << fabric.latency_cycles() << " cycles\n\n";
+
+  // Pick one locally-homed and one remotely-homed destination for LC0.
+  std::mt19937_64 rng(5);
+  net::Ipv4Addr local_addr, remote_addr;
+  for (;;) {
+    const auto addr = net::random_address_in(
+        table.entries()[rng() % table.size()].prefix, rng);
+    if (rot.home_of(addr) == 0) {
+      local_addr = addr;
+      break;
+    }
+  }
+  for (;;) {
+    const auto addr = net::random_address_in(
+        table.entries()[rng() % table.size()].prefix, rng);
+    if (rot.home_of(addr) != 0) {
+      remote_addr = addr;
+      break;
+    }
+  }
+
+  std::uint64_t now = 100;
+
+  // --- 1. Cold miss, locally homed ---
+  std::cout << "[1] " << local_addr.to_string() << " arrives at LC0 (home LC"
+            << rot.home_of(local_addr) << ")\n";
+  auto probe = lcs[0].lr_cache.probe(local_addr, now);
+  std::cout << "    LR-cache probe: miss; LR1 says local -> reserve W=1, run FE\n";
+  lcs[0].lr_cache.reserve(local_addr, cache::Origin::kLocal, now);
+  trie::MemAccessCounter accesses;
+  const net::NextHop local_hop = lcs[0].trie->lookup_counted(local_addr, accesses);
+  std::cout << "    FE (Lulea) result: next hop " << local_hop << " after "
+            << accesses.total() << " memory accesses\n";
+  lcs[0].lr_cache.fill(local_addr, local_hop, now + 40);
+  std::cout << "    block filled, M=LOC\n\n";
+  now += 50;
+
+  // --- 2. Repeat: LR-cache hit ---
+  probe = lcs[0].lr_cache.probe(local_addr, now);
+  std::cout << "[2] same address again: probe -> "
+            << (probe.state == cache::ProbeState::kHit ? "HIT" : "miss")
+            << ", next hop " << probe.next_hop << " in one cycle\n\n";
+  now += 10;
+
+  // --- 3. Cold miss, remotely homed ---
+  const int home = rot.home_of(remote_addr);
+  std::cout << "[3] " << remote_addr.to_string() << " arrives at LC0 (home LC"
+            << home << ")\n";
+  probe = lcs[0].lr_cache.probe(remote_addr, now);
+  std::cout << "    LR-cache probe: miss; LR1 says remote -> reserve W=1 (M=REM), "
+               "request over fabric\n";
+  lcs[0].lr_cache.reserve(remote_addr, cache::Origin::kRemote, now);
+  const std::uint64_t at_home = fabric.deliver(0, home, now);
+  probe = lcs[static_cast<std::size_t>(home)].lr_cache.probe(remote_addr, at_home);
+  std::cout << "    request reaches LC" << home << " at cycle " << at_home
+            << "; home probe: "
+            << (probe.state == cache::ProbeState::kMiss ? "miss -> home FE" : "hit")
+            << "\n";
+  lcs[static_cast<std::size_t>(home)].lr_cache.reserve(remote_addr,
+                                                       cache::Origin::kLocal, at_home);
+  const net::NextHop remote_hop =
+      lcs[static_cast<std::size_t>(home)].trie->lookup(remote_addr);
+  lcs[static_cast<std::size_t>(home)].lr_cache.fill(remote_addr, remote_hop, at_home + 40);
+  const std::uint64_t back = fabric.deliver(home, 0, at_home + 40);
+  lcs[0].lr_cache.fill(remote_addr, remote_hop, back);
+  std::cout << "    home block filled (M=LOC); reply at cycle " << back
+            << " fills LC0's block (M=REM): next hop " << remote_hop << "\n\n";
+  now = back + 10;
+
+  // --- 4. Repeat of the remote address: now a local hit ---
+  probe = lcs[0].lr_cache.probe(remote_addr, now);
+  std::cout << "[4] same remote-homed address again at LC0: probe -> "
+            << (probe.state == cache::ProbeState::kHit ? "HIT (served from the REM block, no fabric)" : "miss")
+            << "\n\n";
+  now += 10;
+
+  // --- 5. W-bit: concurrent duplicates are parked, one FE lookup ---
+  net::Ipv4Addr burst_addr;
+  for (;;) {
+    const auto addr = net::random_address_in(
+        table.entries()[rng() % table.size()].prefix, rng);
+    if (rot.home_of(addr) == 0 &&
+        lcs[0].lr_cache.probe(addr, now).state == cache::ProbeState::kMiss) {
+      burst_addr = addr;
+      break;
+    }
+  }
+  std::cout << "[5] burst of 3 packets for " << burst_addr.to_string() << ":\n";
+  lcs[0].lr_cache.reserve(burst_addr, cache::Origin::kLocal, now);
+  std::cout << "    packet A: miss -> W=1 reserved, FE started\n";
+  for (const char* name : {"B", "C"}) {
+    const auto state = lcs[0].lr_cache.probe(burst_addr, ++now).state;
+    std::cout << "    packet " << name << ": probe -> "
+              << (state == cache::ProbeState::kWaiting
+                      ? "WAITING (parked on the block's waiting list)"
+                      : "?")
+              << "\n";
+  }
+  const net::NextHop burst_hop = lcs[0].trie->lookup(burst_addr);
+  lcs[0].lr_cache.fill(burst_addr, burst_hop, now + 40);
+  std::cout << "    FE completes once; fill clears W and releases A, B, C with hop "
+            << burst_hop << "\n\n";
+
+  std::cout << "Cache mix at LC0: " << lcs[0].lr_cache.count_origin(cache::Origin::kLocal)
+            << " " << origin_name(cache::Origin::kLocal) << " blocks, "
+            << lcs[0].lr_cache.count_origin(cache::Origin::kRemote) << " "
+            << origin_name(cache::Origin::kRemote) << " blocks\n";
+  return 0;
+}

@@ -1,0 +1,200 @@
+// spal_cli: run an arbitrary SPAL router configuration from the command
+// line and print a full report — the "I want to try my own point in the
+// design space" tool.
+//
+// Usage:
+//   spal_cli [--psi=N] [--beta=BLOCKS] [--gamma=PCT] [--rate=GBPS]
+//            [--fe-cycles=N] [--fe-parallel=N] [--trie=lulea|dp|lc|binary|gupta]
+//            [--trace=D_75|D_81|L_92-0|L_92-1|B_L] [--packets=N]
+//            [--table-size=N] [--seed=N] [--no-partition] [--no-cache]
+//            [--update-interval=CYCLES] [--selective-invalidate] [--verify]
+//            [--ipv6]
+//
+// Example:
+//   spal_cli --psi=12 --beta=2048 --gamma=25 --trace=L_92-0 --verify
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "core/spal.h"
+
+using namespace spal;
+
+namespace {
+
+std::optional<std::string> arg_value(int argc, char** argv, const char* name) {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return std::nullopt;
+}
+
+bool has_flag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+std::optional<trie::TrieKind> parse_trie(const std::string& name) {
+  if (name == "binary") return trie::TrieKind::kBinary;
+  if (name == "dp") return trie::TrieKind::kDp;
+  if (name == "lulea") return trie::TrieKind::kLulea;
+  if (name == "lc") return trie::TrieKind::kLc;
+  if (name == "gupta") return trie::TrieKind::kGupta;
+  if (name == "stride") return trie::TrieKind::kStride;
+  return std::nullopt;
+}
+
+}  // namespace
+
+void print_report(const core::RouterResult& result, int psi, bool use_cache,
+                  bool verify) {
+  std::cout << "\n--- results ---\n"
+            << "packets resolved:    " << result.resolved_packets << "\n"
+            << "mean lookup:         " << result.mean_lookup_cycles()
+            << " cycles (" << result.mean_lookup_cycles() * sim::kCycleNs << " ns)\n"
+            << "p50 / p99 / worst:   " << result.latency.percentile(0.5) << " / "
+            << result.latency.percentile(0.99) << " / "
+            << result.worst_lookup_cycles() << " cycles\n"
+            << "per-LC rate:         "
+            << result.latency.lookups_per_second(sim::kCycleNs) / 1e6 << " Mpps\n"
+            << "router rate:         "
+            << result.router_packets_per_second(psi) / 1e6 << " Mpps\n";
+  if (use_cache) {
+    std::cout << "LR-cache hit rate:   " << result.cache_total.hit_rate()
+              << " (victim hits " << result.cache_total.victim_hits
+              << ", waiting hits " << result.cache_total.waiting_hits << ")\n";
+  }
+  std::cout << "FE lookups:          " << result.fe_lookups << " ("
+            << 100.0 * static_cast<double>(result.fe_lookups) /
+                   static_cast<double>(std::max<std::uint64_t>(1, result.resolved_packets))
+            << "% of packets), busiest FE at "
+            << result.max_fe_utilization * 100 << "%\n"
+            << "fabric messages:     " << result.fabric.messages << "\n";
+  if (psi > 1 && !result.per_lc_latency.empty()) {
+    // Exposes per-LC imbalance, e.g. the hot LC that homes two control-bit
+    // groups when psi is not a power of two.
+    std::cout << "per-LC mean cycles: ";
+    for (const auto& stats : result.per_lc_latency) {
+      std::cout << ' ' << stats.mean_cycles();
+    }
+    std::cout << "\n";
+  }
+  if (result.updates_applied > 0) {
+    std::cout << "table updates:       " << result.updates_applied
+              << " (blocks invalidated " << result.blocks_invalidated << ")\n";
+  }
+  if (verify) {
+    std::cout << "oracle mismatches:   " << result.verify_mismatches
+              << (result.verify_mismatches == 0 ? " (all lookups correct)" : " (BUG!)")
+              << "\n";
+  }
+}
+
+int main(int argc, char** argv) {
+  if (has_flag(argc, argv, "--help") || has_flag(argc, argv, "-h")) {
+    std::cout << "see the header of examples/spal_cli.cpp for usage\n";
+    return 0;
+  }
+
+  const int psi = std::stoi(arg_value(argc, argv, "--psi").value_or("16"));
+  core::RouterConfig config = core::spal_default_config(psi);
+  config.cache.blocks = static_cast<std::size_t>(
+      std::stoll(arg_value(argc, argv, "--beta").value_or("4096")));
+  config.cache.remote_fraction =
+      std::stod(arg_value(argc, argv, "--gamma").value_or("50")) / 100.0;
+  config.line_rate_gbps = std::stod(arg_value(argc, argv, "--rate").value_or("40"));
+  config.fe_service_cycles =
+      std::stoi(arg_value(argc, argv, "--fe-cycles").value_or("40"));
+  config.fe_parallelism =
+      std::stoi(arg_value(argc, argv, "--fe-parallel").value_or("1"));
+  config.packets_per_lc = static_cast<std::size_t>(
+      std::stoll(arg_value(argc, argv, "--packets").value_or("100000")));
+  config.seed = static_cast<std::uint64_t>(
+      std::stoll(arg_value(argc, argv, "--seed").value_or("42")));
+  config.partition = !has_flag(argc, argv, "--no-partition");
+  config.use_lr_cache = !has_flag(argc, argv, "--no-cache");
+  config.flush_interval_cycles = static_cast<std::uint64_t>(
+      std::stoll(arg_value(argc, argv, "--update-interval").value_or("0")));
+  if (has_flag(argc, argv, "--selective-invalidate")) {
+    config.update_policy = core::RouterConfig::UpdatePolicy::kSelectiveInvalidate;
+  }
+  if (const auto name = arg_value(argc, argv, "--trie")) {
+    const auto kind = parse_trie(*name);
+    if (!kind) {
+      std::cerr << "unknown trie '" << *name << "'\n";
+      return 1;
+    }
+    config.trie = *kind;
+  }
+
+  const std::size_t table_size = static_cast<std::size_t>(
+      std::stoll(arg_value(argc, argv, "--table-size").value_or("140838")));
+  const bool ipv6 = has_flag(argc, argv, "--ipv6");
+  const bool verify = has_flag(argc, argv, "--verify");
+
+  trace::WorkloadProfile profile = trace::profile_d75();
+  if (const auto name = arg_value(argc, argv, "--trace")) {
+    bool found = false;
+    for (const auto& p : trace::all_profiles()) {
+      if (p.name == *name) {
+        profile = p;
+        found = true;
+      }
+    }
+    if (!found) {
+      std::cerr << "unknown trace '" << *name << "'\n";
+      return 1;
+    }
+  }
+
+  if (ipv6) {
+    net::TableGen6Config table_config;
+    table_config.size = table_size;
+    table_config.seed = 0x6bed;
+    const net::RouteTable6 table = net::generate_table6(table_config);
+    std::cout << "IPv6 table: " << table.size() << " prefixes | psi=" << psi
+              << " | beta=" << config.cache.blocks
+              << " | gamma=" << config.cache.remote_fraction * 100 << "%"
+              << " | trace=" << profile.name << "\n";
+    core::RouterSim6 router(table, config);
+    print_report(router.run_workload(profile, verify), psi,
+                 config.use_lr_cache, verify);
+    return 0;
+  }
+
+  net::TableGenConfig table_config;
+  table_config.size = table_size;
+  table_config.seed = 0x5eed'0002;
+  const net::RouteTable table = net::generate_table(table_config);
+
+  std::cout << "table: " << table.size() << " prefixes | psi=" << psi
+            << " | trie=" << trie::to_string(config.trie)
+            << " | beta=" << config.cache.blocks
+            << " | gamma=" << config.cache.remote_fraction * 100 << "%"
+            << " | rate=" << config.line_rate_gbps << " Gbps"
+            << " | fe=" << config.fe_service_cycles << "cy x"
+            << config.fe_parallelism << " | trace=" << profile.name << "\n";
+
+  core::RouterSim router(table, config);
+  if (config.partition && psi > 1) {
+    std::cout << "control bits:";
+    for (const int bit : router.rot().control_bits()) std::cout << ' ' << bit;
+    std::cout << " | partition sizes:";
+    for (const std::size_t s : router.rot().partition_sizes()) std::cout << ' ' << s;
+    std::cout << "\n";
+  }
+  const auto storage = router.trie_storage_bytes();
+  std::size_t max_storage = 0;
+  for (const std::size_t s : storage) max_storage = std::max(max_storage, s);
+  std::cout << "per-LC trie storage: <= " << max_storage / 1024 << " KB\n";
+
+  print_report(router.run_workload(profile, verify), psi, config.use_lr_cache,
+               verify);
+  return 0;
+}

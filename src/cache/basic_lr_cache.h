@@ -1,0 +1,357 @@
+// Address-family-generic LR-cache implementation. See lr_cache.h for the
+// design commentary (M/W bits, γ ways quotas, victim cache) — that header
+// also provides the IPv4 alias `LrCache` every IPv4 component uses, while
+// the IPv6 router instantiates BasicLrCache<net::Ipv6Addr>.
+//
+// Requirements on Addr: regular value type with operator==, plus an
+// overload of lr_cache_set_bits(addr) yielding the 32 low-entropy bits the
+// set index is drawn from.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "net/ip_addr.h"
+#include "net/route_table.h"
+
+namespace spal::cache {
+
+/// Conventional replacement policy applied among eviction candidates.
+enum class Replacement : std::uint8_t { kLru, kFifo, kRandom };
+
+/// The M status bit: where the cached result was produced.
+enum class Origin : std::uint8_t { kLocal, kRemote };
+
+struct LrCacheConfig {
+  std::size_t blocks = 4096;          ///< β, total blocks
+  std::size_t associativity = 4;      ///< paper's choice (Sec. 3.2)
+  double remote_fraction = 0.5;       ///< γ, share of each set for REM blocks
+  std::size_t victim_blocks = 8;      ///< 0 disables the victim cache
+  Replacement replacement = Replacement::kLru;
+  Replacement victim_replacement = Replacement::kLru;
+  std::uint64_t seed = 0x1004;        ///< used by the random policy only
+};
+
+/// Outcome of a probe.
+enum class ProbeState : std::uint8_t {
+  kHit,      ///< completed block found; next_hop is valid
+  kWaiting,  ///< block found but W=1; park the packet on the waiting list
+  kMiss,     ///< not present
+};
+
+struct ProbeResult {
+  ProbeState state = ProbeState::kMiss;
+  net::NextHop next_hop = net::kNoRoute;
+};
+
+struct LrCacheStats {
+  std::uint64_t probes = 0;
+  std::uint64_t hits = 0;          ///< completed-block hits (incl. victim hits)
+  std::uint64_t victim_hits = 0;   ///< subset of hits served by the victim cache
+  std::uint64_t waiting_hits = 0;  ///< probes that matched a W=1 block
+  std::uint64_t misses = 0;
+  std::uint64_t reservations = 0;
+  std::uint64_t failed_reservations = 0;  ///< quota full of waiting blocks
+  std::uint64_t quota_bypasses = 0;       ///< origin has zero ways (not cached)
+  std::uint64_t fills = 0;
+  std::uint64_t orphan_fills = 0;  ///< reply arrived after flush removed block
+  std::uint64_t evictions = 0;
+  std::uint64_t flushes = 0;
+
+  double hit_rate() const {
+    return probes == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(probes);
+  }
+
+  void accumulate(const LrCacheStats& other) {
+    probes += other.probes;
+    hits += other.hits;
+    victim_hits += other.victim_hits;
+    waiting_hits += other.waiting_hits;
+    misses += other.misses;
+    reservations += other.reservations;
+    failed_reservations += other.failed_reservations;
+    quota_bypasses += other.quota_bypasses;
+    fills += other.fills;
+    orphan_fills += other.orphan_fills;
+    evictions += other.evictions;
+    flushes += other.flushes;
+  }
+};
+
+/// Set-index source bits per address family.
+inline std::uint32_t lr_cache_set_bits(net::Ipv4Addr addr) { return addr.value(); }
+inline std::uint32_t lr_cache_set_bits(const net::Ipv6Addr& addr) {
+  return static_cast<std::uint32_t>(addr.lo());
+}
+
+template <typename Addr>
+class BasicLrCache {
+ public:
+  /// Throws std::invalid_argument unless blocks is a nonzero multiple of
+  /// the associativity and the set count is a power of two.
+  explicit BasicLrCache(const LrCacheConfig& config)
+      : config_(config), rng_(config.seed) {
+    if (config.associativity == 0 || config.blocks == 0 ||
+        config.blocks % config.associativity != 0) {
+      throw std::invalid_argument(
+          "LrCache: blocks must be a nonzero multiple of associativity");
+    }
+    sets_ = config.blocks / config.associativity;
+    if (!std::has_single_bit(sets_)) {
+      throw std::invalid_argument("LrCache: set count must be a power of two");
+    }
+    if (config.remote_fraction < 0.0 || config.remote_fraction > 1.0) {
+      throw std::invalid_argument("LrCache: remote_fraction outside [0,1]");
+    }
+    blocks_.resize(config.blocks);
+    victim_.resize(config.victim_blocks);
+  }
+
+  /// Looks `addr` up in its set and the victim cache simultaneously.
+  ProbeResult probe(const Addr& addr, std::uint64_t now) {
+    ++stats_.probes;
+    if (Block* block = find_in_set(addr); block != nullptr) {
+      if (block->waiting) {
+        ++stats_.waiting_hits;
+        return ProbeResult{ProbeState::kWaiting, net::kNoRoute};
+      }
+      block->last_use = now;
+      ++stats_.hits;
+      return ProbeResult{ProbeState::kHit, block->next_hop};
+    }
+    // The victim cache is searched simultaneously (Sec. 3.2); on a hit the
+    // block is promoted back into its set.
+    if (Block* block = find_victim_entry(addr); block != nullptr) {
+      ++stats_.hits;
+      ++stats_.victim_hits;
+      const Block promoted = *block;
+      block->valid = false;
+      insert(promoted.addr, promoted.next_hop, promoted.origin, now);
+      return ProbeResult{ProbeState::kHit, promoted.next_hop};
+    }
+    ++stats_.misses;
+    return ProbeResult{ProbeState::kMiss, net::kNoRoute};
+  }
+
+  /// Early recording: reserves a W=1 block (see lr_cache.h).
+  bool reserve(const Addr& addr, Origin origin, std::uint64_t now) {
+    Block* block = choose_victim(set_index(addr), origin, now);
+    if (block == nullptr) {
+      ++stats_.failed_reservations;
+      return false;
+    }
+    ++stats_.reservations;
+    *block = Block{addr, net::kNoRoute, origin, /*valid=*/true,
+                   /*waiting=*/true, now, now};
+    return true;
+  }
+
+  /// Completes the waiting block for `addr`; false if it was flushed away.
+  bool fill(const Addr& addr, net::NextHop next_hop, std::uint64_t now) {
+    Block* block = find_in_set(addr);
+    if (block == nullptr || !block->waiting) {
+      ++stats_.orphan_fills;
+      return false;
+    }
+    block->next_hop = next_hop;
+    block->waiting = false;
+    block->last_use = now;
+    ++stats_.fills;
+    return true;
+  }
+
+  /// Inserts a completed result directly (reserve+fill in one step).
+  void insert(const Addr& addr, net::NextHop next_hop, Origin origin,
+              std::uint64_t now) {
+    if (Block* existing = find_in_set(addr); existing != nullptr) {
+      existing->next_hop = next_hop;
+      existing->origin = origin;
+      existing->waiting = false;
+      existing->last_use = now;
+      return;
+    }
+    Block* block = choose_victim(set_index(addr), origin, now);
+    if (block == nullptr) return;  // no ways for this origin / quota waiting
+    *block = Block{addr, next_hop, origin, /*valid=*/true, /*waiting=*/false,
+                   now, now};
+  }
+
+  /// Invalidates every block including the victim cache (table update).
+  void flush() {
+    ++stats_.flushes;
+    for (Block& block : blocks_) block.valid = false;
+    for (Block& block : victim_) block.valid = false;
+  }
+
+  /// Cold restart: flush() plus statistics and RNG reset.
+  void reset() {
+    for (Block& block : blocks_) block = Block{};
+    for (Block& block : victim_) block = Block{};
+    stats_ = LrCacheStats{};
+    rng_.seed(config_.seed);
+  }
+
+  /// Selective invalidation: drops completed blocks `prefix` covers
+  /// (victim cache included); waiting blocks are left for their fill.
+  template <typename PrefixT>
+  std::size_t invalidate_matching(const PrefixT& prefix) {
+    std::size_t invalidated = 0;
+    const auto drop = [&](Block& block) {
+      if (block.valid && !block.waiting && prefix.matches(block.addr)) {
+        block.valid = false;
+        ++invalidated;
+      }
+    };
+    for (Block& block : blocks_) drop(block);
+    for (Block& block : victim_) drop(block);
+    return invalidated;
+  }
+
+  const LrCacheStats& stats() const { return stats_; }
+  const LrCacheConfig& config() const { return config_; }
+  std::size_t set_count() const { return sets_; }
+
+  /// Valid completed blocks of the given origin (test/diagnostic aid).
+  std::size_t count_origin(Origin origin) const {
+    std::size_t count = 0;
+    for (const Block& block : blocks_) {
+      if (block.valid && !block.waiting && block.origin == origin) ++count;
+    }
+    return count;
+  }
+
+  /// Ways of each set devoted to the origin. floor(): a fractional REM
+  /// share never rounds a LOC way away (γ = 50% on a direct-mapped cache
+  /// keeps the single way for LOC results).
+  std::size_t ways(Origin origin) const {
+    const auto rem = static_cast<std::size_t>(
+        config_.remote_fraction * static_cast<double>(config_.associativity));
+    return origin == Origin::kRemote ? rem : config_.associativity - rem;
+  }
+
+ private:
+  struct Block {
+    Addr addr{};
+    net::NextHop next_hop = net::kNoRoute;
+    Origin origin = Origin::kLocal;
+    bool valid = false;
+    bool waiting = false;
+    std::uint64_t last_use = 0;   ///< LRU stamp
+    std::uint64_t inserted = 0;   ///< FIFO stamp
+  };
+
+  std::size_t set_index(const Addr& addr) const {
+    return lr_cache_set_bits(addr) & (sets_ - 1);
+  }
+
+  Block* find_in_set(const Addr& addr) {
+    const std::size_t base = set_index(addr) * config_.associativity;
+    for (std::size_t i = 0; i < config_.associativity; ++i) {
+      Block& block = blocks_[base + i];
+      if (block.valid && block.addr == addr) return &block;
+    }
+    return nullptr;
+  }
+
+  Block* find_victim_entry(const Addr& addr) {
+    for (Block& block : victim_) {
+      if (block.valid && block.addr == addr) return &block;
+    }
+    return nullptr;
+  }
+
+  std::size_t pick_by_policy(std::vector<std::size_t>& candidates,
+                             const std::vector<Block>& pool, Replacement policy) {
+    switch (policy) {
+      case Replacement::kLru:
+        return *std::min_element(candidates.begin(), candidates.end(),
+                                 [&](std::size_t a, std::size_t b) {
+                                   return pool[a].last_use < pool[b].last_use;
+                                 });
+      case Replacement::kFifo:
+        return *std::min_element(candidates.begin(), candidates.end(),
+                                 [&](std::size_t a, std::size_t b) {
+                                   return pool[a].inserted < pool[b].inserted;
+                                 });
+      case Replacement::kRandom:
+        return candidates[std::uniform_int_distribution<std::size_t>(
+            0, candidates.size() - 1)(rng_)];
+    }
+    return candidates.front();
+  }
+
+  /// Picks the block an `origin` insertion may overwrite under the γ ways
+  /// quota; nullptr when the origin has no ways or only waiting blocks.
+  Block* choose_victim(std::size_t set, Origin origin, std::uint64_t now) {
+    if (ways(origin) == 0) {
+      ++stats_.quota_bypasses;  // this origin is not cached at this γ
+      return nullptr;
+    }
+    const std::size_t base = set * config_.associativity;
+    // Same-origin blocks count against the γ quota (waiting ones included).
+    std::vector<std::size_t> same_origin;  // evictable (non-waiting) only
+    std::size_t same_origin_valid = 0;
+    for (std::size_t i = 0; i < config_.associativity; ++i) {
+      const Block& block = blocks_[base + i];
+      if (!block.valid || block.origin != origin) continue;
+      ++same_origin_valid;
+      if (!block.waiting) same_origin.push_back(base + i);
+    }
+    if (same_origin_valid >= ways(origin)) {
+      // Quota reached: replace within the origin's own ways.
+      if (same_origin.empty()) return nullptr;  // quota entirely waiting
+      Block* block =
+          &blocks_[pick_by_policy(same_origin, blocks_, config_.replacement)];
+      if (config_.victim_blocks > 0) demote(*block, now);
+      return block;
+    }
+    // Below quota: take an idle block first...
+    for (std::size_t i = 0; i < config_.associativity; ++i) {
+      if (!blocks_[base + i].valid) return &blocks_[base + i];
+    }
+    // ...else the other origin necessarily exceeds its quota; reclaim.
+    std::vector<std::size_t> other;
+    for (std::size_t i = 0; i < config_.associativity; ++i) {
+      const Block& block = blocks_[base + i];
+      if (block.valid && block.origin != origin && !block.waiting) {
+        other.push_back(base + i);
+      }
+    }
+    if (other.empty()) return nullptr;
+    Block* block = &blocks_[pick_by_policy(other, blocks_, config_.replacement)];
+    if (config_.victim_blocks > 0) demote(*block, now);
+    return block;
+  }
+
+  /// Demotes a valid block into the victim cache.
+  void demote(const Block& block, std::uint64_t now) {
+    ++stats_.evictions;
+    for (Block& slot : victim_) {
+      if (!slot.valid) {
+        slot = block;
+        slot.last_use = now;
+        slot.inserted = now;
+        return;
+      }
+    }
+    std::vector<std::size_t> all(victim_.size());
+    for (std::size_t i = 0; i < victim_.size(); ++i) all[i] = i;
+    const std::size_t slot = pick_by_policy(all, victim_, config_.victim_replacement);
+    victim_[slot] = block;
+    victim_[slot].last_use = now;
+    victim_[slot].inserted = now;
+  }
+
+  LrCacheConfig config_;
+  std::size_t sets_ = 0;
+  std::vector<Block> blocks_;         // sets_ * associativity, set-major
+  std::vector<Block> victim_;         // fully associative
+  LrCacheStats stats_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace spal::cache

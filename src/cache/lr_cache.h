@@ -1,0 +1,38 @@
+// The LR-cache: SPAL's on-chip lookup-result cache (paper Sec. 3.2).
+//
+// A set-associative cache whose blocks each hold one lookup result
+// <IP address, Next_hop_LC#> plus three status bits:
+//   * availability (invalid / shared),
+//   * M ("mix"): whether the result was homed locally (LOC — produced by
+//     this LC's own FE) or remotely (REM — obtained over the fabric), and
+//   * W ("waiting"): set while a reserved block waits for its reply; packets
+//     that hit a waiting block are parked on the block's waiting list
+//     instead of being forwarded again (early recording, Sec. 3.2).
+//
+// Replacement is mix-aware: γ is the fraction of each set *devoted* to REM
+// results (the paper's mix value — γ = 25% on a 4-way set means exactly one
+// block per set for REM results, Sec. 5.2). Each origin owns ⌊γ·assoc⌋ /
+// assoc − ⌊γ·assoc⌋ ways: an insertion whose origin is at its quota
+// replaces the least-recent same-origin block (per the configured
+// LRU / FIFO / random policy), an origin with zero ways is not cached at
+// all (γ = 0 ⇒ remote results are never retained), and idle (invalid)
+// blocks are usable by either origin. Waiting blocks are never evicted
+// (their waiting lists would be orphaned); if an origin's quota is entirely
+// waiting, a new reservation fails and the packet proceeds uncached.
+//
+// Each LR-cache is paired with a small fully-associative victim cache
+// (8 blocks in the paper) probed in the same cycle; victim hits are
+// promoted back into the main set.
+//
+// The implementation is address-family generic (basic_lr_cache.h); this
+// header provides the IPv4 instantiation the SPAL router uses. The IPv6
+// router uses BasicLrCache<net::Ipv6Addr>.
+#pragma once
+
+#include "cache/basic_lr_cache.h"
+
+namespace spal::cache {
+
+using LrCache = BasicLrCache<net::Ipv4Addr>;
+
+}  // namespace spal::cache

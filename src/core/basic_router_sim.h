@@ -1,0 +1,401 @@
+// Address-family-generic SPAL router simulation.
+//
+// The full Sec. 3.3 lookup flow (see router_sim.h for the narrative) is
+// independent of the address family: it needs a partition (home-LC mapping
+// + per-LC tables), a forwarding-engine index per LC, an LR-cache keyed by
+// addresses, and the fabric/event machinery. This template captures that
+// flow once; RouterSim (IPv4) and RouterSim6 (IPv6) are thin instantiations
+// through a Family policy:
+//
+//   struct Family {
+//     using Addr;                     // packet destination type
+//     using Table;                    // routing table
+//     using Partition;                // ROT-partition (home_of, table_of)
+//     using Fe;                       // built LPM index
+//     using Oracle;                   // full-table reference index
+//     static Partition make_partition(const Table&, int lcs, const RouterConfig&);
+//     static Fe build_fe(const Table&, const RouterConfig&);
+//     static net::NextHop fe_lookup(const Fe&, const Addr&);
+//     static std::size_t fe_storage(const Fe&);
+//     static Oracle build_oracle(const Table&);
+//     static net::NextHop oracle_lookup(const Oracle&, const Addr&);
+//     static std::uint64_t hash_bits(const Addr&);       // waiting-list key
+//     static void apply_update(...)                      // cache side of a
+//                                                        // table update
+//   };
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <random>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/basic_lr_cache.h"
+#include "core/router_config.h"
+#include "fabric/fabric.h"
+#include "sim/engine.h"
+#include "sim/packet_source.h"
+
+namespace spal::core {
+
+template <typename Family>
+class BasicRouterSim {
+ public:
+  using Addr = typename Family::Addr;
+  using Table = typename Family::Table;
+  using Partition = typename Family::Partition;
+  using Cache = cache::BasicLrCache<Addr>;
+
+  BasicRouterSim(const Table& table, const RouterConfig& config)
+      : config_(config), full_table_(table) {
+    if (config.num_lcs < 1) {
+      throw std::invalid_argument("RouterSim: num_lcs must be >= 1");
+    }
+    // Fragment the table (an unpartitioned router keeps the full table in
+    // every LC, modelled as a single-partition fragmentation).
+    rot_ = std::make_unique<Partition>(Family::make_partition(
+        table, config_.partition ? config_.num_lcs : 1, config_));
+    fes_.reserve(static_cast<std::size_t>(config_.num_lcs));
+    for (int lc = 0; lc < config_.num_lcs; ++lc) {
+      const Table& fwd = config_.partition ? rot_->table_of(lc) : full_table_;
+      fes_.push_back(Family::build_fe(fwd, config_));
+    }
+    if (config_.use_lr_cache) {
+      caches_.reserve(static_cast<std::size_t>(config_.num_lcs));
+      for (int lc = 0; lc < config_.num_lcs; ++lc) {
+        cache::LrCacheConfig cache_config = config_.cache;
+        cache_config.seed ^= static_cast<std::uint64_t>(lc) * 0x9e3779b97f4a7c15ULL;
+        caches_.push_back(std::make_unique<Cache>(cache_config));
+      }
+    }
+    fabric::FabricConfig fabric_config = config_.fabric;
+    fabric_config.ports = config_.num_lcs;
+    fabric_ = std::make_unique<fabric::Fabric>(fabric_config);
+  }
+
+  /// Runs one simulation over per-LC destination streams. With `verify`,
+  /// every resolved next hop is checked against the full-table oracle.
+  RouterResult run(const std::vector<std::vector<Addr>>& streams, bool verify) {
+    if (streams.size() != static_cast<std::size_t>(config_.num_lcs)) {
+      throw std::invalid_argument("RouterSim::run: one stream per LC required");
+    }
+    // Reset run state: every run starts from a cold router.
+    result_ = RouterResult();
+    result_.per_lc_latency.assign(static_cast<std::size_t>(config_.num_lcs),
+                                  sim::LatencyStats{});
+    queue_ = sim::EventQueue<Event>{};
+    waiting_.clear();
+    for (const auto& c : caches_) c->reset();
+    fabric_->reset();
+    cache_port_free_.assign(static_cast<std::size_t>(config_.num_lcs), 0);
+    fe_free_.assign(static_cast<std::size_t>(config_.num_lcs),
+                    std::vector<std::uint64_t>(
+                        static_cast<std::size_t>(std::max(1, config_.fe_parallelism)), 0));
+    fe_busy_.assign(static_cast<std::size_t>(config_.num_lcs), 0);
+    next_flush_ = config_.flush_interval_cycles;
+    update_rng_.seed(config_.seed ^ 0x0badf00dULL);
+    verify_ = verify;
+    if (verify_ && oracle_ == nullptr) {
+      oracle_ = std::make_unique<typename Family::Oracle>(
+          Family::build_oracle(full_table_));
+    }
+
+    // Assign global packet ids and schedule arrivals.
+    std::size_t total_packets = 0;
+    for (const auto& stream : streams) total_packets += stream.size();
+    arrival_time_.assign(total_packets, 0);
+    arrival_lc_.assign(total_packets, 0);
+    resolved_.assign(total_packets, false);
+    destinations_.clear();
+    destinations_.reserve(total_packets);
+    std::int64_t packet_id = 0;
+    for (int lc = 0; lc < config_.num_lcs; ++lc) {
+      const auto& stream = streams[static_cast<std::size_t>(lc)];
+      const auto arrivals = sim::generate_arrival_times(
+          config_.line_rate_gbps, stream.size(),
+          config_.seed ^ (0xabcdef12345ULL + static_cast<std::uint64_t>(lc)));
+      for (std::size_t i = 0; i < stream.size(); ++i) {
+        arrival_time_[static_cast<std::size_t>(packet_id)] = arrivals[i];
+        arrival_lc_[static_cast<std::size_t>(packet_id)] = lc;
+        destinations_.push_back(stream[i]);
+        queue_.schedule(arrivals[i],
+                        Event{Event::Type::kLookup, lc, stream[i],
+                              Requester{lc, packet_id, false}, false,
+                              net::kNoRoute});
+        ++packet_id;
+      }
+    }
+
+    // Event loop.
+    while (!queue_.empty()) {
+      auto [now, event] = queue_.pop();
+      maybe_update_table(now);
+      result_.makespan_cycles = std::max(result_.makespan_cycles, now);
+      switch (event.type) {
+        case Event::Type::kLookup: handle_lookup(now, event); break;
+        case Event::Type::kFeComplete: handle_fe_complete(now, event); break;
+        case Event::Type::kReply: handle_reply(now, event); break;
+      }
+    }
+
+    // Aggregate per-LC statistics.
+    for (const auto& c : caches_) result_.cache_total.accumulate(c->stats());
+    result_.fabric = fabric_->stats();
+    if (result_.makespan_cycles > 0) {
+      const double capacity =
+          static_cast<double>(result_.makespan_cycles) *
+          static_cast<double>(std::max(1, config_.fe_parallelism));
+      for (const std::uint64_t busy : fe_busy_) {
+        result_.max_fe_utilization = std::max(
+            result_.max_fe_utilization, static_cast<double>(busy) / capacity);
+      }
+    }
+    return result_;
+  }
+
+  const RouterConfig& config() const { return config_; }
+  const Partition& partition() const { return *rot_; }
+
+  /// Per-LC forwarding-index storage in bytes.
+  std::vector<std::size_t> fe_storage_bytes() const {
+    std::vector<std::size_t> sizes;
+    sizes.reserve(fes_.size());
+    for (const auto& fe : fes_) sizes.push_back(Family::fe_storage(fe));
+    return sizes;
+  }
+
+ private:
+  struct Requester {
+    int lc;               ///< LC the requesting packet arrived at
+    std::int64_t packet;  ///< global packet id
+    /// Set on a remote request when the arrival LC reserved a W=1 block;
+    /// the home LC echoes it so the reply knows whether to fill.
+    bool fill_on_reply = false;
+  };
+
+  struct Event {
+    enum class Type : std::uint8_t { kLookup, kFeComplete, kReply };
+    Type type;
+    int lc;
+    Addr addr;
+    Requester requester;
+    bool fill = false;
+    net::NextHop hop = net::kNoRoute;
+  };
+
+  // Waiting lists are keyed by the exact (LC, address) pair — the hash
+  // comes from Family::hash_bits but equality compares full addresses, so
+  // 128-bit families cannot alias two lists.
+  struct WaitKey {
+    int lc;
+    Addr addr;
+    bool operator==(const WaitKey&) const = default;
+  };
+  struct WaitKeyHash {
+    std::size_t operator()(const WaitKey& k) const {
+      return static_cast<std::size_t>(
+          Family::hash_bits(k.addr) ^
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.lc)) *
+           0x9e3779b97f4a7c15ULL));
+    }
+  };
+  WaitKey wait_key(int lc, const Addr& addr) const { return WaitKey{lc, addr}; }
+
+  void handle_lookup(std::uint64_t now, const Event& event) {
+    const int lc = event.lc;
+    const Addr addr = event.addr;
+    const Requester requester = event.requester;
+    if (!caches_.empty()) {
+      // One probe per cycle per LR-cache (Sec. 5.1): contend for the port.
+      auto& port_free = cache_port_free_[static_cast<std::size_t>(lc)];
+      if (port_free > now) {
+        queue_.schedule(port_free, event);
+        return;
+      }
+      port_free = now + 1;
+      Cache& cache = *caches_[static_cast<std::size_t>(lc)];
+      const cache::ProbeResult probe = cache.probe(addr, now);
+      switch (probe.state) {
+        case cache::ProbeState::kHit:
+          deliver_result(now + 1, lc, addr, probe.next_hop, requester);
+          return;
+        case cache::ProbeState::kWaiting:
+          waiting_[wait_key(lc, addr)].push_back(requester);
+          return;
+        case cache::ProbeState::kMiss:
+          break;
+      }
+    }
+    const int home = config_.partition ? rot_->home_of(addr) : lc;
+    if (home == lc) {
+      bool fill = false;
+      if (!caches_.empty() && config_.early_reservation) {
+        fill = caches_[static_cast<std::size_t>(lc)]->reserve(
+            addr, cache::Origin::kLocal, now);
+        if (fill) waiting_[wait_key(lc, addr)].push_back(requester);
+      }
+      start_fe_job(now, lc, addr, fill, requester);
+    } else {
+      Requester forwarded = requester;
+      forwarded.fill_on_reply = false;
+      if (!caches_.empty() && config_.early_reservation) {
+        if (caches_[static_cast<std::size_t>(lc)]->reserve(
+                addr, cache::Origin::kRemote, now)) {
+          waiting_[wait_key(lc, addr)].push_back(requester);
+          forwarded.fill_on_reply = true;
+        }
+      }
+      send_request(now, lc, home, addr, forwarded);
+    }
+  }
+
+  void start_fe_job(std::uint64_t now, int lc, const Addr& addr, bool fill,
+                    Requester direct) {
+    // k-server deterministic queue: the job runs on the earliest-free engine.
+    auto& servers = fe_free_[static_cast<std::size_t>(lc)];
+    auto& fe_free = *std::min_element(servers.begin(), servers.end());
+    const std::uint64_t start = std::max(now, fe_free);
+    const std::uint64_t completion =
+        start + static_cast<std::uint64_t>(config_.fe_service_cycles);
+    fe_free = completion;
+    fe_busy_[static_cast<std::size_t>(lc)] +=
+        static_cast<std::uint64_t>(config_.fe_service_cycles);
+    ++result_.fe_lookups;
+    queue_.schedule(completion, Event{Event::Type::kFeComplete, lc, addr, direct,
+                                      fill, net::kNoRoute});
+  }
+
+  void handle_fe_complete(std::uint64_t now, const Event& event) {
+    const int lc = event.lc;
+    const Addr addr = event.addr;
+    const net::NextHop hop =
+        Family::fe_lookup(fes_[static_cast<std::size_t>(lc)], addr);
+    if (event.fill) {
+      if (!caches_.empty()) {
+        caches_[static_cast<std::size_t>(lc)]->fill(addr, hop, now);
+      }
+      // Serve everything parked on the block: local packets resolve, remote
+      // requesters receive replies over the fabric.
+      const auto node = waiting_.extract(wait_key(lc, addr));
+      if (!node.empty()) {
+        for (const Requester& r : node.mapped()) {
+          deliver_result(now, lc, addr, hop, r);
+        }
+      }
+    } else {
+      // No reserved block (early recording disabled or the reservation
+      // failed): cache the result late so subsequent packets still hit.
+      if (!caches_.empty()) {
+        caches_[static_cast<std::size_t>(lc)]->insert(addr, hop,
+                                                      cache::Origin::kLocal, now);
+      }
+      deliver_result(now, lc, addr, hop, event.requester);
+    }
+  }
+
+  void handle_reply(std::uint64_t now, const Event& event) {
+    const int lc = event.lc;
+    const Addr addr = event.addr;
+    if (!caches_.empty()) {
+      if (event.requester.fill_on_reply) {
+        caches_[static_cast<std::size_t>(lc)]->fill(addr, event.hop, now);
+      } else {
+        // No reservation was made at request time; cache the result late.
+        caches_[static_cast<std::size_t>(lc)]->insert(
+            addr, event.hop, cache::Origin::kRemote, now);
+      }
+    }
+    // Drain local packets parked while this reply was in flight (the
+    // carried requester is usually among them; resolve_packet guards
+    // duplicates).
+    const auto node = waiting_.extract(wait_key(lc, addr));
+    if (!node.empty()) {
+      for (const Requester& r : node.mapped()) {
+        resolve_packet(now, r.packet, event.hop);
+      }
+    }
+    resolve_packet(now, event.requester.packet, event.hop);
+  }
+
+  void deliver_result(std::uint64_t now, int lc, const Addr& addr,
+                      net::NextHop hop, const Requester& requester) {
+    if (requester.lc == lc) {
+      resolve_packet(now, requester.packet, hop);
+      return;
+    }
+    const std::uint64_t arrival = fabric_->deliver(lc, requester.lc, now);
+    queue_.schedule(arrival, Event{Event::Type::kReply, requester.lc, addr,
+                                   requester, false, hop});
+  }
+
+  void resolve_packet(std::uint64_t now, std::int64_t packet, net::NextHop hop) {
+    const auto index = static_cast<std::size_t>(packet);
+    if (resolved_[index]) return;
+    resolved_[index] = true;
+    ++result_.resolved_packets;
+    const std::uint64_t cycles = now - arrival_time_[index];
+    result_.latency.record(cycles);
+    result_.per_lc_latency[static_cast<std::size_t>(arrival_lc_[index])]
+        .record(cycles);
+    if (verify_) {
+      const net::NextHop expected =
+          Family::oracle_lookup(*oracle_, destinations_[index]);
+      if (expected != hop) ++result_.verify_mismatches;
+    }
+  }
+
+  void send_request(std::uint64_t now, int from_lc, int home, const Addr& addr,
+                    const Requester& requester) {
+    ++result_.remote_requests;
+    const std::uint64_t arrival = fabric_->deliver(from_lc, home, now + 1);
+    queue_.schedule(arrival, Event{Event::Type::kLookup, home, addr, requester,
+                                   false, net::kNoRoute});
+  }
+
+  void maybe_update_table(std::uint64_t now) {
+    if (config_.flush_interval_cycles == 0) return;
+    while (now >= next_flush_) {
+      if (config_.update_policy == RouterConfig::UpdatePolicy::kFlushAll ||
+          full_table_.empty()) {
+        for (const auto& c : caches_) c->flush();
+      } else {
+        // One incremental update: an existing prefix is re-announced and
+        // only the addresses it covers are invalidated.
+        const auto& changed =
+            full_table_.entries()[update_rng_() % full_table_.size()].prefix;
+        for (const auto& c : caches_) {
+          result_.blocks_invalidated += c->invalidate_matching(changed);
+        }
+      }
+      ++result_.updates_applied;
+      next_flush_ += config_.flush_interval_cycles;
+    }
+  }
+
+  RouterConfig config_;
+  Table full_table_;
+  std::unique_ptr<Partition> rot_;
+  std::vector<typename Family::Fe> fes_;          // one per LC
+  std::vector<std::unique_ptr<Cache>> caches_;    // one per LC (optional)
+  std::unique_ptr<fabric::Fabric> fabric_;
+  std::unique_ptr<typename Family::Oracle> oracle_;  // verify mode
+
+  // Run state (reset per run()).
+  sim::EventQueue<Event> queue_;
+  std::vector<std::uint64_t> cache_port_free_;       // per LC
+  std::vector<std::vector<std::uint64_t>> fe_free_;  // per LC, per FE server
+  std::vector<std::uint64_t> fe_busy_;               // per LC, busy cycles
+  std::unordered_map<WaitKey, std::vector<Requester>, WaitKeyHash> waiting_;
+  std::vector<std::uint64_t> arrival_time_;          // per packet
+  std::vector<int> arrival_lc_;                      // per packet
+  std::vector<Addr> destinations_;                   // per packet
+  std::vector<bool> resolved_;                       // per packet
+  std::uint64_t next_flush_ = 0;
+  std::mt19937_64 update_rng_;
+  bool verify_ = false;
+  RouterResult result_;
+};
+
+}  // namespace spal::core

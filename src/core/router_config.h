@@ -1,0 +1,101 @@
+// Configuration and result types for the SPAL router simulation, plus
+// factory helpers for the paper's comparison points.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/lr_cache.h"
+#include "fabric/fabric.h"
+#include "partition/rot_partition.h"
+#include "sim/metrics.h"
+#include "trie/lpm.h"
+
+namespace spal::core {
+
+struct RouterConfig {
+  int num_lcs = 16;                    ///< ψ
+  double line_rate_gbps = 40.0;        ///< per-LC rate (paper: 10 or 40)
+  std::size_t packets_per_lc = 300'000;
+  int fe_service_cycles = 40;          ///< LPM time at the FE (40 Lulea / 62 DP)
+  /// Concurrent lookups one FE can run (deterministic k-server queue).
+  /// 1 for SPAL and the conventional router; >1 models designs with
+  /// parallel lookup engines such as the length-partitioned baseline [1].
+  int fe_parallelism = 1;
+
+  trie::TrieKind trie = trie::TrieKind::kLulea;
+  trie::LpmBuildOptions trie_options;
+
+  bool partition = true;               ///< SPAL table fragmentation
+  partition::PartitionConfig partition_config;
+
+  bool use_lr_cache = true;
+  cache::LrCacheConfig cache;          ///< per-LC LR-cache (β, γ, ...)
+
+  fabric::FabricConfig fabric;         ///< ports is overridden with num_lcs
+
+  /// Early cache-block recording on a miss (the W-bit mechanism). Disabled
+  /// only by the ablation bench: without it, every packet of a burst that
+  /// misses goes to the FE / fabric individually.
+  bool early_reservation = true;
+
+  /// What a routing-table update does to the LR-caches.
+  enum class UpdatePolicy {
+    kFlushAll,             ///< the paper's mechanism: invalidate everything
+    kSelectiveInvalidate,  ///< extension: drop only blocks the changed
+                           ///< prefix covers (Sec. 3.2's "incremental and
+                           ///< very frequent" regime)
+  };
+
+  /// If nonzero, a routing-table update is applied every this-many cycles
+  /// (the paper's runs fit within one update period, so its default is off).
+  /// Updates are modelled as re-announcements of an existing prefix: cache
+  /// state is disturbed per `update_policy` while lookup results stay
+  /// verifiable against the oracle.
+  std::uint64_t flush_interval_cycles = 0;
+  UpdatePolicy update_policy = UpdatePolicy::kFlushAll;
+
+  std::uint64_t seed = 42;
+};
+
+/// Aggregate outcome of one simulation run.
+struct RouterResult {
+  sim::LatencyStats latency;             ///< per-packet lookup times (cycles)
+  /// Per-arrival-LC latency breakdown (index = LC). Exposes load imbalance,
+  /// e.g. the hot LC that homes two control-bit groups at non-power-of-2 ψ.
+  std::vector<sim::LatencyStats> per_lc_latency;
+  cache::LrCacheStats cache_total;       ///< summed over all LR-caches
+  fabric::FabricStats fabric;
+  std::uint64_t fe_lookups = 0;          ///< LPM executions across all FEs
+  std::uint64_t remote_requests = 0;     ///< fabric request messages
+  std::uint64_t makespan_cycles = 0;     ///< last event time
+  double max_fe_utilization = 0.0;       ///< busiest FE's busy fraction
+  std::uint64_t resolved_packets = 0;
+  std::uint64_t verify_mismatches = 0;   ///< vs full-table oracle (verify mode)
+  std::uint64_t updates_applied = 0;     ///< routing-table updates simulated
+  std::uint64_t blocks_invalidated = 0;  ///< via selective invalidation
+
+  double mean_lookup_cycles() const { return latency.mean_cycles(); }
+  std::uint64_t worst_lookup_cycles() const { return latency.worst_cycles(); }
+  /// Router-level forwarding rate in packets/s (all ψ LCs), the paper's
+  /// "336 million packets per second" metric.
+  double router_packets_per_second(int num_lcs, double cycle_ns = 5.0) const {
+    return latency.lookups_per_second(cycle_ns) * num_lcs;
+  }
+};
+
+/// The paper's default SPAL configuration: ψ LCs, 4K-block 4-way LR-cache
+/// with γ = 50%, victim cache of 8, 40 Gbps line rate, 40-cycle Lulea FE.
+RouterConfig spal_default_config(int num_lcs);
+
+/// Baseline A — a conventional router: full table in every LC, no LR-cache.
+/// (The paper compares against its FE time with queueing "ignored
+/// optimistically"; at 40 Gbps the FE is overloaded and measured means
+/// include queueing.)
+RouterConfig conventional_config(int num_lcs);
+
+/// Baseline B — LR-caches without table partitioning (the processor-caching
+/// approach of Chiueh & Pradhan); every lookup is local.
+RouterConfig cache_only_config(int num_lcs);
+
+}  // namespace spal::core

@@ -1,0 +1,28 @@
+#include "core/router_sim.h"
+
+namespace spal::core {
+
+RouterConfig spal_default_config(int num_lcs) {
+  RouterConfig config;
+  config.num_lcs = num_lcs;
+  config.cache.blocks = 4096;
+  config.cache.associativity = 4;
+  config.cache.remote_fraction = 0.5;
+  config.cache.victim_blocks = 8;
+  return config;
+}
+
+RouterConfig conventional_config(int num_lcs) {
+  RouterConfig config = spal_default_config(num_lcs);
+  config.partition = false;
+  config.use_lr_cache = false;
+  return config;
+}
+
+RouterConfig cache_only_config(int num_lcs) {
+  RouterConfig config = spal_default_config(num_lcs);
+  config.partition = false;
+  return config;
+}
+
+}  // namespace spal::core

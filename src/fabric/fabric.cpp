@@ -1,0 +1,55 @@
+#include "fabric/fabric.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace spal::fabric {
+
+int fabric_stages(int ports, int radix) {
+  if (ports < 1 || radix < 2) throw std::invalid_argument("fabric_stages: bad sizes");
+  if (ports <= radix) return 1;
+  int stages = 1;
+  long long reach = radix;
+  while (reach < ports) {
+    reach *= radix;
+    ++stages;
+  }
+  return stages;
+}
+
+double fabric_latency_cycles(const FabricConfig& config) {
+  return config.base_latency_cycles +
+         config.per_stage_cycles *
+             static_cast<double>(fabric_stages(config.ports, config.radix));
+}
+
+Fabric::Fabric(const FabricConfig& config)
+    : config_(config),
+      latency_(fabric_latency_cycles(config)),
+      egress_free_(static_cast<std::size_t>(config.ports), 0),
+      ingress_free_(static_cast<std::size_t>(config.ports), 0) {
+  if (config.ports < 1) throw std::invalid_argument("Fabric: ports must be >= 1");
+}
+
+void Fabric::reset() {
+  std::fill(egress_free_.begin(), egress_free_.end(), 0);
+  std::fill(ingress_free_.begin(), ingress_free_.end(), 0);
+  stats_ = FabricStats{};
+}
+
+std::uint64_t Fabric::deliver(int src, int dst, std::uint64_t now) {
+  auto& egress = egress_free_[static_cast<std::size_t>(src)];
+  const std::uint64_t depart = std::max(now, egress);
+  egress = depart + 1;  // one message per cycle per source port
+  const auto raw_arrival =
+      depart + static_cast<std::uint64_t>(std::llround(latency_));
+  auto& ingress = ingress_free_[static_cast<std::size_t>(dst)];
+  const std::uint64_t arrival = std::max(raw_arrival, ingress);
+  ingress = arrival + 1;  // one message per cycle per destination port
+  ++stats_.messages;
+  stats_.total_queueing_cycles += (depart - now) + (arrival - raw_arrival);
+  return arrival;
+}
+
+}  // namespace spal::fabric

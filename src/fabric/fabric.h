@@ -1,0 +1,66 @@
+// Switching-fabric model (paper Secs. 1, 3).
+//
+// SPAL assumes a low-latency fabric — a shared bus for small ψ, a crossbar,
+// or a multistage network of small crossbars for larger routers — with
+// packet latency around 10 ns (two 5 ns cycles). The paper deliberately
+// abstracts fabric details and lets latency depend on fabric size; this
+// model does the same:
+//   * traversal latency = per_stage_cycles × (number of crossbar stages for
+//     `ports` endpoints at the given radix) + base_latency_cycles, and
+//   * each port serializes: one message per cycle in each direction.
+// Message timing is computed analytically (no per-cycle simulation), which
+// the event-driven router simulator consumes directly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace spal::fabric {
+
+struct FabricConfig {
+  int ports = 16;
+  int radix = 16;                  ///< crossbar size used to build stages
+  double base_latency_cycles = 1.0;
+  double per_stage_cycles = 1.0;   ///< a modern small crossbar switches in ~5 ns
+};
+
+/// Number of crossbar stages needed to connect `ports` endpoints with
+/// crossbars of the given radix (1 stage when ports <= radix).
+int fabric_stages(int ports, int radix);
+
+/// End-to-end traversal latency in cycles for the configured fabric.
+double fabric_latency_cycles(const FabricConfig& config);
+
+struct FabricStats {
+  std::uint64_t messages = 0;
+  std::uint64_t total_queueing_cycles = 0;  ///< cycles spent blocked on ports
+};
+
+/// Stateful port-contention model: deliver() returns the arrival time of a
+/// message injected at `now`, accounting for egress/ingress serialization.
+/// Calls must be made in non-decreasing `now` order per port (the DES event
+/// loop guarantees global time order).
+class Fabric {
+ public:
+  explicit Fabric(const FabricConfig& config);
+
+  /// Schedules a message src -> dst injected at cycle `now`; returns its
+  /// arrival cycle at dst.
+  std::uint64_t deliver(int src, int dst, std::uint64_t now);
+
+  /// Clears port occupancy and statistics (between independent runs).
+  void reset();
+
+  double latency_cycles() const { return latency_; }
+  const FabricStats& stats() const { return stats_; }
+  const FabricConfig& config() const { return config_; }
+
+ private:
+  FabricConfig config_;
+  double latency_;
+  std::vector<std::uint64_t> egress_free_;   ///< next free cycle per source port
+  std::vector<std::uint64_t> ingress_free_;  ///< next free cycle per dest port
+  FabricStats stats_;
+};
+
+}  // namespace spal::fabric

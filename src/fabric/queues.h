@@ -1,0 +1,61 @@
+// Bounded FIFO queue with occupancy statistics — models the FIL's
+// input / request / outgoing / incoming queues (paper Fig. 2).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <stdexcept>
+
+namespace spal::fabric {
+
+struct QueueStats {
+  std::uint64_t enqueued = 0;
+  std::uint64_t dequeued = 0;
+  std::uint64_t rejected = 0;     ///< pushes refused because the queue was full
+  std::size_t max_occupancy = 0;
+};
+
+/// FIFO with an optional capacity bound. capacity == 0 means unbounded.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  /// Returns false (and counts a rejection) if the queue is full.
+  bool push(T item) {
+    if (capacity_ != 0 && items_.size() >= capacity_) {
+      ++stats_.rejected;
+      return false;
+    }
+    items_.push_back(std::move(item));
+    ++stats_.enqueued;
+    stats_.max_occupancy = std::max(stats_.max_occupancy, items_.size());
+    return true;
+  }
+
+  std::optional<T> pop() {
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    ++stats_.dequeued;
+    return item;
+  }
+
+  const T& front() const {
+    if (items_.empty()) throw std::out_of_range("BoundedQueue::front on empty queue");
+    return items_.front();
+  }
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  std::size_t capacity() const { return capacity_; }
+  const QueueStats& stats() const { return stats_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<T> items_;
+  QueueStats stats_;
+};
+
+}  // namespace spal::fabric

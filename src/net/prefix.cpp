@@ -1,0 +1,30 @@
+#include "net/prefix.h"
+
+#include <charconv>
+
+namespace spal::net {
+
+std::optional<Prefix> Prefix::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  int length = kMaxLength;
+  std::string_view addr_part = text;
+  if (slash != std::string_view::npos) {
+    addr_part = text.substr(0, slash);
+    const std::string_view len_part = text.substr(slash + 1);
+    auto [next, ec] =
+        std::from_chars(len_part.data(), len_part.data() + len_part.size(), length);
+    if (ec != std::errc{} || next != len_part.data() + len_part.size()) {
+      return std::nullopt;
+    }
+    if (length < 0 || length > kMaxLength) return std::nullopt;
+  }
+  const auto addr = Ipv4Addr::parse(addr_part);
+  if (!addr) return std::nullopt;
+  return Prefix(*addr, length);
+}
+
+std::string Prefix::to_string() const {
+  return address().to_string() + "/" + std::to_string(length());
+}
+
+}  // namespace spal::net

@@ -1,0 +1,79 @@
+// IPv4 prefixes and the tri-state bit view SPAL's partitioner works with.
+//
+// A prefix of length L fixes bits b0..b(L-1) of an address; every later bit
+// is "don't care" — the paper writes it "*". Partitioning (Sec. 3.1)
+// classifies each prefix at a control-bit position as 0, 1, or *; prefixes
+// that are * at a control bit are replicated into every matching partition.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/ip_addr.h"
+
+namespace spal::net {
+
+/// Tri-state value of one bit position of a prefix.
+enum class PrefixBit : std::uint8_t { kZero = 0, kOne = 1, kStar = 2 };
+
+/// An IPv4 prefix: `length` leading bits of `addr` (remaining bits zeroed).
+class Prefix {
+ public:
+  static constexpr int kMaxLength = 32;
+
+  constexpr Prefix() = default;
+
+  /// Builds a prefix from an address and length; low (32 - length) bits of
+  /// `addr` are masked off so equal prefixes compare equal.
+  constexpr Prefix(Ipv4Addr addr, int length)
+      : bits_(length == 0 ? 0 : (addr.value() & mask(length))),
+        length_(static_cast<std::uint8_t>(length)) {}
+
+  /// Parses "a.b.c.d/len". A bare address parses as a /32 host prefix.
+  static std::optional<Prefix> parse(std::string_view text);
+
+  constexpr std::uint32_t bits() const { return bits_; }
+  constexpr int length() const { return length_; }
+  constexpr Ipv4Addr address() const { return Ipv4Addr{bits_}; }
+
+  /// Tri-state bit at MSB-relative position `pos`: kStar iff pos >= length.
+  constexpr PrefixBit bit(int pos) const {
+    if (pos >= length_) return PrefixBit::kStar;
+    return ((bits_ >> (31 - pos)) & 1u) ? PrefixBit::kOne : PrefixBit::kZero;
+  }
+
+  /// True iff `addr` falls inside this prefix.
+  constexpr bool matches(Ipv4Addr addr) const {
+    return length_ == 0 || ((addr.value() ^ bits_) & mask(length_)) == 0;
+  }
+
+  /// True iff every address matched by `other` is also matched by *this
+  /// (i.e. *this is a covering, shorter-or-equal prefix of `other`).
+  constexpr bool covers(const Prefix& other) const {
+    return length_ <= other.length_ && matches(Ipv4Addr{other.bits_});
+  }
+
+  /// Lowest / highest address inside this prefix.
+  constexpr Ipv4Addr range_first() const { return Ipv4Addr{bits_}; }
+  constexpr Ipv4Addr range_last() const {
+    return Ipv4Addr{bits_ | (length_ == 0 ? ~std::uint32_t{0} : ~mask(length_))};
+  }
+
+  /// "a.b.c.d/len" notation.
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) = default;
+
+ private:
+  static constexpr std::uint32_t mask(int length) {
+    return length == 0 ? 0 : (~std::uint32_t{0} << (32 - length));
+  }
+
+  std::uint32_t bits_ = 0;
+  std::uint8_t length_ = 0;
+};
+
+}  // namespace spal::net

@@ -1,0 +1,202 @@
+#include "net/prefix6.h"
+
+#include <algorithm>
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <unordered_set>
+
+namespace spal::net {
+
+std::optional<Prefix6> Prefix6::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const std::string_view len_part = text.substr(slash + 1);
+  int length = 0;
+  auto [next, ec] =
+      std::from_chars(len_part.data(), len_part.data() + len_part.size(), length);
+  if (ec != std::errc{} || next != len_part.data() + len_part.size() ||
+      length < 0 || length > kMaxLength) {
+    return std::nullopt;
+  }
+  // Eight 16-bit hex groups separated by ':' (full form, no "::").
+  std::string_view addr_part = text.substr(0, slash);
+  std::uint64_t hi = 0, lo = 0;
+  for (int group = 0; group < 8; ++group) {
+    if (group > 0) {
+      if (addr_part.empty() || addr_part.front() != ':') return std::nullopt;
+      addr_part.remove_prefix(1);
+    }
+    std::uint32_t value = 0;
+    auto [gnext, gec] = std::from_chars(
+        addr_part.data(), addr_part.data() + std::min<std::size_t>(4, addr_part.size()),
+        value, 16);
+    if (gec != std::errc{} || gnext == addr_part.data() || value > 0xffff) {
+      return std::nullopt;
+    }
+    addr_part.remove_prefix(static_cast<std::size_t>(gnext - addr_part.data()));
+    if (group < 4) {
+      hi = (hi << 16) | value;
+    } else {
+      lo = (lo << 16) | value;
+    }
+  }
+  if (!addr_part.empty()) return std::nullopt;
+  return Prefix6(Ipv6Addr{hi, lo}, length);
+}
+
+RouteTable6::RouteTable6(std::vector<RouteEntry6> entries)
+    : entries_(std::move(entries)) {
+  normalize();
+}
+
+void RouteTable6::normalize() {
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [](const RouteEntry6& a, const RouteEntry6& b) {
+                     return std::tuple(a.prefix.address(), a.prefix.length()) <
+                            std::tuple(b.prefix.address(), b.prefix.length());
+                   });
+  auto last_wins = std::unique(
+      entries_.rbegin(), entries_.rend(),
+      [](const RouteEntry6& a, const RouteEntry6& b) { return a.prefix == b.prefix; });
+  entries_.erase(entries_.begin(), last_wins.base());
+}
+
+void RouteTable6::add(const Prefix6& prefix, NextHop next_hop) {
+  const auto pos = std::lower_bound(
+      entries_.begin(), entries_.end(), prefix,
+      [](const RouteEntry6& e, const Prefix6& p) {
+        return std::tuple(e.prefix.address(), e.prefix.length()) <
+               std::tuple(p.address(), p.length());
+      });
+  if (pos != entries_.end() && pos->prefix == prefix) {
+    pos->next_hop = next_hop;
+  } else {
+    entries_.insert(pos, RouteEntry6{prefix, next_hop});
+  }
+}
+
+NextHop RouteTable6::lookup_linear(const Ipv6Addr& addr) const {
+  int best_len = -1;
+  NextHop best = kNoRoute;
+  for (const RouteEntry6& e : entries_) {
+    if (e.prefix.length() > best_len && e.prefix.matches(addr)) {
+      best_len = e.prefix.length();
+      best = e.next_hop;
+    }
+  }
+  return best;
+}
+
+std::array<std::size_t, Prefix6::kMaxLength + 1> RouteTable6::length_histogram() const {
+  std::array<std::size_t, Prefix6::kMaxLength + 1> hist{};
+  for (const RouteEntry6& e : entries_) {
+    hist[static_cast<std::size_t>(e.prefix.length())]++;
+  }
+  return hist;
+}
+
+void RouteTable6::save(std::ostream& out) const {
+  for (const RouteEntry6& e : entries_) {
+    out << e.prefix.to_string() << ' ' << e.next_hop << '\n';
+  }
+}
+
+std::optional<RouteTable6> RouteTable6::load(std::istream& in) {
+  std::vector<RouteEntry6> entries;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string prefix_text;
+    NextHop next_hop = kNoRoute;
+    if (!(fields >> prefix_text >> next_hop)) return std::nullopt;
+    const auto prefix = Prefix6::parse(prefix_text);
+    if (!prefix) return std::nullopt;
+    entries.push_back(RouteEntry6{*prefix, next_hop});
+  }
+  return RouteTable6(std::move(entries));
+}
+
+RouteTable6 generate_table6(const TableGen6Config& config) {
+  std::mt19937_64 rng(config.seed);
+  // Length mass shaped after global IPv6 BGP tables: /48 dominates, /32
+  // spikes (RIR allocations), body over /29-/44, thin /64+ tail.
+  std::array<double, Prefix6::kMaxLength + 1> weights{};
+  weights[29] = 2.0;
+  weights[32] = 22.0;
+  weights[36] = 4.0;
+  weights[40] = 5.0;
+  weights[44] = 6.0;
+  weights[48] = 48.0;
+  weights[52] = 2.0;
+  weights[56] = 4.0;
+  weights[64] = 6.0;
+  for (int len = 30; len < 48; ++len) {
+    if (weights[static_cast<std::size_t>(len)] == 0.0) {
+      weights[static_cast<std::size_t>(len)] = 0.3;
+    }
+  }
+  std::discrete_distribution<int> length_dist(weights.begin(), weights.end());
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::uniform_int_distribution<std::uint64_t> word;
+  std::uniform_int_distribution<NextHop> hop_dist(
+      0, config.next_hops == 0 ? 0 : config.next_hops - 1);
+
+  std::vector<RouteEntry6> entries;
+  entries.reserve(config.size);
+  std::vector<Prefix6> nestable;
+  // Hash on (hi, lo, len) for dedup.
+  struct Key {
+    std::uint64_t hi, lo;
+    int len;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return std::hash<std::uint64_t>{}(k.hi * 0x9e3779b97f4a7c15ULL ^ k.lo) ^
+             std::hash<int>{}(k.len);
+    }
+  };
+  std::unordered_set<Key, KeyHash> seen;
+
+  while (entries.size() < config.size) {
+    const int length = length_dist(rng);
+    Ipv6Addr addr;
+    const Prefix6* parent = nullptr;
+    if (!nestable.empty() && unit(rng) < config.nested_fraction) {
+      for (int attempt = 0; attempt < 4 && parent == nullptr; ++attempt) {
+        const Prefix6& candidate = nestable[std::uniform_int_distribution<std::size_t>(
+            0, nestable.size() - 1)(rng)];
+        if (candidate.length() < length) parent = &candidate;
+      }
+    }
+    if (parent != nullptr) {
+      addr = random_address_in6(*parent, rng);
+    } else {
+      // Global unicast 2000::/3.
+      const std::uint64_t hi = (word(rng) & 0x1fffffffffffffffULL) | 0x2000000000000000ULL;
+      addr = Ipv6Addr{hi, word(rng)};
+    }
+    const Prefix6 prefix(addr, length);
+    const Key key{prefix.address().hi(), prefix.address().lo(), prefix.length()};
+    if (!seen.insert(key).second) continue;
+    entries.push_back(RouteEntry6{prefix, hop_dist(rng)});
+    if (prefix.length() <= 48) nestable.push_back(prefix);
+  }
+  return RouteTable6(std::move(entries));
+}
+
+Ipv6Addr random_address_in6(const Prefix6& prefix, std::mt19937_64& rng) {
+  const int len = prefix.length();
+  const std::uint64_t hi_mask =
+      len <= 0 ? 0 : (len >= 64 ? ~std::uint64_t{0} : ~std::uint64_t{0} << (64 - len));
+  const std::uint64_t lo_mask =
+      len <= 64 ? 0 : (len >= 128 ? ~std::uint64_t{0} : ~std::uint64_t{0} << (128 - len));
+  const std::uint64_t hi = (prefix.address().hi() & hi_mask) | (rng() & ~hi_mask);
+  const std::uint64_t lo = (prefix.address().lo() & lo_mask) | (rng() & ~lo_mask);
+  return Ipv6Addr{hi, lo};
+}
+
+}  // namespace spal::net

@@ -1,0 +1,115 @@
+#include "net/route_table.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace spal::net {
+
+RouteTable::RouteTable(std::vector<RouteEntry> entries)
+    : entries_(std::move(entries)) {
+  normalize();
+}
+
+void RouteTable::normalize() {
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [](const RouteEntry& a, const RouteEntry& b) {
+                     return std::pair(a.prefix.bits(), a.prefix.length()) <
+                            std::pair(b.prefix.bits(), b.prefix.length());
+                   });
+  // Keep the LAST entry for each duplicated prefix (latest insertion wins).
+  auto last_wins = std::unique(
+      entries_.rbegin(), entries_.rend(),
+      [](const RouteEntry& a, const RouteEntry& b) { return a.prefix == b.prefix; });
+  entries_.erase(entries_.begin(), last_wins.base());
+}
+
+void RouteTable::add(const Prefix& prefix, NextHop next_hop) {
+  const auto pos = std::lower_bound(
+      entries_.begin(), entries_.end(), prefix,
+      [](const RouteEntry& e, const Prefix& p) {
+        return std::pair(e.prefix.bits(), e.prefix.length()) <
+               std::pair(p.bits(), p.length());
+      });
+  if (pos != entries_.end() && pos->prefix == prefix) {
+    pos->next_hop = next_hop;
+  } else {
+    entries_.insert(pos, RouteEntry{prefix, next_hop});
+  }
+}
+
+bool RouteTable::remove(const Prefix& prefix) {
+  const auto pos = std::lower_bound(
+      entries_.begin(), entries_.end(), prefix,
+      [](const RouteEntry& e, const Prefix& p) {
+        return std::pair(e.prefix.bits(), e.prefix.length()) <
+               std::pair(p.bits(), p.length());
+      });
+  if (pos == entries_.end() || pos->prefix != prefix) return false;
+  entries_.erase(pos);
+  return true;
+}
+
+std::optional<NextHop> RouteTable::find(const Prefix& prefix) const {
+  const auto pos = std::lower_bound(
+      entries_.begin(), entries_.end(), prefix,
+      [](const RouteEntry& e, const Prefix& p) {
+        return std::pair(e.prefix.bits(), e.prefix.length()) <
+               std::pair(p.bits(), p.length());
+      });
+  if (pos == entries_.end() || pos->prefix != prefix) return std::nullopt;
+  return pos->next_hop;
+}
+
+NextHop RouteTable::lookup_linear(Ipv4Addr addr) const {
+  int best_len = -1;
+  NextHop best = kNoRoute;
+  for (const RouteEntry& e : entries_) {
+    if (e.prefix.length() > best_len && e.prefix.matches(addr)) {
+      best_len = e.prefix.length();
+      best = e.next_hop;
+    }
+  }
+  return best;
+}
+
+std::array<std::size_t, Prefix::kMaxLength + 1> RouteTable::length_histogram() const {
+  std::array<std::size_t, Prefix::kMaxLength + 1> hist{};
+  for (const RouteEntry& e : entries_) {
+    hist[static_cast<std::size_t>(e.prefix.length())]++;
+  }
+  return hist;
+}
+
+std::size_t RouteTable::count_length_at_most(int length) const {
+  std::size_t n = 0;
+  for (const RouteEntry& e : entries_) {
+    if (e.prefix.length() <= length) ++n;
+  }
+  return n;
+}
+
+void RouteTable::save(std::ostream& out) const {
+  for (const RouteEntry& e : entries_) {
+    out << e.prefix.to_string() << ' ' << e.next_hop << '\n';
+  }
+}
+
+std::optional<RouteTable> RouteTable::load(std::istream& in) {
+  std::vector<RouteEntry> entries;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string prefix_text;
+    NextHop next_hop = kNoRoute;
+    if (!(fields >> prefix_text >> next_hop)) return std::nullopt;
+    const auto prefix = Prefix::parse(prefix_text);
+    if (!prefix) return std::nullopt;
+    entries.push_back(RouteEntry{*prefix, next_hop});
+  }
+  return RouteTable(std::move(entries));
+}
+
+}  // namespace spal::net

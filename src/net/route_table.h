@@ -1,0 +1,75 @@
+// Routing-table container: an ordered, de-duplicated set of
+// <prefix, next hop> entries, plus summary statistics used by the
+// partitioner and the experiment harnesses.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/prefix.h"
+
+namespace spal::net {
+
+/// Lookup result payload. In SPAL this is the Next_hop_LC# the packet should
+/// be switched to; any small integer identifier works.
+using NextHop = std::uint32_t;
+
+/// Returned when no prefix in the table matches an address.
+inline constexpr NextHop kNoRoute = ~NextHop{0};
+
+struct RouteEntry {
+  Prefix prefix;
+  NextHop next_hop = kNoRoute;
+
+  friend constexpr auto operator<=>(const RouteEntry&, const RouteEntry&) = default;
+};
+
+/// A routing table. Entries are kept sorted by (prefix bits, length) with at
+/// most one entry per distinct prefix (the latest insertion wins), which is
+/// the form every trie builder in src/trie consumes.
+class RouteTable {
+ public:
+  RouteTable() = default;
+  explicit RouteTable(std::vector<RouteEntry> entries);
+
+  /// Inserts or replaces the entry for `prefix`.
+  void add(const Prefix& prefix, NextHop next_hop);
+
+  /// Removes the entry for exactly `prefix`. Returns true if present.
+  bool remove(const Prefix& prefix);
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  std::span<const RouteEntry> entries() const { return entries_; }
+
+  /// Exact-prefix fetch (not longest-match). Nullopt if absent.
+  std::optional<NextHop> find(const Prefix& prefix) const;
+
+  /// Reference longest-prefix-match by linear scan. O(n); intended as the
+  /// correctness oracle for the tries and for small tables only.
+  NextHop lookup_linear(Ipv4Addr addr) const;
+
+  /// Number of prefixes per length 0..32 (index = length).
+  std::array<std::size_t, Prefix::kMaxLength + 1> length_histogram() const;
+
+  /// Count of prefixes with length <= `length`.
+  std::size_t count_length_at_most(int length) const;
+
+  /// Serialization: one "a.b.c.d/len next_hop" line per entry.
+  void save(std::ostream& out) const;
+  static std::optional<RouteTable> load(std::istream& in);
+
+  friend bool operator==(const RouteTable&, const RouteTable&) = default;
+
+ private:
+  void normalize();
+
+  std::vector<RouteEntry> entries_;  // sorted by prefix, unique
+};
+
+}  // namespace spal::net

@@ -1,0 +1,113 @@
+#include "net/table_gen.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+namespace spal::net {
+namespace {
+
+/// First-octet weights: concentrates address mass where 2003-era BGP tables
+/// had it (former class A legacy blocks, 24/8 cable space, 6x-8x, the class B
+/// 128-191 range and the heavily announced 192-220 class C space).
+double first_octet_weight(int octet) {
+  if (octet == 0 || octet == 10 || octet == 127 || octet >= 224) return 0.0;  // reserved
+  if (octet >= 24 && octet <= 24) return 4.0;
+  if (octet >= 60 && octet <= 90) return 2.5;
+  if (octet >= 128 && octet <= 170) return 2.0;
+  if (octet >= 192 && octet <= 220) return 3.0;
+  return 1.0;
+}
+
+}  // namespace
+
+std::array<double, Prefix::kMaxLength + 1> TableGenConfig::default_length_weights() {
+  std::array<double, Prefix::kMaxLength + 1> w{};
+  // Percent mass per length, shaped after the distributions in Huston's
+  // "Analyzing the Internet's BGP Routing Table" and the potaroo.net
+  // AS1221 snapshots the paper cites: /24 dominates, /16 spikes, and a thin
+  // /25-/32 exception tail (including /32 host routes, which the paper calls
+  // out as forcing range granularity down to 1).
+  w[8] = 0.02;  w[9] = 0.03;  w[10] = 0.05; w[11] = 0.10; w[12] = 0.20;
+  w[13] = 0.40; w[14] = 0.70; w[15] = 0.90; w[16] = 7.50; w[17] = 1.50;
+  w[18] = 2.50; w[19] = 4.50; w[20] = 3.50; w[21] = 3.50; w[22] = 5.00;
+  w[23] = 5.50; w[24] = 58.0; w[25] = 0.70; w[26] = 0.90; w[27] = 0.60;
+  w[28] = 0.50; w[29] = 0.70; w[30] = 1.00; w[31] = 0.05; w[32] = 1.60;
+  return w;
+}
+
+RouteTable generate_table(const TableGenConfig& config) {
+  std::mt19937_64 rng(config.seed);
+  std::discrete_distribution<int> length_dist(config.length_weights.begin(),
+                                              config.length_weights.end());
+  std::vector<double> octet_weights(256);
+  for (int i = 0; i < 256; ++i) octet_weights[static_cast<std::size_t>(i)] = first_octet_weight(i);
+  std::discrete_distribution<int> octet_dist(octet_weights.begin(), octet_weights.end());
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::uniform_int_distribution<std::uint32_t> word;
+  std::uniform_int_distribution<NextHop> hop_dist(0, config.next_hops == 0 ? 0 : config.next_hops - 1);
+
+  std::unordered_set<std::uint64_t> seen;  // (bits << 6) | length
+  std::vector<RouteEntry> entries;
+  entries.reserve(config.size);
+  // Prefixes shorter than /24, candidates for hosting nested exceptions.
+  std::vector<Prefix> nestable;
+
+  auto key_of = [](const Prefix& p) {
+    return (std::uint64_t{p.bits()} << 6) | static_cast<std::uint64_t>(p.length());
+  };
+
+  while (entries.size() < config.size) {
+    int length = length_dist(rng);
+    std::uint32_t bits = 0;
+    // More-specific exception: extend an existing shorter prefix. A parent
+    // shorter than the sampled target length is searched for (a few random
+    // draws) so the length histogram stays exactly the sampled distribution.
+    const Prefix* parent = nullptr;
+    if (!nestable.empty() && unit(rng) < config.nested_fraction) {
+      for (int attempt = 0; attempt < 4 && parent == nullptr; ++attempt) {
+        const Prefix& candidate = nestable[std::uniform_int_distribution<std::size_t>(
+            0, nestable.size() - 1)(rng)];
+        if (candidate.length() < length) parent = &candidate;
+      }
+    }
+    if (parent != nullptr) {
+      // Keep the parent's fixed bits; randomize only the extension bits.
+      const std::uint32_t parent_mask =
+          parent->length() == 0 ? 0 : (~std::uint32_t{0} << (32 - parent->length()));
+      bits = (parent->bits() & parent_mask) | (word(rng) & ~parent_mask);
+    } else {
+      if (length < 8) length = 8;
+      const std::uint32_t octet = static_cast<std::uint32_t>(octet_dist(rng));
+      bits = (octet << 24) | (word(rng) & 0x00ffffffu);
+    }
+    const Prefix prefix(Ipv4Addr{bits}, length);
+    if (!seen.insert(key_of(prefix)).second) continue;
+    entries.push_back(RouteEntry{prefix, hop_dist(rng)});
+    if (prefix.length() <= 24) nestable.push_back(prefix);
+  }
+  return RouteTable(std::move(entries));
+}
+
+RouteTable make_rt1() {
+  TableGenConfig config;
+  config.size = 41'709;
+  config.seed = 0x5eed'0001;
+  return generate_table(config);
+}
+
+RouteTable make_rt2() {
+  TableGenConfig config;
+  config.size = 140'838;
+  config.seed = 0x5eed'0002;
+  return generate_table(config);
+}
+
+Ipv4Addr random_address_in(const Prefix& prefix, std::mt19937_64& rng) {
+  const std::uint32_t fixed_mask =
+      prefix.length() == 0 ? 0 : (~std::uint32_t{0} << (32 - prefix.length()));
+  const std::uint32_t host = static_cast<std::uint32_t>(rng()) & ~fixed_mask;
+  return Ipv4Addr{prefix.bits() | host};
+}
+
+}  // namespace spal::net

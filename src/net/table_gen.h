@@ -1,0 +1,53 @@
+// Synthetic BGP-like routing-table generator.
+//
+// The paper evaluates on two real tables: RT_1 (FUNET, 41,709 prefixes) and
+// RT_2 (an AS1221 snapshot, 140,838 prefixes). Neither is shipped here, so
+// this generator produces tables with the structural properties the paper's
+// experiments depend on:
+//   * the published prefix-length distribution (mass concentrated on /24,
+//     heavy /16-/24 body, >83% of prefixes no longer than /24, and a tail of
+//     /25-/32 "exception" prefixes including host routes);
+//   * aggregation structure: a fraction of prefixes are more-specific
+//     exceptions nested inside shorter covering prefixes, which is what
+//     exercises LPM backtracking and the partitioner's Φ* replication; and
+//   * first-octet mass concentrated in the historically allocated ranges.
+// See DESIGN.md ("Substitutions") for the full rationale.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <random>
+
+#include "net/route_table.h"
+
+namespace spal::net {
+
+/// Tuning knobs for the generator. Defaults reproduce a 2003-era backbone
+/// table shape.
+struct TableGenConfig {
+  std::size_t size = 100'000;   ///< exact number of distinct prefixes
+  std::uint64_t seed = 1;       ///< deterministic output per seed
+  std::uint32_t next_hops = 16; ///< next hops drawn uniformly from [0, next_hops)
+  /// Probability that a new prefix is generated as a more-specific exception
+  /// nested inside an already-generated shorter prefix.
+  double nested_fraction = 0.35;
+  /// Per-length weights, index = prefix length 0..32. Normalized internally.
+  std::array<double, Prefix::kMaxLength + 1> length_weights = default_length_weights();
+
+  static std::array<double, Prefix::kMaxLength + 1> default_length_weights();
+};
+
+/// Generates a synthetic routing table per `config`. Deterministic in
+/// (size, seed, next_hops, nested_fraction, length_weights).
+RouteTable generate_table(const TableGenConfig& config);
+
+/// RT_1 stand-in: 41,709 prefixes (the FUNET table size the paper uses).
+RouteTable make_rt1();
+
+/// RT_2 stand-in: 140,838 prefixes (the AS1221 snapshot size the paper uses).
+RouteTable make_rt2();
+
+/// Uniformly random address inside `prefix` (host bits randomized).
+Ipv4Addr random_address_in(const Prefix& prefix, std::mt19937_64& rng);
+
+}  // namespace spal::net

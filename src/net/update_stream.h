@@ -1,0 +1,53 @@
+// BGP-style routing-table update streams.
+//
+// The paper's Sec. 3.2 leans on measured update rates — "the routing table
+// of a backbone router gets updated some 20 times per second on an average
+// (and possibly as many as 100 times)" [3, 15] — and flushes all LR-caches
+// per update. This module generates realistic update sequences (announce /
+// withdraw / next-hop change) against an evolving table so the per-update
+// costs (trie rebuilds, cache disturbance) can be measured.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "net/route_table.h"
+
+namespace spal::net {
+
+enum class UpdateKind : std::uint8_t {
+  kAnnounce,   ///< a new prefix appears
+  kWithdraw,   ///< an existing prefix is removed
+  kHopChange,  ///< an existing prefix's next hop changes (re-announcement)
+};
+
+struct TableUpdate {
+  UpdateKind kind;
+  Prefix prefix;
+  NextHop next_hop = kNoRoute;  ///< unused for withdrawals
+
+  friend constexpr auto operator<=>(const TableUpdate&, const TableUpdate&) = default;
+};
+
+struct UpdateStreamConfig {
+  std::size_t count = 1'000;
+  std::uint64_t seed = 1;
+  /// Mix of update kinds; hop changes take the remainder. BGP update
+  /// studies put re-announcements well ahead of genuine topology changes.
+  double announce_fraction = 0.25;
+  double withdraw_fraction = 0.25;
+  std::uint32_t next_hops = 16;
+};
+
+/// Generates `config.count` updates that are valid when applied in order
+/// starting from `initial` (withdrawals always name a live prefix,
+/// announcements a genuinely new one). Deterministic per seed.
+std::vector<TableUpdate> generate_update_stream(const RouteTable& initial,
+                                                const UpdateStreamConfig& config);
+
+/// Applies one update to `table`. Returns false if the update was a no-op
+/// (withdrawing an absent prefix); generated streams never produce those.
+bool apply_update(RouteTable& table, const TableUpdate& update);
+
+}  // namespace spal::net

@@ -1,0 +1,148 @@
+// Address-family-generic core of SPAL's table partitioning.
+//
+// The control-bit selection of Sec. 3.1 and the ROT-partition construction
+// depend only on a tri-state bit view of prefixes, so one implementation
+// serves IPv4 (32-bit) and IPv6 (128-bit) tables. The concrete public APIs
+// in bit_selector.h / rot_partition.h (IPv4) and partition6.h (IPv6) wrap
+// these templates.
+//
+// Requirements on the types:
+//   Entry:  `.prefix` with `bit(int) -> net::PrefixBit`
+//   Table:  `entries() -> span<const Entry>`, `size()`, constructible from
+//           `std::vector<Entry>`
+#pragma once
+
+#include <algorithm>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "net/prefix.h"
+#include "partition/bit_selector.h"
+
+namespace spal::partition::generic {
+
+template <typename Entry>
+BitStats compute_bit_stats(std::span<const Entry> entries, int bit) {
+  BitStats stats;
+  for (const Entry& e : entries) {
+    switch (e.prefix.bit(bit)) {
+      case net::PrefixBit::kZero: ++stats.phi0; break;
+      case net::PrefixBit::kOne: ++stats.phi1; break;
+      case net::PrefixBit::kStar: ++stats.phi_star; break;
+    }
+  }
+  return stats;
+}
+
+template <typename Entry>
+void split_subset(const std::vector<Entry>& subset, int bit,
+                  std::vector<Entry>& zero, std::vector<Entry>& one) {
+  for (const Entry& e : subset) {
+    switch (e.prefix.bit(bit)) {
+      case net::PrefixBit::kZero: zero.push_back(e); break;
+      case net::PrefixBit::kOne: one.push_back(e); break;
+      case net::PrefixBit::kStar:
+        zero.push_back(e);
+        one.push_back(e);
+        break;
+    }
+  }
+}
+
+/// Greedy recursive control-bit selection per the two criteria (see
+/// BitScore for the arbitration rule).
+template <typename Table>
+std::vector<int> select_control_bits(const Table& table, int count, int max_bit) {
+  using Entry = typename std::remove_cvref_t<decltype(table.entries()[0])>;
+  std::vector<int> chosen;
+  if (count <= 0 || table.size() == 0) return chosen;
+
+  std::vector<std::vector<Entry>> subsets(1);
+  subsets[0].assign(table.entries().begin(), table.entries().end());
+
+  for (int round = 0; round < count; ++round) {
+    int best_bit = -1;
+    BitScore best_score{};
+    for (int bit = 0; bit <= max_bit; ++bit) {
+      if (std::find(chosen.begin(), chosen.end(), bit) != chosen.end()) continue;
+      BitScore score{};
+      for (const auto& subset : subsets) {
+        const BitStats stats =
+            compute_bit_stats<Entry>({subset.data(), subset.size()}, bit);
+        score.replication += stats.phi_star;
+        score.imbalance += stats.imbalance();
+      }
+      if (best_bit < 0 || score < best_score) {
+        best_score = score;
+        best_bit = bit;
+      }
+    }
+    if (best_bit < 0) break;
+    chosen.push_back(best_bit);
+    std::vector<std::vector<Entry>> next;
+    next.reserve(subsets.size() * 2);
+    for (const auto& subset : subsets) {
+      auto& zero = next.emplace_back();
+      auto& one = next.emplace_back();
+      split_subset(subset, best_bit, zero, one);
+    }
+    subsets = std::move(next);
+  }
+  return chosen;
+}
+
+/// Buckets every entry into each control-bit group it can match ("*" bits
+/// expand to both values) and packs 2^η groups onto ψ LCs (identity when
+/// ψ = 2^η, longest-processing-time greedy otherwise). Returns the per-LC
+/// entry vectors and fills `group_to_lc`.
+template <typename Entry>
+std::vector<std::vector<Entry>> assign_groups(std::span<const Entry> entries,
+                                              std::span<const int> control_bits,
+                                              int num_lcs,
+                                              std::vector<int>& group_to_lc) {
+  const std::size_t num_groups = std::size_t{1} << control_bits.size();
+  std::vector<std::vector<Entry>> groups(num_groups);
+  for (const Entry& e : entries) {
+    std::vector<std::uint32_t> patterns{0};
+    for (const int bit : control_bits) {
+      const net::PrefixBit value = e.prefix.bit(bit);
+      std::vector<std::uint32_t> next;
+      next.reserve(patterns.size() * 2);
+      for (const std::uint32_t p : patterns) {
+        if (value != net::PrefixBit::kOne) next.push_back(p << 1);
+        if (value != net::PrefixBit::kZero) next.push_back((p << 1) | 1u);
+      }
+      patterns = std::move(next);
+    }
+    for (const std::uint32_t p : patterns) groups[p].push_back(e);
+  }
+
+  group_to_lc.assign(num_groups, 0);
+  std::vector<std::vector<Entry>> lc_entries(static_cast<std::size_t>(num_lcs));
+  if (static_cast<std::size_t>(num_lcs) == num_groups) {
+    for (std::size_t g = 0; g < num_groups; ++g) {
+      group_to_lc[g] = static_cast<int>(g);
+      lc_entries[g] = std::move(groups[g]);
+    }
+  } else {
+    std::vector<std::size_t> order(num_groups);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return groups[a].size() > groups[b].size();
+    });
+    for (const std::size_t g : order) {
+      const auto lightest = std::min_element(
+          lc_entries.begin(), lc_entries.end(),
+          [](const auto& a, const auto& b) { return a.size() < b.size(); });
+      const auto lc =
+          static_cast<std::size_t>(std::distance(lc_entries.begin(), lightest));
+      group_to_lc[g] = static_cast<int>(lc);
+      auto& bucket = lc_entries[lc];
+      bucket.insert(bucket.end(), groups[g].begin(), groups[g].end());
+    }
+  }
+  return lc_entries;
+}
+
+}  // namespace spal::partition::generic

@@ -1,0 +1,48 @@
+#include "partition/partition6.h"
+
+#include <bit>
+
+#include "partition/generic.h"
+
+namespace spal::partition {
+namespace {
+
+int ceil_log2(int value) {
+  return value <= 1 ? 0 : std::bit_width(static_cast<unsigned>(value - 1));
+}
+
+}  // namespace
+
+BitStats compute_bit_stats6(std::span<const net::RouteEntry6> entries, int bit) {
+  return generic::compute_bit_stats(entries, bit);
+}
+
+std::vector<int> select_control_bits6(const net::RouteTable6& table, int count,
+                                      const BitSelector6Config& config) {
+  return generic::select_control_bits(table, count, config.max_bit);
+}
+
+RotPartition6::RotPartition6(const net::RouteTable6& table, int num_lcs,
+                             const Partition6Config& config) {
+  const int eta = ceil_log2(num_lcs);
+  control_bits_ = config.control_bits;
+  if (control_bits_.empty() && eta > 0) {
+    control_bits_ = select_control_bits6(table, eta, config.selector);
+  }
+  auto lc_entries = generic::assign_groups(table.entries(),
+                                           std::span<const int>(control_bits_),
+                                           num_lcs, group_to_lc_);
+  tables_.reserve(static_cast<std::size_t>(num_lcs));
+  for (auto& entries : lc_entries) {
+    tables_.emplace_back(std::move(entries));
+  }
+}
+
+std::vector<std::size_t> RotPartition6::partition_sizes() const {
+  std::vector<std::size_t> sizes;
+  sizes.reserve(tables_.size());
+  for (const auto& t : tables_) sizes.push_back(t.size());
+  return sizes;
+}
+
+}  // namespace spal::partition

@@ -1,0 +1,65 @@
+// IPv6 table partitioning — the paper's Sec. 6 extension. Same two
+// criteria and ROT-partition semantics as IPv4, over 128-bit prefixes.
+// Control bits are searched in the first `max_bit + 1` positions; /48-heavy
+// v6 tables make bits past ~48 mostly "*", so Criterion (1) rules them out
+// exactly as it rules out high IPv4 bits.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/prefix6.h"
+#include "partition/bit_selector.h"
+
+namespace spal::partition {
+
+BitStats compute_bit_stats6(std::span<const net::RouteEntry6> entries, int bit);
+
+struct BitSelector6Config {
+  int max_bit = 63;  ///< v6 control bits are drawn from the routing half
+};
+
+std::vector<int> select_control_bits6(const net::RouteTable6& table, int count,
+                                      const BitSelector6Config& config = {});
+
+struct Partition6Config {
+  std::vector<int> control_bits;  ///< explicit; selected when empty
+  BitSelector6Config selector;
+};
+
+/// Fragmented IPv6 routing table: one forwarding table per LC plus the
+/// address -> home-LC mapping.
+class RotPartition6 {
+ public:
+  RotPartition6(const net::RouteTable6& table, int num_lcs,
+                const Partition6Config& config = {});
+
+  int num_lcs() const { return static_cast<int>(tables_.size()); }
+  std::span<const int> control_bits() const { return control_bits_; }
+
+  std::uint32_t group_of(const net::Ipv6Addr& addr) const {
+    std::uint32_t group = 0;
+    for (const int bit : control_bits_) {
+      group = (group << 1) | static_cast<std::uint32_t>(addr.bit(bit));
+    }
+    return group;
+  }
+
+  int home_of(const net::Ipv6Addr& addr) const {
+    return group_to_lc_[group_of(addr)];
+  }
+
+  const net::RouteTable6& table_of(int lc) const {
+    return tables_[static_cast<std::size_t>(lc)];
+  }
+  std::span<const int> group_to_lc() const { return group_to_lc_; }
+  std::vector<std::size_t> partition_sizes() const;
+
+ private:
+  std::vector<int> control_bits_;
+  std::vector<int> group_to_lc_;
+  std::vector<net::RouteTable6> tables_;
+};
+
+}  // namespace spal::partition

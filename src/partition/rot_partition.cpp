@@ -1,0 +1,52 @@
+#include "partition/rot_partition.h"
+
+#include <bit>
+
+#include "partition/generic.h"
+
+namespace spal::partition {
+namespace {
+
+int ceil_log2(int value) {
+  return value <= 1 ? 0 : std::bit_width(static_cast<unsigned>(value - 1));
+}
+
+}  // namespace
+
+RotPartition::RotPartition(const net::RouteTable& table, int num_lcs,
+                           const PartitionConfig& config) {
+  const int eta = ceil_log2(num_lcs);
+  control_bits_ = config.control_bits;
+  if (control_bits_.empty() && eta > 0) {
+    control_bits_ = select_control_bits(table, eta, config.selector);
+  }
+  auto lc_entries = generic::assign_groups(table.entries(),
+                                           std::span<const int>(control_bits_),
+                                           num_lcs, group_to_lc_);
+  tables_.reserve(static_cast<std::size_t>(num_lcs));
+  for (auto& entries : lc_entries) {
+    // A group merge may duplicate an entry that was replicated into two
+    // groups packed onto the same LC; RouteTable normalization de-dups.
+    tables_.emplace_back(std::move(entries));
+  }
+}
+
+std::vector<std::size_t> RotPartition::partition_sizes() const {
+  std::vector<std::size_t> sizes;
+  sizes.reserve(tables_.size());
+  for (const auto& t : tables_) sizes.push_back(t.size());
+  return sizes;
+}
+
+std::vector<net::RouteTable> partition_by_length(const net::RouteTable& table) {
+  std::vector<std::vector<net::RouteEntry>> buckets(net::Prefix::kMaxLength + 1);
+  for (const net::RouteEntry& e : table.entries()) {
+    buckets[static_cast<std::size_t>(e.prefix.length())].push_back(e);
+  }
+  std::vector<net::RouteTable> result;
+  result.reserve(buckets.size());
+  for (auto& bucket : buckets) result.emplace_back(std::move(bucket));
+  return result;
+}
+
+}  // namespace spal::partition

@@ -1,0 +1,79 @@
+// ROT-partitions: the per-line-card forwarding tables SPAL fragments a
+// routing table into, plus the address → home-LC mapping (paper Secs. 3.1,
+// 4).
+//
+// With η = ⌈log2 ψ⌉ control bits there are 2^η bit-pattern groups. When ψ is
+// a power of two, group κ simply lives on LCκ. The paper allows any integer
+// ψ ("3, 5, 6, 7, etc.") without spelling out the mapping; here the 2^η
+// groups are packed onto ψ LCs by longest-processing-time greedy so that
+// per-LC prefix counts stay balanced (documented in DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/route_table.h"
+#include "partition/bit_selector.h"
+
+namespace spal::partition {
+
+struct PartitionConfig {
+  /// Explicit control bits; if empty they are selected by
+  /// select_control_bits() per the paper's two criteria.
+  std::vector<int> control_bits;
+  BitSelectorConfig selector;
+};
+
+/// A fragmented routing table: one forwarding table per LC plus the mapping
+/// machinery the FIL's LR1 detector implements in hardware.
+class RotPartition {
+ public:
+  /// Fragments `table` for a router with `num_lcs` line cards (any integer
+  /// >= 1). With num_lcs == 1 there is a single partition equal to `table`
+  /// and no control bits.
+  RotPartition(const net::RouteTable& table, int num_lcs,
+               const PartitionConfig& config = {});
+
+  int num_lcs() const { return static_cast<int>(tables_.size()); }
+  std::span<const int> control_bits() const { return control_bits_; }
+
+  /// The η-bit group pattern of an address (its control bits, in selection
+  /// order, packed MSB-first).
+  std::uint32_t group_of(net::Ipv4Addr addr) const {
+    std::uint32_t group = 0;
+    for (const int bit : control_bits_) group = (group << 1) | static_cast<std::uint32_t>(addr.bit(bit));
+    return group;
+  }
+
+  /// Home LC of an address: where its lookup is performed on an LR-cache
+  /// miss. This is what LR1 computes from the destination address.
+  int home_of(net::Ipv4Addr addr) const {
+    return group_to_lc_[group_of(addr)];
+  }
+
+  /// Forwarding table of one LC.
+  const net::RouteTable& table_of(int lc) const {
+    return tables_[static_cast<std::size_t>(lc)];
+  }
+  std::span<const net::RouteTable> tables() const { return tables_; }
+
+  /// Which LC each of the 2^η groups is assigned to.
+  std::span<const int> group_to_lc() const { return group_to_lc_; }
+
+  /// Per-LC prefix counts (the partition sizes Sec. 4 reports).
+  std::vector<std::size_t> partition_sizes() const;
+
+ private:
+  std::vector<int> control_bits_;
+  std::vector<int> group_to_lc_;           // size 2^η
+  std::vector<net::RouteTable> tables_;    // size ψ
+};
+
+/// Baseline of Sec. 2.3 (Akhbarizadeh & Nourani [1]): group prefixes by
+/// *length*. Subset sizes vary wildly (≈50% of a backbone table is /24) and
+/// every LC keeps all subsets, so per-LC storage does not shrink with ψ.
+/// Returns the 33 per-length tables (index = prefix length).
+std::vector<net::RouteTable> partition_by_length(const net::RouteTable& table);
+
+}  // namespace spal::partition

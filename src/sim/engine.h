@@ -1,0 +1,49 @@
+// Minimal discrete-event engine.
+//
+// A stable time-ordered event queue: events at equal timestamps pop in
+// insertion order, which keeps the router simulation deterministic. The
+// event payload is a caller-defined POD; dispatch stays in the caller, so
+// the hot loop performs no type-erased calls or per-event allocation.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace spal::sim {
+
+template <typename Event>
+class EventQueue {
+ public:
+  void schedule(std::uint64_t time, Event event) {
+    heap_.push(Entry{time, next_seq_++, std::move(event)});
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  std::uint64_t next_time() const { return heap_.top().time; }
+
+  /// Pops the earliest event; callers must check empty() first.
+  std::pair<std::uint64_t, Event> pop() {
+    Entry top = heap_.top();
+    heap_.pop();
+    return {top.time, std::move(top.event)};
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t time;
+    std::uint64_t seq;
+    Event event;
+
+    bool operator>(const Entry& other) const {
+      return time != other.time ? time > other.time : seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace spal::sim

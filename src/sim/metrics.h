@@ -1,0 +1,73 @@
+// Latency / utilization accumulators for the router simulation.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace spal::sim {
+
+/// Accumulates per-packet lookup latencies (in cycles) with a bounded
+/// histogram for percentile queries. The paper's headline metric is the
+/// mean lookup time in 5 ns cycles.
+class LatencyStats {
+ public:
+  explicit LatencyStats(std::size_t histogram_buckets = 1024)
+      : histogram_(histogram_buckets, 0) {}
+
+  void record(std::uint64_t cycles) {
+    ++count_;
+    total_ += cycles;
+    worst_ = std::max(worst_, cycles);
+    const std::size_t bucket =
+        std::min<std::size_t>(cycles, histogram_.size() - 1);
+    ++histogram_[bucket];
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t total_cycles() const { return total_; }
+  std::uint64_t worst_cycles() const { return worst_; }
+
+  double mean_cycles() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(total_) / static_cast<double>(count_);
+  }
+
+  /// Smallest latency L such that at least `q` of packets finished in <= L
+  /// cycles. Latencies beyond the histogram range report the last bucket.
+  std::uint64_t percentile(double q) const {
+    if (count_ == 0) return 0;
+    const auto target = static_cast<std::uint64_t>(
+        q * static_cast<double>(count_));
+    std::uint64_t running = 0;
+    for (std::size_t i = 0; i < histogram_.size(); ++i) {
+      running += histogram_[i];
+      if (running >= target) return i;
+    }
+    return histogram_.size() - 1;
+  }
+
+  /// Mean packets per second per LC given the cycle time, the reciprocal of
+  /// the mean lookup time (how the paper converts 9.2 cycles to 21 Mpps).
+  double lookups_per_second(double cycle_ns) const {
+    const double mean = mean_cycles();
+    return mean <= 0.0 ? 0.0 : 1e9 / (mean * cycle_ns);
+  }
+
+  void merge(const LatencyStats& other) {
+    count_ += other.count_;
+    total_ += other.total_;
+    worst_ = std::max(worst_, other.worst_);
+    for (std::size_t i = 0; i < histogram_.size() && i < other.histogram_.size(); ++i) {
+      histogram_[i] += other.histogram_[i];
+    }
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  std::uint64_t total_ = 0;
+  std::uint64_t worst_ = 0;
+  std::vector<std::uint64_t> histogram_;
+};
+
+}  // namespace spal::sim

@@ -1,0 +1,90 @@
+// Synthetic destination-stream generation (paper Sec. 5.1 substitution).
+//
+// The paper drives its simulator with destination addresses from the
+// WorldCup98 archive (traces D_75, D_81), the PMA Long Traces archive
+// (Abilene-I L_92-0 / L_92-1) and Bell Labs-I (B_L). Those archives are not
+// available here, so this module synthesizes streams with the two properties
+// the paper itself identifies as what makes LR-caches work:
+//   * heavy-tailed flow popularity — a small percentage of flows accounts
+//     for a large share of traffic (the paper cites Estan & Varghese's
+//     9%-of-flows/90%-of-traffic observation) — modelled as a Zipf
+//     distribution over a fixed flow population, and
+//   * packet trains — consecutive packets frequently repeat the previous
+//     destination — modelled as geometric bursts.
+// Flow destinations are sampled from the routing table itself (a random
+// entry with randomized host bits), so every destination exercises real LPM
+// paths. The flow population is shared by all LCs while each LC draws its
+// own packet sequence, giving the cross-LC reuse that SPAL's remote-result
+// caching exploits.
+//
+// The five profiles below differ in population size, skew and burstiness,
+// tuned so a 4K-block 4-way LR-cache lands in the >=0.93 hit-rate band the
+// paper reports for its traces.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "net/route_table.h"
+
+namespace spal::trace {
+
+struct WorkloadProfile {
+  std::string name;
+  std::size_t flows = 100'000;  ///< distinct destination addresses
+  double zipf_alpha = 1.0;      ///< popularity skew (larger = hotter head)
+  double burst_mean = 3.0;      ///< mean packet-train length (geometric)
+  std::uint64_t seed = 1;
+};
+
+/// WorldCup98 July 9, 1998 stand-in: web-server clients, hot head.
+WorkloadProfile profile_d75();
+/// WorldCup98 July 15, 1998 stand-in.
+WorkloadProfile profile_d81();
+/// Abilene-I stand-ins: backbone traffic, larger population, flatter.
+WorkloadProfile profile_l92_0();
+WorkloadProfile profile_l92_1();
+/// Bell Labs-I stand-in: small edge link, strongest locality.
+WorkloadProfile profile_bell_labs();
+
+/// All five, in the order the paper's figures plot them.
+std::vector<WorkloadProfile> all_profiles();
+
+/// Generates per-LC destination streams for one workload over one table.
+class TraceGenerator {
+ public:
+  TraceGenerator(const WorkloadProfile& profile, const net::RouteTable& table);
+
+  /// `count` destinations for line card `lc`. Deterministic in
+  /// (profile.seed, lc); different lc values give different sequences over
+  /// the same flow population.
+  std::vector<net::Ipv4Addr> generate(int lc, std::size_t count) const;
+
+  const WorkloadProfile& profile() const { return profile_; }
+  std::size_t flow_count() const { return flow_addresses_.size(); }
+
+ private:
+  WorkloadProfile profile_;
+  std::vector<net::Ipv4Addr> flow_addresses_;  ///< rank-ordered (hottest first)
+  std::vector<double> popularity_cdf_;         ///< Zipf CDF over ranks
+};
+
+/// Stream summary used by tests and the trace_locality example.
+struct TraceStats {
+  std::size_t packets = 0;
+  std::size_t distinct = 0;
+  /// Fraction of packets covered by the hottest `head` distinct addresses.
+  double concentration(std::size_t head) const {
+    return head_mass.empty() ? 0.0
+           : head >= head_mass.size()
+               ? 1.0
+               : head_mass[head];
+  }
+  std::vector<double> head_mass;  ///< cumulative share by popularity rank
+};
+
+TraceStats analyze_trace(const std::vector<net::Ipv4Addr>& destinations);
+
+}  // namespace spal::trace

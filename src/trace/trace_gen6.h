@@ -1,0 +1,75 @@
+// IPv6 destination-stream generation: the v6 counterpart of trace_gen.h,
+// reusing the same WorkloadProfile locality model (Zipf flow popularity +
+// geometric packet trains) over an IPv6 routing table.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "net/prefix6.h"
+#include "trace/trace_gen.h"
+
+namespace spal::trace {
+
+class TraceGenerator6 {
+ public:
+  TraceGenerator6(const WorkloadProfile& profile, const net::RouteTable6& table)
+      : profile_(profile) {
+    std::mt19937_64 rng(profile.seed);
+    flow_addresses_.reserve(profile.flows);
+    if (!table.empty()) {
+      std::uniform_int_distribution<std::size_t> pick(0, table.size() - 1);
+      for (std::size_t i = 0; i < profile.flows; ++i) {
+        const net::Prefix6& prefix = table.entries()[pick(rng)].prefix;
+        flow_addresses_.push_back(net::random_address_in6(prefix, rng));
+      }
+    }
+    popularity_cdf_.reserve(flow_addresses_.size());
+    double total = 0.0;
+    for (std::size_t r = 0; r < flow_addresses_.size(); ++r) {
+      total += 1.0 / std::pow(static_cast<double>(r + 1), profile.zipf_alpha);
+      popularity_cdf_.push_back(total);
+    }
+    for (double& v : popularity_cdf_) v /= total;
+  }
+
+  /// `count` destinations for line card `lc`; deterministic per
+  /// (profile.seed, lc), same sequence structure as the IPv4 generator.
+  std::vector<net::Ipv6Addr> generate(int lc, std::size_t count) const {
+    std::vector<net::Ipv6Addr> destinations;
+    destinations.reserve(count);
+    if (flow_addresses_.empty()) return destinations;
+    std::mt19937_64 rng(profile_.seed ^
+                        (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(lc + 1)));
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+    const double p_new = profile_.burst_mean <= 1.0 ? 1.0 : 1.0 / profile_.burst_mean;
+    net::Ipv6Addr current = flow_addresses_.front();
+    bool have_current = false;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!have_current || unit(rng) < p_new) {
+        const double u = unit(rng);
+        const auto it =
+            std::lower_bound(popularity_cdf_.begin(), popularity_cdf_.end(), u);
+        const std::size_t rank =
+            std::min(static_cast<std::size_t>(it - popularity_cdf_.begin()),
+                     flow_addresses_.size() - 1);
+        current = flow_addresses_[rank];
+        have_current = true;
+      }
+      destinations.push_back(current);
+    }
+    return destinations;
+  }
+
+  const WorkloadProfile& profile() const { return profile_; }
+  std::size_t flow_count() const { return flow_addresses_.size(); }
+
+ private:
+  WorkloadProfile profile_;
+  std::vector<net::Ipv6Addr> flow_addresses_;
+  std::vector<double> popularity_cdf_;
+};
+
+}  // namespace spal::trace

@@ -1,0 +1,75 @@
+#include "trie/binary_trie.h"
+
+namespace spal::trie {
+
+BinaryTrie::BinaryTrie() { nodes_.emplace_back(); }
+
+BinaryTrie::BinaryTrie(const net::RouteTable& table) : BinaryTrie() {
+  for (const net::RouteEntry& e : table.entries()) insert(e.prefix, e.next_hop);
+}
+
+std::int32_t BinaryTrie::descend_or_create(const net::Prefix& prefix) {
+  std::int32_t node = 0;
+  for (int depth = 0; depth < prefix.length(); ++depth) {
+    const int bit = static_cast<int>(prefix.bit(depth));
+    std::int32_t child = nodes_[static_cast<std::size_t>(node)].child[bit];
+    if (child < 0) {
+      child = static_cast<std::int32_t>(nodes_.size());
+      nodes_.emplace_back();
+      nodes_[static_cast<std::size_t>(node)].child[bit] = child;
+    }
+    node = child;
+  }
+  return node;
+}
+
+void BinaryTrie::insert(const net::Prefix& prefix, net::NextHop next_hop) {
+  const std::int32_t node = descend_or_create(prefix);
+  nodes_[static_cast<std::size_t>(node)].next_hop = next_hop;
+}
+
+bool BinaryTrie::remove(const net::Prefix& prefix) {
+  std::int32_t node = 0;
+  for (int depth = 0; depth < prefix.length(); ++depth) {
+    node = nodes_[static_cast<std::size_t>(node)]
+               .child[static_cast<int>(prefix.bit(depth))];
+    if (node < 0) return false;
+  }
+  Node& target = nodes_[static_cast<std::size_t>(node)];
+  if (target.next_hop == net::kNoRoute) return false;
+  target.next_hop = net::kNoRoute;
+  return true;
+}
+
+net::NextHop BinaryTrie::lookup(net::Ipv4Addr addr) const {
+  net::NextHop best = net::kNoRoute;
+  std::int32_t node = 0;
+  for (int depth = 0; node >= 0 && depth <= net::Ipv4Addr::kBits; ++depth) {
+    const Node& n = nodes_[static_cast<std::size_t>(node)];
+    if (n.next_hop != net::kNoRoute) best = n.next_hop;
+    if (depth == net::Ipv4Addr::kBits) break;
+    node = n.child[addr.bit(depth)];
+  }
+  return best;
+}
+
+net::NextHop BinaryTrie::lookup_counted(net::Ipv4Addr addr,
+                                        MemAccessCounter& counter) const {
+  net::NextHop best = net::kNoRoute;
+  std::int32_t node = 0;
+  for (int depth = 0; node >= 0 && depth <= net::Ipv4Addr::kBits; ++depth) {
+    counter.record();  // one node read per level visited
+    const Node& n = nodes_[static_cast<std::size_t>(node)];
+    if (n.next_hop != net::kNoRoute) best = n.next_hop;
+    if (depth == net::Ipv4Addr::kBits) break;
+    node = n.child[addr.bit(depth)];
+  }
+  return best;
+}
+
+std::size_t BinaryTrie::storage_bytes() const {
+  // Two 4-byte child pointers + 4-byte next hop per node.
+  return nodes_.size() * (2 * 4 + 4);
+}
+
+}  // namespace spal::trie

@@ -1,0 +1,49 @@
+// Plain one-bit-at-a-time binary trie.
+//
+// This is the library's correctness oracle: the simplest possible LPM
+// structure, supporting incremental insert/remove (used by the update tests)
+// as well as the immutable LpmIndex interface. It is also the "no
+// compression" reference point the other tries are judged against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trie/lpm.h"
+
+namespace spal::trie {
+
+class BinaryTrie final : public LpmIndex {
+ public:
+  BinaryTrie();
+  explicit BinaryTrie(const net::RouteTable& table);
+
+  /// Inserts or replaces `prefix`.
+  void insert(const net::Prefix& prefix, net::NextHop next_hop);
+
+  /// Removes `prefix` exactly; returns true if it was present.
+  /// (Nodes are not reclaimed until rebuild; the SPAL flow rebuilds tries on
+  /// table updates anyway.)
+  bool remove(const net::Prefix& prefix);
+
+  // LpmIndex:
+  net::NextHop lookup(net::Ipv4Addr addr) const override;
+  net::NextHop lookup_counted(net::Ipv4Addr addr,
+                              MemAccessCounter& counter) const override;
+  std::size_t storage_bytes() const override;
+  std::string_view name() const override { return "binary"; }
+
+  std::size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    std::int32_t child[2] = {-1, -1};
+    net::NextHop next_hop = net::kNoRoute;
+  };
+
+  std::int32_t descend_or_create(const net::Prefix& prefix);
+
+  std::vector<Node> nodes_;  // nodes_[0] is the root
+};
+
+}  // namespace spal::trie

@@ -1,0 +1,53 @@
+#include "trie/binary_trie6.h"
+
+namespace spal::trie {
+
+BinaryTrie6::BinaryTrie6() { nodes_.emplace_back(); }
+
+BinaryTrie6::BinaryTrie6(const net::RouteTable6& table) : BinaryTrie6() {
+  for (const net::RouteEntry6& e : table.entries()) insert(e.prefix, e.next_hop);
+}
+
+void BinaryTrie6::insert(const net::Prefix6& prefix, net::NextHop next_hop) {
+  std::int32_t node = 0;
+  const net::Ipv6Addr addr = prefix.address();
+  for (int depth = 0; depth < prefix.length(); ++depth) {
+    const int bit = addr.bit(depth);
+    std::int32_t child = nodes_[static_cast<std::size_t>(node)].child[bit];
+    if (child < 0) {
+      child = static_cast<std::int32_t>(nodes_.size());
+      nodes_.emplace_back();
+      nodes_[static_cast<std::size_t>(node)].child[bit] = child;
+    }
+    node = child;
+  }
+  nodes_[static_cast<std::size_t>(node)].next_hop = next_hop;
+}
+
+net::NextHop BinaryTrie6::lookup(const net::Ipv6Addr& addr) const {
+  net::NextHop best = net::kNoRoute;
+  std::int32_t node = 0;
+  for (int depth = 0; node >= 0 && depth <= net::Ipv6Addr::kBits; ++depth) {
+    const Node& n = nodes_[static_cast<std::size_t>(node)];
+    if (n.next_hop != net::kNoRoute) best = n.next_hop;
+    if (depth == net::Ipv6Addr::kBits) break;
+    node = n.child[addr.bit(depth)];
+  }
+  return best;
+}
+
+net::NextHop BinaryTrie6::lookup_counted(const net::Ipv6Addr& addr,
+                                         MemAccessCounter& counter) const {
+  net::NextHop best = net::kNoRoute;
+  std::int32_t node = 0;
+  for (int depth = 0; node >= 0 && depth <= net::Ipv6Addr::kBits; ++depth) {
+    counter.record();
+    const Node& n = nodes_[static_cast<std::size_t>(node)];
+    if (n.next_hop != net::kNoRoute) best = n.next_hop;
+    if (depth == net::Ipv6Addr::kBits) break;
+    node = n.child[addr.bit(depth)];
+  }
+  return best;
+}
+
+}  // namespace spal::trie

@@ -1,0 +1,38 @@
+// One-bit binary trie over IPv6 prefixes: the LPM oracle and the storage
+// yardstick for the Sec. 6 IPv6 extension (the paper argues SPAL's SRAM
+// reduction grows under IPv6 because tries get several times larger).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/prefix6.h"
+#include "trie/lpm.h"
+
+namespace spal::trie {
+
+class BinaryTrie6 {
+ public:
+  BinaryTrie6();
+  explicit BinaryTrie6(const net::RouteTable6& table);
+
+  void insert(const net::Prefix6& prefix, net::NextHop next_hop);
+
+  net::NextHop lookup(const net::Ipv6Addr& addr) const;
+  net::NextHop lookup_counted(const net::Ipv6Addr& addr,
+                              MemAccessCounter& counter) const;
+
+  /// Two 4-byte child pointers + 4-byte next hop per node.
+  std::size_t storage_bytes() const { return nodes_.size() * 12; }
+  std::size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    std::int32_t child[2] = {-1, -1};
+    net::NextHop next_hop = net::kNoRoute;
+  };
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace spal::trie

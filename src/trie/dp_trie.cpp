@@ -1,0 +1,132 @@
+#include "trie/dp_trie.h"
+
+#include <algorithm>
+
+namespace spal::trie {
+namespace {
+
+/// Transient uncompressed binary-trie node used only during construction.
+struct BuildNode {
+  std::int32_t child[2] = {-1, -1};
+  bool has_prefix = false;
+  net::NextHop next_hop = net::kNoRoute;
+};
+
+}  // namespace
+
+DpTrie::DpTrie(const net::RouteTable& table) {
+  // Phase 1: uncompressed binary trie over all prefixes.
+  std::vector<BuildNode> build;
+  build.emplace_back();
+  for (const net::RouteEntry& e : table.entries()) {
+    std::int32_t node = 0;
+    for (int depth = 0; depth < e.prefix.length(); ++depth) {
+      const int bit = static_cast<int>(e.prefix.bit(depth));
+      std::int32_t child = build[static_cast<std::size_t>(node)].child[bit];
+      if (child < 0) {
+        child = static_cast<std::int32_t>(build.size());
+        build.emplace_back();
+        build[static_cast<std::size_t>(node)].child[bit] = child;
+      }
+      node = child;
+    }
+    build[static_cast<std::size_t>(node)].has_prefix = true;
+    build[static_cast<std::size_t>(node)].next_hop = e.next_hop;
+  }
+
+  // Phase 2: path compression. A node survives iff it is the root, stores a
+  // prefix, or branches (two children); chains of pass-through nodes are
+  // folded into the surviving child's key/index.
+  struct Frame {
+    std::int32_t build_node;
+    std::int32_t compressed_parent;
+    int parent_bit;          // which child slot of the parent we fill
+    std::uint32_t path_bits; // bits accumulated from the root
+    int depth;
+  };
+  nodes_.emplace_back();  // compressed root, depth 0
+  std::vector<Frame> stack;
+  const BuildNode& root = build[0];
+  nodes_[0].has_prefix = root.has_prefix;
+  nodes_[0].next_hop = root.next_hop;
+  for (int bit = 0; bit < 2; ++bit) {
+    if (root.child[bit] >= 0) {
+      stack.push_back(Frame{root.child[bit], 0, bit,
+                            bit ? (1u << 31) : 0u, 1});
+    }
+  }
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    // Slide down pass-through nodes.
+    const BuildNode* bn = &build[static_cast<std::size_t>(f.build_node)];
+    while (!bn->has_prefix &&
+           ((bn->child[0] >= 0) != (bn->child[1] >= 0))) {
+      const int bit = bn->child[0] >= 0 ? 0 : 1;
+      if (bit) f.path_bits |= (1u << (31 - f.depth));
+      f.depth++;
+      f.build_node = bn->child[bit];
+      bn = &build[static_cast<std::size_t>(f.build_node)];
+    }
+    const std::int32_t id = static_cast<std::int32_t>(nodes_.size());
+    Node node;
+    node.key = f.path_bits;
+    node.index = static_cast<std::uint8_t>(f.depth);
+    node.has_prefix = bn->has_prefix;
+    node.next_hop = bn->next_hop;
+    node.parent = f.compressed_parent;
+    nodes_.push_back(node);
+    nodes_[static_cast<std::size_t>(f.compressed_parent)].child[f.parent_bit] = id;
+    for (int bit = 0; bit < 2; ++bit) {
+      if (bn->child[bit] >= 0) {
+        std::uint32_t child_path = f.path_bits;
+        if (bit) child_path |= (1u << (31 - f.depth));
+        stack.push_back(Frame{bn->child[bit], id, bit, child_path, f.depth + 1});
+      }
+    }
+  }
+}
+
+template <bool kCounted>
+net::NextHop DpTrie::lookup_impl(net::Ipv4Addr addr,
+                                 MemAccessCounter* counter) const {
+  net::NextHop best = net::kNoRoute;
+  std::int32_t node = 0;
+  while (node >= 0) {
+    const Node& n = nodes_[static_cast<std::size_t>(node)];
+    if constexpr (kCounted) counter->record();  // node (index + pointers) read
+    // Keys are verified only where a key exists — at prefix nodes, the way
+    // the DP trie dereferences its key pointers. Pass-through branch nodes
+    // are descended optimistically; any prefix node below re-verifies the
+    // whole path, so skipped-bit mismatches can never produce a false match.
+    if (n.has_prefix) {
+      if constexpr (kCounted) counter->record();  // key comparison read
+      if (n.index > 0) {
+        const std::uint32_t mask = ~std::uint32_t{0} << (32 - n.index);
+        if (((addr.value() ^ n.key) & mask) != 0) break;
+      }
+      best = n.next_hop;
+    }
+    if (n.index >= net::Ipv4Addr::kBits) break;
+    node = n.child[addr.bit(n.index)];
+  }
+  return best;
+}
+
+net::NextHop DpTrie::lookup(net::Ipv4Addr addr) const {
+  MemAccessCounter unused;
+  return lookup_impl<false>(addr, &unused);
+}
+
+net::NextHop DpTrie::lookup_counted(net::Ipv4Addr addr,
+                                    MemAccessCounter& counter) const {
+  return lookup_impl<true>(addr, &counter);
+}
+
+std::size_t DpTrie::storage_bytes() const {
+  // The SPAL paper's stated DP-trie node layout: 1-byte index field plus
+  // five 4-byte pointers (left, right, parent, key, prefix-data).
+  return nodes_.size() * (1 + 5 * 4);
+}
+
+}  // namespace spal::trie

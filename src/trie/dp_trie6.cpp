@@ -1,0 +1,134 @@
+#include "trie/dp_trie6.h"
+
+namespace spal::trie {
+namespace {
+
+struct BuildNode {
+  std::int32_t child[2] = {-1, -1};
+  bool has_prefix = false;
+  net::NextHop next_hop = net::kNoRoute;
+};
+
+net::Ipv6Addr with_bit(const net::Ipv6Addr& addr, int pos) {
+  if (pos < 64) {
+    return net::Ipv6Addr{addr.hi() | (1ULL << (63 - pos)), addr.lo()};
+  }
+  return net::Ipv6Addr{addr.hi(), addr.lo() | (1ULL << (127 - pos))};
+}
+
+}  // namespace
+
+bool DpTrie6::match_bits(const net::Ipv6Addr& a, const net::Ipv6Addr& b, int bits) {
+  if (bits <= 0) return true;
+  if (bits <= 64) {
+    const std::uint64_t mask = ~std::uint64_t{0} << (64 - bits);
+    return ((a.hi() ^ b.hi()) & mask) == 0;
+  }
+  if (a.hi() != b.hi()) return false;
+  const std::uint64_t mask =
+      bits >= 128 ? ~std::uint64_t{0} : (~std::uint64_t{0} << (128 - bits));
+  return ((a.lo() ^ b.lo()) & mask) == 0;
+}
+
+DpTrie6::DpTrie6(const net::RouteTable6& table) {
+  // Phase 1: uncompressed binary trie.
+  std::vector<BuildNode> build;
+  build.emplace_back();
+  for (const net::RouteEntry6& e : table.entries()) {
+    std::int32_t node = 0;
+    const net::Ipv6Addr addr = e.prefix.address();
+    for (int depth = 0; depth < e.prefix.length(); ++depth) {
+      const int bit = addr.bit(depth);
+      std::int32_t child = build[static_cast<std::size_t>(node)].child[bit];
+      if (child < 0) {
+        child = static_cast<std::int32_t>(build.size());
+        build.emplace_back();
+        build[static_cast<std::size_t>(node)].child[bit] = child;
+      }
+      node = child;
+    }
+    build[static_cast<std::size_t>(node)].has_prefix = true;
+    build[static_cast<std::size_t>(node)].next_hop = e.next_hop;
+  }
+
+  // Phase 2: path compression (prefix nodes + branch points survive).
+  struct Frame {
+    std::int32_t build_node;
+    std::int32_t compressed_parent;
+    int parent_bit;
+    net::Ipv6Addr path;
+    int depth;
+  };
+  nodes_.emplace_back();  // compressed root, depth 0
+  const BuildNode& root = build[0];
+  nodes_[0].has_prefix = root.has_prefix;
+  nodes_[0].next_hop = root.next_hop;
+  std::vector<Frame> stack;
+  for (int bit = 0; bit < 2; ++bit) {
+    if (root.child[bit] >= 0) {
+      const net::Ipv6Addr path =
+          bit ? with_bit(net::Ipv6Addr{}, 0) : net::Ipv6Addr{};
+      stack.push_back(Frame{root.child[bit], 0, bit, path, 1});
+    }
+  }
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    const BuildNode* bn = &build[static_cast<std::size_t>(f.build_node)];
+    while (!bn->has_prefix && ((bn->child[0] >= 0) != (bn->child[1] >= 0))) {
+      const int bit = bn->child[0] >= 0 ? 0 : 1;
+      if (bit) f.path = with_bit(f.path, f.depth);
+      ++f.depth;
+      f.build_node = bn->child[bit];
+      bn = &build[static_cast<std::size_t>(f.build_node)];
+    }
+    const auto id = static_cast<std::int32_t>(nodes_.size());
+    Node node;
+    node.key = f.path;
+    node.index = static_cast<std::uint8_t>(f.depth);
+    node.has_prefix = bn->has_prefix;
+    node.next_hop = bn->next_hop;
+    nodes_.push_back(node);
+    nodes_[static_cast<std::size_t>(f.compressed_parent)].child[f.parent_bit] = id;
+    for (int bit = 0; bit < 2; ++bit) {
+      if (bn->child[bit] >= 0) {
+        net::Ipv6Addr child_path = f.path;
+        if (bit) child_path = with_bit(child_path, f.depth);
+        stack.push_back(Frame{bn->child[bit], id, bit, child_path, f.depth + 1});
+      }
+    }
+  }
+}
+
+template <bool kCounted>
+net::NextHop DpTrie6::lookup_impl(const net::Ipv6Addr& addr,
+                                  MemAccessCounter* counter) const {
+  net::NextHop best = net::kNoRoute;
+  std::int32_t node = 0;
+  while (node >= 0) {
+    const Node& n = nodes_[static_cast<std::size_t>(node)];
+    if constexpr (kCounted) counter->record();  // node read
+    // Keys are verified at prefix nodes only (see dp_trie.cpp): branch
+    // nodes descend optimistically, deeper prefix nodes re-verify the path.
+    if (n.has_prefix) {
+      if constexpr (kCounted) counter->record();  // key comparison read
+      if (!match_bits(addr, n.key, n.index)) break;
+      best = n.next_hop;
+    }
+    if (n.index >= net::Ipv6Addr::kBits) break;
+    node = n.child[addr.bit(n.index)];
+  }
+  return best;
+}
+
+net::NextHop DpTrie6::lookup(const net::Ipv6Addr& addr) const {
+  MemAccessCounter unused;
+  return lookup_impl<false>(addr, &unused);
+}
+
+net::NextHop DpTrie6::lookup_counted(const net::Ipv6Addr& addr,
+                                     MemAccessCounter& counter) const {
+  return lookup_impl<true>(addr, &counter);
+}
+
+}  // namespace spal::trie

@@ -1,0 +1,49 @@
+// Path-compressed (DP-style) trie over IPv6 prefixes — the 128-bit
+// counterpart of dp_trie.h, and the forwarding-engine structure the IPv6
+// router uses by default. A plain binary trie walks up to 128 levels for
+// IPv6; path compression bounds the walk by the prefix population instead,
+// which is exactly the property the paper's Sec. 6 feasibility claim needs.
+//
+// Storage model: the DP node layout scaled to v6 — a 1-byte index field,
+// five 4-byte pointers, and a 16-byte key = 37 bytes per node.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/prefix6.h"
+#include "trie/lpm.h"
+
+namespace spal::trie {
+
+class DpTrie6 {
+ public:
+  explicit DpTrie6(const net::RouteTable6& table);
+
+  net::NextHop lookup(const net::Ipv6Addr& addr) const;
+  net::NextHop lookup_counted(const net::Ipv6Addr& addr,
+                              MemAccessCounter& counter) const;
+
+  std::size_t storage_bytes() const { return nodes_.size() * 37; }
+  std::size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    net::Ipv6Addr key;           ///< path bits down to this node
+    std::uint8_t index = 0;      ///< depth: number of fixed key bits
+    bool has_prefix = false;
+    net::NextHop next_hop = net::kNoRoute;
+    std::int32_t child[2] = {-1, -1};
+  };
+
+  /// True iff the first `bits` bits of a and b agree.
+  static bool match_bits(const net::Ipv6Addr& a, const net::Ipv6Addr& b, int bits);
+
+  template <bool kCounted>
+  net::NextHop lookup_impl(const net::Ipv6Addr& addr,
+                           MemAccessCounter* counter) const;
+
+  std::vector<Node> nodes_;  // nodes_[0] is the root
+};
+
+}  // namespace spal::trie

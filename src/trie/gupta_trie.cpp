@@ -1,0 +1,91 @@
+#include "trie/gupta_trie.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace spal::trie {
+
+std::uint32_t GuptaTrie::intern_next_hop(net::NextHop hop) {
+  for (std::uint32_t i = 0; i < next_hop_table_.size(); ++i) {
+    if (next_hop_table_[i] == hop) return i;
+  }
+  if (next_hop_table_.size() >= kNoEntry) {
+    throw std::length_error("GuptaTrie: next-hop table exceeds 15-bit entries");
+  }
+  next_hop_table_.push_back(hop);
+  return static_cast<std::uint32_t>(next_hop_table_.size() - 1);
+}
+
+GuptaTrie::GuptaTrie(const net::RouteTable& table)
+    : level1_(std::size_t{1} << 24, kNoEntry) {
+  // Paint prefixes of length <= 24 shortest-first so longer ones override.
+  std::vector<net::RouteEntry> short_prefixes, long_prefixes;
+  for (const net::RouteEntry& e : table.entries()) {
+    (e.prefix.length() <= 24 ? short_prefixes : long_prefixes).push_back(e);
+  }
+  std::stable_sort(short_prefixes.begin(), short_prefixes.end(),
+                   [](const net::RouteEntry& a, const net::RouteEntry& b) {
+                     return a.prefix.length() < b.prefix.length();
+                   });
+  for (const net::RouteEntry& e : short_prefixes) {
+    const std::uint32_t first = e.prefix.bits() >> 8;
+    const std::uint32_t last = e.prefix.range_last().value() >> 8;
+    const auto hop = static_cast<std::uint16_t>(intern_next_hop(e.next_hop));
+    for (std::uint32_t s = first; s <= last; ++s) level1_[s] = hop;
+  }
+  // Prefixes longer than /24: one 256-entry chunk per distinct /24 slot,
+  // defaulted with the level-1 value (leaf pushing) then painted
+  // shortest-first.
+  std::stable_sort(long_prefixes.begin(), long_prefixes.end(),
+                   [](const net::RouteEntry& a, const net::RouteEntry& b) {
+                     return std::pair(a.prefix.bits() >> 8, a.prefix.length()) <
+                            std::pair(b.prefix.bits() >> 8, b.prefix.length());
+                   });
+  for (std::size_t i = 0; i < long_prefixes.size();) {
+    const std::uint32_t slot = long_prefixes[i].prefix.bits() >> 8;
+    std::array<std::uint16_t, 256> chunk;
+    chunk.fill(level1_[slot]);
+    while (i < long_prefixes.size() &&
+           (long_prefixes[i].prefix.bits() >> 8) == slot) {
+      const net::RouteEntry& e = long_prefixes[i];
+      const std::uint32_t first = e.prefix.bits() & 0xffu;
+      const std::uint32_t last = e.prefix.range_last().value() & 0xffu;
+      const auto hop = static_cast<std::uint16_t>(intern_next_hop(e.next_hop));
+      for (std::uint32_t u = first; u <= last; ++u) chunk[u] = hop;
+      ++i;
+    }
+    if (chunks_.size() >= kNoEntry) {
+      throw std::length_error("GuptaTrie: more second-level chunks than 15-bit ids");
+    }
+    level1_[slot] =
+        static_cast<std::uint16_t>(kChunkFlag | static_cast<std::uint16_t>(chunks_.size()));
+    chunks_.push_back(chunk);
+  }
+}
+
+net::NextHop GuptaTrie::lookup(net::Ipv4Addr addr) const {
+  std::uint16_t entry = level1_[addr.value() >> 8];
+  if (entry & kChunkFlag) {
+    entry = chunks_[entry & ~kChunkFlag][addr.value() & 0xffu];
+  }
+  return entry == kNoEntry ? net::kNoRoute : next_hop_table_[entry];
+}
+
+net::NextHop GuptaTrie::lookup_counted(net::Ipv4Addr addr,
+                                       MemAccessCounter& counter) const {
+  counter.record();  // level-1 read
+  std::uint16_t entry = level1_[addr.value() >> 8];
+  if (entry & kChunkFlag) {
+    counter.record();  // chunk read
+    entry = chunks_[entry & ~kChunkFlag][addr.value() & 0xffu];
+  }
+  return entry == kNoEntry ? net::kNoRoute : next_hop_table_[entry];
+}
+
+std::size_t GuptaTrie::storage_bytes() const {
+  // 2-byte entries at both levels plus the next-hop table: the level-1
+  // table alone is the 32 MB the SPAL paper cites.
+  return level1_.size() * 2 + chunks_.size() * 256 * 2 + next_hop_table_.size() * 4;
+}
+
+}  // namespace spal::trie

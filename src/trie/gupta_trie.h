@@ -1,0 +1,46 @@
+// Two-level hardware lookup table, after Gupta, Lin & McKeown, "Routing
+// Lookups in Hardware at Memory Access Speeds", INFOCOM 1998 — the
+// hardware comparator of the SPAL paper's Sec. 2.1.
+//
+// Level 1 is a directly-indexed table with 2^24 entries addressed by the
+// first 24 address bits; entries either hold a next hop or point to a
+// 2^8-entry second-level chunk for prefixes longer than /24. Lookups cost
+// one memory access for prefixes up to /24 and two otherwise — "IP lookups
+// at the speed of memory accesses" — at the price the SPAL paper calls out:
+// the level-1 table alone is 32 MB (2^24 × 2 bytes).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "trie/lpm.h"
+
+namespace spal::trie {
+
+class GuptaTrie final : public LpmIndex {
+ public:
+  explicit GuptaTrie(const net::RouteTable& table);
+
+  // LpmIndex:
+  net::NextHop lookup(net::Ipv4Addr addr) const override;
+  net::NextHop lookup_counted(net::Ipv4Addr addr,
+                              MemAccessCounter& counter) const override;
+  std::size_t storage_bytes() const override;
+  std::string_view name() const override { return "gupta"; }
+
+  std::size_t chunk_count() const { return chunks_.size(); }
+
+ private:
+  // 16-bit entries as in the original: top bit selects next-hop vs chunk id.
+  static constexpr std::uint16_t kChunkFlag = 0x8000;
+  static constexpr std::uint16_t kNoEntry = 0x7fff;  ///< next-hop index "none"
+
+  std::uint32_t intern_next_hop(net::NextHop hop);
+
+  std::vector<std::uint16_t> level1_;              // 2^24 entries
+  std::vector<std::array<std::uint16_t, 256>> chunks_;
+  std::vector<net::NextHop> next_hop_table_;
+};
+
+}  // namespace spal::trie

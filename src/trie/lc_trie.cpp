@@ -1,0 +1,196 @@
+#include "trie/lc_trie.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace spal::trie {
+namespace {
+
+/// `count` bits of `word` starting at MSB-relative `pos`, right-aligned.
+inline std::uint32_t extract(int pos, int count, std::uint32_t word) {
+  if (count == 0) return 0;
+  return (word >> (32 - pos - count)) &
+         (count >= 32 ? ~std::uint32_t{0} : ((std::uint32_t{1} << count) - 1));
+}
+
+}  // namespace
+
+LcTrie::LcTrie(const net::RouteTable& table, double fill_factor, int max_root_branch)
+    : fill_factor_(fill_factor), max_root_branch_(max_root_branch) {
+  // Split into base vector (non-covering prefixes) and internal prefix
+  // vector. Entries arrive sorted by (bits, length), so a prefix is internal
+  // iff it covers the immediately following entry, and a stack of currently
+  // open internal prefixes yields each entry's covering chain.
+  const auto entries = table.entries();
+  struct Open {
+    net::Prefix prefix;
+    std::int32_t pre_index;
+  };
+  std::vector<Open> stack;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const net::RouteEntry& e = entries[i];
+    while (!stack.empty() && !stack.back().prefix.covers(e.prefix)) stack.pop_back();
+    const std::int32_t parent = stack.empty() ? -1 : stack.back().pre_index;
+    const bool internal =
+        i + 1 < entries.size() && e.prefix.covers(entries[i + 1].prefix);
+    if (internal) {
+      const auto pre_index = static_cast<std::int32_t>(pre_.size());
+      pre_.push_back(PreEntry{static_cast<std::uint8_t>(e.prefix.length()),
+                              e.next_hop, parent});
+      stack.push_back(Open{e.prefix, pre_index});
+    } else {
+      base_.push_back(BaseEntry{e.prefix.bits(),
+                                static_cast<std::uint8_t>(e.prefix.length()),
+                                e.next_hop, parent});
+    }
+  }
+  if (base_.empty()) return;
+  nodes_.resize(1);
+  build(0, base_.size(), 0, 0);
+}
+
+int LcTrie::compute_branch(std::size_t first, std::size_t n, int pos,
+                           int* skip_out) const {
+  // Path compression: bits shared by every entry in [first, first+n) from
+  // `pos` on. Entries are sorted, so the common prefix of the first and last
+  // is the common prefix of all.
+  const std::uint32_t low = base_[first].bits;
+  const std::uint32_t high = base_[first + n - 1].bits;
+  int skip = 0;
+  while (pos + skip < 32 &&
+         extract(pos + skip, 1, low) == extract(pos + skip, 1, high)) {
+    ++skip;
+  }
+  *skip_out = skip;
+  const int branch_pos = pos + skip;
+  if (n == 2) return 1;
+  // Level compression: grow the branch while the number of distinct bit
+  // patterns keeps the children at least fill_factor full.
+  int branch = 1;
+  for (;;) {
+    const int next = branch + 1;
+    if (branch_pos + next > 32) break;
+    if (pos == 0 && next > max_root_branch_) break;
+    if (static_cast<double>(n) <
+        fill_factor_ * static_cast<double>(1u << next)) {
+      break;
+    }
+    std::size_t patterns = 1;
+    std::uint32_t prev = extract(branch_pos, next, base_[first].bits);
+    for (std::size_t i = first + 1; i < first + n; ++i) {
+      const std::uint32_t cur = extract(branch_pos, next, base_[i].bits);
+      if (cur != prev) {
+        ++patterns;
+        prev = cur;
+      }
+    }
+    if (static_cast<double>(patterns) <
+        fill_factor_ * static_cast<double>(1u << next)) {
+      break;
+    }
+    branch = next;
+  }
+  return branch;
+}
+
+void LcTrie::build(std::size_t first, std::size_t n, int pos,
+                   std::size_t node_index) {
+  if (n == 1) {
+    nodes_[node_index] =
+        Node{0, 0, static_cast<std::uint32_t>(first)};
+    return;
+  }
+  int skip = 0;
+  const int branch = compute_branch(first, n, pos, &skip);
+  const std::size_t adr = nodes_.size();
+  nodes_.resize(adr + (std::size_t{1} << branch));
+  nodes_[node_index] = Node{static_cast<std::uint8_t>(branch),
+                            static_cast<std::uint8_t>(skip),
+                            static_cast<std::uint32_t>(adr)};
+  const int child_pos = pos + skip + branch;
+  std::size_t p = first;
+  for (std::uint32_t pattern = 0; pattern < (1u << branch); ++pattern) {
+    std::size_t k = 0;
+    while (p + k < first + n &&
+           extract(pos + skip, branch, base_[p + k].bits) == pattern) {
+      ++k;
+    }
+    if (k == 0) {
+      // Empty child: point at whichever sorted neighbour shares the longest
+      // prefix with this slot's path — its prefix chain then contains every
+      // prefix that can match addresses falling into the slot (the explicit
+      // comparison at the leaf rejects the leaf itself when appropriate).
+      const std::uint32_t slot_path =
+          (pos + skip == 0 ? 0
+                           : (base_[first].bits &
+                              (~std::uint32_t{0} << (32 - pos - skip)))) |
+          (pattern << (32 - child_pos));
+      std::size_t neighbour;
+      if (p == first) {
+        neighbour = p;
+      } else if (p == first + n) {
+        neighbour = p - 1;
+      } else {
+        const auto lcp = [slot_path](std::uint32_t bits) {
+          const std::uint32_t diff = bits ^ slot_path;
+          return diff == 0 ? 32 : std::countl_zero(diff);
+        };
+        neighbour = lcp(base_[p - 1].bits) >= lcp(base_[p].bits) ? p - 1 : p;
+      }
+      build(neighbour, 1, child_pos, adr + pattern);
+    } else {
+      build(p, k, child_pos, adr + pattern);
+      p += k;
+    }
+  }
+}
+
+template <bool kCounted>
+net::NextHop LcTrie::lookup_impl(net::Ipv4Addr addr,
+                                 MemAccessCounter* counter) const {
+  if (nodes_.empty()) return net::kNoRoute;
+  const std::uint32_t s = addr.value();
+  if constexpr (kCounted) counter->record();  // root node read
+  Node node = nodes_[0];
+  int pos = node.skip;
+  while (node.branch != 0) {
+    if constexpr (kCounted) counter->record();  // child node read
+    const int parent_branch = node.branch;
+    node = nodes_[node.adr + extract(pos, parent_branch, s)];
+    // Consume the parent's branch bits plus the child's skipped bits.
+    pos += parent_branch + node.skip;
+  }
+  if constexpr (kCounted) counter->record();  // base-vector entry read
+  const BaseEntry& base = base_[node.adr];
+  const std::uint32_t diff = base.bits ^ s;
+  if (extract(0, base.len, diff) == 0) return base.next_hop;
+  // Explicit comparison failed; walk the chain of covering internal
+  // prefixes (longest first).
+  std::int32_t pre = base.pre;
+  while (pre >= 0) {
+    if constexpr (kCounted) counter->record();  // prefix-vector entry read
+    const PreEntry& entry = pre_[static_cast<std::size_t>(pre)];
+    if (extract(0, entry.len, diff) == 0) return entry.next_hop;
+    pre = entry.pre;
+  }
+  return net::kNoRoute;
+}
+
+net::NextHop LcTrie::lookup(net::Ipv4Addr addr) const {
+  MemAccessCounter unused;
+  return lookup_impl<false>(addr, &unused);
+}
+
+net::NextHop LcTrie::lookup_counted(net::Ipv4Addr addr,
+                                    MemAccessCounter& counter) const {
+  return lookup_impl<true>(addr, &counter);
+}
+
+std::size_t LcTrie::storage_bytes() const {
+  // Packed 4-byte trie nodes (5-bit branch, 7-bit skip, 20-bit adr), 12-byte
+  // base entries (address, length, next hop, chain pointer) and 8-byte
+  // internal-prefix entries, following the JSAC paper's layout.
+  return nodes_.size() * 4 + base_.size() * 12 + pre_.size() * 8;
+}
+
+}  // namespace spal::trie

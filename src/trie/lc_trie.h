@@ -1,0 +1,71 @@
+// LC-trie (level-compressed trie), after Nilsson & Karlsson, "IP-Address
+// Lookup Using LC-Tries", IEEE JSAC 1999.
+//
+// The prefix set is split into a *base vector* (prefixes that are not proper
+// prefixes of any other) and a *prefix vector* of internal prefixes chained
+// from the base entries that they cover. A path- and level-compressed trie
+// is built over the base vector: each node either branches on 2^branch bits
+// (after skipping `skip` bits) or is a leaf naming a base entry. The branch
+// factor is grown greedily while the fraction of non-empty children stays
+// above the fill factor; empty children are filled with a neighbouring leaf
+// and rejected by the explicit comparison search performs at the leaf — the
+// paper's Sec. 2.1 notes exactly this "explicit comparison" step.
+//
+// The SPAL paper evaluates the LC-trie with fill factor 0.25 (Sec. 4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trie/lpm.h"
+
+namespace spal::trie {
+
+class LcTrie final : public LpmIndex {
+ public:
+  explicit LcTrie(const net::RouteTable& table, double fill_factor = 0.25,
+                  int max_root_branch = 16);
+
+  // LpmIndex:
+  net::NextHop lookup(net::Ipv4Addr addr) const override;
+  net::NextHop lookup_counted(net::Ipv4Addr addr,
+                              MemAccessCounter& counter) const override;
+  std::size_t storage_bytes() const override;
+  std::string_view name() const override { return "lc"; }
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t base_count() const { return base_.size(); }
+  std::size_t internal_count() const { return pre_.size(); }
+
+ private:
+  struct Node {
+    std::uint8_t branch = 0;  ///< 0 = leaf
+    std::uint8_t skip = 0;
+    std::uint32_t adr = 0;    ///< children start, or base index for leaves
+  };
+  struct BaseEntry {
+    std::uint32_t bits = 0;
+    std::uint8_t len = 0;
+    net::NextHop next_hop = net::kNoRoute;
+    std::int32_t pre = -1;  ///< chain of covering internal prefixes
+  };
+  struct PreEntry {
+    std::uint8_t len = 0;
+    net::NextHop next_hop = net::kNoRoute;
+    std::int32_t pre = -1;
+  };
+
+  void build(std::size_t first, std::size_t n, int prefix_pos, std::size_t node_index);
+  int compute_branch(std::size_t first, std::size_t n, int pos, int* skip_out) const;
+
+  template <bool kCounted>
+  net::NextHop lookup_impl(net::Ipv4Addr addr, MemAccessCounter* counter) const;
+
+  double fill_factor_;
+  int max_root_branch_;
+  std::vector<Node> nodes_;
+  std::vector<BaseEntry> base_;
+  std::vector<PreEntry> pre_;
+};
+
+}  // namespace spal::trie

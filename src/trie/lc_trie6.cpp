@@ -1,0 +1,182 @@
+#include "trie/lc_trie6.h"
+
+#include <algorithm>
+
+namespace spal::trie {
+namespace {
+
+net::Ipv6Addr set_bit(const net::Ipv6Addr& addr, int pos) {
+  if (pos < 64) {
+    return net::Ipv6Addr{addr.hi() | (1ULL << (63 - pos)), addr.lo()};
+  }
+  return net::Ipv6Addr{addr.hi(), addr.lo() | (1ULL << (127 - pos))};
+}
+
+net::Ipv6Addr mask_to(const net::Ipv6Addr& addr, int bits) {
+  const std::uint64_t hi_mask =
+      bits <= 0 ? 0 : (bits >= 64 ? ~0ULL : ~0ULL << (64 - bits));
+  const std::uint64_t lo_mask =
+      bits <= 64 ? 0 : (bits >= 128 ? ~0ULL : ~0ULL << (128 - bits));
+  return net::Ipv6Addr{addr.hi() & hi_mask, addr.lo() & lo_mask};
+}
+
+/// The address every packet falling into an empty slot shares: the node's
+/// path bits followed by the slot's branch pattern.
+net::Ipv6Addr slot_path(const net::Ipv6Addr& base, int fixed_bits,
+                        std::uint32_t pattern, int branch) {
+  net::Ipv6Addr path = mask_to(base, fixed_bits);
+  for (int j = 0; j < branch; ++j) {
+    if ((pattern >> (branch - 1 - j)) & 1u) path = set_bit(path, fixed_bits + j);
+  }
+  return path;
+}
+
+}  // namespace
+
+LcTrie6::LcTrie6(const net::RouteTable6& table, double fill_factor, int max_branch)
+    : fill_factor_(fill_factor), max_branch_(std::min(max_branch, 20)) {
+  // Split into base vector and internal-prefix chain, exactly as in the
+  // IPv4 LcTrie (entries arrive sorted by (address, length)).
+  const auto entries = table.entries();
+  struct Open {
+    net::Prefix6 prefix;
+    std::int32_t pre_index;
+  };
+  std::vector<Open> stack;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const net::RouteEntry6& e = entries[i];
+    while (!stack.empty() && !stack.back().prefix.covers(e.prefix)) stack.pop_back();
+    const std::int32_t parent = stack.empty() ? -1 : stack.back().pre_index;
+    const bool internal =
+        i + 1 < entries.size() && e.prefix.covers(entries[i + 1].prefix);
+    if (internal) {
+      const auto pre_index = static_cast<std::int32_t>(pre_.size());
+      pre_.push_back(PreEntry{static_cast<std::uint8_t>(e.prefix.length()),
+                              e.next_hop, parent});
+      stack.push_back(Open{e.prefix, pre_index});
+    } else {
+      base_.push_back(BaseEntry{e.prefix.address(),
+                                static_cast<std::uint8_t>(e.prefix.length()),
+                                e.next_hop, parent});
+    }
+  }
+  if (base_.empty()) return;
+  nodes_.resize(1);
+  build(0, base_.size(), 0, 0);
+}
+
+int LcTrie6::compute_branch(std::size_t first, std::size_t n, int pos,
+                            int* skip_out) const {
+  const int shared =
+      net::common_prefix_bits(base_[first].bits, base_[first + n - 1].bits);
+  const int skip = shared - pos;
+  *skip_out = skip;
+  const int branch_pos = pos + skip;
+  if (n == 2) return 1;
+  int branch = 1;
+  for (;;) {
+    const int next = branch + 1;
+    if (branch_pos + next > net::Ipv6Addr::kBits || next > max_branch_) break;
+    if (static_cast<double>(n) < fill_factor_ * static_cast<double>(1u << next)) {
+      break;
+    }
+    std::size_t patterns = 1;
+    std::uint32_t prev = base_[first].bits.bits(branch_pos, next);
+    for (std::size_t i = first + 1; i < first + n; ++i) {
+      const std::uint32_t cur = base_[i].bits.bits(branch_pos, next);
+      if (cur != prev) {
+        ++patterns;
+        prev = cur;
+      }
+    }
+    if (static_cast<double>(patterns) <
+        fill_factor_ * static_cast<double>(1u << next)) {
+      break;
+    }
+    branch = next;
+  }
+  return branch;
+}
+
+void LcTrie6::build(std::size_t first, std::size_t n, int pos,
+                    std::size_t node_index) {
+  if (n == 1) {
+    nodes_[node_index] = Node{0, 0, static_cast<std::uint32_t>(first)};
+    return;
+  }
+  int skip = 0;
+  const int branch = compute_branch(first, n, pos, &skip);
+  const std::size_t adr = nodes_.size();
+  nodes_.resize(adr + (std::size_t{1} << branch));
+  nodes_[node_index] = Node{static_cast<std::uint8_t>(branch),
+                            static_cast<std::uint8_t>(skip),
+                            static_cast<std::uint32_t>(adr)};
+  const int child_pos = pos + skip + branch;
+  std::size_t p = first;
+  for (std::uint32_t pattern = 0; pattern < (1u << branch); ++pattern) {
+    std::size_t k = 0;
+    while (p + k < first + n &&
+           base_[p + k].bits.bits(pos + skip, branch) == pattern) {
+      ++k;
+    }
+    if (k == 0) {
+      // Empty child: point at the sorted neighbour sharing the longest
+      // prefix with the slot's path (see lc_trie.cpp for the argument).
+      const net::Ipv6Addr path =
+          slot_path(base_[first].bits, pos + skip, pattern, branch);
+      std::size_t neighbour;
+      if (p == first) {
+        neighbour = p;
+      } else if (p == first + n) {
+        neighbour = p - 1;
+      } else {
+        neighbour = net::common_prefix_bits(base_[p - 1].bits, path) >=
+                            net::common_prefix_bits(base_[p].bits, path)
+                        ? p - 1
+                        : p;
+      }
+      build(neighbour, 1, child_pos, adr + pattern);
+    } else {
+      build(p, k, child_pos, adr + pattern);
+      p += k;
+    }
+  }
+}
+
+template <bool kCounted>
+net::NextHop LcTrie6::lookup_impl(const net::Ipv6Addr& addr,
+                                  MemAccessCounter* counter) const {
+  if (nodes_.empty()) return net::kNoRoute;
+  if constexpr (kCounted) counter->record();  // root node read
+  Node node = nodes_[0];
+  int pos = node.skip;
+  while (node.branch != 0) {
+    if constexpr (kCounted) counter->record();  // child node read
+    const int parent_branch = node.branch;
+    node = nodes_[node.adr + addr.bits(pos, parent_branch)];
+    pos += parent_branch + node.skip;
+  }
+  if constexpr (kCounted) counter->record();  // base-vector entry read
+  const BaseEntry& base = base_[node.adr];
+  if (net::equal_prefix_bits(addr, base.bits, base.len)) return base.next_hop;
+  std::int32_t pre = base.pre;
+  while (pre >= 0) {
+    if constexpr (kCounted) counter->record();  // prefix-vector entry read
+    const PreEntry& entry = pre_[static_cast<std::size_t>(pre)];
+    if (net::equal_prefix_bits(addr, base.bits, entry.len)) return entry.next_hop;
+    pre = entry.pre;
+  }
+  return net::kNoRoute;
+}
+
+net::NextHop LcTrie6::lookup(const net::Ipv6Addr& addr) const {
+  MemAccessCounter unused;
+  return lookup_impl<false>(addr, &unused);
+}
+
+net::NextHop LcTrie6::lookup_counted(const net::Ipv6Addr& addr,
+                                     MemAccessCounter& counter) const {
+  return lookup_impl<true>(addr, &counter);
+}
+
+}  // namespace spal::trie

@@ -1,0 +1,68 @@
+// LC-trie over IPv6 prefixes — the structure behind the paper's Sec. 2.1
+// remark that software tries are "applicable to 128-bit IPv6 prefixes" but
+// pay "far longer lookup times and bigger storage". Same algorithm as the
+// IPv4 LcTrie (base/prefix vector split, level compression under a fill
+// factor, explicit leaf comparison with a covering-prefix chain) over
+// 128-bit strings.
+//
+// Storage model: 4-byte packed trie nodes, 24-byte base entries (16-byte
+// string + length + next hop + chain pointer), 8-byte internal entries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/prefix6.h"
+#include "trie/lpm.h"
+
+namespace spal::trie {
+
+class LcTrie6 {
+ public:
+  explicit LcTrie6(const net::RouteTable6& table, double fill_factor = 0.25,
+                   int max_branch = 16);
+
+  net::NextHop lookup(const net::Ipv6Addr& addr) const;
+  net::NextHop lookup_counted(const net::Ipv6Addr& addr,
+                              MemAccessCounter& counter) const;
+
+  std::size_t storage_bytes() const {
+    return nodes_.size() * 4 + base_.size() * 24 + pre_.size() * 8;
+  }
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t base_count() const { return base_.size(); }
+  std::size_t internal_count() const { return pre_.size(); }
+
+ private:
+  struct Node {
+    std::uint8_t branch = 0;  ///< 0 = leaf
+    std::uint8_t skip = 0;
+    std::uint32_t adr = 0;    ///< children start, or base index for leaves
+  };
+  struct BaseEntry {
+    net::Ipv6Addr bits;
+    std::uint8_t len = 0;
+    net::NextHop next_hop = net::kNoRoute;
+    std::int32_t pre = -1;
+  };
+  struct PreEntry {
+    std::uint8_t len = 0;
+    net::NextHop next_hop = net::kNoRoute;
+    std::int32_t pre = -1;
+  };
+
+  void build(std::size_t first, std::size_t n, int pos, std::size_t node_index);
+  int compute_branch(std::size_t first, std::size_t n, int pos, int* skip_out) const;
+
+  template <bool kCounted>
+  net::NextHop lookup_impl(const net::Ipv6Addr& addr,
+                           MemAccessCounter* counter) const;
+
+  double fill_factor_;
+  int max_branch_;
+  std::vector<Node> nodes_;
+  std::vector<BaseEntry> base_;
+  std::vector<PreEntry> pre_;
+};
+
+}  // namespace spal::trie

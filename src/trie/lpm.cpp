@@ -1,0 +1,58 @@
+#include "trie/lpm.h"
+
+#include <random>
+
+#include "net/table_gen.h"
+#include "trie/binary_trie.h"
+#include "trie/dp_trie.h"
+#include "trie/gupta_trie.h"
+#include "trie/lc_trie.h"
+#include "trie/lulea_trie.h"
+#include "trie/stride_trie.h"
+
+namespace spal::trie {
+
+std::string_view to_string(TrieKind kind) {
+  switch (kind) {
+    case TrieKind::kBinary: return "binary";
+    case TrieKind::kDp: return "dp";
+    case TrieKind::kLulea: return "lulea";
+    case TrieKind::kLc: return "lc";
+    case TrieKind::kGupta: return "gupta";
+    case TrieKind::kStride: return "stride";
+  }
+  return "?";
+}
+
+std::unique_ptr<LpmIndex> build_lpm(TrieKind kind, const net::RouteTable& table,
+                                    const LpmBuildOptions& options) {
+  switch (kind) {
+    case TrieKind::kBinary: return std::make_unique<BinaryTrie>(table);
+    case TrieKind::kDp: return std::make_unique<DpTrie>(table);
+    case TrieKind::kLulea: return std::make_unique<LuleaTrie>(table);
+    case TrieKind::kLc:
+      return std::make_unique<LcTrie>(table, options.lc_fill_factor,
+                                      options.lc_root_branch);
+    case TrieKind::kGupta: return std::make_unique<GuptaTrie>(table);
+    case TrieKind::kStride:
+      return std::make_unique<StrideTrie>(table, options.strides);
+  }
+  return nullptr;
+}
+
+double mean_accesses_per_lookup(const LpmIndex& index, const net::RouteTable& table,
+                                std::size_t samples, std::uint64_t seed) {
+  if (table.empty() || samples == 0) return 0.0;
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::size_t> pick(0, table.size() - 1);
+  MemAccessCounter counter;
+  for (std::size_t i = 0; i < samples; ++i) {
+    // Sample addresses that actually match table prefixes, the way lookup
+    // traffic does: choose an entry, randomize its host bits.
+    const net::Prefix& prefix = table.entries()[pick(rng)].prefix;
+    (void)index.lookup_counted(net::random_address_in(prefix, rng), counter);
+  }
+  return static_cast<double>(counter.total()) / static_cast<double>(samples);
+}
+
+}  // namespace spal::trie

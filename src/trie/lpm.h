@@ -1,0 +1,75 @@
+// Common interface for longest-prefix-match (LPM) indexes.
+//
+// Every trie in this library implements LpmIndex. Two aspects matter to the
+// SPAL experiments beyond plain correctness:
+//   * storage_bytes(): the SRAM footprint of the built structure, using the
+//     storage models stated in the paper (Sec. 4) — this drives Fig. 3; and
+//   * counted lookups: the number of memory accesses a lookup performs,
+//     which (at 12 ns per access + ~120 ns matching code, Sec. 5.1) sets the
+//     forwarding engine's service time (≈40 cycles Lulea, ≈62 cycles DP).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "net/route_table.h"
+
+namespace spal::trie {
+
+/// Counts memory accesses performed by an LPM lookup. An "access" is one
+/// dependent read of a trie node / array element, i.e. the unit the paper
+/// charges 12 ns for.
+class MemAccessCounter {
+ public:
+  void record(std::uint64_t accesses = 1) { total_ += accesses; }
+  std::uint64_t total() const { return total_; }
+  void reset() { total_ = 0; }
+
+ private:
+  std::uint64_t total_ = 0;
+};
+
+/// A built (immutable) longest-prefix-match index over a routing table.
+class LpmIndex {
+ public:
+  virtual ~LpmIndex() = default;
+
+  /// Longest-prefix match; kNoRoute if nothing matches.
+  virtual net::NextHop lookup(net::Ipv4Addr addr) const = 0;
+
+  /// Same as lookup() but records every dependent memory access.
+  virtual net::NextHop lookup_counted(net::Ipv4Addr addr,
+                                      MemAccessCounter& counter) const = 0;
+
+  /// SRAM bytes required to hold the structure, per the paper's per-trie
+  /// storage model.
+  virtual std::size_t storage_bytes() const = 0;
+
+  /// Human-readable algorithm name ("binary", "dp", "lulea", "lc").
+  virtual std::string_view name() const = 0;
+};
+
+/// Trie algorithm selector used by factories and experiment configs.
+enum class TrieKind { kBinary, kDp, kLulea, kLc, kGupta, kStride };
+
+std::string_view to_string(TrieKind kind);
+
+/// Options consumed by specific builders.
+struct LpmBuildOptions {
+  double lc_fill_factor = 0.25;  ///< LC-trie fill factor (the paper's Sec. 4 value)
+  int lc_root_branch = 16;       ///< LC-trie first-level branching bits cap
+  std::vector<int> strides = {16, 8, 8};  ///< fixed-stride trie level widths
+};
+
+/// Builds an LPM index of the requested kind over `table`.
+std::unique_ptr<LpmIndex> build_lpm(TrieKind kind, const net::RouteTable& table,
+                                    const LpmBuildOptions& options = {});
+
+/// Mean memory accesses per lookup over `samples` random matched addresses
+/// (deterministic per seed). Reproduces the Sec. 5.1 access-count table.
+double mean_accesses_per_lookup(const LpmIndex& index, const net::RouteTable& table,
+                                std::size_t samples, std::uint64_t seed);
+
+}  // namespace spal::trie

@@ -1,0 +1,236 @@
+#include "trie/lulea_trie.h"
+
+#include <algorithm>
+#include <map>
+
+namespace spal::trie {
+namespace lulea_detail {
+
+std::uint16_t MapTable::intern(std::uint16_t mask) {
+  const auto [it, inserted] =
+      index_.try_emplace(mask, static_cast<std::uint16_t>(rows_.size()));
+  if (inserted) {
+    std::array<std::uint8_t, 16> row{};
+    int running = 0;
+    for (int pos = 0; pos < 16; ++pos) {
+      // Exclusive rank: set bits strictly before `pos` (fits 4 bits); the
+      // bit at `pos` itself is recovered from the mask in rank().
+      row[static_cast<std::size_t>(pos)] = static_cast<std::uint8_t>(running);
+      running += (mask >> pos) & 1;
+    }
+    rows_.push_back(row);
+    masks_.push_back(mask);
+  }
+  return it->second;
+}
+
+CompressedLevel::CompressedLevel(const std::vector<std::uint32_t>& dense,
+                                 MapTable& maptable) {
+  const std::size_t n = dense.size();
+  const std::size_t num_masks = (n + 15) / 16;
+  codewords_.resize(num_masks);
+  bases_.resize((num_masks + 3) / 4);
+  std::uint32_t total_heads = 0;
+  for (std::size_t m = 0; m < num_masks; ++m) {
+    if (m % 4 == 0) bases_[m / 4] = total_heads;
+    std::uint16_t mask = 0;
+    std::uint32_t group_offset = total_heads - bases_[m / 4];
+    for (std::size_t j = 0; j < 16 && m * 16 + j < n; ++j) {
+      const std::size_t pos = m * 16 + j;
+      const bool head = pos == 0 || dense[pos] != dense[pos - 1];
+      if (head) {
+        mask |= static_cast<std::uint16_t>(1u << j);
+        pointers_.push_back(Pointer{dense[pos]});
+        ++total_heads;
+      }
+    }
+    codewords_[m] = Codeword{maptable.intern(mask),
+                             static_cast<std::uint8_t>(group_offset)};
+  }
+}
+
+Pointer CompressedLevel::lookup(std::uint32_t pos, const MapTable& maptable,
+                                MemAccessCounter* counter) const {
+  const std::uint32_t m = pos >> 4;
+  const int low = static_cast<int>(pos & 15u);
+  if (counter != nullptr) counter->record();  // codeword read
+  const Codeword cw = codewords_[m];
+  if (counter != nullptr) counter->record();  // base-index read
+  const std::uint32_t base = bases_[m >> 2];
+  if (counter != nullptr) counter->record();  // maptable row read
+  // Inclusive rank of `pos`; every position is governed by some head, so
+  // the rank is always >= 1.
+  const std::uint32_t rank =
+      base + cw.offset +
+      static_cast<std::uint32_t>(maptable.rank_inclusive(cw.row, low));
+  if (counter != nullptr) counter->record();  // pointer read
+  return pointers_[rank - 1];
+}
+
+Chunk::Chunk(const std::vector<std::uint32_t>& dense, MapTable& maptable) {
+  std::size_t heads = 0;
+  for (std::size_t i = 0; i < dense.size(); ++i) {
+    if (i == 0 || dense[i] != dense[i - 1]) ++heads;
+  }
+  if (heads <= kSparseLimit) {
+    heads_.reserve(heads);
+    pointers_.reserve(heads);
+    for (std::size_t i = 0; i < dense.size(); ++i) {
+      if (i == 0 || dense[i] != dense[i - 1]) {
+        heads_.push_back(static_cast<std::uint8_t>(i));
+        pointers_.push_back(Pointer{dense[i]});
+      }
+    }
+  } else {
+    dense_ = std::make_unique<CompressedLevel>(dense, maptable);
+  }
+}
+
+Pointer Chunk::lookup(std::uint32_t pos, const MapTable& maptable,
+                      MemAccessCounter* counter) const {
+  if (dense_ != nullptr) return dense_->lookup(pos, maptable, counter);
+  // Sparse form: the whole offset block is one 8-byte read, the governing
+  // pointer a second read.
+  if (counter != nullptr) counter->record();  // offsets block read
+  std::size_t index = heads_.size() - 1;
+  while (heads_[index] > pos) --index;  // heads_[0] == 0 bounds the scan
+  if (counter != nullptr) counter->record();  // pointer read
+  return pointers_[index];
+}
+
+std::size_t Chunk::storage_bytes() const {
+  if (dense_ != nullptr) return dense_->storage_bytes();
+  // The original stores sparse offsets in a fixed 8-byte block.
+  return kSparseLimit + pointers_.size() * 2;
+}
+
+}  // namespace lulea_detail
+
+LuleaTrie::LuleaTrie(const net::RouteTable& table) {
+  intern_next_hop(net::kNoRoute);  // index 0 = no route
+
+  // Bucket prefixes by level.
+  std::vector<net::RouteEntry> short_prefixes;           // len 0..16
+  std::map<std::uint32_t, std::vector<net::RouteEntry>> mid;   // top16 -> len 17..24
+  std::map<std::uint32_t, std::vector<net::RouteEntry>> lng;   // top24 -> len 25..32
+  for (const net::RouteEntry& e : table.entries()) {
+    if (e.prefix.length() <= 16) {
+      short_prefixes.push_back(e);
+    } else if (e.prefix.length() <= 24) {
+      mid[e.prefix.bits() >> 16].push_back(e);
+    } else {
+      lng[e.prefix.bits() >> 8].push_back(e);
+    }
+  }
+  auto by_length = [](const net::RouteEntry& a, const net::RouteEntry& b) {
+    return a.prefix.length() < b.prefix.length();
+  };
+  std::stable_sort(short_prefixes.begin(), short_prefixes.end(), by_length);
+
+  // Level-1 dense map: paint next hops shortest-first so longer prefixes
+  // override (leaf pushing), then carve out chunk slots.
+  std::vector<std::uint32_t> dense1(
+      1u << 16, lulea_detail::Pointer::next_hop(0).raw);
+  for (const net::RouteEntry& e : short_prefixes) {
+    const std::uint32_t first = e.prefix.bits() >> 16;
+    const std::uint32_t last = e.prefix.range_last().value() >> 16;
+    const std::uint32_t hop = intern_next_hop(e.next_hop);
+    for (std::uint32_t s = first; s <= last; ++s) {
+      dense1[s] = lulea_detail::Pointer::next_hop(hop).raw;
+    }
+  }
+
+  // The set of level-2 chunk roots: any 16-bit slot owning a longer prefix.
+  std::map<std::uint32_t, std::vector<net::RouteEntry>> chunk_roots = mid;
+  for (const auto& [top24, entries] : lng) {
+    chunk_roots.try_emplace(top24 >> 8);  // ensure the slot exists
+    (void)entries;
+  }
+
+  for (auto& [slot, entries] : chunk_roots) {
+    std::stable_sort(entries.begin(), entries.end(), by_length);
+    // Default for uncovered positions: the next hop level 1 painted here.
+    const std::uint32_t default2 = dense1[slot];
+    std::vector<std::uint32_t> dense2(256, default2);
+    for (const net::RouteEntry& e : entries) {
+      const std::uint32_t first = (e.prefix.bits() >> 8) & 0xffu;
+      const std::uint32_t last = (e.prefix.range_last().value() >> 8) & 0xffu;
+      const std::uint32_t hop = intern_next_hop(e.next_hop);
+      for (std::uint32_t t = first; t <= last; ++t) {
+        dense2[t] = lulea_detail::Pointer::next_hop(hop).raw;
+      }
+    }
+    // Level-3 chunks nested under this slot.
+    const auto lo = lng.lower_bound(slot << 8);
+    const auto hi = lng.upper_bound((slot << 8) | 0xffu);
+    for (auto it = lo; it != hi; ++it) {
+      auto long_entries = it->second;
+      std::stable_sort(long_entries.begin(), long_entries.end(), by_length);
+      const std::uint32_t t = it->first & 0xffu;
+      const std::uint32_t default3 = dense2[t];
+      std::vector<std::uint32_t> dense3(256, default3);
+      for (const net::RouteEntry& e : long_entries) {
+        const std::uint32_t first = e.prefix.bits() & 0xffu;
+        const std::uint32_t last = e.prefix.range_last().value() & 0xffu;
+        const std::uint32_t hop = intern_next_hop(e.next_hop);
+        for (std::uint32_t u = first; u <= last; ++u) {
+          dense3[u] = lulea_detail::Pointer::next_hop(hop).raw;
+        }
+      }
+      const std::uint32_t l3_id = static_cast<std::uint32_t>(level3_.size());
+      level3_.emplace_back(dense3, maptable_);
+      dense2[t] = lulea_detail::Pointer::chunk(l3_id).raw;
+    }
+    const std::uint32_t l2_id = static_cast<std::uint32_t>(level2_.size());
+    level2_.emplace_back(dense2, maptable_);
+    dense1[slot] = lulea_detail::Pointer::chunk(l2_id).raw;
+  }
+
+  level1_ = lulea_detail::CompressedLevel(dense1, maptable_);
+}
+
+std::uint32_t LuleaTrie::intern_next_hop(net::NextHop hop) {
+  const auto [it, inserted] = next_hop_index_.try_emplace(
+      hop, static_cast<std::uint32_t>(next_hop_table_.size()));
+  if (inserted) next_hop_table_.push_back(hop);
+  return it->second;
+}
+
+net::NextHop LuleaTrie::lookup_impl(net::Ipv4Addr addr,
+                                    MemAccessCounter* counter) const {
+  using lulea_detail::Pointer;
+  Pointer p = level1_.lookup(addr.value() >> 16, maptable_, counter);
+  if (p.is_chunk()) {
+    p = level2_[p.value()].lookup((addr.value() >> 8) & 0xffu, maptable_, counter);
+    if (p.is_chunk()) {
+      p = level3_[p.value()].lookup(addr.value() & 0xffu, maptable_, counter);
+    }
+  }
+  return next_hop_table_[p.value()];
+}
+
+net::NextHop LuleaTrie::lookup(net::Ipv4Addr addr) const {
+  return lookup_impl(addr, nullptr);
+}
+
+net::NextHop LuleaTrie::lookup_counted(net::Ipv4Addr addr,
+                                       MemAccessCounter& counter) const {
+  return lookup_impl(addr, &counter);
+}
+
+std::size_t LuleaTrie::storage_bytes() const {
+  std::size_t total = maptable_.storage_bytes() + level1_.storage_bytes();
+  for (const auto& chunk : level2_) total += chunk.storage_bytes();
+  for (const auto& chunk : level3_) total += chunk.storage_bytes();
+  total += next_hop_table_.size() * 4;
+  return total;
+}
+
+std::size_t LuleaTrie::sparse_chunk_count() const {
+  std::size_t count = 0;
+  for (const auto& chunk : level2_) count += chunk.is_sparse() ? 1 : 0;
+  for (const auto& chunk : level3_) count += chunk.is_sparse() ? 1 : 0;
+  return count;
+}
+
+}  // namespace spal::trie

@@ -1,0 +1,105 @@
+#include "trie/stride_trie.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace spal::trie {
+
+std::int32_t StrideTrie::new_node(int level) {
+  const auto id = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(Node{static_cast<std::uint32_t>(slots_.size())});
+  slots_.resize(slots_.size() + (std::size_t{1} << strides_[static_cast<std::size_t>(level)]));
+  level_of_node_.push_back(level);
+  return id;
+}
+
+StrideTrie::StrideTrie(const net::RouteTable& table, std::vector<int> strides)
+    : strides_(std::move(strides)) {
+  if (std::accumulate(strides_.begin(), strides_.end(), 0) != 32 ||
+      std::any_of(strides_.begin(), strides_.end(), [](int s) { return s <= 0; })) {
+    throw std::invalid_argument("StrideTrie: strides must be positive and sum to 32");
+  }
+  new_node(0);  // root
+
+  // Level bit boundaries: level i covers (boundary[i], boundary[i+1]].
+  std::vector<int> boundary(strides_.size() + 1, 0);
+  for (std::size_t i = 0; i < strides_.size(); ++i) {
+    boundary[i + 1] = boundary[i] + strides_[i];
+  }
+
+  // Insert shortest-first so longer prefixes override overlapping
+  // expansions (controlled prefix expansion).
+  std::vector<net::RouteEntry> entries(table.entries().begin(), table.entries().end());
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const net::RouteEntry& a, const net::RouteEntry& b) {
+                     return a.prefix.length() < b.prefix.length();
+                   });
+  for (const net::RouteEntry& e : entries) {
+    const int len = e.prefix.length();
+    // Locate the level whose boundary the prefix expands to.
+    std::size_t level = 0;
+    while (len > boundary[level + 1]) ++level;
+    // Walk/create the single-slot path through the earlier levels.
+    std::int32_t node = 0;
+    for (std::size_t i = 0; i < level; ++i) {
+      const std::uint32_t index = e.prefix.address().bits(
+          boundary[i], strides_[i]);
+      std::int32_t child = slot_at(node, index).child;
+      if (child < 0) {
+        // new_node() grows slots_, so re-fetch the slot afterwards.
+        child = new_node(static_cast<int>(i + 1));
+        slot_at(node, index).child = child;
+      }
+      node = child;
+    }
+    // Expand within the level: the prefix fixes (len - boundary[level]) of
+    // the level's stride bits; all completions get its next hop.
+    const int fixed = len - boundary[level];
+    const int free_bits = strides_[level] - fixed;
+    const std::uint32_t base_index =
+        fixed == 0 ? 0
+                   : e.prefix.address().bits(boundary[level], fixed)
+                         << free_bits;
+    for (std::uint32_t completion = 0; completion < (1u << free_bits); ++completion) {
+      slot_at(node, base_index + completion).next_hop = e.next_hop;
+    }
+  }
+}
+
+net::NextHop StrideTrie::lookup(net::Ipv4Addr addr) const {
+  net::NextHop best = net::kNoRoute;
+  std::int32_t node = 0;
+  int pos = 0;
+  for (std::size_t level = 0; level < strides_.size(); ++level) {
+    const Slot& slot = slot_at(node, addr.bits(pos, strides_[level]));
+    if (slot.next_hop != net::kNoRoute) best = slot.next_hop;
+    if (slot.child < 0) break;
+    node = slot.child;
+    pos += strides_[level];
+  }
+  return best;
+}
+
+net::NextHop StrideTrie::lookup_counted(net::Ipv4Addr addr,
+                                        MemAccessCounter& counter) const {
+  net::NextHop best = net::kNoRoute;
+  std::int32_t node = 0;
+  int pos = 0;
+  for (std::size_t level = 0; level < strides_.size(); ++level) {
+    counter.record();  // one node-array read per level
+    const Slot& slot = slot_at(node, addr.bits(pos, strides_[level]));
+    if (slot.next_hop != net::kNoRoute) best = slot.next_hop;
+    if (slot.child < 0) break;
+    node = slot.child;
+    pos += strides_[level];
+  }
+  return best;
+}
+
+std::size_t StrideTrie::storage_bytes() const {
+  // Each slot holds a next hop and a child pointer (4 bytes each).
+  return slots_.size() * 8;
+}
+
+}  // namespace spal::trie

@@ -1,0 +1,64 @@
+// Fixed-stride multibit trie — the "multiple-bit inspection at each search
+// step" family the paper's Sec. 2.1 describes via the Ruiz-Sanchez,
+// Biersack & Dabbous survey [15]: the stride sequence trades lookup steps
+// against memory (leaf pushing through controlled prefix expansion).
+//
+// Each level inspects `stride[i]` bits through a 2^stride[i]-entry node
+// array; prefixes whose length falls inside a level are expanded to that
+// level's boundary. Lookup cost is one memory access per level traversed.
+// The Lulea trie is the compressed cousin of strides {16,8,8}; this
+// uncompressed form shows the memory cost compression avoids.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trie/lpm.h"
+
+namespace spal::trie {
+
+class StrideTrie final : public LpmIndex {
+ public:
+  /// `strides` must sum to 32; e.g. {16,8,8}, {8,8,8,8}, {24,8}.
+  /// Throws std::invalid_argument otherwise.
+  explicit StrideTrie(const net::RouteTable& table,
+                      std::vector<int> strides = {16, 8, 8});
+
+  // LpmIndex:
+  net::NextHop lookup(net::Ipv4Addr addr) const override;
+  net::NextHop lookup_counted(net::Ipv4Addr addr,
+                              MemAccessCounter& counter) const override;
+  std::size_t storage_bytes() const override;
+  std::string_view name() const override { return "stride"; }
+
+  std::size_t node_count() const { return nodes_.size(); }
+  const std::vector<int>& strides() const { return strides_; }
+
+ private:
+  /// One slot of a node array: a next hop valid up to this level plus an
+  /// optional child node for longer prefixes (both may be present — the
+  /// next hop acts as the default the child's misses fall back to, which
+  /// lookup resolves by remembering the deepest next hop seen).
+  struct Slot {
+    net::NextHop next_hop = net::kNoRoute;
+    std::int32_t child = -1;
+  };
+  struct Node {
+    std::uint32_t base = 0;  ///< offset into slots_
+  };
+
+  std::int32_t new_node(int level);
+  Slot& slot_at(std::int32_t node, std::uint32_t index) {
+    return slots_[nodes_[static_cast<std::size_t>(node)].base + index];
+  }
+  const Slot& slot_at(std::int32_t node, std::uint32_t index) const {
+    return slots_[nodes_[static_cast<std::size_t>(node)].base + index];
+  }
+
+  std::vector<int> strides_;
+  std::vector<int> level_of_node_;  ///< level (stride index) per node
+  std::vector<Node> nodes_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace spal::trie

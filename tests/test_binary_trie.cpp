@@ -1,0 +1,136 @@
+#include "trie/binary_trie.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "net/table_gen.h"
+
+namespace {
+
+using namespace spal;
+using net::Ipv4Addr;
+using net::kNoRoute;
+using net::Prefix;
+using net::RouteTable;
+using trie::BinaryTrie;
+using trie::MemAccessCounter;
+
+Prefix p(const char* text) { return *Prefix::parse(text); }
+
+TEST(BinaryTrie, EmptyReturnsNoRoute) {
+  const BinaryTrie trie;
+  EXPECT_EQ(trie.lookup(Ipv4Addr{0x12345678u}), kNoRoute);
+}
+
+TEST(BinaryTrie, LongestMatchWins) {
+  BinaryTrie trie;
+  trie.insert(p("10.0.0.0/8"), 1);
+  trie.insert(p("10.1.0.0/16"), 2);
+  trie.insert(p("10.1.2.0/24"), 3);
+  EXPECT_EQ(trie.lookup(Ipv4Addr{0x0A010203u}), 3u);
+  EXPECT_EQ(trie.lookup(Ipv4Addr{0x0A01F000u}), 2u);
+  EXPECT_EQ(trie.lookup(Ipv4Addr{0x0AFF0000u}), 1u);
+  EXPECT_EQ(trie.lookup(Ipv4Addr{0x0B000000u}), kNoRoute);
+}
+
+TEST(BinaryTrie, DefaultRoute) {
+  BinaryTrie trie;
+  trie.insert(p("0.0.0.0/0"), 42);
+  EXPECT_EQ(trie.lookup(Ipv4Addr{0u}), 42u);
+  EXPECT_EQ(trie.lookup(Ipv4Addr{0xFFFFFFFFu}), 42u);
+}
+
+TEST(BinaryTrie, HostRoute) {
+  BinaryTrie trie;
+  trie.insert(p("1.2.3.4/32"), 5);
+  EXPECT_EQ(trie.lookup(Ipv4Addr{0x01020304u}), 5u);
+  EXPECT_EQ(trie.lookup(Ipv4Addr{0x01020305u}), kNoRoute);
+}
+
+TEST(BinaryTrie, InsertReplaces) {
+  BinaryTrie trie;
+  trie.insert(p("10.0.0.0/8"), 1);
+  trie.insert(p("10.0.0.0/8"), 9);
+  EXPECT_EQ(trie.lookup(Ipv4Addr{0x0A000000u}), 9u);
+}
+
+TEST(BinaryTrie, RemoveRestoresShorterMatch) {
+  BinaryTrie trie;
+  trie.insert(p("10.0.0.0/8"), 1);
+  trie.insert(p("10.1.0.0/16"), 2);
+  EXPECT_TRUE(trie.remove(p("10.1.0.0/16")));
+  EXPECT_EQ(trie.lookup(Ipv4Addr{0x0A010000u}), 1u);
+}
+
+TEST(BinaryTrie, RemoveAbsentReturnsFalse) {
+  BinaryTrie trie;
+  trie.insert(p("10.0.0.0/8"), 1);
+  EXPECT_FALSE(trie.remove(p("10.1.0.0/16")));
+  EXPECT_FALSE(trie.remove(p("11.0.0.0/8")));
+}
+
+TEST(BinaryTrie, BuildFromTableMatchesLinearOracle) {
+  net::TableGenConfig config;
+  config.size = 3000;
+  config.seed = 21;
+  const RouteTable table = net::generate_table(config);
+  const BinaryTrie trie(table);
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 3000; ++i) {
+    const Ipv4Addr addr{static_cast<std::uint32_t>(rng())};
+    EXPECT_EQ(trie.lookup(addr), table.lookup_linear(addr)) << addr.to_string();
+  }
+}
+
+TEST(BinaryTrie, MatchedAddressesAgreeWithOracle) {
+  net::TableGenConfig config;
+  config.size = 3000;
+  config.seed = 22;
+  const RouteTable table = net::generate_table(config);
+  const BinaryTrie trie(table);
+  std::mt19937_64 rng(8);
+  std::uniform_int_distribution<std::size_t> pick(0, table.size() - 1);
+  for (int i = 0; i < 3000; ++i) {
+    const auto addr =
+        net::random_address_in(table.entries()[pick(rng)].prefix, rng);
+    EXPECT_EQ(trie.lookup(addr), table.lookup_linear(addr)) << addr.to_string();
+  }
+}
+
+TEST(BinaryTrie, CountedLookupChargesPerLevel) {
+  BinaryTrie trie;
+  trie.insert(p("10.1.2.0/24"), 1);
+  MemAccessCounter counter;
+  (void)trie.lookup_counted(Ipv4Addr{0x0A010200u}, counter);
+  // Root + 24 levels of descent = 25 node reads.
+  EXPECT_EQ(counter.total(), 25u);
+}
+
+TEST(BinaryTrie, CountedAndPlainAgree) {
+  net::TableGenConfig config;
+  config.size = 500;
+  config.seed = 23;
+  const RouteTable table = net::generate_table(config);
+  const BinaryTrie trie(table);
+  std::mt19937_64 rng(9);
+  MemAccessCounter counter;
+  for (int i = 0; i < 500; ++i) {
+    const Ipv4Addr addr{static_cast<std::uint32_t>(rng())};
+    EXPECT_EQ(trie.lookup(addr), trie.lookup_counted(addr, counter));
+  }
+}
+
+TEST(BinaryTrie, StorageGrowsWithNodes) {
+  BinaryTrie trie;
+  const std::size_t empty = trie.storage_bytes();
+  trie.insert(p("10.1.2.0/24"), 1);
+  EXPECT_GT(trie.storage_bytes(), empty);
+  EXPECT_EQ(trie.storage_bytes(), trie.node_count() * 12);
+}
+
+TEST(BinaryTrie, NameIsBinary) {
+  EXPECT_EQ(BinaryTrie{}.name(), "binary");
+}
+
+}  // namespace

@@ -1,0 +1,110 @@
+// Configuration-space fuzzing: random-but-deterministic router
+// configurations (ψ, β, γ, associativity, line rate, FE time, trie,
+// feature flags, update policy) run under full oracle verification. Any
+// interaction bug between the cache quotas, W-bit waiting lists, fabric
+// timing, update handling and partitioning shows up here as a mismatch or
+// an unresolved packet.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/router_sim.h"
+#include "core/router_sim6.h"
+#include "net/table_gen.h"
+
+namespace {
+
+using namespace spal;
+
+core::RouterConfig random_config(std::mt19937_64& rng) {
+  core::RouterConfig config;
+  const int psi_choices[] = {1, 2, 3, 4, 5, 6, 7, 8, 12, 16};
+  config.num_lcs = psi_choices[rng() % std::size(psi_choices)];
+  const std::size_t beta_choices[] = {64, 128, 256, 1024, 4096};
+  config.cache.blocks = beta_choices[rng() % std::size(beta_choices)];
+  const std::size_t assoc_choices[] = {1, 2, 4, 8};
+  config.cache.associativity = assoc_choices[rng() % std::size(assoc_choices)];
+  // Keep the set count a power of two.
+  while (config.cache.blocks % config.cache.associativity != 0) {
+    config.cache.blocks *= 2;
+  }
+  const double gamma_choices[] = {0.0, 0.25, 0.5, 0.75, 1.0};
+  config.cache.remote_fraction = gamma_choices[rng() % std::size(gamma_choices)];
+  config.cache.victim_blocks = (rng() % 2) * 8;
+  const cache::Replacement policies[] = {cache::Replacement::kLru,
+                                         cache::Replacement::kFifo,
+                                         cache::Replacement::kRandom};
+  config.cache.replacement = policies[rng() % 3];
+  config.line_rate_gbps = (rng() % 2) ? 40.0 : 10.0;
+  config.fe_service_cycles = 20 + static_cast<int>(rng() % 60);
+  config.fe_parallelism = 1 + static_cast<int>(rng() % 3);
+  const trie::TrieKind kinds[] = {trie::TrieKind::kBinary, trie::TrieKind::kDp,
+                                  trie::TrieKind::kLulea, trie::TrieKind::kLc,
+                                  trie::TrieKind::kStride};
+  config.trie = kinds[rng() % std::size(kinds)];
+  config.partition = (rng() % 4) != 0;
+  config.use_lr_cache = (rng() % 4) != 0;
+  config.early_reservation = (rng() % 4) != 0;
+  if (rng() % 3 == 0) {
+    config.flush_interval_cycles = 500 + rng() % 5'000;
+    config.update_policy =
+        (rng() % 2) ? core::RouterConfig::UpdatePolicy::kSelectiveInvalidate
+                    : core::RouterConfig::UpdatePolicy::kFlushAll;
+  }
+  config.packets_per_lc = 1'500;
+  config.seed = rng();
+  return config;
+}
+
+trace::WorkloadProfile random_profile(std::mt19937_64& rng) {
+  trace::WorkloadProfile profile;
+  profile.name = "fuzz";
+  profile.flows = 200 + rng() % 20'000;
+  profile.zipf_alpha = 0.8 + 0.001 * static_cast<double>(rng() % 600);
+  profile.burst_mean = 1.0 + 0.01 * static_cast<double>(rng() % 900);
+  profile.seed = rng();
+  return profile;
+}
+
+class FuzzV4Test : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzV4Test, RandomConfigResolvesEverythingCorrectly) {
+  std::mt19937_64 rng(0xf022'0000u + static_cast<unsigned>(GetParam()));
+  net::TableGenConfig table_config;
+  table_config.size = 500 + rng() % 4'000;
+  table_config.seed = rng();
+  table_config.nested_fraction = 0.1 * static_cast<double>(rng() % 9);
+  const net::RouteTable table = net::generate_table(table_config);
+  const core::RouterConfig config = random_config(rng);
+  core::RouterSim router(table, config);
+  const auto result = router.run_workload(random_profile(rng), /*verify=*/true);
+  EXPECT_EQ(result.resolved_packets,
+            static_cast<std::uint64_t>(config.num_lcs) * config.packets_per_lc)
+      << "psi=" << config.num_lcs << " beta=" << config.cache.blocks
+      << " gamma=" << config.cache.remote_fraction
+      << " trie=" << trie::to_string(config.trie);
+  EXPECT_EQ(result.verify_mismatches, 0u);
+  EXPECT_EQ(result.latency.count(), result.resolved_packets);
+}
+
+INSTANTIATE_TEST_SUITE_P(TwentyConfigs, FuzzV4Test, ::testing::Range(0, 20));
+
+class FuzzV6Test : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzV6Test, RandomConfigResolvesEverythingCorrectly) {
+  std::mt19937_64 rng(0xf066'0000u + static_cast<unsigned>(GetParam()));
+  net::TableGen6Config table_config;
+  table_config.size = 500 + rng() % 3'000;
+  table_config.seed = rng();
+  const net::RouteTable6 table = net::generate_table6(table_config);
+  const core::RouterConfig config = random_config(rng);
+  core::RouterSim6 router(table, config);
+  const auto result = router.run_workload(random_profile(rng), /*verify=*/true);
+  EXPECT_EQ(result.resolved_packets,
+            static_cast<std::uint64_t>(config.num_lcs) * config.packets_per_lc);
+  EXPECT_EQ(result.verify_mismatches, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(TenConfigs, FuzzV6Test, ::testing::Range(0, 10));
+
+}  // namespace

@@ -1,0 +1,145 @@
+#include "fabric/fabric.h"
+#include "fabric/queues.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace spal;
+using fabric::BoundedQueue;
+using fabric::Fabric;
+using fabric::FabricConfig;
+
+TEST(FabricStages, SingleStageUpToRadix) {
+  EXPECT_EQ(fabric::fabric_stages(1, 16), 1);
+  EXPECT_EQ(fabric::fabric_stages(16, 16), 1);
+  EXPECT_EQ(fabric::fabric_stages(2, 16), 1);
+}
+
+TEST(FabricStages, MultistageGrowth) {
+  EXPECT_EQ(fabric::fabric_stages(17, 16), 2);
+  EXPECT_EQ(fabric::fabric_stages(256, 16), 2);
+  EXPECT_EQ(fabric::fabric_stages(257, 16), 3);
+  EXPECT_EQ(fabric::fabric_stages(64, 8), 2);
+}
+
+TEST(FabricStages, RejectsBadArguments) {
+  EXPECT_THROW(fabric::fabric_stages(0, 16), std::invalid_argument);
+  EXPECT_THROW(fabric::fabric_stages(4, 1), std::invalid_argument);
+}
+
+TEST(FabricLatency, PaperSizedRouterIsTwoCycles) {
+  // ψ <= 16 with a 16-port crossbar: one stage, ~10 ns = 2 cycles of 5 ns.
+  FabricConfig config;
+  config.ports = 16;
+  EXPECT_DOUBLE_EQ(fabric::fabric_latency_cycles(config), 2.0);
+}
+
+TEST(FabricLatency, GrowsWithStages) {
+  FabricConfig small;
+  small.ports = 8;
+  FabricConfig large;
+  large.ports = 64;
+  EXPECT_LT(fabric::fabric_latency_cycles(small), fabric::fabric_latency_cycles(large));
+}
+
+TEST(Fabric, UncontendedDeliveryTakesLatency) {
+  FabricConfig config;
+  config.ports = 4;
+  Fabric fabric(config);
+  EXPECT_EQ(fabric.deliver(0, 1, 100), 102u);
+}
+
+TEST(Fabric, EgressSerializesBackToBackMessages) {
+  FabricConfig config;
+  config.ports = 4;
+  Fabric fabric(config);
+  EXPECT_EQ(fabric.deliver(0, 1, 100), 102u);
+  EXPECT_EQ(fabric.deliver(0, 2, 100), 103u);  // same source, next cycle
+  EXPECT_EQ(fabric.deliver(0, 3, 100), 104u);
+}
+
+TEST(Fabric, IngressSerializesConvergingMessages) {
+  FabricConfig config;
+  config.ports = 4;
+  Fabric fabric(config);
+  EXPECT_EQ(fabric.deliver(0, 3, 100), 102u);
+  EXPECT_EQ(fabric.deliver(1, 3, 100), 103u);  // same destination port
+  EXPECT_EQ(fabric.deliver(2, 3, 100), 104u);
+}
+
+TEST(Fabric, DistinctPortPairsDoNotInterfere) {
+  FabricConfig config;
+  config.ports = 4;
+  Fabric fabric(config);
+  EXPECT_EQ(fabric.deliver(0, 1, 100), 102u);
+  EXPECT_EQ(fabric.deliver(2, 3, 100), 102u);
+}
+
+TEST(Fabric, StatsTrackMessagesAndQueueing) {
+  FabricConfig config;
+  config.ports = 4;
+  Fabric fabric(config);
+  (void)fabric.deliver(0, 1, 100);
+  (void)fabric.deliver(0, 1, 100);  // blocked one cycle on egress + ingress
+  EXPECT_EQ(fabric.stats().messages, 2u);
+  EXPECT_GT(fabric.stats().total_queueing_cycles, 0u);
+}
+
+TEST(Fabric, ResetClearsOccupancy) {
+  FabricConfig config;
+  config.ports = 4;
+  Fabric fabric(config);
+  (void)fabric.deliver(0, 1, 100);
+  fabric.reset();
+  EXPECT_EQ(fabric.stats().messages, 0u);
+  EXPECT_EQ(fabric.deliver(0, 1, 100), 102u);  // no residual blocking
+}
+
+TEST(BoundedQueue, FifoOrder) {
+  BoundedQueue<int> queue;
+  queue.push(1);
+  queue.push(2);
+  queue.push(3);
+  EXPECT_EQ(queue.pop(), std::optional<int>(1));
+  EXPECT_EQ(queue.pop(), std::optional<int>(2));
+  EXPECT_EQ(queue.pop(), std::optional<int>(3));
+  EXPECT_EQ(queue.pop(), std::nullopt);
+}
+
+TEST(BoundedQueue, CapacityRejectsOverflow) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.push(1));
+  EXPECT_TRUE(queue.push(2));
+  EXPECT_FALSE(queue.push(3));
+  EXPECT_EQ(queue.stats().rejected, 1u);
+  (void)queue.pop();
+  EXPECT_TRUE(queue.push(3));
+}
+
+TEST(BoundedQueue, UnboundedByDefault) {
+  BoundedQueue<int> queue;
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(queue.push(i));
+  EXPECT_EQ(queue.size(), 1000u);
+}
+
+TEST(BoundedQueue, StatsTrackOccupancy) {
+  BoundedQueue<int> queue;
+  queue.push(1);
+  queue.push(2);
+  (void)queue.pop();
+  queue.push(3);
+  const auto& stats = queue.stats();
+  EXPECT_EQ(stats.enqueued, 3u);
+  EXPECT_EQ(stats.dequeued, 1u);
+  EXPECT_EQ(stats.max_occupancy, 2u);
+}
+
+TEST(BoundedQueue, FrontThrowsWhenEmpty) {
+  BoundedQueue<int> queue;
+  EXPECT_THROW(queue.front(), std::out_of_range);
+  queue.push(5);
+  EXPECT_EQ(queue.front(), 5);
+}
+
+}  // namespace

@@ -1,0 +1,145 @@
+// Paper-level integration tests: the qualitative claims of Secs. 4-5 must
+// hold on reduced-scale versions of the experiments.
+#include <gtest/gtest.h>
+
+#include "core/spal.h"
+
+namespace {
+
+using namespace spal;
+
+net::RouteTable mid_table() {
+  net::TableGenConfig config;
+  config.size = 20'000;
+  config.seed = 301;
+  return net::generate_table(config);
+}
+
+core::RouterConfig quick(int num_lcs) {
+  core::RouterConfig config = core::spal_default_config(num_lcs);
+  config.packets_per_lc = 20'000;
+  return config;
+}
+
+TEST(PaperClaims, PartitioningCutsPerLcSramForEveryTrie) {
+  // Fig. 3's direction: per-LC trie storage after fragmentation is far
+  // below the unpartitioned trie, for DP, Lulea and LC tries alike.
+  const net::RouteTable table = mid_table();
+  const partition::RotPartition rot(table, 4);
+  for (const trie::TrieKind kind :
+       {trie::TrieKind::kDp, trie::TrieKind::kLulea, trie::TrieKind::kLc}) {
+    const auto whole = trie::build_lpm(kind, table);
+    for (int lc = 0; lc < 4; ++lc) {
+      const auto part = trie::build_lpm(kind, rot.table_of(lc));
+      EXPECT_LT(static_cast<double>(part->storage_bytes()),
+                0.6 * static_cast<double>(whole->storage_bytes()))
+          << trie::to_string(kind) << " lc=" << lc;
+    }
+  }
+}
+
+TEST(PaperClaims, SramSavingExceedsLrCacheCost) {
+  // Sec. 4's closing argument: the per-LC SRAM saved by partitioning
+  // dwarfs the 24 KB LR-cache added (4K blocks x 6 bytes).
+  const net::RouteTable table = net::make_rt1();
+  const partition::RotPartition rot(table, 4);
+  const auto whole = trie::build_lpm(trie::TrieKind::kLulea, table);
+  constexpr std::size_t kLrCacheBytes = 4096 * 6;
+  for (int lc = 0; lc < 4; ++lc) {
+    const auto part = trie::build_lpm(trie::TrieKind::kLulea, rot.table_of(lc));
+    ASSERT_GT(whole->storage_bytes(), part->storage_bytes());
+    EXPECT_GT(whole->storage_bytes() - part->storage_bytes(), kLrCacheBytes);
+  }
+}
+
+TEST(PaperClaims, MeanLookupImprovesWithPsi) {
+  // Fig. 6's direction: ψ=16 beats ψ=4 beats ψ=1 on the same workload.
+  const net::RouteTable table = mid_table();
+  trace::WorkloadProfile profile = trace::profile_l92_0();
+  profile.flows = 60'000;
+  double previous = 1e18;
+  for (const int psi : {1, 4, 16}) {
+    core::RouterSim router(table, quick(psi));
+    const double mean = router.run_workload(profile).mean_lookup_cycles();
+    EXPECT_LT(mean, previous) << "psi=" << psi;
+    previous = mean;
+  }
+}
+
+TEST(PaperClaims, SpalBeatsConventionalRouterHeadline) {
+  // The paper's headline: SPAL ψ=16 vs a conventional router whose mean is
+  // the FE time (40 cycles, queueing "ignored optimistically"): >4x faster.
+  const net::RouteTable table = mid_table();
+  core::RouterSim router(table, quick(16));
+  const auto result = router.run_workload(trace::profile_d75());
+  EXPECT_LT(result.mean_lookup_cycles() * 4.0, 40.0);
+}
+
+TEST(PaperClaims, SpalBeatsCacheOnlyRouter) {
+  // Sec. 5.2's comparison against [6]: caches without partitioning cover
+  // the whole table per LC and cannot share results, so SPAL at ψ=8 must
+  // beat cache-only at the same β.
+  const net::RouteTable table = mid_table();
+  trace::WorkloadProfile profile = trace::profile_l92_1();
+  profile.flows = 50'000;
+  core::RouterConfig spal_cfg = quick(8);
+  core::RouterConfig cache_cfg = quick(8);
+  cache_cfg.partition = false;
+  core::RouterSim spal_router(table, spal_cfg);
+  core::RouterSim cache_router(table, cache_cfg);
+  EXPECT_LT(spal_router.run_workload(profile).mean_lookup_cycles(),
+            cache_router.run_workload(profile).mean_lookup_cycles());
+}
+
+TEST(PaperClaims, VictimCacheHelps) {
+  // Sec. 3.2: the 8-block victim cache avoids most conflict misses.
+  const net::RouteTable table = mid_table();
+  core::RouterConfig with = quick(4);
+  core::RouterConfig without = quick(4);
+  without.cache.victim_blocks = 0;
+  core::RouterSim router_with(table, with);
+  core::RouterSim router_without(table, without);
+  const auto a = router_with.run_workload(trace::profile_d81());
+  const auto b = router_without.run_workload(trace::profile_d81());
+  EXPECT_GE(a.cache_total.hit_rate() + 1e-9, b.cache_total.hit_rate());
+  EXPECT_GT(a.cache_total.victim_hits, 0u);
+}
+
+TEST(PaperClaims, FePressureDropsAsPsiGrows) {
+  // More LCs -> more FEs and better cache coverage -> the busiest FE cools.
+  const net::RouteTable table = mid_table();
+  trace::WorkloadProfile profile = trace::profile_l92_0();
+  profile.flows = 60'000;
+  core::RouterSim psi2(table, quick(2));
+  core::RouterSim psi16(table, quick(16));
+  EXPECT_GT(psi2.run_workload(profile).max_fe_utilization,
+            psi16.run_workload(profile).max_fe_utilization);
+}
+
+TEST(PaperClaims, LengthPartitionBaselineDoesNotShrinkStorage) {
+  // Sec. 2.3: the [1] baseline keeps every per-length subset at each LC, so
+  // total storage per LC equals the whole table regardless of ψ.
+  const net::RouteTable table = mid_table();
+  const auto buckets = partition::partition_by_length(table);
+  std::size_t total_entries = 0;
+  for (const auto& bucket : buckets) total_entries += bucket.size();
+  EXPECT_EQ(total_entries, table.size());
+  // Contrast with SPAL at ψ=4: each LC keeps ~1/4 of the prefixes.
+  const partition::RotPartition rot(table, 4);
+  for (const std::size_t size : rot.partition_sizes()) {
+    EXPECT_LT(static_cast<double>(size), 0.45 * static_cast<double>(table.size()));
+  }
+}
+
+TEST(PaperClaims, HitRatesReachPaperBandAtPaperScale) {
+  // Sec. 1 cites >=0.93 hit rates with 4K blocks; our tuned workloads must
+  // land in that band for the WorldCup-like traces at ψ=16.
+  const net::RouteTable table = net::make_rt2();
+  core::RouterConfig config = core::spal_default_config(16);
+  config.packets_per_lc = 30'000;
+  core::RouterSim router(table, config);
+  const auto result = router.run_workload(trace::profile_d75());
+  EXPECT_GT(result.cache_total.hit_rate(), 0.90);
+}
+
+}  // namespace

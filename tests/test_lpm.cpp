@@ -1,0 +1,90 @@
+#include "trie/lpm.h"
+
+#include <gtest/gtest.h>
+
+#include "net/table_gen.h"
+
+namespace {
+
+using namespace spal;
+using trie::TrieKind;
+
+TEST(LpmFactory, BuildsEveryKindWithMatchingName) {
+  net::TableGenConfig config;
+  config.size = 500;
+  config.seed = 61;
+  const net::RouteTable table = net::generate_table(config);
+  EXPECT_EQ(trie::build_lpm(TrieKind::kBinary, table)->name(), "binary");
+  EXPECT_EQ(trie::build_lpm(TrieKind::kDp, table)->name(), "dp");
+  EXPECT_EQ(trie::build_lpm(TrieKind::kLulea, table)->name(), "lulea");
+  EXPECT_EQ(trie::build_lpm(TrieKind::kLc, table)->name(), "lc");
+  EXPECT_EQ(trie::build_lpm(TrieKind::kGupta, table)->name(), "gupta");
+  EXPECT_EQ(trie::build_lpm(TrieKind::kStride, table)->name(), "stride");
+}
+
+TEST(LpmFactory, ToStringNamesAllKinds) {
+  EXPECT_EQ(trie::to_string(TrieKind::kBinary), "binary");
+  EXPECT_EQ(trie::to_string(TrieKind::kDp), "dp");
+  EXPECT_EQ(trie::to_string(TrieKind::kLulea), "lulea");
+  EXPECT_EQ(trie::to_string(TrieKind::kLc), "lc");
+  EXPECT_EQ(trie::to_string(TrieKind::kGupta), "gupta");
+  EXPECT_EQ(trie::to_string(TrieKind::kStride), "stride");
+}
+
+TEST(LpmFactory, LcOptionsAreForwarded) {
+  net::TableGenConfig config;
+  config.size = 4'000;
+  config.seed = 62;
+  const net::RouteTable table = net::generate_table(config);
+  trie::LpmBuildOptions dense;
+  dense.lc_fill_factor = 1.0;
+  trie::LpmBuildOptions sparse;
+  sparse.lc_fill_factor = 0.25;
+  // The fill factor must influence the built structure.
+  EXPECT_NE(trie::build_lpm(TrieKind::kLc, table, dense)->storage_bytes(),
+            trie::build_lpm(TrieKind::kLc, table, sparse)->storage_bytes());
+}
+
+TEST(MeanAccesses, DeterministicPerSeed) {
+  net::TableGenConfig config;
+  config.size = 2'000;
+  config.seed = 63;
+  const net::RouteTable table = net::generate_table(config);
+  const auto index = trie::build_lpm(TrieKind::kLulea, table);
+  EXPECT_EQ(trie::mean_accesses_per_lookup(*index, table, 1'000, 9),
+            trie::mean_accesses_per_lookup(*index, table, 1'000, 9));
+}
+
+TEST(MeanAccesses, EmptyInputsGiveZero) {
+  const net::RouteTable empty;
+  const auto index = trie::build_lpm(TrieKind::kBinary, empty);
+  EXPECT_EQ(trie::mean_accesses_per_lookup(*index, empty, 100, 1), 0.0);
+}
+
+TEST(MeanAccesses, OrderingMatchesPaperLuleaBelowDp) {
+  // Sec. 5.1: Lulea ≈ 6.2-6.6 accesses, DP ≈ 16 — Lulea must be well below.
+  net::TableGenConfig config;
+  config.size = 40'000;
+  config.seed = 64;
+  const net::RouteTable table = net::generate_table(config);
+  const auto lulea = trie::build_lpm(TrieKind::kLulea, table);
+  const auto dp = trie::build_lpm(TrieKind::kDp, table);
+  const auto binary = trie::build_lpm(TrieKind::kBinary, table);
+  const double lulea_mean = trie::mean_accesses_per_lookup(*lulea, table, 5'000, 3);
+  const double dp_mean = trie::mean_accesses_per_lookup(*dp, table, 5'000, 3);
+  const double binary_mean = trie::mean_accesses_per_lookup(*binary, table, 5'000, 3);
+  EXPECT_LT(lulea_mean, dp_mean);
+  EXPECT_LT(dp_mean, binary_mean);
+}
+
+TEST(MemAccessCounter, RecordsAndResets) {
+  trie::MemAccessCounter counter;
+  EXPECT_EQ(counter.total(), 0u);
+  counter.record();
+  counter.record(5);
+  EXPECT_EQ(counter.total(), 6u);
+  counter.reset();
+  EXPECT_EQ(counter.total(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,327 @@
+#include "cache/lr_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace spal;
+using cache::LrCache;
+using cache::LrCacheConfig;
+using cache::Origin;
+using cache::ProbeState;
+using cache::Replacement;
+using net::Ipv4Addr;
+
+LrCacheConfig small_config() {
+  LrCacheConfig config;
+  config.blocks = 16;  // 4 sets x 4 ways
+  config.associativity = 4;
+  config.victim_blocks = 0;
+  return config;
+}
+
+/// Addresses mapping to a chosen set (set index = low bits of the address).
+Ipv4Addr addr_in_set(std::uint32_t set, std::uint32_t tag, std::size_t sets = 4) {
+  return Ipv4Addr{static_cast<std::uint32_t>(tag * sets) + set};
+}
+
+TEST(LrCache, RejectsInvalidGeometry) {
+  LrCacheConfig config = small_config();
+  config.blocks = 10;  // not a multiple of 4
+  EXPECT_THROW(LrCache{config}, std::invalid_argument);
+  config = small_config();
+  config.blocks = 12;  // 3 sets: not a power of two
+  EXPECT_THROW(LrCache{config}, std::invalid_argument);
+  config = small_config();
+  config.associativity = 0;
+  EXPECT_THROW(LrCache{config}, std::invalid_argument);
+  config = small_config();
+  config.remote_fraction = 1.5;
+  EXPECT_THROW(LrCache{config}, std::invalid_argument);
+}
+
+TEST(LrCache, MissThenInsertThenHit) {
+  LrCache cache(small_config());
+  const Ipv4Addr a = addr_in_set(0, 1);
+  EXPECT_EQ(cache.probe(a, 0).state, ProbeState::kMiss);
+  cache.insert(a, 42, Origin::kLocal, 1);
+  const auto result = cache.probe(a, 2);
+  EXPECT_EQ(result.state, ProbeState::kHit);
+  EXPECT_EQ(result.next_hop, 42u);
+}
+
+TEST(LrCache, ReserveMakesWaitingState) {
+  LrCache cache(small_config());
+  const Ipv4Addr a = addr_in_set(0, 1);
+  EXPECT_TRUE(cache.reserve(a, Origin::kLocal, 0));
+  EXPECT_EQ(cache.probe(a, 1).state, ProbeState::kWaiting);
+  EXPECT_EQ(cache.stats().waiting_hits, 1u);
+}
+
+TEST(LrCache, FillCompletesWaitingBlock) {
+  LrCache cache(small_config());
+  const Ipv4Addr a = addr_in_set(0, 1);
+  ASSERT_TRUE(cache.reserve(a, Origin::kRemote, 0));
+  EXPECT_TRUE(cache.fill(a, 7, 2));
+  const auto result = cache.probe(a, 3);
+  EXPECT_EQ(result.state, ProbeState::kHit);
+  EXPECT_EQ(result.next_hop, 7u);
+}
+
+TEST(LrCache, FillWithoutReservationIsOrphan) {
+  LrCache cache(small_config());
+  EXPECT_FALSE(cache.fill(addr_in_set(0, 1), 7, 0));
+  EXPECT_EQ(cache.stats().orphan_fills, 1u);
+}
+
+TEST(LrCache, FillAfterFlushIsOrphan) {
+  LrCache cache(small_config());
+  const Ipv4Addr a = addr_in_set(0, 1);
+  ASSERT_TRUE(cache.reserve(a, Origin::kLocal, 0));
+  cache.flush();
+  EXPECT_FALSE(cache.fill(a, 7, 1));
+  EXPECT_EQ(cache.stats().orphan_fills, 1u);
+}
+
+TEST(LrCache, FlushInvalidatesEverything) {
+  LrCache cache(small_config());
+  const Ipv4Addr a = addr_in_set(0, 1);
+  cache.insert(a, 42, Origin::kLocal, 0);
+  cache.flush();
+  EXPECT_EQ(cache.probe(a, 1).state, ProbeState::kMiss);
+  EXPECT_EQ(cache.stats().flushes, 1u);
+}
+
+TEST(LrCache, LruEvictsLeastRecentlyUsed) {
+  LrCacheConfig config = small_config();
+  config.remote_fraction = 0.0;  // all four ways belong to LOC results
+  LrCache cache(config);
+  // Fill set 0 with four LOC blocks, touching them at distinct times.
+  for (std::uint32_t tag = 1; tag <= 4; ++tag) {
+    cache.insert(addr_in_set(0, tag), tag, Origin::kLocal, tag);
+  }
+  // Re-touch tag 1 so tag 2 becomes LRU.
+  EXPECT_EQ(cache.probe(addr_in_set(0, 1), 10).state, ProbeState::kHit);
+  cache.insert(addr_in_set(0, 5), 5, Origin::kLocal, 11);
+  EXPECT_EQ(cache.probe(addr_in_set(0, 2), 12).state, ProbeState::kMiss);
+  EXPECT_EQ(cache.probe(addr_in_set(0, 1), 13).state, ProbeState::kHit);
+}
+
+TEST(LrCache, FifoIgnoresRecency) {
+  LrCacheConfig config = small_config();
+  config.replacement = Replacement::kFifo;
+  config.remote_fraction = 0.0;
+  LrCache cache(config);
+  for (std::uint32_t tag = 1; tag <= 4; ++tag) {
+    cache.insert(addr_in_set(0, tag), tag, Origin::kLocal, tag);
+  }
+  // Touching tag 1 does not save it under FIFO.
+  (void)cache.probe(addr_in_set(0, 1), 10);
+  cache.insert(addr_in_set(0, 5), 5, Origin::kLocal, 11);
+  EXPECT_EQ(cache.probe(addr_in_set(0, 1), 12).state, ProbeState::kMiss);
+}
+
+TEST(LrCache, MixRuleRemoteQuotaOfOneBlock) {
+  // γ = 25% of a 4-way set -> exactly one block per set devoted to REM
+  // results (the paper's small-cache recommendation). A second REM insert
+  // replaces the first; LOC blocks are untouched.
+  LrCacheConfig config = small_config();
+  config.remote_fraction = 0.25;
+  LrCache cache(config);
+  EXPECT_EQ(cache.ways(Origin::kRemote), 1u);
+  EXPECT_EQ(cache.ways(Origin::kLocal), 3u);
+  cache.insert(addr_in_set(0, 1), 1, Origin::kLocal, 1);
+  cache.insert(addr_in_set(0, 2), 2, Origin::kLocal, 2);
+  cache.insert(addr_in_set(0, 3), 3, Origin::kRemote, 3);
+  cache.insert(addr_in_set(0, 4), 4, Origin::kRemote, 4);
+  EXPECT_EQ(cache.probe(addr_in_set(0, 3), 6).state, ProbeState::kMiss);
+  EXPECT_EQ(cache.probe(addr_in_set(0, 1), 7).state, ProbeState::kHit);
+  EXPECT_EQ(cache.probe(addr_in_set(0, 2), 8).state, ProbeState::kHit);
+  EXPECT_EQ(cache.probe(addr_in_set(0, 4), 9).state, ProbeState::kHit);
+  EXPECT_EQ(cache.count_origin(Origin::kRemote), 1u);
+}
+
+TEST(LrCache, MixRuleLocalQuotaOfOneBlock) {
+  // γ = 75% -> only 1 way for LOC: a second LOC insert replaces the first.
+  LrCacheConfig config = small_config();
+  config.remote_fraction = 0.75;
+  LrCache cache(config);
+  cache.insert(addr_in_set(0, 1), 1, Origin::kLocal, 1);
+  cache.insert(addr_in_set(0, 2), 2, Origin::kLocal, 2);
+  cache.insert(addr_in_set(0, 4), 4, Origin::kRemote, 4);
+  EXPECT_EQ(cache.probe(addr_in_set(0, 1), 6).state, ProbeState::kMiss);
+  EXPECT_EQ(cache.probe(addr_in_set(0, 2), 7).state, ProbeState::kHit);
+  EXPECT_EQ(cache.probe(addr_in_set(0, 4), 8).state, ProbeState::kHit);
+}
+
+TEST(LrCache, QuotaReplacementIsLruWithinOrigin) {
+  // γ = 50%: two ways per origin. The third LOC insert replaces the
+  // least-recently-used LOC block and leaves REM blocks alone.
+  LrCache cache(small_config());
+  cache.insert(addr_in_set(0, 1), 1, Origin::kLocal, 1);
+  cache.insert(addr_in_set(0, 2), 2, Origin::kRemote, 2);
+  cache.insert(addr_in_set(0, 3), 3, Origin::kLocal, 3);
+  cache.insert(addr_in_set(0, 4), 4, Origin::kRemote, 4);
+  cache.insert(addr_in_set(0, 5), 5, Origin::kLocal, 5);
+  EXPECT_EQ(cache.probe(addr_in_set(0, 1), 6).state, ProbeState::kMiss);
+  EXPECT_EQ(cache.probe(addr_in_set(0, 2), 7).state, ProbeState::kHit);
+  EXPECT_EQ(cache.probe(addr_in_set(0, 3), 8).state, ProbeState::kHit);
+  EXPECT_EQ(cache.probe(addr_in_set(0, 4), 9).state, ProbeState::kHit);
+}
+
+TEST(LrCache, IdleWaysAreUsableByEitherOrigin) {
+  // Below-quota insertions take invalid blocks first, so an all-LOC burst
+  // can still use its two ways while the REM ways sit idle.
+  LrCache cache(small_config());
+  cache.insert(addr_in_set(0, 1), 1, Origin::kLocal, 1);
+  cache.insert(addr_in_set(0, 2), 2, Origin::kLocal, 2);
+  EXPECT_EQ(cache.count_origin(Origin::kLocal), 2u);
+  EXPECT_EQ(cache.probe(addr_in_set(0, 1), 3).state, ProbeState::kHit);
+  EXPECT_EQ(cache.probe(addr_in_set(0, 2), 4).state, ProbeState::kHit);
+}
+
+TEST(LrCache, WaitingBlocksArePinned) {
+  LrCache cache(small_config());  // γ = 50%: 2 LOC + 2 REM ways
+  ASSERT_TRUE(cache.reserve(addr_in_set(0, 1), Origin::kLocal, 1));
+  ASSERT_TRUE(cache.reserve(addr_in_set(0, 2), Origin::kLocal, 2));
+  ASSERT_TRUE(cache.reserve(addr_in_set(0, 3), Origin::kRemote, 3));
+  ASSERT_TRUE(cache.reserve(addr_in_set(0, 4), Origin::kRemote, 4));
+  // Both quotas are now entirely W=1: further reservations must fail...
+  EXPECT_FALSE(cache.reserve(addr_in_set(0, 5), Origin::kLocal, 5));
+  EXPECT_FALSE(cache.reserve(addr_in_set(0, 6), Origin::kRemote, 6));
+  EXPECT_EQ(cache.stats().failed_reservations, 2u);
+  // ...and all four waiting blocks must still be present.
+  for (std::uint32_t tag = 1; tag <= 4; ++tag) {
+    EXPECT_EQ(cache.probe(addr_in_set(0, tag), 7).state, ProbeState::kWaiting);
+  }
+}
+
+TEST(LrCache, VictimCacheCatchesConflictEvictions) {
+  LrCacheConfig config = small_config();
+  config.victim_blocks = 8;
+  LrCache cache(config);
+  for (std::uint32_t tag = 1; tag <= 5; ++tag) {
+    cache.insert(addr_in_set(0, tag), tag, Origin::kLocal, tag);
+  }
+  // Tag 1 was evicted from the set but lives in the victim cache.
+  const auto result = cache.probe(addr_in_set(0, 1), 10);
+  EXPECT_EQ(result.state, ProbeState::kHit);
+  EXPECT_EQ(result.next_hop, 1u);
+  EXPECT_EQ(cache.stats().victim_hits, 1u);
+}
+
+TEST(LrCache, VictimHitPromotesBackToSet) {
+  LrCacheConfig config = small_config();
+  config.victim_blocks = 8;
+  LrCache cache(config);
+  for (std::uint32_t tag = 1; tag <= 5; ++tag) {
+    cache.insert(addr_in_set(0, tag), tag, Origin::kLocal, tag);
+  }
+  (void)cache.probe(addr_in_set(0, 1), 10);  // victim hit, promotes
+  const auto again = cache.probe(addr_in_set(0, 1), 11);
+  EXPECT_EQ(again.state, ProbeState::kHit);
+  EXPECT_EQ(cache.stats().victim_hits, 1u);  // second hit from the set
+}
+
+TEST(LrCache, WithoutVictimCacheConflictsAreLost) {
+  LrCache cache(small_config());  // victim_blocks = 0
+  for (std::uint32_t tag = 1; tag <= 5; ++tag) {
+    cache.insert(addr_in_set(0, tag), tag, Origin::kLocal, tag);
+  }
+  EXPECT_EQ(cache.probe(addr_in_set(0, 1), 10).state, ProbeState::kMiss);
+}
+
+TEST(LrCache, InsertUpdatesExistingBlockInPlace) {
+  LrCache cache(small_config());
+  const Ipv4Addr a = addr_in_set(1, 1);
+  cache.insert(a, 1, Origin::kLocal, 0);
+  cache.insert(a, 9, Origin::kRemote, 1);
+  const auto result = cache.probe(a, 2);
+  EXPECT_EQ(result.next_hop, 9u);
+  EXPECT_EQ(cache.count_origin(Origin::kRemote), 1u);
+  EXPECT_EQ(cache.count_origin(Origin::kLocal), 0u);
+}
+
+TEST(LrCache, SetsAreIndependent) {
+  LrCacheConfig config = small_config();
+  config.remote_fraction = 0.0;  // four LOC ways per set
+  LrCache cache(config);
+  for (std::uint32_t set = 0; set < 4; ++set) {
+    for (std::uint32_t tag = 1; tag <= 4; ++tag) {
+      cache.insert(addr_in_set(set, tag), set, Origin::kLocal, tag);
+    }
+  }
+  for (std::uint32_t set = 0; set < 4; ++set) {
+    for (std::uint32_t tag = 1; tag <= 4; ++tag) {
+      EXPECT_EQ(cache.probe(addr_in_set(set, tag), 10).state, ProbeState::kHit);
+    }
+  }
+}
+
+TEST(LrCache, StatsAccounting) {
+  LrCache cache(small_config());
+  const Ipv4Addr a = addr_in_set(0, 1);
+  (void)cache.probe(a, 0);               // miss
+  ASSERT_TRUE(cache.reserve(a, Origin::kLocal, 0));
+  (void)cache.probe(a, 1);               // waiting hit
+  cache.fill(a, 5, 2);
+  (void)cache.probe(a, 3);               // hit
+  const auto& stats = cache.stats();
+  EXPECT_EQ(stats.probes, 3u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.waiting_hits, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.reservations, 1u);
+  EXPECT_EQ(stats.fills, 1u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 1.0 / 3.0);
+}
+
+TEST(LrCache, ResetClearsContentAndStats) {
+  LrCache cache(small_config());
+  cache.insert(addr_in_set(0, 1), 1, Origin::kLocal, 0);
+  (void)cache.probe(addr_in_set(0, 1), 1);
+  cache.reset();
+  EXPECT_EQ(cache.stats().probes, 0u);
+  EXPECT_EQ(cache.probe(addr_in_set(0, 1), 2).state, ProbeState::kMiss);
+}
+
+TEST(LrCache, RandomPolicyStaysWithinSet) {
+  LrCacheConfig config = small_config();
+  config.replacement = Replacement::kRandom;
+  config.remote_fraction = 0.0;  // four LOC ways per set
+  LrCache cache(config);
+  for (std::uint32_t tag = 1; tag <= 12; ++tag) {
+    cache.insert(addr_in_set(0, tag), tag, Origin::kLocal, tag);
+  }
+  // Exactly 4 of the 12 survive (all in set 0), and other sets are empty.
+  std::size_t present = 0;
+  for (std::uint32_t tag = 1; tag <= 12; ++tag) {
+    if (cache.probe(addr_in_set(0, tag), 100).state == ProbeState::kHit) ++present;
+  }
+  EXPECT_EQ(present, 4u);
+}
+
+TEST(LrCache, CountOriginTracksMix) {
+  LrCache cache(small_config());
+  cache.insert(addr_in_set(0, 1), 1, Origin::kLocal, 0);
+  cache.insert(addr_in_set(1, 1), 2, Origin::kRemote, 0);
+  cache.insert(addr_in_set(2, 1), 3, Origin::kRemote, 0);
+  EXPECT_EQ(cache.count_origin(Origin::kLocal), 1u);
+  EXPECT_EQ(cache.count_origin(Origin::kRemote), 2u);
+}
+
+TEST(LrCache, GammaZeroKeepsNoRemoteUnderPressure) {
+  // γ = 0: any present REM block is immediately the eviction candidate.
+  LrCacheConfig config = small_config();
+  config.remote_fraction = 0.0;
+  LrCache cache(config);
+  cache.insert(addr_in_set(0, 1), 1, Origin::kRemote, 1);
+  cache.insert(addr_in_set(0, 2), 2, Origin::kLocal, 2);
+  cache.insert(addr_in_set(0, 3), 3, Origin::kLocal, 3);
+  cache.insert(addr_in_set(0, 4), 4, Origin::kLocal, 4);
+  cache.insert(addr_in_set(0, 5), 5, Origin::kLocal, 5);
+  EXPECT_EQ(cache.probe(addr_in_set(0, 1), 6).state, ProbeState::kMiss);
+  EXPECT_EQ(cache.count_origin(Origin::kRemote), 0u);
+}
+
+}  // namespace

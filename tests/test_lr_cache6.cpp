@@ -1,0 +1,117 @@
+// BasicLrCache<Ipv6Addr>: the LR-cache over 128-bit addresses, as the IPv6
+// router uses it. Mechanics are shared with the IPv4 instantiation; these
+// tests pin the v6-specific pieces (set indexing from the low half, full
+// 128-bit tag comparison, Prefix6 selective invalidation).
+#include <gtest/gtest.h>
+
+#include "cache/basic_lr_cache.h"
+#include "net/prefix6.h"
+
+namespace {
+
+using namespace spal;
+using cache::BasicLrCache;
+using cache::LrCacheConfig;
+using cache::Origin;
+using cache::ProbeState;
+using net::Ipv6Addr;
+
+using Cache6 = BasicLrCache<Ipv6Addr>;
+
+LrCacheConfig config16() {
+  LrCacheConfig config;
+  config.blocks = 16;
+  config.victim_blocks = 0;
+  return config;
+}
+
+TEST(LrCache6, MissInsertHit) {
+  Cache6 cache(config16());
+  const Ipv6Addr a{0x20010DB800000000ULL, 42};
+  EXPECT_EQ(cache.probe(a, 0).state, ProbeState::kMiss);
+  cache.insert(a, 7, Origin::kLocal, 1);
+  const auto result = cache.probe(a, 2);
+  EXPECT_EQ(result.state, ProbeState::kHit);
+  EXPECT_EQ(result.next_hop, 7u);
+}
+
+TEST(LrCache6, TagComparesFullAddress) {
+  // Two addresses agreeing on the set-index bits (low 32) but differing in
+  // the high half must not alias.
+  Cache6 cache(config16());
+  const Ipv6Addr a{0x2001000000000000ULL, 5};
+  const Ipv6Addr b{0x2002000000000000ULL, 5};
+  cache.insert(a, 1, Origin::kLocal, 0);
+  EXPECT_EQ(cache.probe(b, 1).state, ProbeState::kMiss);
+  cache.insert(b, 2, Origin::kLocal, 2);
+  EXPECT_EQ(cache.probe(a, 3).next_hop, 1u);
+  EXPECT_EQ(cache.probe(b, 4).next_hop, 2u);
+}
+
+TEST(LrCache6, SetIndexComesFromLowHalf) {
+  // Addresses with distinct low-word set bits land in different sets, so a
+  // same-origin quota in one set does not evict across sets.
+  Cache6 cache(config16());  // 4 sets, assoc 4, LOC ways 2
+  for (std::uint64_t set = 0; set < 4; ++set) {
+    cache.insert(Ipv6Addr{0x2001000000000000ULL, set}, 1, Origin::kLocal, 1);
+    cache.insert(Ipv6Addr{0x2002000000000000ULL, set}, 2, Origin::kLocal, 2);
+  }
+  for (std::uint64_t set = 0; set < 4; ++set) {
+    EXPECT_EQ(cache.probe(Ipv6Addr{0x2001000000000000ULL, set}, 10).state,
+              ProbeState::kHit);
+    EXPECT_EQ(cache.probe(Ipv6Addr{0x2002000000000000ULL, set}, 11).state,
+              ProbeState::kHit);
+  }
+}
+
+TEST(LrCache6, WaitingAndFill) {
+  Cache6 cache(config16());
+  const Ipv6Addr a{0x20010DB800000000ULL, 9};
+  ASSERT_TRUE(cache.reserve(a, Origin::kRemote, 0));
+  EXPECT_EQ(cache.probe(a, 1).state, ProbeState::kWaiting);
+  EXPECT_TRUE(cache.fill(a, 3, 2));
+  EXPECT_EQ(cache.probe(a, 3).next_hop, 3u);
+}
+
+TEST(LrCache6, Prefix6SelectiveInvalidation) {
+  Cache6 cache(config16());
+  const Ipv6Addr inside{0x20010DB800000000ULL, 1};
+  const Ipv6Addr outside{0x20010DB900000000ULL, 1};
+  cache.insert(inside, 1, Origin::kLocal, 0);
+  cache.insert(outside, 2, Origin::kLocal, 1);
+  const net::Prefix6 changed(Ipv6Addr{0x20010DB800000000ULL, 0}, 32);
+  EXPECT_EQ(cache.invalidate_matching(changed), 1u);
+  EXPECT_EQ(cache.probe(inside, 2).state, ProbeState::kMiss);
+  EXPECT_EQ(cache.probe(outside, 3).state, ProbeState::kHit);
+}
+
+TEST(LrCache6, GammaQuotasApply) {
+  LrCacheConfig config = config16();
+  config.remote_fraction = 0.25;  // 1 REM way per set
+  Cache6 cache(config);
+  const Ipv6Addr r1{0x2001000000000000ULL, 0x10};
+  const Ipv6Addr r2{0x2002000000000000ULL, 0x10};  // same set
+  cache.insert(r1, 1, Origin::kRemote, 0);
+  cache.insert(r2, 2, Origin::kRemote, 1);
+  EXPECT_EQ(cache.probe(r1, 2).state, ProbeState::kMiss);
+  EXPECT_EQ(cache.probe(r2, 3).state, ProbeState::kHit);
+  EXPECT_EQ(cache.count_origin(Origin::kRemote), 1u);
+}
+
+TEST(LrCache6, VictimCacheWorks) {
+  LrCacheConfig config = config16();
+  config.blocks = 4;  // one set, LOC ways 2
+  config.victim_blocks = 4;
+  Cache6 cache(config);
+  const Ipv6Addr a{0x2001000000000000ULL, 0};
+  const Ipv6Addr b{0x2002000000000000ULL, 0};
+  const Ipv6Addr c{0x2003000000000000ULL, 0};
+  cache.insert(a, 1, Origin::kLocal, 0);
+  cache.insert(b, 2, Origin::kLocal, 1);
+  cache.insert(c, 3, Origin::kLocal, 2);  // evicts a into the victim cache
+  const auto result = cache.probe(a, 3);
+  EXPECT_EQ(result.state, ProbeState::kHit);
+  EXPECT_EQ(cache.stats().victim_hits, 1u);
+}
+
+}  // namespace

@@ -1,0 +1,146 @@
+#include "net/prefix.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using spal::net::Ipv4Addr;
+using spal::net::Prefix;
+using spal::net::PrefixBit;
+
+Prefix p(const char* text) {
+  const auto prefix = Prefix::parse(text);
+  EXPECT_TRUE(prefix.has_value()) << text;
+  return *prefix;
+}
+
+TEST(Prefix, DefaultIsDefaultRoute) {
+  const Prefix d;
+  EXPECT_EQ(d.length(), 0);
+  EXPECT_EQ(d.bits(), 0u);
+}
+
+TEST(Prefix, ConstructionMasksHostBits) {
+  const Prefix prefix(Ipv4Addr{0x0A0102FFu}, 24);
+  EXPECT_EQ(prefix.bits(), 0x0A010200u);
+  EXPECT_EQ(prefix.length(), 24);
+}
+
+TEST(Prefix, ZeroLengthMasksEverything) {
+  const Prefix prefix(Ipv4Addr{0xFFFFFFFFu}, 0);
+  EXPECT_EQ(prefix.bits(), 0u);
+}
+
+TEST(Prefix, FullLengthKeepsEverything) {
+  const Prefix prefix(Ipv4Addr{0xDEADBEEFu}, 32);
+  EXPECT_EQ(prefix.bits(), 0xDEADBEEFu);
+}
+
+TEST(Prefix, ParseWithLength) {
+  const Prefix prefix = p("10.1.0.0/16");
+  EXPECT_EQ(prefix.bits(), 0x0A010000u);
+  EXPECT_EQ(prefix.length(), 16);
+}
+
+TEST(Prefix, ParseBareAddressIsHostRoute) {
+  EXPECT_EQ(p("1.2.3.4").length(), 32);
+}
+
+TEST(Prefix, ParseDefaultRoute) {
+  const Prefix prefix = p("0.0.0.0/0");
+  EXPECT_EQ(prefix.length(), 0);
+}
+
+TEST(Prefix, ParseRejectsBadLength) {
+  EXPECT_FALSE(Prefix::parse("1.2.3.4/33").has_value());
+  EXPECT_FALSE(Prefix::parse("1.2.3.4/-1").has_value());
+  EXPECT_FALSE(Prefix::parse("1.2.3.4/").has_value());
+  EXPECT_FALSE(Prefix::parse("1.2.3.4/8x").has_value());
+}
+
+TEST(Prefix, ParseRejectsBadAddress) {
+  EXPECT_FALSE(Prefix::parse("1.2.3/8").has_value());
+  EXPECT_FALSE(Prefix::parse("/8").has_value());
+}
+
+TEST(Prefix, ToStringRoundTrips) {
+  for (const char* text : {"0.0.0.0/0", "10.0.0.0/8", "192.0.2.0/24", "1.2.3.4/32"}) {
+    EXPECT_EQ(p(text).to_string(), text);
+  }
+}
+
+TEST(Prefix, TriStateBits) {
+  // 101* as an IPv4 prefix: 160.0.0.0/3.
+  const Prefix prefix(Ipv4Addr{0xA0000000u}, 3);
+  EXPECT_EQ(prefix.bit(0), PrefixBit::kOne);
+  EXPECT_EQ(prefix.bit(1), PrefixBit::kZero);
+  EXPECT_EQ(prefix.bit(2), PrefixBit::kOne);
+  EXPECT_EQ(prefix.bit(3), PrefixBit::kStar);
+  EXPECT_EQ(prefix.bit(31), PrefixBit::kStar);
+}
+
+TEST(Prefix, DefaultRouteIsAllStars) {
+  const Prefix d;
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(d.bit(i), PrefixBit::kStar) << i;
+}
+
+TEST(Prefix, MatchesInsideRange) {
+  const Prefix prefix = p("10.1.0.0/16");
+  EXPECT_TRUE(prefix.matches(Ipv4Addr{0x0A010000u}));
+  EXPECT_TRUE(prefix.matches(Ipv4Addr{0x0A01FFFFu}));
+  EXPECT_TRUE(prefix.matches(Ipv4Addr{0x0A01ABCDu}));
+}
+
+TEST(Prefix, RejectsOutsideRange) {
+  const Prefix prefix = p("10.1.0.0/16");
+  EXPECT_FALSE(prefix.matches(Ipv4Addr{0x0A020000u}));
+  EXPECT_FALSE(prefix.matches(Ipv4Addr{0x0A00FFFFu}));
+  EXPECT_FALSE(prefix.matches(Ipv4Addr{0x0B010000u}));
+}
+
+TEST(Prefix, DefaultRouteMatchesEverything) {
+  EXPECT_TRUE(p("0.0.0.0/0").matches(Ipv4Addr{0u}));
+  EXPECT_TRUE(p("0.0.0.0/0").matches(Ipv4Addr{0xFFFFFFFFu}));
+}
+
+TEST(Prefix, HostRouteMatchesExactlyOne) {
+  const Prefix prefix = p("1.2.3.4/32");
+  EXPECT_TRUE(prefix.matches(Ipv4Addr{0x01020304u}));
+  EXPECT_FALSE(prefix.matches(Ipv4Addr{0x01020305u}));
+  EXPECT_FALSE(prefix.matches(Ipv4Addr{0x01020303u}));
+}
+
+TEST(Prefix, CoversShorterOverLonger) {
+  EXPECT_TRUE(p("10.0.0.0/8").covers(p("10.1.0.0/16")));
+  EXPECT_FALSE(p("10.1.0.0/16").covers(p("10.0.0.0/8")));
+  EXPECT_TRUE(p("10.0.0.0/8").covers(p("10.0.0.0/8")));
+  EXPECT_FALSE(p("10.0.0.0/8").covers(p("11.0.0.0/16")));
+  EXPECT_TRUE(p("0.0.0.0/0").covers(p("1.2.3.4/32")));
+}
+
+TEST(Prefix, RangeEndpoints) {
+  const Prefix prefix = p("10.1.0.0/16");
+  EXPECT_EQ(prefix.range_first().value(), 0x0A010000u);
+  EXPECT_EQ(prefix.range_last().value(), 0x0A01FFFFu);
+  EXPECT_EQ(p("0.0.0.0/0").range_last().value(), 0xFFFFFFFFu);
+  EXPECT_EQ(p("1.2.3.4/32").range_last().value(), 0x01020304u);
+}
+
+TEST(Prefix, EqualityIgnoresMaskedHostBits) {
+  EXPECT_EQ(Prefix(Ipv4Addr{0x0A0100FFu}, 16), Prefix(Ipv4Addr{0x0A010000u}, 16));
+  EXPECT_NE(Prefix(Ipv4Addr{0x0A010000u}, 16), Prefix(Ipv4Addr{0x0A010000u}, 17));
+}
+
+TEST(Prefix, MatchesIffAddressWithinEndpoints) {
+  // Property sweep over all /28s in one /24.
+  for (std::uint32_t base = 0xC0000200u; base < 0xC0000300u; base += 16) {
+    const Prefix prefix(Ipv4Addr{base}, 28);
+    for (std::uint32_t a = base - 4; a < base + 20; ++a) {
+      const bool inside = a >= prefix.range_first().value() &&
+                          a <= prefix.range_last().value();
+      EXPECT_EQ(prefix.matches(Ipv4Addr{a}), inside) << std::hex << a;
+    }
+  }
+}
+
+}  // namespace

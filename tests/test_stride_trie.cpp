@@ -1,0 +1,125 @@
+#include "trie/stride_trie.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "net/table_gen.h"
+#include "trie/binary_trie.h"
+
+namespace {
+
+using namespace spal;
+using net::Ipv4Addr;
+using net::Prefix;
+using net::RouteTable;
+using trie::StrideTrie;
+
+Prefix p(const char* text) { return *Prefix::parse(text); }
+
+TEST(StrideTrie, RejectsBadStrides) {
+  const RouteTable table;
+  EXPECT_THROW(StrideTrie(table, {16, 8}), std::invalid_argument);       // sums to 24
+  EXPECT_THROW(StrideTrie(table, {16, 8, 8, 8}), std::invalid_argument); // sums to 40
+  EXPECT_THROW(StrideTrie(table, {32, 0}), std::invalid_argument);       // zero stride
+}
+
+TEST(StrideTrie, ExpansionWithinOneLevel) {
+  RouteTable table;
+  table.add(p("10.0.0.0/12"), 1);  // expands to 16 slots at the 16-bit level
+  const StrideTrie trie(table);
+  EXPECT_EQ(trie.lookup(Ipv4Addr{0x0A000000u}), 1u);
+  EXPECT_EQ(trie.lookup(Ipv4Addr{0x0A0FFFFFu}), 1u);
+  EXPECT_EQ(trie.lookup(Ipv4Addr{0x0A100000u}), net::kNoRoute);
+}
+
+TEST(StrideTrie, LongerPrefixOverridesExpansion) {
+  RouteTable table;
+  table.add(p("10.0.0.0/12"), 1);
+  table.add(p("10.1.0.0/16"), 2);  // same level, overrides one slot
+  const StrideTrie trie(table);
+  EXPECT_EQ(trie.lookup(Ipv4Addr{0x0A010000u}), 2u);
+  EXPECT_EQ(trie.lookup(Ipv4Addr{0x0A020000u}), 1u);
+}
+
+TEST(StrideTrie, SlotHoldsBothHopAndChild) {
+  // A /16's slot also roots a child for a /24 beneath it: the child miss
+  // must fall back to the /16.
+  RouteTable table;
+  table.add(p("10.1.0.0/16"), 1);
+  table.add(p("10.1.2.0/24"), 2);
+  const StrideTrie trie(table);
+  EXPECT_EQ(trie.lookup(Ipv4Addr{0x0A010201u}), 2u);
+  EXPECT_EQ(trie.lookup(Ipv4Addr{0x0A010301u}), 1u);  // child miss -> /16
+}
+
+TEST(StrideTrie, AccessesEqualLevelsTraversed) {
+  RouteTable table;
+  table.add(p("10.1.0.0/16"), 1);
+  table.add(p("10.1.2.0/24"), 2);
+  table.add(p("10.1.2.128/25"), 3);
+  const StrideTrie trie(table);  // strides 16/8/8
+  trie::MemAccessCounter counter;
+  (void)trie.lookup_counted(Ipv4Addr{0x0A010281u}, counter);
+  EXPECT_EQ(counter.total(), 3u);  // one access per level
+  counter.reset();
+  (void)trie.lookup_counted(Ipv4Addr{0xC0000001u}, counter);
+  EXPECT_EQ(counter.total(), 1u);  // misses at the root level
+}
+
+class StrideConfigTest : public ::testing::TestWithParam<std::vector<int>> {};
+
+TEST_P(StrideConfigTest, OracleAgreementAcrossStrideChoices) {
+  net::TableGenConfig config;
+  config.size = 8'000;
+  config.seed = 71;
+  const RouteTable table = net::generate_table(config);
+  const trie::BinaryTrie oracle(table);
+  const StrideTrie trie(table, GetParam());
+  std::mt19937_64 rng(0xfade);
+  std::uniform_int_distribution<std::size_t> pick(0, table.size() - 1);
+  for (int i = 0; i < 10'000; ++i) {
+    const Ipv4Addr addr =
+        (i % 2 == 0)
+            ? Ipv4Addr{static_cast<std::uint32_t>(rng())}
+            : net::random_address_in(table.entries()[pick(rng)].prefix, rng);
+    ASSERT_EQ(trie.lookup(addr), oracle.lookup(addr)) << addr.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strides, StrideConfigTest,
+    ::testing::Values(std::vector<int>{16, 8, 8}, std::vector<int>{8, 8, 8, 8},
+                      std::vector<int>{24, 8}, std::vector<int>{4, 4, 4, 4, 4, 4, 4, 4}),
+    [](const ::testing::TestParamInfo<std::vector<int>>& info) {
+      std::string name;
+      for (const int s : info.param) name += std::to_string(s) + "_";
+      name.pop_back();
+      return name;
+    });
+
+TEST(StrideTrie, MemoryGrowsWithWiderStrides) {
+  net::TableGenConfig config;
+  config.size = 8'000;
+  config.seed = 72;
+  const RouteTable table = net::generate_table(config);
+  const StrideTrie narrow(table, {8, 8, 8, 8});
+  const StrideTrie wide(table, {24, 8});
+  // The 24/8 choice burns a 16M-slot root level (the Gupta scheme's cost);
+  // the 8/8/8/8 choice is far smaller but takes more accesses.
+  EXPECT_GT(wide.storage_bytes(), 10 * narrow.storage_bytes());
+  const double narrow_accesses = trie::mean_accesses_per_lookup(narrow, table, 3'000, 1);
+  const double wide_accesses = trie::mean_accesses_per_lookup(wide, table, 3'000, 1);
+  EXPECT_LT(wide_accesses, narrow_accesses);
+}
+
+TEST(StrideTrie, EmptyAndDefaultRoute) {
+  const StrideTrie empty{RouteTable{}};
+  EXPECT_EQ(empty.lookup(Ipv4Addr{1u}), net::kNoRoute);
+  RouteTable table;
+  table.add(p("0.0.0.0/0"), 9);
+  const StrideTrie with_default(table);
+  EXPECT_EQ(with_default.lookup(Ipv4Addr{0xFFFFFFFFu}), 9u);
+}
+
+}  // namespace

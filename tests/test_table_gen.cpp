@@ -1,0 +1,126 @@
+#include "net/table_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+namespace {
+
+using namespace spal::net;
+
+TEST(TableGen, ProducesExactSize) {
+  TableGenConfig config;
+  config.size = 5000;
+  config.seed = 11;
+  EXPECT_EQ(generate_table(config).size(), 5000u);
+}
+
+TEST(TableGen, DeterministicPerSeed) {
+  TableGenConfig config;
+  config.size = 3000;
+  config.seed = 99;
+  EXPECT_EQ(generate_table(config), generate_table(config));
+}
+
+TEST(TableGen, DifferentSeedsDiffer) {
+  TableGenConfig a, b;
+  a.size = b.size = 3000;
+  a.seed = 1;
+  b.seed = 2;
+  EXPECT_NE(generate_table(a), generate_table(b));
+}
+
+TEST(TableGen, MajorityAtMostSlash24) {
+  // The structural property Sec. 3.1 relies on: >83% of prefixes are /24 or
+  // shorter (the reason Criterion (1) rules out large bit positions).
+  TableGenConfig config;
+  config.size = 30'000;
+  config.seed = 5;
+  const RouteTable table = generate_table(config);
+  EXPECT_GT(static_cast<double>(table.count_length_at_most(24)),
+            0.83 * static_cast<double>(table.size()));
+}
+
+TEST(TableGen, Slash24Dominates) {
+  TableGenConfig config;
+  config.size = 30'000;
+  config.seed = 5;
+  const auto hist = generate_table(config).length_histogram();
+  // /24 carries the largest share of any single length.
+  for (int len = 0; len <= 32; ++len) {
+    if (len != 24) {
+      EXPECT_GE(hist[24], hist[static_cast<std::size_t>(len)]) << len;
+    }
+  }
+  EXPECT_GT(hist[24], 30'000u / 3);
+}
+
+TEST(TableGen, ContainsHostRoutes) {
+  // The paper stresses that backbone tables contain /32 exceptions.
+  TableGenConfig config;
+  config.size = 30'000;
+  config.seed = 5;
+  EXPECT_GT(generate_table(config).length_histogram()[32], 0u);
+}
+
+TEST(TableGen, ContainsNestedExceptions) {
+  TableGenConfig config;
+  config.size = 10'000;
+  config.seed = 5;
+  const RouteTable table = generate_table(config);
+  // Some prefix must be covered by a shorter one (aggregation structure).
+  std::size_t nested = 0;
+  const auto entries = table.entries();
+  for (std::size_t i = 0; i + 1 < entries.size(); ++i) {
+    if (entries[i].prefix.covers(entries[i + 1].prefix)) ++nested;
+  }
+  EXPECT_GT(nested, 100u);
+}
+
+TEST(TableGen, NoNestingWhenDisabled) {
+  TableGenConfig config;
+  config.size = 2000;
+  config.seed = 5;
+  config.nested_fraction = 0.0;
+  const RouteTable table = generate_table(config);
+  EXPECT_EQ(table.size(), 2000u);
+}
+
+TEST(TableGen, NextHopsWithinRange) {
+  TableGenConfig config;
+  config.size = 2000;
+  config.next_hops = 4;
+  for (const RouteEntry& e : generate_table(config).entries()) {
+    EXPECT_LT(e.next_hop, 4u);
+  }
+}
+
+TEST(TableGen, Rt1AndRt2MatchPaperSizes) {
+  EXPECT_EQ(make_rt1().size(), 41'709u);
+  EXPECT_EQ(make_rt2().size(), 140'838u);
+}
+
+TEST(TableGen, RandomAddressInStaysInsidePrefix) {
+  std::mt19937_64 rng(3);
+  const Prefix prefix = *Prefix::parse("10.1.2.0/24");
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(prefix.matches(random_address_in(prefix, rng)));
+  }
+}
+
+TEST(TableGen, RandomAddressInCoversHostBits) {
+  std::mt19937_64 rng(3);
+  const Prefix prefix = *Prefix::parse("10.1.2.0/24");
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 400; ++i) seen.insert(random_address_in(prefix, rng).value());
+  EXPECT_GT(seen.size(), 100u);  // host byte actually varies
+}
+
+TEST(TableGen, RandomAddressInHostRouteIsExact) {
+  std::mt19937_64 rng(3);
+  const Prefix prefix = *Prefix::parse("1.2.3.4/32");
+  EXPECT_EQ(random_address_in(prefix, rng).value(), 0x01020304u);
+}
+
+}  // namespace

@@ -1,0 +1,215 @@
+// Cross-trie correctness: every LPM implementation must agree with the
+// binary-trie oracle on random and adversarial tables. Parameterized over
+// (algorithm, table shape).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "net/table_gen.h"
+#include "trie/binary_trie.h"
+#include "trie/lpm.h"
+
+namespace {
+
+using namespace spal;
+using net::Ipv4Addr;
+using net::Prefix;
+using net::RouteTable;
+using trie::TrieKind;
+
+struct TableCase {
+  const char* label;
+  std::size_t size;
+  std::uint64_t seed;
+  double nested_fraction;
+};
+
+const TableCase kTables[] = {
+    {"small", 200, 1, 0.35},
+    {"medium", 5'000, 2, 0.35},
+    {"large", 40'000, 3, 0.35},
+    {"flat", 5'000, 4, 0.0},
+    {"deeply_nested", 5'000, 5, 0.8},
+};
+
+const TrieKind kKinds[] = {TrieKind::kDp, TrieKind::kLulea, TrieKind::kLc,
+                           TrieKind::kGupta, TrieKind::kStride};
+
+class TrieOracleTest
+    : public ::testing::TestWithParam<std::tuple<TrieKind, TableCase>> {
+ protected:
+  RouteTable make_table() const {
+    const TableCase& c = std::get<1>(GetParam());
+    net::TableGenConfig config;
+    config.size = c.size;
+    config.seed = c.seed;
+    config.nested_fraction = c.nested_fraction;
+    return net::generate_table(config);
+  }
+};
+
+TEST_P(TrieOracleTest, AgreesWithOracleOnUniformAddresses) {
+  const RouteTable table = make_table();
+  const trie::BinaryTrie oracle(table);
+  const auto index = trie::build_lpm(std::get<0>(GetParam()), table);
+  std::mt19937_64 rng(0xfeed);
+  for (int i = 0; i < 20'000; ++i) {
+    const Ipv4Addr addr{static_cast<std::uint32_t>(rng())};
+    ASSERT_EQ(index->lookup(addr), oracle.lookup(addr))
+        << index->name() << " disagrees at " << addr.to_string();
+  }
+}
+
+TEST_P(TrieOracleTest, AgreesWithOracleOnMatchedAddresses) {
+  const RouteTable table = make_table();
+  const trie::BinaryTrie oracle(table);
+  const auto index = trie::build_lpm(std::get<0>(GetParam()), table);
+  std::mt19937_64 rng(0xbead);
+  std::uniform_int_distribution<std::size_t> pick(0, table.size() - 1);
+  for (int i = 0; i < 20'000; ++i) {
+    const auto addr =
+        net::random_address_in(table.entries()[pick(rng)].prefix, rng);
+    ASSERT_EQ(index->lookup(addr), oracle.lookup(addr))
+        << index->name() << " disagrees at " << addr.to_string();
+  }
+}
+
+TEST_P(TrieOracleTest, AgreesOnPrefixBoundaries) {
+  // Range endpoints are where interval/run logic goes wrong first.
+  const RouteTable table = make_table();
+  const trie::BinaryTrie oracle(table);
+  const auto index = trie::build_lpm(std::get<0>(GetParam()), table);
+  std::size_t checked = 0;
+  for (const net::RouteEntry& e : table.entries()) {
+    if (++checked > 4000) break;
+    for (const Ipv4Addr addr :
+         {e.prefix.range_first(), e.prefix.range_last(),
+          Ipv4Addr{e.prefix.range_first().value() == 0
+                       ? 0u
+                       : e.prefix.range_first().value() - 1},
+          Ipv4Addr{e.prefix.range_last().value() == 0xFFFFFFFFu
+                       ? 0xFFFFFFFFu
+                       : e.prefix.range_last().value() + 1}}) {
+      ASSERT_EQ(index->lookup(addr), oracle.lookup(addr))
+          << index->name() << " disagrees at " << addr.to_string();
+    }
+  }
+}
+
+TEST_P(TrieOracleTest, CountedLookupReturnsSameResult) {
+  const RouteTable table = make_table();
+  const auto index = trie::build_lpm(std::get<0>(GetParam()), table);
+  std::mt19937_64 rng(0xcafe);
+  trie::MemAccessCounter counter;
+  for (int i = 0; i < 2'000; ++i) {
+    const Ipv4Addr addr{static_cast<std::uint32_t>(rng())};
+    ASSERT_EQ(index->lookup_counted(addr, counter), index->lookup(addr));
+  }
+  EXPECT_GT(counter.total(), 0u);
+}
+
+TEST_P(TrieOracleTest, StorageIsPositiveAndBounded) {
+  const RouteTable table = make_table();
+  const auto index = trie::build_lpm(std::get<0>(GetParam()), table);
+  EXPECT_GT(index->storage_bytes(), 0u);
+  const TrieKind kind = std::get<0>(GetParam());
+  if (kind == TrieKind::kGupta) {
+    // The hardware scheme's level-1 table alone is 32 MB (Sec. 2.1).
+    EXPECT_GE(index->storage_bytes(), 32u * 1024 * 1024);
+  } else if (kind == TrieKind::kStride) {
+    // Uncompressed multibit expansion: bounded but large — the memory cost
+    // the Lulea compression exists to avoid.
+    EXPECT_LT(index->storage_bytes(), 128u * 1024 * 1024);
+  } else {
+    // Compressed software tries stay far below the hardware footprint.
+    EXPECT_LT(index->storage_bytes(), 32u * 1024 * 1024);
+  }
+}
+
+std::string case_name(
+    const ::testing::TestParamInfo<std::tuple<TrieKind, TableCase>>& info) {
+  return std::string(trie::to_string(std::get<0>(info.param))) + "_" +
+         std::get<1>(info.param).label;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTriesAllTables, TrieOracleTest,
+                         ::testing::Combine(::testing::ValuesIn(kKinds),
+                                            ::testing::ValuesIn(kTables)),
+                         case_name);
+
+// --- Hand-built adversarial tables shared by all algorithms ---
+
+class TrieEdgeCaseTest : public ::testing::TestWithParam<TrieKind> {};
+
+TEST_P(TrieEdgeCaseTest, EmptyTable) {
+  const auto index = trie::build_lpm(GetParam(), RouteTable{});
+  EXPECT_EQ(index->lookup(Ipv4Addr{123u}), net::kNoRoute);
+}
+
+TEST_P(TrieEdgeCaseTest, OnlyDefaultRoute) {
+  RouteTable table;
+  table.add(*Prefix::parse("0.0.0.0/0"), 7);
+  const auto index = trie::build_lpm(GetParam(), table);
+  EXPECT_EQ(index->lookup(Ipv4Addr{0u}), 7u);
+  EXPECT_EQ(index->lookup(Ipv4Addr{0xFFFFFFFFu}), 7u);
+}
+
+TEST_P(TrieEdgeCaseTest, SingleHostRoute) {
+  RouteTable table;
+  table.add(*Prefix::parse("1.2.3.4/32"), 5);
+  const auto index = trie::build_lpm(GetParam(), table);
+  EXPECT_EQ(index->lookup(Ipv4Addr{0x01020304u}), 5u);
+  EXPECT_EQ(index->lookup(Ipv4Addr{0x01020305u}), net::kNoRoute);
+}
+
+TEST_P(TrieEdgeCaseTest, NestedChainAllLengths) {
+  // One prefix at every length along a single path.
+  RouteTable table;
+  for (int len = 0; len <= 32; ++len) {
+    table.add(Prefix(Ipv4Addr{0xAAAAAAAAu}, len), static_cast<net::NextHop>(len));
+  }
+  const trie::BinaryTrie oracle(table);
+  const auto index = trie::build_lpm(GetParam(), table);
+  std::mt19937_64 rng(4);
+  EXPECT_EQ(index->lookup(Ipv4Addr{0xAAAAAAAAu}), 32u);
+  for (int i = 0; i < 5'000; ++i) {
+    const Ipv4Addr addr{static_cast<std::uint32_t>(rng())};
+    ASSERT_EQ(index->lookup(addr), oracle.lookup(addr)) << addr.to_string();
+  }
+}
+
+TEST_P(TrieEdgeCaseTest, AdjacentSiblingsDifferentHops) {
+  RouteTable table;
+  table.add(*Prefix::parse("10.0.0.0/24"), 1);
+  table.add(*Prefix::parse("10.0.1.0/24"), 2);
+  table.add(*Prefix::parse("10.0.2.0/23"), 3);
+  const auto index = trie::build_lpm(GetParam(), table);
+  EXPECT_EQ(index->lookup(Ipv4Addr{0x0A000001u}), 1u);
+  EXPECT_EQ(index->lookup(Ipv4Addr{0x0A000101u}), 2u);
+  EXPECT_EQ(index->lookup(Ipv4Addr{0x0A000201u}), 3u);
+  EXPECT_EQ(index->lookup(Ipv4Addr{0x0A000301u}), 3u);
+  EXPECT_EQ(index->lookup(Ipv4Addr{0x0A000401u}), net::kNoRoute);
+}
+
+TEST_P(TrieEdgeCaseTest, StrideBoundaryPrefixes) {
+  // Lengths straddling the Lulea 16/24 level boundaries and LC-trie skips.
+  RouteTable table;
+  table.add(*Prefix::parse("10.1.0.0/16"), 1);
+  table.add(*Prefix::parse("10.1.0.0/17"), 2);
+  table.add(*Prefix::parse("10.1.0.0/24"), 3);
+  table.add(*Prefix::parse("10.1.0.0/25"), 4);
+  table.add(*Prefix::parse("10.1.0.128/25"), 5);
+  const trie::BinaryTrie oracle(table);
+  const auto index = trie::build_lpm(GetParam(), table);
+  for (std::uint32_t a = 0x0A100000u; a <= 0x0A120000u; a += 0x37) {
+    ASSERT_EQ(index->lookup(Ipv4Addr{a}), oracle.lookup(Ipv4Addr{a}))
+        << Ipv4Addr{a}.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, TrieEdgeCaseTest, ::testing::ValuesIn(kKinds),
+                         [](const ::testing::TestParamInfo<TrieKind>& info) {
+                           return std::string(trie::to_string(info.param));
+                         });
+
+}  // namespace

@@ -1,0 +1,137 @@
+#include "net/update_stream.h"
+
+#include <gtest/gtest.h>
+
+#include "net/table_gen.h"
+#include "trie/binary_trie.h"
+
+namespace {
+
+using namespace spal;
+using net::RouteTable;
+using net::TableUpdate;
+using net::UpdateKind;
+using net::UpdateStreamConfig;
+
+RouteTable base_table() {
+  net::TableGenConfig config;
+  config.size = 3'000;
+  config.seed = 701;
+  return net::generate_table(config);
+}
+
+TEST(UpdateStream, DeterministicPerSeed) {
+  const RouteTable table = base_table();
+  UpdateStreamConfig config;
+  config.count = 500;
+  config.seed = 3;
+  EXPECT_EQ(net::generate_update_stream(table, config),
+            net::generate_update_stream(table, config));
+  config.seed = 4;
+  EXPECT_NE(net::generate_update_stream(table, UpdateStreamConfig{500, 3}),
+            net::generate_update_stream(table, config));
+}
+
+TEST(UpdateStream, EveryUpdateAppliesCleanly) {
+  RouteTable table = base_table();
+  UpdateStreamConfig config;
+  config.count = 2'000;
+  for (const TableUpdate& update : net::generate_update_stream(table, config)) {
+    EXPECT_TRUE(net::apply_update(table, update));
+  }
+}
+
+TEST(UpdateStream, KindMixTracksConfiguredFractions) {
+  const RouteTable table = base_table();
+  UpdateStreamConfig config;
+  config.count = 5'000;
+  config.announce_fraction = 0.2;
+  config.withdraw_fraction = 0.3;
+  std::size_t announces = 0, withdraws = 0, changes = 0;
+  for (const TableUpdate& update : net::generate_update_stream(table, config)) {
+    switch (update.kind) {
+      case UpdateKind::kAnnounce: ++announces; break;
+      case UpdateKind::kWithdraw: ++withdraws; break;
+      case UpdateKind::kHopChange: ++changes; break;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(announces) / 5'000.0, 0.2, 0.03);
+  EXPECT_NEAR(static_cast<double>(withdraws) / 5'000.0, 0.3, 0.03);
+  EXPECT_NEAR(static_cast<double>(changes) / 5'000.0, 0.5, 0.03);
+}
+
+TEST(UpdateStream, TableSizeEvolvesByAnnouncesMinusWithdraws) {
+  RouteTable table = base_table();
+  const std::size_t initial = table.size();
+  UpdateStreamConfig config;
+  config.count = 1'000;
+  std::int64_t delta = 0;
+  for (const TableUpdate& update : net::generate_update_stream(table, config)) {
+    if (update.kind == UpdateKind::kAnnounce) ++delta;
+    if (update.kind == UpdateKind::kWithdraw) --delta;
+    net::apply_update(table, update);
+  }
+  EXPECT_EQ(static_cast<std::int64_t>(table.size()),
+            static_cast<std::int64_t>(initial) + delta);
+}
+
+TEST(UpdateStream, WithdrawalsNameLivePrefixesOnly) {
+  RouteTable table = base_table();
+  for (const TableUpdate& update :
+       net::generate_update_stream(table, UpdateStreamConfig{3'000, 9})) {
+    if (update.kind == UpdateKind::kWithdraw) {
+      EXPECT_TRUE(table.find(update.prefix).has_value())
+          << update.prefix.to_string();
+    }
+    net::apply_update(table, update);
+  }
+}
+
+TEST(UpdateStream, AnnouncementsAreNewPrefixes) {
+  RouteTable table = base_table();
+  for (const TableUpdate& update :
+       net::generate_update_stream(table, UpdateStreamConfig{3'000, 10})) {
+    if (update.kind == UpdateKind::kAnnounce) {
+      EXPECT_FALSE(table.find(update.prefix).has_value())
+          << update.prefix.to_string();
+    }
+    net::apply_update(table, update);
+  }
+}
+
+TEST(UpdateStream, IncrementalBinaryTrieMatchesRebuild) {
+  // Strong equivalence: applying the stream incrementally to a binary trie
+  // gives the same LPM behaviour as rebuilding from the updated table.
+  RouteTable table = base_table();
+  trie::BinaryTrie incremental(table);
+  const auto updates = net::generate_update_stream(table, UpdateStreamConfig{1'000, 11});
+  for (const TableUpdate& update : updates) {
+    net::apply_update(table, update);
+    switch (update.kind) {
+      case UpdateKind::kAnnounce:
+      case UpdateKind::kHopChange:
+        incremental.insert(update.prefix, update.next_hop);
+        break;
+      case UpdateKind::kWithdraw:
+        EXPECT_TRUE(incremental.remove(update.prefix));
+        break;
+    }
+  }
+  const trie::BinaryTrie rebuilt(table);
+  std::mt19937_64 rng(12);
+  std::uniform_int_distribution<std::size_t> pick(0, table.size() - 1);
+  for (int i = 0; i < 5'000; ++i) {
+    const auto addr =
+        net::random_address_in(table.entries()[pick(rng)].prefix, rng);
+    ASSERT_EQ(incremental.lookup(addr), rebuilt.lookup(addr));
+  }
+}
+
+TEST(UpdateStream, EmptyInitialTableStillGeneratesAnnounces) {
+  const auto updates =
+      net::generate_update_stream(RouteTable{}, UpdateStreamConfig{100, 13});
+  EXPECT_EQ(updates.size(), 100u);
+  EXPECT_EQ(updates.front().kind, UpdateKind::kAnnounce);
+}
+
+}  // namespace

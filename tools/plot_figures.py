@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Re-plot the paper's figures from the bench binaries' CSV output.
+
+Usage:
+    build/bench/bench_fig4_mix         > fig4.csv
+    build/bench/bench_fig5_cache_size  > fig5.csv
+    build/bench/bench_fig6_scaling     > fig6.csv
+    tools/plot_figures.py fig4.csv fig5.csv fig6.csv -o figures/
+
+Each input is one bench's stdout: '#'-prefixed comment lines, one header
+line naming the columns, then 'series,x,y[,...]' rows. One PNG (or, without
+matplotlib, one gnuplot-ready .dat file) is written per input.
+"""
+import argparse
+import collections
+import os
+import sys
+
+
+def parse_bench_csv(path):
+    """Returns (title, x_label, y_label, {series: [(x, y), ...]})."""
+    series = collections.OrderedDict()
+    title, columns = os.path.basename(path), None
+    with open(path) as stream:
+        for line in stream:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                if title == os.path.basename(path) and len(line) > 2:
+                    title = line[1:].strip()
+                continue
+            if columns is None:
+                columns = line.split(",")
+                continue
+            fields = line.split(",")
+            if len(fields) < 3:
+                continue
+            try:
+                x = float(fields[1])
+                y = float(fields[2])
+            except ValueError:
+                continue  # non-numeric rows (e.g. metrics summaries)
+            series.setdefault(fields[0], []).append((x, y))
+    x_label = columns[1] if columns and len(columns) > 1 else "x"
+    y_label = columns[2] if columns and len(columns) > 2 else "y"
+    return title, x_label, y_label, series
+
+
+def write_dat(path, out_dir, title, x_label, y_label, series):
+    """Gnuplot-friendly fallback when matplotlib is unavailable."""
+    base = os.path.splitext(os.path.basename(path))[0]
+    out = os.path.join(out_dir, base + ".dat")
+    with open(out, "w") as stream:
+        stream.write(f"# {title}\n# x: {x_label}  y: {y_label}\n")
+        for name, points in series.items():
+            stream.write(f'\n\n# series "{name}"\n')
+            for x, y in points:
+                stream.write(f"{x} {y}\n")
+    print(f"wrote {out} (plot with: gnuplot -e \"plot for [i=0:*] '{out}' "
+          f"index i with linespoints\")")
+
+
+def plot_png(plt, path, out_dir, title, x_label, y_label, series):
+    base = os.path.splitext(os.path.basename(path))[0]
+    out = os.path.join(out_dir, base + ".png")
+    figure, axes = plt.subplots(figsize=(6, 4))
+    for name, points in series.items():
+        points = sorted(points)
+        axes.plot([p[0] for p in points], [p[1] for p in points],
+                  marker="o", label=name)
+    axes.set_title(title, fontsize=9)
+    axes.set_xlabel(x_label)
+    axes.set_ylabel(y_label)
+    axes.grid(True, alpha=0.3)
+    axes.legend(fontsize=8)
+    figure.tight_layout()
+    figure.savefig(out, dpi=150)
+    plt.close(figure)
+    print(f"wrote {out}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("inputs", nargs="+", help="bench stdout captures")
+    parser.add_argument("-o", "--out-dir", default=".", help="output directory")
+    args = parser.parse_args()
+    os.makedirs(args.out_dir, exist_ok=True)
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        plt = None
+        print("matplotlib not available; writing gnuplot .dat files instead",
+              file=sys.stderr)
+
+    for path in args.inputs:
+        title, x_label, y_label, series = parse_bench_csv(path)
+        if not series:
+            print(f"{path}: no plottable rows, skipped", file=sys.stderr)
+            continue
+        if plt is not None:
+            plot_png(plt, path, args.out_dir, title, x_label, y_label, series)
+        else:
+            write_dat(path, args.out_dir, title, x_label, y_label, series)
+
+
+if __name__ == "__main__":
+    main()
