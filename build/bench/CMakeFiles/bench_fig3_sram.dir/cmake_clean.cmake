@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_sram.dir/bench_fig3_sram.cpp.o"
+  "CMakeFiles/bench_fig3_sram.dir/bench_fig3_sram.cpp.o.d"
+  "bench_fig3_sram"
+  "bench_fig3_sram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_sram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

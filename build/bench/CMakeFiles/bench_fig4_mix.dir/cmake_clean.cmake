@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_mix.dir/bench_fig4_mix.cpp.o"
+  "CMakeFiles/bench_fig4_mix.dir/bench_fig4_mix.cpp.o.d"
+  "bench_fig4_mix"
+  "bench_fig4_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

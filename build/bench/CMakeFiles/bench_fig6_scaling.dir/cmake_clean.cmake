@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_scaling.dir/bench_fig6_scaling.cpp.o"
+  "CMakeFiles/bench_fig6_scaling.dir/bench_fig6_scaling.cpp.o.d"
+  "bench_fig6_scaling"
+  "bench_fig6_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

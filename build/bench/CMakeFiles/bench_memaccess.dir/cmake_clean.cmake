@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memaccess.dir/bench_memaccess.cpp.o"
+  "CMakeFiles/bench_memaccess.dir/bench_memaccess.cpp.o.d"
+  "bench_memaccess"
+  "bench_memaccess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memaccess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rate_matrix.dir/bench_rate_matrix.cpp.o"
+  "CMakeFiles/bench_rate_matrix.dir/bench_rate_matrix.cpp.o.d"
+  "bench_rate_matrix"
+  "bench_rate_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rate_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trie_micro.dir/bench_trie_micro.cpp.o"
+  "CMakeFiles/bench_trie_micro.dir/bench_trie_micro.cpp.o.d"
+  "bench_trie_micro"
+  "bench_trie_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trie_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_update_cost.dir/bench_update_cost.cpp.o"
+  "CMakeFiles/bench_update_cost.dir/bench_update_cost.cpp.o.d"
+  "bench_update_cost"
+  "bench_update_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_update_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_update_policy.dir/bench_update_policy.cpp.o"
+  "CMakeFiles/bench_update_policy.dir/bench_update_policy.cpp.o.d"
+  "bench_update_policy"
+  "bench_update_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_update_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_worst_case.dir/bench_worst_case.cpp.o"
+  "CMakeFiles/bench_worst_case.dir/bench_worst_case.cpp.o.d"
+  "bench_worst_case"
+  "bench_worst_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_worst_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

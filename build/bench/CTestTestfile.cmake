@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(smoke_bench_fig4_mix "/root/repo/build/bench/bench_fig4_mix" "--packets=2000")
+set_tests_properties(smoke_bench_fig4_mix PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;32;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_fig5_cache_size "/root/repo/build/bench/bench_fig5_cache_size" "--packets=2000")
+set_tests_properties(smoke_bench_fig5_cache_size PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;32;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_fig6_scaling "/root/repo/build/bench/bench_fig6_scaling" "--packets=2000")
+set_tests_properties(smoke_bench_fig6_scaling PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;32;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_throughput "/root/repo/build/bench/bench_throughput" "--packets=2000")
+set_tests_properties(smoke_bench_throughput PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;32;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_rate_matrix "/root/repo/build/bench/bench_rate_matrix" "--packets=2000")
+set_tests_properties(smoke_bench_rate_matrix PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;32;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_baselines "/root/repo/build/bench/bench_baselines" "--packets=2000")
+set_tests_properties(smoke_bench_baselines PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;32;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_update_policy "/root/repo/build/bench/bench_update_policy" "--packets=2000")
+set_tests_properties(smoke_bench_update_policy PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;32;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_ablation "/root/repo/build/bench/bench_ablation" "--packets=2000")
+set_tests_properties(smoke_bench_ablation PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;32;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_worst_case "/root/repo/build/bench/bench_worst_case")
+set_tests_properties(smoke_bench_worst_case PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;34;add_test;/root/repo/bench/CMakeLists.txt;0;")

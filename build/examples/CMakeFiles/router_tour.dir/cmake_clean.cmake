@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/router_tour.dir/router_tour.cpp.o"
+  "CMakeFiles/router_tour.dir/router_tour.cpp.o.d"
+  "router_tour"
+  "router_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/router_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

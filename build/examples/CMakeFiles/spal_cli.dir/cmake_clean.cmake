@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spal_cli.dir/spal_cli.cpp.o"
+  "CMakeFiles/spal_cli.dir/spal_cli.cpp.o.d"
+  "spal_cli"
+  "spal_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spal_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_locality.dir/trace_locality.cpp.o"
+  "CMakeFiles/trace_locality.dir/trace_locality.cpp.o.d"
+  "trace_locality"
+  "trace_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

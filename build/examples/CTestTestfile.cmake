@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(smoke_quickstart "/root/repo/build/examples/quickstart" "4" "5000")
+set_tests_properties(smoke_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;13;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_partition_explorer "/root/repo/build/examples/partition_explorer" "6" "10000" "7")
+set_tests_properties(smoke_partition_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_trace_locality "/root/repo/build/examples/trace_locality" "20000")
+set_tests_properties(smoke_trace_locality PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_router_tour "/root/repo/build/examples/router_tour")
+set_tests_properties(smoke_router_tour PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_spal_cli "/root/repo/build/examples/spal_cli" "--psi=4" "--packets=5000" "--table-size=10000" "--verify")
+set_tests_properties(smoke_spal_cli PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_spal_cli_ipv6 "/root/repo/build/examples/spal_cli" "--ipv6" "--psi=4" "--packets=5000" "--table-size=10000" "--verify")
+set_tests_properties(smoke_spal_cli_ipv6 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")

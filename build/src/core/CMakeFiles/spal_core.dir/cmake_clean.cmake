@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spal_core.dir/router_sim.cpp.o"
+  "CMakeFiles/spal_core.dir/router_sim.cpp.o.d"
+  "libspal_core.a"
+  "libspal_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spal_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spal_fabric.dir/fabric.cpp.o"
+  "CMakeFiles/spal_fabric.dir/fabric.cpp.o.d"
+  "libspal_fabric.a"
+  "libspal_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spal_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/ip_addr.cpp" "src/net/CMakeFiles/spal_net.dir/ip_addr.cpp.o" "gcc" "src/net/CMakeFiles/spal_net.dir/ip_addr.cpp.o.d"
+  "/root/repo/src/net/prefix.cpp" "src/net/CMakeFiles/spal_net.dir/prefix.cpp.o" "gcc" "src/net/CMakeFiles/spal_net.dir/prefix.cpp.o.d"
+  "/root/repo/src/net/prefix6.cpp" "src/net/CMakeFiles/spal_net.dir/prefix6.cpp.o" "gcc" "src/net/CMakeFiles/spal_net.dir/prefix6.cpp.o.d"
+  "/root/repo/src/net/route_table.cpp" "src/net/CMakeFiles/spal_net.dir/route_table.cpp.o" "gcc" "src/net/CMakeFiles/spal_net.dir/route_table.cpp.o.d"
+  "/root/repo/src/net/table_gen.cpp" "src/net/CMakeFiles/spal_net.dir/table_gen.cpp.o" "gcc" "src/net/CMakeFiles/spal_net.dir/table_gen.cpp.o.d"
+  "/root/repo/src/net/update_stream.cpp" "src/net/CMakeFiles/spal_net.dir/update_stream.cpp.o" "gcc" "src/net/CMakeFiles/spal_net.dir/update_stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

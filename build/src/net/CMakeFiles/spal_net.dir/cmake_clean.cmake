@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spal_net.dir/ip_addr.cpp.o"
+  "CMakeFiles/spal_net.dir/ip_addr.cpp.o.d"
+  "CMakeFiles/spal_net.dir/prefix.cpp.o"
+  "CMakeFiles/spal_net.dir/prefix.cpp.o.d"
+  "CMakeFiles/spal_net.dir/prefix6.cpp.o"
+  "CMakeFiles/spal_net.dir/prefix6.cpp.o.d"
+  "CMakeFiles/spal_net.dir/route_table.cpp.o"
+  "CMakeFiles/spal_net.dir/route_table.cpp.o.d"
+  "CMakeFiles/spal_net.dir/table_gen.cpp.o"
+  "CMakeFiles/spal_net.dir/table_gen.cpp.o.d"
+  "CMakeFiles/spal_net.dir/update_stream.cpp.o"
+  "CMakeFiles/spal_net.dir/update_stream.cpp.o.d"
+  "libspal_net.a"
+  "libspal_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spal_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

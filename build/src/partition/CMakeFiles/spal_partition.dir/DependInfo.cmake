@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/bit_selector.cpp" "src/partition/CMakeFiles/spal_partition.dir/bit_selector.cpp.o" "gcc" "src/partition/CMakeFiles/spal_partition.dir/bit_selector.cpp.o.d"
+  "/root/repo/src/partition/partition6.cpp" "src/partition/CMakeFiles/spal_partition.dir/partition6.cpp.o" "gcc" "src/partition/CMakeFiles/spal_partition.dir/partition6.cpp.o.d"
+  "/root/repo/src/partition/rot_partition.cpp" "src/partition/CMakeFiles/spal_partition.dir/rot_partition.cpp.o" "gcc" "src/partition/CMakeFiles/spal_partition.dir/rot_partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/spal_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spal_partition.dir/bit_selector.cpp.o"
+  "CMakeFiles/spal_partition.dir/bit_selector.cpp.o.d"
+  "CMakeFiles/spal_partition.dir/partition6.cpp.o"
+  "CMakeFiles/spal_partition.dir/partition6.cpp.o.d"
+  "CMakeFiles/spal_partition.dir/rot_partition.cpp.o"
+  "CMakeFiles/spal_partition.dir/rot_partition.cpp.o.d"
+  "libspal_partition.a"
+  "libspal_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spal_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spal_trace.dir/trace_gen.cpp.o"
+  "CMakeFiles/spal_trace.dir/trace_gen.cpp.o.d"
+  "libspal_trace.a"
+  "libspal_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spal_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trie/binary_trie.cpp" "src/trie/CMakeFiles/spal_trie.dir/binary_trie.cpp.o" "gcc" "src/trie/CMakeFiles/spal_trie.dir/binary_trie.cpp.o.d"
+  "/root/repo/src/trie/binary_trie6.cpp" "src/trie/CMakeFiles/spal_trie.dir/binary_trie6.cpp.o" "gcc" "src/trie/CMakeFiles/spal_trie.dir/binary_trie6.cpp.o.d"
+  "/root/repo/src/trie/dp_trie.cpp" "src/trie/CMakeFiles/spal_trie.dir/dp_trie.cpp.o" "gcc" "src/trie/CMakeFiles/spal_trie.dir/dp_trie.cpp.o.d"
+  "/root/repo/src/trie/dp_trie6.cpp" "src/trie/CMakeFiles/spal_trie.dir/dp_trie6.cpp.o" "gcc" "src/trie/CMakeFiles/spal_trie.dir/dp_trie6.cpp.o.d"
+  "/root/repo/src/trie/gupta_trie.cpp" "src/trie/CMakeFiles/spal_trie.dir/gupta_trie.cpp.o" "gcc" "src/trie/CMakeFiles/spal_trie.dir/gupta_trie.cpp.o.d"
+  "/root/repo/src/trie/lc_trie.cpp" "src/trie/CMakeFiles/spal_trie.dir/lc_trie.cpp.o" "gcc" "src/trie/CMakeFiles/spal_trie.dir/lc_trie.cpp.o.d"
+  "/root/repo/src/trie/lc_trie6.cpp" "src/trie/CMakeFiles/spal_trie.dir/lc_trie6.cpp.o" "gcc" "src/trie/CMakeFiles/spal_trie.dir/lc_trie6.cpp.o.d"
+  "/root/repo/src/trie/lpm.cpp" "src/trie/CMakeFiles/spal_trie.dir/lpm.cpp.o" "gcc" "src/trie/CMakeFiles/spal_trie.dir/lpm.cpp.o.d"
+  "/root/repo/src/trie/lulea_trie.cpp" "src/trie/CMakeFiles/spal_trie.dir/lulea_trie.cpp.o" "gcc" "src/trie/CMakeFiles/spal_trie.dir/lulea_trie.cpp.o.d"
+  "/root/repo/src/trie/stride_trie.cpp" "src/trie/CMakeFiles/spal_trie.dir/stride_trie.cpp.o" "gcc" "src/trie/CMakeFiles/spal_trie.dir/stride_trie.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/spal_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

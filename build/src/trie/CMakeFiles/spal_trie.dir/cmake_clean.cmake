@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spal_trie.dir/binary_trie.cpp.o"
+  "CMakeFiles/spal_trie.dir/binary_trie.cpp.o.d"
+  "CMakeFiles/spal_trie.dir/binary_trie6.cpp.o"
+  "CMakeFiles/spal_trie.dir/binary_trie6.cpp.o.d"
+  "CMakeFiles/spal_trie.dir/dp_trie.cpp.o"
+  "CMakeFiles/spal_trie.dir/dp_trie.cpp.o.d"
+  "CMakeFiles/spal_trie.dir/dp_trie6.cpp.o"
+  "CMakeFiles/spal_trie.dir/dp_trie6.cpp.o.d"
+  "CMakeFiles/spal_trie.dir/gupta_trie.cpp.o"
+  "CMakeFiles/spal_trie.dir/gupta_trie.cpp.o.d"
+  "CMakeFiles/spal_trie.dir/lc_trie.cpp.o"
+  "CMakeFiles/spal_trie.dir/lc_trie.cpp.o.d"
+  "CMakeFiles/spal_trie.dir/lc_trie6.cpp.o"
+  "CMakeFiles/spal_trie.dir/lc_trie6.cpp.o.d"
+  "CMakeFiles/spal_trie.dir/lpm.cpp.o"
+  "CMakeFiles/spal_trie.dir/lpm.cpp.o.d"
+  "CMakeFiles/spal_trie.dir/lulea_trie.cpp.o"
+  "CMakeFiles/spal_trie.dir/lulea_trie.cpp.o.d"
+  "CMakeFiles/spal_trie.dir/stride_trie.cpp.o"
+  "CMakeFiles/spal_trie.dir/stride_trie.cpp.o.d"
+  "libspal_trie.a"
+  "libspal_trie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spal_trie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspal_trie.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_binary_trie.dir/test_binary_trie.cpp.o"
+  "CMakeFiles/test_binary_trie.dir/test_binary_trie.cpp.o.d"
+  "test_binary_trie"
+  "test_binary_trie.pdb"
+  "test_binary_trie[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_binary_trie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bit_selector.dir/test_bit_selector.cpp.o"
+  "CMakeFiles/test_bit_selector.dir/test_bit_selector.cpp.o.d"
+  "test_bit_selector"
+  "test_bit_selector.pdb"
+  "test_bit_selector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bit_selector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

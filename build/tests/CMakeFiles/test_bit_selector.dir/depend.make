@@ -1,0 +1,2 @@
+# Empty dependencies file for test_bit_selector.
+# This may be replaced when dependencies are built.

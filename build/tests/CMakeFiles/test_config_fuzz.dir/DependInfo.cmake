@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_config_fuzz.cpp" "tests/CMakeFiles/test_config_fuzz.dir/test_config_fuzz.cpp.o" "gcc" "tests/CMakeFiles/test_config_fuzz.dir/test_config_fuzz.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/spal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trie/CMakeFiles/spal_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/spal_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/spal_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/spal_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/spal_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_config_fuzz.dir/test_config_fuzz.cpp.o"
+  "CMakeFiles/test_config_fuzz.dir/test_config_fuzz.cpp.o.d"
+  "test_config_fuzz"
+  "test_config_fuzz.pdb"
+  "test_config_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_config_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

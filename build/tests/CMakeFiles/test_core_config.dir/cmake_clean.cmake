@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_config.dir/test_core_config.cpp.o"
+  "CMakeFiles/test_core_config.dir/test_core_config.cpp.o.d"
+  "test_core_config"
+  "test_core_config.pdb"
+  "test_core_config[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dp_trie.dir/test_dp_trie.cpp.o"
+  "CMakeFiles/test_dp_trie.dir/test_dp_trie.cpp.o.d"
+  "test_dp_trie"
+  "test_dp_trie.pdb"
+  "test_dp_trie[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dp_trie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

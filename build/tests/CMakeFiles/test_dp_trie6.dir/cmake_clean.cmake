@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dp_trie6.dir/test_dp_trie6.cpp.o"
+  "CMakeFiles/test_dp_trie6.dir/test_dp_trie6.cpp.o.d"
+  "test_dp_trie6"
+  "test_dp_trie6.pdb"
+  "test_dp_trie6[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dp_trie6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

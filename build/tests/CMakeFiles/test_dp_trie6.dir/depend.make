@@ -1,0 +1,2 @@
+# Empty dependencies file for test_dp_trie6.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ip_addr.dir/test_ip_addr.cpp.o"
+  "CMakeFiles/test_ip_addr.dir/test_ip_addr.cpp.o.d"
+  "test_ip_addr"
+  "test_ip_addr.pdb"
+  "test_ip_addr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ip_addr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ipv6.dir/test_ipv6.cpp.o"
+  "CMakeFiles/test_ipv6.dir/test_ipv6.cpp.o.d"
+  "test_ipv6"
+  "test_ipv6.pdb"
+  "test_ipv6[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ipv6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lc_trie.dir/test_lc_trie.cpp.o"
+  "CMakeFiles/test_lc_trie.dir/test_lc_trie.cpp.o.d"
+  "test_lc_trie"
+  "test_lc_trie.pdb"
+  "test_lc_trie[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lc_trie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

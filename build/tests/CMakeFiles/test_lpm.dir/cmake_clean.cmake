@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lpm.dir/test_lpm.cpp.o"
+  "CMakeFiles/test_lpm.dir/test_lpm.cpp.o.d"
+  "test_lpm"
+  "test_lpm.pdb"
+  "test_lpm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lr_cache.dir/test_lr_cache.cpp.o"
+  "CMakeFiles/test_lr_cache.dir/test_lr_cache.cpp.o.d"
+  "test_lr_cache"
+  "test_lr_cache.pdb"
+  "test_lr_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lr_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

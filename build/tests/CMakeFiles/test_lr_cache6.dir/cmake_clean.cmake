@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lr_cache6.dir/test_lr_cache6.cpp.o"
+  "CMakeFiles/test_lr_cache6.dir/test_lr_cache6.cpp.o.d"
+  "test_lr_cache6"
+  "test_lr_cache6.pdb"
+  "test_lr_cache6[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lr_cache6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_lr_cache6.
+# This may be replaced when dependencies are built.

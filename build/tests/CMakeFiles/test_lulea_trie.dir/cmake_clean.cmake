@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lulea_trie.dir/test_lulea_trie.cpp.o"
+  "CMakeFiles/test_lulea_trie.dir/test_lulea_trie.cpp.o.d"
+  "test_lulea_trie"
+  "test_lulea_trie.pdb"
+  "test_lulea_trie[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lulea_trie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

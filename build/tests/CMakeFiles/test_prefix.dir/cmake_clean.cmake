@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prefix.dir/test_prefix.cpp.o"
+  "CMakeFiles/test_prefix.dir/test_prefix.cpp.o.d"
+  "test_prefix"
+  "test_prefix.pdb"
+  "test_prefix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prefix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rot_partition.dir/test_rot_partition.cpp.o"
+  "CMakeFiles/test_rot_partition.dir/test_rot_partition.cpp.o.d"
+  "test_rot_partition"
+  "test_rot_partition.pdb"
+  "test_rot_partition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rot_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_route_table.dir/test_route_table.cpp.o"
+  "CMakeFiles/test_route_table.dir/test_route_table.cpp.o.d"
+  "test_route_table"
+  "test_route_table.pdb"
+  "test_route_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_route_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

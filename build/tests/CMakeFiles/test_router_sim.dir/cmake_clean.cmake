@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_router_sim.dir/test_router_sim.cpp.o"
+  "CMakeFiles/test_router_sim.dir/test_router_sim.cpp.o.d"
+  "test_router_sim"
+  "test_router_sim.pdb"
+  "test_router_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_router_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

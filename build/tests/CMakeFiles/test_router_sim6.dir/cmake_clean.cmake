@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_router_sim6.dir/test_router_sim6.cpp.o"
+  "CMakeFiles/test_router_sim6.dir/test_router_sim6.cpp.o.d"
+  "test_router_sim6"
+  "test_router_sim6.pdb"
+  "test_router_sim6[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_router_sim6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

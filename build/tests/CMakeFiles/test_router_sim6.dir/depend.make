@@ -1,0 +1,2 @@
+# Empty dependencies file for test_router_sim6.
+# This may be replaced when dependencies are built.

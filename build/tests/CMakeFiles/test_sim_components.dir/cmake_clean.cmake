@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_components.dir/test_sim_components.cpp.o"
+  "CMakeFiles/test_sim_components.dir/test_sim_components.cpp.o.d"
+  "test_sim_components"
+  "test_sim_components.pdb"
+  "test_sim_components[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stride_trie.dir/test_stride_trie.cpp.o"
+  "CMakeFiles/test_stride_trie.dir/test_stride_trie.cpp.o.d"
+  "test_stride_trie"
+  "test_stride_trie.pdb"
+  "test_stride_trie[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stride_trie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_table_gen.dir/test_table_gen.cpp.o"
+  "CMakeFiles/test_table_gen.dir/test_table_gen.cpp.o.d"
+  "test_table_gen"
+  "test_table_gen.pdb"
+  "test_table_gen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_table_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_gen.dir/test_trace_gen.cpp.o"
+  "CMakeFiles/test_trace_gen.dir/test_trace_gen.cpp.o.d"
+  "test_trace_gen"
+  "test_trace_gen.pdb"
+  "test_trace_gen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

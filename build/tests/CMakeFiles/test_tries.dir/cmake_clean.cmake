@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tries.dir/test_tries.cpp.o"
+  "CMakeFiles/test_tries.dir/test_tries.cpp.o.d"
+  "test_tries"
+  "test_tries.pdb"
+  "test_tries[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

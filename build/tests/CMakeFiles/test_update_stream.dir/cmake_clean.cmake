@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_update_stream.dir/test_update_stream.cpp.o"
+  "CMakeFiles/test_update_stream.dir/test_update_stream.cpp.o.d"
+  "test_update_stream"
+  "test_update_stream.pdb"
+  "test_update_stream[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_update_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
