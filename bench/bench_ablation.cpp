@@ -6,6 +6,9 @@
 //   D. replacement policy LRU/FIFO/random             [Sec. 3.2]
 //   E. criteria-selected control bits vs naive first-η bits vs random bits
 //      (partition quality feeding lookup performance) [Sec. 3.1]
+//
+// Variants are independent simulations: configs are assembled sequentially,
+// then every (study, variant) point runs concurrently on the sweep runner.
 #include <random>
 
 #include "bench_util.h"
@@ -14,15 +17,11 @@ using namespace spal;
 
 namespace {
 
-void run_and_print(const char* study, const char* variant,
-                   core::RouterConfig config, std::size_t packets) {
-  config.packets_per_lc = packets;
-  core::RouterSim router(bench::rt2(), config);
-  const auto result = router.run_workload(trace::profile_l92_1());
-  std::printf("%s,%s,%.3f,%.4f,%llu\n", study, variant,
-              result.mean_lookup_cycles(), result.cache_total.hit_rate(),
-              static_cast<unsigned long long>(result.fe_lookups));
-}
+struct Point {
+  std::string study;
+  std::string variant;
+  core::RouterConfig config;
+};
 
 }  // namespace
 
@@ -32,27 +31,32 @@ int main(int argc, char** argv) {
   const std::size_t packets = args.full ? args.packets_per_lc : args.packets_per_lc / 2;
   bench::print_header("Ablations (psi=4, beta=4K, trace L_92-1 unless noted)",
                       "study,variant,mean_cycles,hit_rate,fe_lookups");
+  bench::rt2();
+
+  std::vector<Point> points;
+  const auto add = [&](const char* study, std::string variant,
+                       core::RouterConfig config) {
+    config.packets_per_lc = packets;
+    points.push_back({study, std::move(variant), std::move(config)});
+  };
 
   {  // A: victim cache
-    core::RouterConfig with = bench::figure_config(4, packets);
-    run_and_print("victim_cache", "8_blocks", with, packets);
+    add("victim_cache", "8_blocks", bench::figure_config(4, packets));
     core::RouterConfig without = bench::figure_config(4, packets);
     without.cache.victim_blocks = 0;
-    run_and_print("victim_cache", "disabled", without, packets);
+    add("victim_cache", "disabled", without);
   }
   {  // B: early reservation (W bit)
-    core::RouterConfig with = bench::figure_config(4, packets);
-    run_and_print("early_reservation", "enabled", with, packets);
+    add("early_reservation", "enabled", bench::figure_config(4, packets));
     core::RouterConfig without = bench::figure_config(4, packets);
     without.early_reservation = false;
-    run_and_print("early_reservation", "disabled", without, packets);
+    add("early_reservation", "disabled", without);
   }
   {  // C: associativity
     for (const std::size_t assoc : {1u, 2u, 4u, 8u}) {
       core::RouterConfig config = bench::figure_config(4, packets);
       config.cache.associativity = assoc;
-      const std::string variant = "ways_" + std::to_string(assoc);
-      run_and_print("associativity", variant.c_str(), config, packets);
+      add("associativity", "ways_" + std::to_string(assoc), config);
     }
   }
   {  // D: replacement policy
@@ -65,15 +69,14 @@ int main(int argc, char** argv) {
     for (const auto& [policy, label] : kPolicies) {
       core::RouterConfig config = bench::figure_config(4, packets);
       config.cache.replacement = policy;
-      run_and_print("replacement", label, config, packets);
+      add("replacement", label, config);
     }
   }
   {  // E: control-bit selection quality
-    core::RouterConfig chosen = bench::figure_config(4, packets);
-    run_and_print("control_bits", "criteria", chosen, packets);
+    add("control_bits", "criteria", bench::figure_config(4, packets));
     core::RouterConfig naive = bench::figure_config(4, packets);
     naive.partition_config.control_bits = {0, 1};
-    run_and_print("control_bits", "first_eta_bits", naive, packets);
+    add("control_bits", "first_eta_bits", naive);
     core::RouterConfig random_bits = bench::figure_config(4, packets);
     std::mt19937_64 rng(11);
     while (random_bits.partition_config.control_bits.size() < 2) {
@@ -81,7 +84,16 @@ int main(int argc, char** argv) {
       auto& bits = random_bits.partition_config.control_bits;
       if (std::find(bits.begin(), bits.end(), bit) == bits.end()) bits.push_back(bit);
     }
-    run_and_print("control_bits", "random_bits", random_bits, packets);
+    add("control_bits", "random_bits", random_bits);
   }
+
+  bench::print_sweep(points, [&](const Point& point) {
+    core::RouterSim router(bench::rt2(), point.config);
+    const auto result = router.run_workload(trace::profile_l92_1());
+    return bench::rowf("%s,%s,%.3f,%.4f,%llu\n", point.study.c_str(),
+                       point.variant.c_str(), result.mean_lookup_cycles(),
+                       result.cache_total.hit_rate(),
+                       static_cast<unsigned long long>(result.fe_lookups));
+  });
   return 0;
 }

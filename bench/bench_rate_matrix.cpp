@@ -4,6 +4,9 @@
 // similar trend" — this bench prints all four so the claim is checkable.
 //
 // Fixed: ψ = 4, β = 4K, γ = 50%.
+//
+// Points are independent simulations and run concurrently on the sweep
+// runner; rows print in sweep order, identical to the sequential output.
 #include "bench_util.h"
 
 using namespace spal;
@@ -13,20 +16,34 @@ int main(int argc, char** argv) {
   bench::print_header(
       "Sec. 5.2: mean lookup time across the four simulated cases (psi=4)",
       "trace,line_gbps,fe_cycles,mean_cycles,hit_rate");
-  for (const auto& profile : trace::all_profiles()) {
+  bench::rt2();
+
+  struct Point {
+    const trace::WorkloadProfile* profile;
+    double gbps;
+    int fe_cycles;
+  };
+  const auto profiles = trace::all_profiles();
+  std::vector<Point> points;
+  for (const auto& profile : profiles) {
     for (const double gbps : {10.0, 40.0}) {
       for (const int fe_cycles : {40, 62}) {
-        core::RouterConfig config = bench::figure_config(4, args.packets_per_lc);
-        config.line_rate_gbps = gbps;
-        config.fe_service_cycles = fe_cycles;
-        config.trie = fe_cycles == 40 ? trie::TrieKind::kLulea : trie::TrieKind::kDp;
-        core::RouterSim router(bench::rt2(), config);
-        const auto result = router.run_workload(profile);
-        std::printf("%s,%.0f,%d,%.3f,%.4f\n", profile.name.c_str(), gbps,
-                    fe_cycles, result.mean_lookup_cycles(),
-                    result.cache_total.hit_rate());
+        points.push_back({&profile, gbps, fe_cycles});
       }
     }
   }
+  bench::print_sweep(points, [&](const Point& point) {
+    core::RouterConfig config = bench::figure_config(4, args.packets_per_lc);
+    config.line_rate_gbps = point.gbps;
+    config.fe_service_cycles = point.fe_cycles;
+    config.trie =
+        point.fe_cycles == 40 ? trie::TrieKind::kLulea : trie::TrieKind::kDp;
+    core::RouterSim router(bench::rt2(), config);
+    const auto result = router.run_workload(*point.profile);
+    return bench::rowf("%s,%.0f,%d,%.3f,%.4f\n", point.profile->name.c_str(),
+                       point.gbps, point.fe_cycles,
+                       result.mean_lookup_cycles(),
+                       result.cache_total.hit_rate());
+  });
   return 0;
 }

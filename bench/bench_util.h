@@ -7,18 +7,24 @@
 // --packets=N for anything else).
 #pragma once
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/spal.h"
+#include "sim/sweep.h"
 
 namespace spal::bench {
 
 struct BenchArgs {
   std::size_t packets_per_lc = 100'000;
   bool full = false;
+  // Event-engine override (--engine=heap|calendar) for A/B wall-clock runs;
+  // results are bit-identical either way.
+  sim::EngineKind engine = sim::EngineKind::kCalendar;
 
   static BenchArgs parse(int argc, char** argv) {
     BenchArgs args;
@@ -28,6 +34,10 @@ struct BenchArgs {
         args.packets_per_lc = 300'000;  // the paper's per-LC packet count
       } else if (std::strncmp(argv[i], "--packets=", 10) == 0) {
         args.packets_per_lc = static_cast<std::size_t>(std::atoll(argv[i] + 10));
+      } else if (std::strcmp(argv[i], "--engine=heap") == 0) {
+        args.engine = sim::EngineKind::kHeap;
+      } else if (std::strcmp(argv[i], "--engine=calendar") == 0) {
+        args.engine = sim::EngineKind::kCalendar;
       }
     }
     return args;
@@ -61,6 +71,27 @@ inline void print_header(const char* title, const char* columns) {
   std::printf("# paper: SPAL (Tzeng, ICPP 2004); tables/traces are synthetic "
               "stand-ins, see DESIGN.md\n");
   std::printf("%s\n", columns);
+}
+
+/// printf-style formatting into a std::string (for sweep points that build
+/// their CSV row off the main thread).
+inline std::string rowf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  char buffer[512];
+  std::vsnprintf(buffer, sizeof buffer, fmt, args);
+  va_end(args);
+  return buffer;
+}
+
+/// Runs fn over every point on the parallel sweep runner (worker count from
+/// SPAL_SWEEP_THREADS or the hardware) and prints the returned rows in point
+/// order — output is byte-identical to a sequential run.
+template <typename Point, typename Fn>
+void print_sweep(const std::vector<Point>& points, Fn fn) {
+  for (const std::string& row : sim::parallel_sweep(points, std::move(fn))) {
+    std::fputs(row.c_str(), stdout);
+  }
 }
 
 }  // namespace spal::bench

@@ -35,6 +35,7 @@
 #include "cache/basic_lr_cache.h"
 #include "core/router_config.h"
 #include "fabric/fabric.h"
+#include "sim/calendar_queue.h"
 #include "sim/engine.h"
 #include "sim/packet_source.h"
 
@@ -85,7 +86,23 @@ class BasicRouterSim {
     result_ = RouterResult();
     result_.per_lc_latency.assign(static_cast<std::size_t>(config_.num_lcs),
                                   sim::LatencyStats{});
-    queue_ = sim::EventQueue<Event>{};
+    std::size_t total_packets = 0;
+    for (const auto& stream : streams) total_packets += stream.size();
+    // Generate per-LC arrival times before sizing the queue: the count bounds
+    // its peak population and the last arrival bounds the schedule horizon
+    // (so the calendar engine picks a bucket width that fits the whole run).
+    std::vector<std::vector<std::uint64_t>> arrivals_per_lc;
+    arrivals_per_lc.reserve(static_cast<std::size_t>(config_.num_lcs));
+    std::uint64_t arrival_horizon = 0;
+    for (int lc = 0; lc < config_.num_lcs; ++lc) {
+      arrivals_per_lc.push_back(sim::generate_arrival_times(
+          config_.line_rate_gbps, streams[static_cast<std::size_t>(lc)].size(),
+          config_.seed ^ (0xabcdef12345ULL + static_cast<std::uint64_t>(lc))));
+      if (!arrivals_per_lc.back().empty()) {
+        arrival_horizon = std::max(arrival_horizon, arrivals_per_lc.back().back());
+      }
+    }
+    queue_.reset(config_.engine, total_packets, arrival_horizon);
     waiting_.clear();
     for (const auto& c : caches_) c->reset();
     fabric_->reset();
@@ -103,8 +120,6 @@ class BasicRouterSim {
     }
 
     // Assign global packet ids and schedule arrivals.
-    std::size_t total_packets = 0;
-    for (const auto& stream : streams) total_packets += stream.size();
     arrival_time_.assign(total_packets, 0);
     arrival_lc_.assign(total_packets, 0);
     resolved_.assign(total_packets, false);
@@ -113,9 +128,7 @@ class BasicRouterSim {
     std::int64_t packet_id = 0;
     for (int lc = 0; lc < config_.num_lcs; ++lc) {
       const auto& stream = streams[static_cast<std::size_t>(lc)];
-      const auto arrivals = sim::generate_arrival_times(
-          config_.line_rate_gbps, stream.size(),
-          config_.seed ^ (0xabcdef12345ULL + static_cast<std::uint64_t>(lc)));
+      const auto& arrivals = arrivals_per_lc[static_cast<std::size_t>(lc)];
       for (std::size_t i = 0; i < stream.size(); ++i) {
         arrival_time_[static_cast<std::size_t>(packet_id)] = arrivals[i];
         arrival_lc_[static_cast<std::size_t>(packet_id)] = lc;
@@ -157,6 +170,8 @@ class BasicRouterSim {
 
   const RouterConfig& config() const { return config_; }
   const Partition& partition() const { return *rot_; }
+  /// The full (unfragmented) routing table the router was built from.
+  const Table& table() const { return full_table_; }
 
   /// Per-LC forwarding-index storage in bytes.
   std::vector<std::size_t> fe_storage_bytes() const {
@@ -203,6 +218,38 @@ class BasicRouterSim {
   };
   WaitKey wait_key(int lc, const Addr& addr) const { return WaitKey{lc, addr}; }
 
+  using WaitMap = std::unordered_map<WaitKey, std::vector<Requester>, WaitKeyHash>;
+
+  /// The waiting list for (lc, addr), creating it from the node free-list
+  /// when possible so the hot miss path performs no allocation.
+  std::vector<Requester>& waiters(int lc, const Addr& addr) {
+    const WaitKey key = wait_key(lc, addr);
+    const auto it = waiting_.find(key);
+    if (it != waiting_.end()) return it->second;
+    if (!wait_pool_.empty()) {
+      auto node = std::move(wait_pool_.back());
+      wait_pool_.pop_back();
+      node.key() = key;
+      return waiting_.insert(std::move(node)).position->second;
+    }
+    return waiting_[key];
+  }
+
+  /// Moves the waiting list for (lc, addr) into a scratch buffer (empty if
+  /// none) and recycles both the map node and the vector capacity. The
+  /// scratch is a member: callers drain it before the next take_waiters().
+  const std::vector<Requester>& take_waiters(int lc, const Addr& addr) {
+    wait_scratch_.clear();
+    const auto it = waiting_.find(wait_key(lc, addr));
+    if (it != waiting_.end()) {
+      // Swap (not move) so the extracted node inherits the scratch's old
+      // capacity and carries it back through the pool.
+      wait_scratch_.swap(it->second);
+      wait_pool_.push_back(waiting_.extract(it));
+    }
+    return wait_scratch_;
+  }
+
   void handle_lookup(std::uint64_t now, const Event& event) {
     const int lc = event.lc;
     const Addr addr = event.addr;
@@ -222,7 +269,7 @@ class BasicRouterSim {
           deliver_result(now + 1, lc, addr, probe.next_hop, requester);
           return;
         case cache::ProbeState::kWaiting:
-          waiting_[wait_key(lc, addr)].push_back(requester);
+          waiters(lc, addr).push_back(requester);
           return;
         case cache::ProbeState::kMiss:
           break;
@@ -234,7 +281,7 @@ class BasicRouterSim {
       if (!caches_.empty() && config_.early_reservation) {
         fill = caches_[static_cast<std::size_t>(lc)]->reserve(
             addr, cache::Origin::kLocal, now);
-        if (fill) waiting_[wait_key(lc, addr)].push_back(requester);
+        if (fill) waiters(lc, addr).push_back(requester);
       }
       start_fe_job(now, lc, addr, fill, requester);
     } else {
@@ -243,7 +290,7 @@ class BasicRouterSim {
       if (!caches_.empty() && config_.early_reservation) {
         if (caches_[static_cast<std::size_t>(lc)]->reserve(
                 addr, cache::Origin::kRemote, now)) {
-          waiting_[wait_key(lc, addr)].push_back(requester);
+          waiters(lc, addr).push_back(requester);
           forwarded.fill_on_reply = true;
         }
       }
@@ -278,11 +325,8 @@ class BasicRouterSim {
       }
       // Serve everything parked on the block: local packets resolve, remote
       // requesters receive replies over the fabric.
-      const auto node = waiting_.extract(wait_key(lc, addr));
-      if (!node.empty()) {
-        for (const Requester& r : node.mapped()) {
-          deliver_result(now, lc, addr, hop, r);
-        }
+      for (const Requester& r : take_waiters(lc, addr)) {
+        deliver_result(now, lc, addr, hop, r);
       }
     } else {
       // No reserved block (early recording disabled or the reservation
@@ -310,11 +354,8 @@ class BasicRouterSim {
     // Drain local packets parked while this reply was in flight (the
     // carried requester is usually among them; resolve_packet guards
     // duplicates).
-    const auto node = waiting_.extract(wait_key(lc, addr));
-    if (!node.empty()) {
-      for (const Requester& r : node.mapped()) {
-        resolve_packet(now, r.packet, event.hop);
-      }
+    for (const Requester& r : take_waiters(lc, addr)) {
+      resolve_packet(now, r.packet, event.hop);
     }
     resolve_packet(now, event.requester.packet, event.hop);
   }
@@ -383,11 +424,13 @@ class BasicRouterSim {
   std::unique_ptr<typename Family::Oracle> oracle_;  // verify mode
 
   // Run state (reset per run()).
-  sim::EventQueue<Event> queue_;
+  sim::AnyEventQueue<Event> queue_;
   std::vector<std::uint64_t> cache_port_free_;       // per LC
   std::vector<std::vector<std::uint64_t>> fe_free_;  // per LC, per FE server
   std::vector<std::uint64_t> fe_busy_;               // per LC, busy cycles
-  std::unordered_map<WaitKey, std::vector<Requester>, WaitKeyHash> waiting_;
+  WaitMap waiting_;
+  std::vector<typename WaitMap::node_type> wait_pool_;  // recycled list nodes
+  std::vector<Requester> wait_scratch_;                 // take_waiters() buffer
   std::vector<std::uint64_t> arrival_time_;          // per packet
   std::vector<int> arrival_lc_;                      // per packet
   std::vector<Addr> destinations_;                   // per packet

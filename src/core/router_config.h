@@ -8,6 +8,7 @@
 #include "cache/lr_cache.h"
 #include "fabric/fabric.h"
 #include "partition/rot_partition.h"
+#include "sim/calendar_queue.h"
 #include "sim/metrics.h"
 #include "trie/lpm.h"
 
@@ -25,6 +26,12 @@ struct RouterConfig {
 
   trie::TrieKind trie = trie::TrieKind::kLulea;
   trie::LpmBuildOptions trie_options;
+
+  /// Event-queue implementation driving the simulation. Both engines pop
+  /// events in the identical (time, insertion-seq) order, so results are
+  /// bit-identical; the calendar queue is O(1) amortized per event and is
+  /// the default. kHeap remains for A/B measurement and as a reference.
+  sim::EngineKind engine = sim::EngineKind::kCalendar;
 
   bool partition = true;               ///< SPAL table fragmentation
   partition::PartitionConfig partition_config;

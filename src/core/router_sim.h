@@ -64,7 +64,7 @@ class RouterSim {
   /// Builds the router: fragments `table` (if configured), builds one trie
   /// per LC over its forwarding table, and instantiates LR-caches/fabric.
   RouterSim(const net::RouteTable& table, const RouterConfig& config)
-      : impl_(table, config), full_table_(table) {}
+      : impl_(table, config) {}
 
   /// Runs one simulation over per-LC destination streams (streams.size()
   /// must equal ψ). With `verify` set, every resolved next hop is checked
@@ -97,11 +97,10 @@ class RouterSim {
 
  private:
   /// Workload streams are drawn from the whole routing table (the union of
-  /// the partitions), so a copy is kept alongside the simulation core.
-  const net::RouteTable& full_table_for_traces() const { return full_table_; }
+  /// the partitions); the simulation core already holds that copy.
+  const net::RouteTable& full_table_for_traces() const { return impl_.table(); }
 
   BasicRouterSim<V4Family> impl_;
-  net::RouteTable full_table_;
 };
 
 }  // namespace spal::core

@@ -54,7 +54,7 @@ struct V6Family {
 class RouterSim6 {
  public:
   RouterSim6(const net::RouteTable6& table, const RouterConfig& config)
-      : impl_(table, config), full_table_(table) {}
+      : impl_(table, config) {}
 
   RouterResult run(const std::vector<std::vector<net::Ipv6Addr>>& streams,
                    bool verify = false) {
@@ -63,7 +63,7 @@ class RouterSim6 {
 
   RouterResult run_workload(const trace::WorkloadProfile& profile,
                             bool verify = false) {
-    const trace::TraceGenerator6 generator(profile, full_table_);
+    const trace::TraceGenerator6 generator(profile, impl_.table());
     std::vector<std::vector<net::Ipv6Addr>> streams;
     const int num_lcs = impl_.config().num_lcs;
     streams.reserve(static_cast<std::size_t>(num_lcs));
@@ -81,7 +81,6 @@ class RouterSim6 {
 
  private:
   BasicRouterSim<V6Family> impl_;
-  net::RouteTable6 full_table_;
 };
 
 }  // namespace spal::core

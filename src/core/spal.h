@@ -36,9 +36,11 @@
 #include "partition/bit_selector.h"
 #include "partition/partition6.h"
 #include "partition/rot_partition.h"
+#include "sim/calendar_queue.h"
 #include "sim/engine.h"
 #include "sim/metrics.h"
 #include "sim/packet_source.h"
+#include "sim/sweep.h"
 #include "trace/trace_gen.h"
 #include "trie/binary_trie.h"
 #include "trie/binary_trie6.h"

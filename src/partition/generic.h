@@ -13,6 +13,9 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
 #include <numeric>
 #include <span>
 #include <vector>
@@ -50,26 +53,93 @@ void split_subset(const std::vector<Entry>& subset, int bit,
   }
 }
 
+namespace detail {
+
+/// Tri-state view of one prefix over candidate positions 0..bits-1, packed
+/// into bitmasks (two words cover IPv6's 64-bit search window and then
+/// some). Positions in neither mask read as zero.
+struct PackedPrefix {
+  std::array<std::uint64_t, 2> ones{};
+  std::array<std::uint64_t, 2> stars{};
+};
+
+/// Per-position Φ tallies over one subset, accumulated by iterating each
+/// member's set bits (Kernighan-style), so the cost per entry is its
+/// popcount rather than one branch per candidate position.
+struct SubsetTallies {
+  std::array<std::uint64_t, 128> ones{};
+  std::array<std::uint64_t, 128> stars{};
+  std::size_t members = 0;
+
+  void add(const PackedPrefix& p) {
+    ++members;
+    for (int w = 0; w < 2; ++w) {
+      for (std::uint64_t m = p.ones[w]; m != 0; m &= m - 1) {
+        ++ones[static_cast<std::size_t>(w * 64 + std::countr_zero(m))];
+      }
+      for (std::uint64_t m = p.stars[w]; m != 0; m &= m - 1) {
+        ++stars[static_cast<std::size_t>(w * 64 + std::countr_zero(m))];
+      }
+    }
+  }
+
+  BitStats stats(int bit) const {
+    BitStats s;
+    s.phi1 = ones[static_cast<std::size_t>(bit)];
+    s.phi_star = stars[static_cast<std::size_t>(bit)];
+    s.phi0 = members - s.phi1 - s.phi_star;
+    return s;
+  }
+};
+
+}  // namespace detail
+
 /// Greedy recursive control-bit selection per the two criteria (see
-/// BitScore for the arbitration rule).
+/// BitScore for the arbitration rule). Prefixes are packed into tri-state
+/// bitmasks once; every round then tallies all candidate positions in a
+/// single pass per subset. Scores — and therefore the chosen bits — are
+/// identical to the direct per-bit scan.
 template <typename Table>
 std::vector<int> select_control_bits(const Table& table, int count, int max_bit) {
-  using Entry = typename std::remove_cvref_t<decltype(table.entries()[0])>;
   std::vector<int> chosen;
-  if (count <= 0 || table.size() == 0) return chosen;
+  if (count <= 0 || table.size() == 0 || max_bit < 0 || max_bit > 127) {
+    return chosen;
+  }
+  const int bits = max_bit + 1;
 
-  std::vector<std::vector<Entry>> subsets(1);
-  subsets[0].assign(table.entries().begin(), table.entries().end());
+  std::vector<detail::PackedPrefix> all;
+  all.reserve(table.size());
+  for (const auto& e : table.entries()) {
+    detail::PackedPrefix p;
+    for (int b = 0; b < bits; ++b) {
+      switch (e.prefix.bit(b)) {
+        case net::PrefixBit::kZero: break;
+        case net::PrefixBit::kOne:
+          p.ones[static_cast<std::size_t>(b >> 6)] |= 1ull << (b & 63);
+          break;
+        case net::PrefixBit::kStar:
+          p.stars[static_cast<std::size_t>(b >> 6)] |= 1ull << (b & 63);
+          break;
+      }
+    }
+    all.push_back(p);
+  }
+
+  std::vector<std::vector<detail::PackedPrefix>> subsets(1);
+  subsets[0] = std::move(all);
 
   for (int round = 0; round < count; ++round) {
+    std::vector<detail::SubsetTallies> tallies(subsets.size());
+    for (std::size_t s = 0; s < subsets.size(); ++s) {
+      for (const detail::PackedPrefix& p : subsets[s]) tallies[s].add(p);
+    }
     int best_bit = -1;
     BitScore best_score{};
-    for (int bit = 0; bit <= max_bit; ++bit) {
+    for (int bit = 0; bit < bits; ++bit) {
       if (std::find(chosen.begin(), chosen.end(), bit) != chosen.end()) continue;
       BitScore score{};
-      for (const auto& subset : subsets) {
-        const BitStats stats =
-            compute_bit_stats<Entry>({subset.data(), subset.size()}, bit);
+      for (const detail::SubsetTallies& t : tallies) {
+        const BitStats stats = t.stats(bit);
         score.replication += stats.phi_star;
         score.imbalance += stats.imbalance();
       }
@@ -80,12 +150,23 @@ std::vector<int> select_control_bits(const Table& table, int count, int max_bit)
     }
     if (best_bit < 0) break;
     chosen.push_back(best_bit);
-    std::vector<std::vector<Entry>> next;
+    const std::size_t w = static_cast<std::size_t>(best_bit >> 6);
+    const std::uint64_t m = 1ull << (best_bit & 63);
+    std::vector<std::vector<detail::PackedPrefix>> next;
     next.reserve(subsets.size() * 2);
     for (const auto& subset : subsets) {
       auto& zero = next.emplace_back();
       auto& one = next.emplace_back();
-      split_subset(subset, best_bit, zero, one);
+      for (const detail::PackedPrefix& p : subset) {
+        if (p.stars[w] & m) {
+          zero.push_back(p);
+          one.push_back(p);
+        } else if (p.ones[w] & m) {
+          one.push_back(p);
+        } else {
+          zero.push_back(p);
+        }
+      }
     }
     subsets = std::move(next);
   }

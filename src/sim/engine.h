@@ -4,10 +4,14 @@
 // insertion order, which keeps the router simulation deterministic. The
 // event payload is a caller-defined POD; dispatch stays in the caller, so
 // the hot loop performs no type-erased calls or per-event allocation.
+//
+// This is the binary-heap engine; calendar_queue.h provides an O(1)
+// amortized alternative with the identical (time, seq) pop order.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <queue>
+#include <utility>
 #include <vector>
 
 namespace spal::sim {
@@ -15,19 +19,24 @@ namespace spal::sim {
 template <typename Event>
 class EventQueue {
  public:
+  /// Pre-sizes the underlying heap storage for an expected event count.
+  void reserve(std::size_t expected_events) { heap_.reserve(expected_events); }
+
   void schedule(std::uint64_t time, Event event) {
-    heap_.push(Entry{time, next_seq_++, std::move(event)});
+    heap_.push_back(Entry{time, next_seq_++, std::move(event)});
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
   }
 
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
 
-  std::uint64_t next_time() const { return heap_.top().time; }
+  std::uint64_t next_time() const { return heap_.front().time; }
 
   /// Pops the earliest event; callers must check empty() first.
   std::pair<std::uint64_t, Event> pop() {
-    Entry top = heap_.top();
-    heap_.pop();
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    Entry top = std::move(heap_.back());
+    heap_.pop_back();
     return {top.time, std::move(top.event)};
   }
 
@@ -42,7 +51,7 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::vector<Entry> heap_;
   std::uint64_t next_seq_ = 0;
 };
 

@@ -1,0 +1,163 @@
+// Parallel sweep runner for independent simulation points.
+//
+// Every figure bench sweeps many independent RouterSim configurations; each
+// point is CPU-bound and shares no mutable state with the others, so they
+// parallelize trivially. parallel_sweep(points, fn) runs fn over each point
+// on a small thread pool and returns the results in point order, so bench
+// output is byte-identical to a sequential run regardless of thread count.
+//
+//   * Result ordering is deterministic: results[i] == fn(points[i]).
+//   * Exceptions propagate: the failure from the lowest-index failing point
+//     is rethrown on the caller's thread (also independent of thread count —
+//     claims are handed out in index order, so every point below a recorded
+//     failure has fully executed).
+//   * Thread count: explicit argument > SPAL_SWEEP_THREADS env var >
+//     std::thread::hardware_concurrency().
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace spal::sim {
+
+/// Default worker count for parallel_sweep: the SPAL_SWEEP_THREADS
+/// environment variable if set to a positive integer, else the hardware
+/// concurrency (at least 1).
+inline int sweep_thread_count() {
+  if (const char* env = std::getenv("SPAL_SWEEP_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) return static_cast<int>(std::min(parsed, 4096L));
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/// A small fixed-size worker pool. Tasks are run in submission order; wait()
+/// blocks until every submitted task has finished.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads) {
+    const int count = std::max(1, threads);
+    workers_.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+      workers_.emplace_back([this] { work(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    task_ready_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  void submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      tasks_.push_back(std::move(task));
+    }
+    task_ready_.notify_one();
+  }
+
+  /// Blocks until the queue is empty and no task is mid-flight.
+  void wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
+  }
+
+ private:
+  void work() {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      task_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ and drained
+      std::function<void()> task = std::move(tasks_.front());
+      tasks_.pop_front();
+      ++in_flight_;
+      lock.unlock();
+      task();
+      lock.lock();
+      --in_flight_;
+      if (tasks_.empty() && in_flight_ == 0) idle_.notify_all();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Runs fn over every point concurrently and returns results in point
+/// order. `threads` <= 0 selects sweep_thread_count(). See the header
+/// comment for the determinism and exception contract.
+template <typename Point, typename Fn>
+auto parallel_sweep(const std::vector<Point>& points, Fn fn, int threads = 0)
+    -> std::vector<std::invoke_result_t<Fn&, const Point&>> {
+  using Result = std::invoke_result_t<Fn&, const Point&>;
+  static_assert(!std::is_void_v<Result>,
+                "parallel_sweep: fn must return a value per point");
+  const std::size_t n = points.size();
+  std::vector<std::optional<Result>> slots(n);
+  if (threads <= 0) threads = sweep_thread_count();
+  threads = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(threads), n));
+
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < n; ++i) slots[i].emplace(fn(points[i]));
+  } else {
+    std::vector<std::exception_ptr> errors(n);
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    ThreadPool pool(threads);
+    for (int w = 0; w < threads; ++w) {
+      pool.submit([&] {
+        // Claim points in index order; stop claiming once something failed
+        // (everything below the lowest failure has already been claimed).
+        std::size_t i;
+        while ((i = next.fetch_add(1)) < n &&
+               !failed.load(std::memory_order_relaxed)) {
+          try {
+            slots[i].emplace(fn(points[i]));
+          } catch (...) {
+            errors[i] = std::current_exception();
+            failed.store(true, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    pool.wait();
+    for (const std::exception_ptr& error : errors) {
+      if (error) std::rethrow_exception(error);
+    }
+  }
+
+  std::vector<Result> results;
+  results.reserve(n);
+  for (std::optional<Result>& slot : slots) {
+    results.push_back(std::move(*slot));
+  }
+  return results;
+}
+
+}  // namespace spal::sim

@@ -1,0 +1,126 @@
+// parallel_sweep contract tests: results are in point order and identical
+// across thread counts, exceptions propagate deterministically, and the
+// SPAL_SWEEP_THREADS override is honoured.
+#include "sim/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace spal;
+
+std::vector<int> make_points(int n) {
+  std::vector<int> points(static_cast<std::size_t>(n));
+  std::iota(points.begin(), points.end(), 0);
+  return points;
+}
+
+/// A per-point result that is cheap but order-sensitive.
+std::uint64_t slow_mix(int point) {
+  std::uint64_t h = static_cast<std::uint64_t>(point) + 1;
+  for (int i = 0; i < 20'000; ++i) h = h * 0x9e3779b97f4a7c15ULL + 1;
+  return h;
+}
+
+TEST(ParallelSweepTest, DeterministicAcrossThreadCounts) {
+  const auto points = make_points(64);
+  const auto reference =
+      sim::parallel_sweep(points, slow_mix, /*threads=*/1);
+  ASSERT_EQ(reference.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(reference[i], slow_mix(points[i])) << "result order broken at " << i;
+  }
+  const int hw = sim::sweep_thread_count();
+  for (const int threads : {2, hw}) {
+    const auto result = sim::parallel_sweep(points, slow_mix, threads);
+    EXPECT_EQ(result, reference) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelSweepTest, RunsPointsConcurrently) {
+  // With 4 workers and 4 points that each wait for the others, the sweep
+  // only finishes if the points genuinely overlap in time.
+  std::atomic<int> arrived{0};
+  const auto points = make_points(4);
+  const auto result = sim::parallel_sweep(
+      points,
+      [&](int point) {
+        ++arrived;
+        while (arrived.load() < 4) std::this_thread::yield();
+        return point;
+      },
+      /*threads=*/4);
+  EXPECT_EQ(result, points);
+}
+
+TEST(ParallelSweepTest, ExceptionFromLowestFailingPointWins) {
+  const auto points = make_points(32);
+  const auto fn = [](int point) -> int {
+    if (point == 7 || point == 19) {
+      throw std::runtime_error("boom " + std::to_string(point));
+    }
+    return point;
+  };
+  for (const int threads : {1, 2, sim::sweep_thread_count()}) {
+    try {
+      sim::parallel_sweep(points, fn, threads);
+      FAIL() << "expected an exception (threads=" << threads << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "boom 7") << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelSweepTest, EmptyAndSinglePoint) {
+  const std::vector<int> empty;
+  EXPECT_TRUE(sim::parallel_sweep(empty, slow_mix).empty());
+  const std::vector<int> one{42};
+  const auto result = sim::parallel_sweep(one, slow_mix);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0], slow_mix(42));
+}
+
+TEST(ParallelSweepTest, MoveOnlyResults) {
+  const auto points = make_points(8);
+  const auto result = sim::parallel_sweep(points, [](int point) {
+    return std::make_unique<int>(point * 3);
+  });
+  ASSERT_EQ(result.size(), points.size());
+  for (std::size_t i = 0; i < result.size(); ++i) {
+    EXPECT_EQ(*result[i], static_cast<int>(i) * 3);
+  }
+}
+
+TEST(SweepThreadCountTest, EnvOverrideWins) {
+  ASSERT_EQ(setenv("SPAL_SWEEP_THREADS", "3", /*overwrite=*/1), 0);
+  EXPECT_EQ(sim::sweep_thread_count(), 3);
+  ASSERT_EQ(setenv("SPAL_SWEEP_THREADS", "not-a-number", 1), 0);
+  EXPECT_GE(sim::sweep_thread_count(), 1);  // falls back to hardware
+  ASSERT_EQ(unsetenv("SPAL_SWEEP_THREADS"), 0);
+  EXPECT_GE(sim::sweep_thread_count(), 1);
+}
+
+TEST(ThreadPoolTest, WaitBlocksUntilAllTasksFinish) {
+  sim::ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&done] { ++done; });
+  }
+  pool.wait();
+  EXPECT_EQ(done.load(), 50);
+  // The pool is reusable after wait().
+  pool.submit([&done] { ++done; });
+  pool.wait();
+  EXPECT_EQ(done.load(), 51);
+}
+
+}  // namespace
