@@ -87,13 +87,22 @@ int main(int argc, char** argv) {
     add("control_bits", "random_bits", random_bits);
   }
 
-  bench::print_sweep(points, [&](const Point& point) {
+  const auto entries = bench::run_sweep(points, [&](const Point& point) {
     core::RouterSim router(bench::rt2(), point.config);
     const auto result = router.run_workload(trace::profile_l92_1());
-    return bench::rowf("%s,%s,%.3f,%.4f,%llu\n", point.study.c_str(),
-                       point.variant.c_str(), result.mean_lookup_cycles(),
-                       result.cache_total.hit_rate(),
-                       static_cast<unsigned long long>(result.fe_lookups));
+    bench::PointOutput out;
+    out.row = bench::rowf("%s,%s,%.3f,%.4f,%llu\n", point.study.c_str(),
+                          point.variant.c_str(), result.mean_lookup_cycles(),
+                          result.cache_total.hit_rate(),
+                          static_cast<unsigned long long>(result.fe_lookups));
+    if (args.json) {
+      out.json = bench::json_point(
+          bench::rowf("study=%s,variant=%s", point.study.c_str(),
+                      point.variant.c_str()),
+          result);
+    }
+    return out;
   });
+  bench::write_json_report(args, "ablation", entries);
   return 0;
 }

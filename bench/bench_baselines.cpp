@@ -75,6 +75,7 @@ int main(int argc, char** argv) {
     variants.push_back(v);
   }
 
+  std::vector<std::string> entries;
   for (const auto& profile : trace::all_profiles()) {
     for (auto& variant : variants) {
       core::RouterSim router(bench::rt2(), variant.config);
@@ -83,8 +84,15 @@ int main(int argc, char** argv) {
                   result.mean_lookup_cycles(),
                   static_cast<unsigned long long>(result.worst_lookup_cycles()),
                   variant.per_lc_prefixes);
+      if (args.json) {
+        entries.push_back(bench::json_point(
+            bench::rowf("trace=%s,variant=%s", profile.name.c_str(),
+                        variant.name),
+            result));
+      }
     }
   }
   std::printf("# conventional's optimistic (queueing-free) mean per the paper: 40 cycles\n");
+  bench::write_json_report(args, "baselines", entries);
   return 0;
 }

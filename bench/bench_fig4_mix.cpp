@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
 
   const auto profiles = trace::all_profiles();
   const std::vector<double> gammas{0.0, 0.25, 0.50, 0.75};
-  const auto rows_by_gamma =
+  const auto points_by_gamma =
       sim::parallel_sweep(gammas, [&](double gamma) {
         core::RouterConfig config =
             bench::figure_config(4, args.packets_per_lc);
@@ -30,19 +30,32 @@ int main(int argc, char** argv) {
         config.cache.blocks = 4096;
         config.cache.remote_fraction = gamma;
         core::RouterSim router(bench::rt2(), config);
-        std::vector<std::string> rows;
-        rows.reserve(profiles.size());
+        std::vector<bench::PointOutput> points;
+        points.reserve(profiles.size());
         for (const auto& profile : profiles) {
           const auto result = router.run_workload(profile);
-          rows.push_back(bench::rowf(
+          bench::PointOutput point;
+          point.row = bench::rowf(
               "%s,%d,%.3f,%.4f\n", profile.name.c_str(),
               static_cast<int>(gamma * 100), result.mean_lookup_cycles(),
-              result.cache_total.hit_rate()));
+              result.cache_total.hit_rate());
+          if (args.json) {
+            point.json = bench::json_point(
+                bench::rowf("trace=%s,gamma=%d", profile.name.c_str(),
+                            static_cast<int>(gamma * 100)),
+                result);
+          }
+          points.push_back(std::move(point));
         }
-        return rows;
+        return points;
       });
+  std::vector<std::string> entries;
   for (std::size_t p = 0; p < profiles.size(); ++p) {
-    for (const auto& rows : rows_by_gamma) std::fputs(rows[p].c_str(), stdout);
+    for (const auto& points : points_by_gamma) {
+      std::fputs(points[p].row.c_str(), stdout);
+      if (args.json) entries.push_back(points[p].json);
+    }
   }
+  bench::write_json_report(args, "fig4_mix", entries);
   return 0;
 }

@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
 
   const auto profiles = trace::all_profiles();
   const std::vector<std::size_t> betas{1024, 2048, 4096, 8192};
-  const auto rows_by_beta =
+  const auto points_by_beta =
       sim::parallel_sweep(betas, [&](std::size_t beta) {
         core::RouterConfig config =
             bench::figure_config(16, args.packets_per_lc);
@@ -29,19 +29,31 @@ int main(int argc, char** argv) {
         config.cache.blocks = beta;
         config.cache.remote_fraction = beta == 1024 ? 0.25 : 0.50;
         core::RouterSim router(bench::rt2(), config);
-        std::vector<std::string> rows;
-        rows.reserve(profiles.size());
+        std::vector<bench::PointOutput> points;
+        points.reserve(profiles.size());
         for (const auto& profile : profiles) {
           const auto result = router.run_workload(profile);
-          rows.push_back(bench::rowf(
+          bench::PointOutput point;
+          point.row = bench::rowf(
               "%s,%zu,%.3f,%.4f,%.1f\n", profile.name.c_str(), beta,
               result.mean_lookup_cycles(), result.cache_total.hit_rate(),
-              result.latency.lookups_per_second(sim::kCycleNs) / 1e6));
+              result.latency.lookups_per_second(sim::kCycleNs) / 1e6);
+          if (args.json) {
+            point.json = bench::json_point(
+                bench::rowf("trace=%s,beta=%zu", profile.name.c_str(), beta),
+                result);
+          }
+          points.push_back(std::move(point));
         }
-        return rows;
+        return points;
       });
+  std::vector<std::string> entries;
   for (std::size_t p = 0; p < profiles.size(); ++p) {
-    for (const auto& rows : rows_by_beta) std::fputs(rows[p].c_str(), stdout);
+    for (const auto& points : points_by_beta) {
+      std::fputs(points[p].row.c_str(), stdout);
+      if (args.json) entries.push_back(points[p].json);
+    }
   }
+  bench::write_json_report(args, "fig5_cache_size", entries);
   return 0;
 }

@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
 
   const auto profiles = trace::all_profiles();
   const std::vector<int> psis{1, 2, 3, 4, 8, 16};
-  const auto rows_by_psi =
+  const auto points_by_psi =
       sim::parallel_sweep(psis, [&](int psi) {
         core::RouterConfig config =
             bench::figure_config(psi, args.packets_per_lc);
@@ -31,8 +31,8 @@ int main(int argc, char** argv) {
         config.cache.blocks = 4096;
         config.cache.remote_fraction = 0.50;
         core::RouterSim router(bench::rt2(), config);
-        std::vector<std::string> rows;
-        rows.reserve(profiles.size());
+        std::vector<bench::PointOutput> points;
+        points.reserve(profiles.size());
         for (const auto& profile : profiles) {
           const auto result = router.run_workload(profile);
           const double remote_share =
@@ -40,15 +40,27 @@ int main(int argc, char** argv) {
                   ? 0.0
                   : static_cast<double>(result.remote_requests) /
                         static_cast<double>(result.resolved_packets);
-          rows.push_back(bench::rowf(
+          bench::PointOutput point;
+          point.row = bench::rowf(
               "%s,%d,%.3f,%.4f,%.4f\n", profile.name.c_str(), psi,
               result.mean_lookup_cycles(), result.cache_total.hit_rate(),
-              remote_share));
+              remote_share);
+          if (args.json) {
+            point.json = bench::json_point(
+                bench::rowf("trace=%s,psi=%d", profile.name.c_str(), psi),
+                result);
+          }
+          points.push_back(std::move(point));
         }
-        return rows;
+        return points;
       });
+  std::vector<std::string> entries;
   for (std::size_t p = 0; p < profiles.size(); ++p) {
-    for (const auto& rows : rows_by_psi) std::fputs(rows[p].c_str(), stdout);
+    for (const auto& points : points_by_psi) {
+      std::fputs(points[p].row.c_str(), stdout);
+      if (args.json) entries.push_back(points[p].json);
+    }
   }
+  bench::write_json_report(args, "fig6_scaling", entries);
   return 0;
 }

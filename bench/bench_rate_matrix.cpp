@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
       }
     }
   }
-  bench::print_sweep(points, [&](const Point& point) {
+  const auto entries = bench::run_sweep(points, [&](const Point& point) {
     core::RouterConfig config = bench::figure_config(4, args.packets_per_lc);
     config.line_rate_gbps = point.gbps;
     config.fe_service_cycles = point.fe_cycles;
@@ -40,10 +40,19 @@ int main(int argc, char** argv) {
         point.fe_cycles == 40 ? trie::TrieKind::kLulea : trie::TrieKind::kDp;
     core::RouterSim router(bench::rt2(), config);
     const auto result = router.run_workload(*point.profile);
-    return bench::rowf("%s,%.0f,%d,%.3f,%.4f\n", point.profile->name.c_str(),
-                       point.gbps, point.fe_cycles,
-                       result.mean_lookup_cycles(),
-                       result.cache_total.hit_rate());
+    bench::PointOutput out;
+    out.row = bench::rowf("%s,%.0f,%d,%.3f,%.4f\n", point.profile->name.c_str(),
+                          point.gbps, point.fe_cycles,
+                          result.mean_lookup_cycles(),
+                          result.cache_total.hit_rate());
+    if (args.json) {
+      out.json = bench::json_point(
+          bench::rowf("trace=%s,gbps=%.0f,fe_cycles=%d",
+                      point.profile->name.c_str(), point.gbps, point.fe_cycles),
+          result);
+    }
+    return out;
   });
+  bench::write_json_report(args, "rate_matrix", entries);
   return 0;
 }

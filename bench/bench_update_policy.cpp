@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
       "Sec. 3.2 extension: full flush vs selective invalidation per update",
       "policy,update_interval_cycles,mean_cycles,hit_rate,updates,invalidated_blocks");
   const trace::WorkloadProfile profile = trace::profile_d81();
+  std::vector<std::string> entries;
   for (const std::uint64_t interval : {2'000'000ull, 200'000ull, 20'000ull, 2'000ull}) {
     for (const bool selective : {false, true}) {
       core::RouterConfig config = bench::figure_config(4, args.packets_per_lc);
@@ -35,7 +36,15 @@ int main(int argc, char** argv) {
                   result.mean_lookup_cycles(), result.cache_total.hit_rate(),
                   static_cast<unsigned long long>(result.updates_applied),
                   static_cast<unsigned long long>(result.blocks_invalidated));
+      if (args.json) {
+        entries.push_back(bench::json_point(
+            bench::rowf("policy=%s,interval=%llu",
+                        selective ? "selective" : "flush_all",
+                        static_cast<unsigned long long>(interval)),
+            result));
+      }
     }
   }
+  bench::write_json_report(args, "update_policy", entries);
   return 0;
 }

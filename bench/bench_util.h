@@ -5,8 +5,16 @@
 // directly, plus a human-readable header. Benches default to 100,000
 // packets per LC for quick runs; pass --full for the paper's 300,000 (or
 // --packets=N for anything else).
+//
+// With --json[=path], benches additionally emit a machine-readable report:
+// one JSON object per simulated point embedding RouterResult::to_json()
+// (per-LC cache/FE/fabric/latency metrics — schema in DESIGN.md). The
+// report goes to `path`, or to stdout after the CSV when no path is given.
+// `tools/spal_report` validates the cross-component invariants of such a
+// report and diffs two reports for metric regressions.
 #pragma once
 
+#include <cerrno>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -25,22 +33,59 @@ struct BenchArgs {
   // Event-engine override (--engine=heap|calendar) for A/B wall-clock runs;
   // results are bit-identical either way.
   sim::EngineKind engine = sim::EngineKind::kCalendar;
+  bool json = false;        ///< --json[=path]: emit the JSON report
+  std::string json_path;    ///< empty = stdout
 
+  /// Parses the shared bench flags. Malformed values (--packets=0, negative
+  /// or non-numeric counts) and unknown flags are rejected with exit code 2
+  /// instead of silently running a meaningless simulation.
   static BenchArgs parse(int argc, char** argv) {
     BenchArgs args;
     for (int i = 1; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--full") == 0) {
+      const char* arg = argv[i];
+      if (std::strcmp(arg, "--full") == 0) {
         args.full = true;
         args.packets_per_lc = 300'000;  // the paper's per-LC packet count
-      } else if (std::strncmp(argv[i], "--packets=", 10) == 0) {
-        args.packets_per_lc = static_cast<std::size_t>(std::atoll(argv[i] + 10));
-      } else if (std::strcmp(argv[i], "--engine=heap") == 0) {
+      } else if (std::strncmp(arg, "--packets=", 10) == 0) {
+        args.packets_per_lc = parse_packet_count(arg + 10);
+      } else if (std::strcmp(arg, "--engine=heap") == 0) {
         args.engine = sim::EngineKind::kHeap;
-      } else if (std::strcmp(argv[i], "--engine=calendar") == 0) {
+      } else if (std::strcmp(arg, "--engine=calendar") == 0) {
         args.engine = sim::EngineKind::kCalendar;
+      } else if (std::strcmp(arg, "--json") == 0) {
+        args.json = true;
+      } else if (std::strncmp(arg, "--json=", 7) == 0) {
+        args.json = true;
+        args.json_path = arg + 7;
+        if (args.json_path.empty()) usage_error("--json= requires a path");
+      } else {
+        std::fprintf(stderr, "unknown flag '%s'\n", arg);
+        usage_error(nullptr);
       }
     }
     return args;
+  }
+
+ private:
+  [[noreturn]] static void usage_error(const char* message) {
+    if (message != nullptr) std::fprintf(stderr, "%s\n", message);
+    std::fprintf(stderr,
+                 "usage: [--full] [--packets=N] [--engine=heap|calendar] "
+                 "[--json[=path]]\n");
+    std::exit(2);
+  }
+
+  static std::size_t parse_packet_count(const char* text) {
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(text, &end, 10);
+    if (*text == '\0' || *text == '-' || end == text || *end != '\0' ||
+        errno != 0 || value == 0) {
+      std::fprintf(stderr,
+                   "--packets expects a positive integer, got '%s'\n", text);
+      usage_error(nullptr);
+    }
+    return static_cast<std::size_t>(value);
   }
 };
 
@@ -84,6 +129,49 @@ inline std::string rowf(const char* fmt, ...) {
   return buffer;
 }
 
+/// One simulated point's output: the CSV row (always printed) and its JSON
+/// report entry (collected when --json is on; empty otherwise). Sweep
+/// lambdas build both off the main thread; emission stays in point order.
+struct PointOutput {
+  std::string row;
+  std::string json;
+};
+
+/// Renders one JSON report entry: the point's label (e.g.
+/// "trace=D_75,gamma=50") and the full RouterResult.
+inline std::string json_point(const std::string& label,
+                              const core::RouterResult& result) {
+  return "{\"label\":\"" + label + "\",\"result\":" + result.to_json() + "}";
+}
+
+/// Writes the JSON report (no-op unless --json): a single object naming the
+/// bench and carrying one entry per point. Exits nonzero if the path cannot
+/// be written so CI never mistakes a missing report for a passing run.
+inline void write_json_report(const BenchArgs& args, const char* bench,
+                              const std::vector<std::string>& entries) {
+  if (!args.json) return;
+  std::string doc = "{\"bench\":\"";
+  doc += bench;
+  doc += "\",\"schema\":1,\"points\":[";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (i > 0) doc += ',';
+    doc += entries[i];
+  }
+  doc += "]}\n";
+  if (args.json_path.empty()) {
+    std::fputs(doc.c_str(), stdout);
+    return;
+  }
+  std::FILE* file = std::fopen(args.json_path.c_str(), "w");
+  if (file == nullptr ||
+      std::fwrite(doc.data(), 1, doc.size(), file) != doc.size() ||
+      std::fclose(file) != 0) {
+    std::fprintf(stderr, "cannot write JSON report to '%s'\n",
+                 args.json_path.c_str());
+    std::exit(1);
+  }
+}
+
 /// Runs fn over every point on the parallel sweep runner (worker count from
 /// SPAL_SWEEP_THREADS or the hardware) and prints the returned rows in point
 /// order — output is byte-identical to a sequential run.
@@ -92,6 +180,19 @@ void print_sweep(const std::vector<Point>& points, Fn fn) {
   for (const std::string& row : sim::parallel_sweep(points, std::move(fn))) {
     std::fputs(row.c_str(), stdout);
   }
+}
+
+/// print_sweep for PointOutput-producing lambdas: prints the CSV rows in
+/// point order and returns the JSON entries (empty strings filtered out)
+/// for write_json_report.
+template <typename Point, typename Fn>
+std::vector<std::string> run_sweep(const std::vector<Point>& points, Fn fn) {
+  std::vector<std::string> entries;
+  for (PointOutput& out : sim::parallel_sweep(points, std::move(fn))) {
+    std::fputs(out.row.c_str(), stdout);
+    if (!out.json.empty()) entries.push_back(std::move(out.json));
+  }
+  return entries;
 }
 
 }  // namespace spal::bench

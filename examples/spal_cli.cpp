@@ -8,7 +8,11 @@
 //            [--trace=D_75|D_81|L_92-0|L_92-1|B_L] [--packets=N]
 //            [--table-size=N] [--seed=N] [--no-partition] [--no-cache]
 //            [--update-interval=CYCLES] [--selective-invalidate] [--verify]
-//            [--ipv6]
+//            [--ipv6] [--json]
+//
+// With --json, the full RouterResult (per-LC cache/FE/fabric/latency
+// metrics — schema in DESIGN.md) is printed as one JSON object after the
+// human-readable report.
 //
 // Example:
 //   spal_cli --psi=12 --beta=2048 --gamma=25 --trace=L_92-0 --verify
@@ -53,7 +57,7 @@ std::optional<trie::TrieKind> parse_trie(const std::string& name) {
 }  // namespace
 
 void print_report(const core::RouterResult& result, int psi, bool use_cache,
-                  bool verify) {
+                  bool verify, bool json) {
   std::cout << "\n--- results ---\n"
             << "packets resolved:    " << result.resolved_packets << "\n"
             << "mean lookup:         " << result.mean_lookup_cycles()
@@ -94,6 +98,7 @@ void print_report(const core::RouterResult& result, int psi, bool use_cache,
               << (result.verify_mismatches == 0 ? " (all lookups correct)" : " (BUG!)")
               << "\n";
   }
+  if (json) std::cout << result.to_json() << "\n";
 }
 
 int main(int argc, char** argv) {
@@ -137,6 +142,7 @@ int main(int argc, char** argv) {
       std::stoll(arg_value(argc, argv, "--table-size").value_or("140838")));
   const bool ipv6 = has_flag(argc, argv, "--ipv6");
   const bool verify = has_flag(argc, argv, "--verify");
+  const bool json = has_flag(argc, argv, "--json");
 
   trace::WorkloadProfile profile = trace::profile_d75();
   if (const auto name = arg_value(argc, argv, "--trace")) {
@@ -164,7 +170,7 @@ int main(int argc, char** argv) {
               << " | trace=" << profile.name << "\n";
     core::RouterSim6 router(table, config);
     print_report(router.run_workload(profile, verify), psi,
-                 config.use_lr_cache, verify);
+                 config.use_lr_cache, verify, json);
     return 0;
   }
 
@@ -195,6 +201,6 @@ int main(int argc, char** argv) {
   std::cout << "per-LC trie storage: <= " << max_storage / 1024 << " KB\n";
 
   print_report(router.run_workload(profile, verify), psi, config.use_lr_cache,
-               verify);
+               verify, json);
   return 0;
 }

@@ -51,12 +51,15 @@ struct ProbeResult {
 struct LrCacheStats {
   std::uint64_t probes = 0;
   std::uint64_t hits = 0;          ///< completed-block hits (incl. victim hits)
+  std::uint64_t loc_hits = 0;      ///< hits on M=LOC blocks (hits = loc + rem)
+  std::uint64_t rem_hits = 0;      ///< hits on M=REM blocks
   std::uint64_t victim_hits = 0;   ///< subset of hits served by the victim cache
   std::uint64_t waiting_hits = 0;  ///< probes that matched a W=1 block
   std::uint64_t misses = 0;
   std::uint64_t reservations = 0;
   std::uint64_t failed_reservations = 0;  ///< quota full of waiting blocks
   std::uint64_t quota_bypasses = 0;       ///< origin has zero ways (not cached)
+  std::uint64_t failed_promotions = 0;    ///< victim hit kept in victim cache
   std::uint64_t fills = 0;
   std::uint64_t orphan_fills = 0;  ///< reply arrived after flush removed block
   std::uint64_t evictions = 0;
@@ -69,12 +72,15 @@ struct LrCacheStats {
   void accumulate(const LrCacheStats& other) {
     probes += other.probes;
     hits += other.hits;
+    loc_hits += other.loc_hits;
+    rem_hits += other.rem_hits;
     victim_hits += other.victim_hits;
     waiting_hits += other.waiting_hits;
     misses += other.misses;
     reservations += other.reservations;
     failed_reservations += other.failed_reservations;
     quota_bypasses += other.quota_bypasses;
+    failed_promotions += other.failed_promotions;
     fills += other.fills;
     orphan_fills += other.orphan_fills;
     evictions += other.evictions;
@@ -121,6 +127,7 @@ class BasicLrCache {
       }
       block->last_use = now;
       ++stats_.hits;
+      count_hit_origin(block->origin);
       return ProbeResult{ProbeState::kHit, block->next_hop};
     }
     // The victim cache is searched simultaneously (Sec. 3.2); on a hit the
@@ -128,9 +135,17 @@ class BasicLrCache {
     if (Block* block = find_victim_entry(addr); block != nullptr) {
       ++stats_.hits;
       ++stats_.victim_hits;
+      count_hit_origin(block->origin);
       const Block promoted = *block;
-      block->valid = false;
-      insert(promoted.addr, promoted.next_hop, promoted.origin, now);
+      block->valid = false;  // free the slot: promote() may demote into it
+      if (!promote(promoted, now)) {
+        // Promotion declined (origin quota entirely waiting, or zero ways
+        // at this γ): restore the entry instead of destroying a valid
+        // result — it stays servable from the victim cache.
+        *block = promoted;
+        block->last_use = now;
+        ++stats_.failed_promotions;
+      }
       return ProbeResult{ProbeState::kHit, promoted.next_hop};
     }
     ++stats_.misses;
@@ -248,6 +263,27 @@ class BasicLrCache {
     return lr_cache_set_bits(addr) & (sets_ - 1);
   }
 
+  void count_hit_origin(Origin origin) {
+    if (origin == Origin::kLocal) {
+      ++stats_.loc_hits;
+    } else {
+      ++stats_.rem_hits;
+    }
+  }
+
+  /// Moves a victim-cache hit back into its set (Sec. 3.2). Unlike
+  /// insert(), a declined allocation is reported to the caller and is not a
+  /// quota bypass — the result is not lost, it stays in the victim cache.
+  bool promote(const Block& victim, std::uint64_t now) {
+    Block* block = choose_victim(set_index(victim.addr), victim.origin, now,
+                                 /*count_quota_bypass=*/false);
+    if (block == nullptr) return false;
+    *block = victim;
+    block->last_use = now;
+    block->inserted = now;
+    return true;
+  }
+
   Block* find_in_set(const Addr& addr) {
     const std::size_t base = set_index(addr) * config_.associativity;
     for (std::size_t i = 0; i < config_.associativity; ++i) {
@@ -286,9 +322,12 @@ class BasicLrCache {
 
   /// Picks the block an `origin` insertion may overwrite under the γ ways
   /// quota; nullptr when the origin has no ways or only waiting blocks.
-  Block* choose_victim(std::size_t set, Origin origin, std::uint64_t now) {
+  Block* choose_victim(std::size_t set, Origin origin, std::uint64_t now,
+                       bool count_quota_bypass = true) {
     if (ways(origin) == 0) {
-      ++stats_.quota_bypasses;  // this origin is not cached at this γ
+      // This origin is not cached at this γ — but a promotion that keeps
+      // its victim-cache entry is not a bypassed (lost) result.
+      if (count_quota_bypass) ++stats_.quota_bypasses;
       return nullptr;
     }
     const std::size_t base = set * config_.associativity;

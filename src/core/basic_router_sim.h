@@ -86,6 +86,12 @@ class BasicRouterSim {
     result_ = RouterResult();
     result_.per_lc_latency.assign(static_cast<std::size_t>(config_.num_lcs),
                                   sim::LatencyStats{});
+    result_.per_lc.assign(static_cast<std::size_t>(config_.num_lcs), LcStats{});
+    result_.remote_fanout.assign(
+        static_cast<std::size_t>(config_.num_lcs) *
+            static_cast<std::size_t>(config_.num_lcs),
+        0);
+    waiting_depth_.assign(static_cast<std::size_t>(config_.num_lcs), 0);
     std::size_t total_packets = 0;
     for (const auto& stream : streams) total_packets += stream.size();
     // Generate per-LC arrival times before sizing the queue: the count bounds
@@ -154,15 +160,22 @@ class BasicRouterSim {
     }
 
     // Aggregate per-LC statistics.
-    for (const auto& c : caches_) result_.cache_total.accumulate(c->stats());
+    for (std::size_t lc = 0; lc < caches_.size(); ++lc) {
+      result_.per_lc[lc].cache = caches_[lc]->stats();
+      result_.cache_total.accumulate(caches_[lc]->stats());
+    }
     result_.fabric = fabric_->stats();
     if (result_.makespan_cycles > 0) {
       const double capacity =
           static_cast<double>(result_.makespan_cycles) *
           static_cast<double>(std::max(1, config_.fe_parallelism));
-      for (const std::uint64_t busy : fe_busy_) {
-        result_.max_fe_utilization = std::max(
-            result_.max_fe_utilization, static_cast<double>(busy) / capacity);
+      for (std::size_t lc = 0; lc < fe_busy_.size(); ++lc) {
+        const double utilization =
+            static_cast<double>(fe_busy_[lc]) / capacity;
+        result_.per_lc[lc].fe_busy_cycles = fe_busy_[lc];
+        result_.per_lc[lc].fe_utilization = utilization;
+        result_.max_fe_utilization =
+            std::max(result_.max_fe_utilization, utilization);
       }
     }
     return result_;
@@ -235,6 +248,16 @@ class BasicRouterSim {
     return waiting_[key];
   }
 
+  /// Parks a requester on the (lc, addr) waiting list, tracking the per-LC
+  /// parked-requester high-water mark.
+  void park(int lc, const Addr& addr, const Requester& requester) {
+    waiters(lc, addr).push_back(requester);
+    auto& depth = waiting_depth_[static_cast<std::size_t>(lc)];
+    ++depth;
+    auto& lc_stats = result_.per_lc[static_cast<std::size_t>(lc)];
+    lc_stats.waiting_highwater = std::max(lc_stats.waiting_highwater, depth);
+  }
+
   /// Moves the waiting list for (lc, addr) into a scratch buffer (empty if
   /// none) and recycles both the map node and the vector capacity. The
   /// scratch is a member: callers drain it before the next take_waiters().
@@ -246,6 +269,7 @@ class BasicRouterSim {
       // capacity and carries it back through the pool.
       wait_scratch_.swap(it->second);
       wait_pool_.push_back(waiting_.extract(it));
+      waiting_depth_[static_cast<std::size_t>(lc)] -= wait_scratch_.size();
     }
     return wait_scratch_;
   }
@@ -269,7 +293,7 @@ class BasicRouterSim {
           deliver_result(now + 1, lc, addr, probe.next_hop, requester);
           return;
         case cache::ProbeState::kWaiting:
-          waiters(lc, addr).push_back(requester);
+          park(lc, addr, requester);
           return;
         case cache::ProbeState::kMiss:
           break;
@@ -281,7 +305,7 @@ class BasicRouterSim {
       if (!caches_.empty() && config_.early_reservation) {
         fill = caches_[static_cast<std::size_t>(lc)]->reserve(
             addr, cache::Origin::kLocal, now);
-        if (fill) waiters(lc, addr).push_back(requester);
+        if (fill) park(lc, addr, requester);
       }
       start_fe_job(now, lc, addr, fill, requester);
     } else {
@@ -290,7 +314,7 @@ class BasicRouterSim {
       if (!caches_.empty() && config_.early_reservation) {
         if (caches_[static_cast<std::size_t>(lc)]->reserve(
                 addr, cache::Origin::kRemote, now)) {
-          waiters(lc, addr).push_back(requester);
+          park(lc, addr, requester);
           forwarded.fill_on_reply = true;
         }
       }
@@ -310,6 +334,9 @@ class BasicRouterSim {
     fe_busy_[static_cast<std::size_t>(lc)] +=
         static_cast<std::uint64_t>(config_.fe_service_cycles);
     ++result_.fe_lookups;
+    auto& lc_stats = result_.per_lc[static_cast<std::size_t>(lc)];
+    ++lc_stats.fe_lookups;
+    lc_stats.fe_queue_wait_cycles += start - now;
     queue_.schedule(completion, Event{Event::Type::kFeComplete, lc, addr, direct,
                                       fill, net::kNoRoute});
   }
@@ -366,6 +393,7 @@ class BasicRouterSim {
       resolve_packet(now, requester.packet, hop);
       return;
     }
+    ++result_.remote_replies;
     const std::uint64_t arrival = fabric_->deliver(lc, requester.lc, now);
     queue_.schedule(arrival, Event{Event::Type::kReply, requester.lc, addr,
                                    requester, false, hop});
@@ -390,6 +418,9 @@ class BasicRouterSim {
   void send_request(std::uint64_t now, int from_lc, int home, const Addr& addr,
                     const Requester& requester) {
     ++result_.remote_requests;
+    ++result_.remote_fanout[static_cast<std::size_t>(from_lc) *
+                                static_cast<std::size_t>(config_.num_lcs) +
+                            static_cast<std::size_t>(home)];
     const std::uint64_t arrival = fabric_->deliver(from_lc, home, now + 1);
     queue_.schedule(arrival, Event{Event::Type::kLookup, home, addr, requester,
                                    false, net::kNoRoute});
@@ -431,6 +462,7 @@ class BasicRouterSim {
   WaitMap waiting_;
   std::vector<typename WaitMap::node_type> wait_pool_;  // recycled list nodes
   std::vector<Requester> wait_scratch_;                 // take_waiters() buffer
+  std::vector<std::uint64_t> waiting_depth_;  // per LC, currently parked
   std::vector<std::uint64_t> arrival_time_;          // per packet
   std::vector<int> arrival_lc_;                      // per packet
   std::vector<Addr> destinations_;                   // per packet

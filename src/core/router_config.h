@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "cache/lr_cache.h"
@@ -65,16 +66,35 @@ struct RouterConfig {
   std::uint64_t seed = 42;
 };
 
+/// Per-LC structured counters (index = arrival/home LC). The latency
+/// breakdown for the same LC lives in RouterResult::per_lc_latency.
+struct LcStats {
+  cache::LrCacheStats cache;     ///< this LC's LR-cache counters
+  std::uint64_t fe_lookups = 0;  ///< FE jobs executed at this LC
+  std::uint64_t fe_busy_cycles = 0;        ///< total FE service cycles
+  std::uint64_t fe_queue_wait_cycles = 0;  ///< job start minus submission
+  double fe_utilization = 0.0;   ///< busy / (makespan × fe_parallelism)
+  /// Peak number of requesters simultaneously parked on this LC's waiting
+  /// lists (the W-bit structure's worst-case footprint).
+  std::uint64_t waiting_highwater = 0;
+};
+
 /// Aggregate outcome of one simulation run.
 struct RouterResult {
   sim::LatencyStats latency;             ///< per-packet lookup times (cycles)
   /// Per-arrival-LC latency breakdown (index = LC). Exposes load imbalance,
   /// e.g. the hot LC that homes two control-bit groups at non-power-of-2 ψ.
   std::vector<sim::LatencyStats> per_lc_latency;
+  /// Per-LC cache/FE/waiting-list counters (index = LC).
+  std::vector<LcStats> per_lc;
   cache::LrCacheStats cache_total;       ///< summed over all LR-caches
   fabric::FabricStats fabric;
+  /// ψ×ψ remote-request fan-out, row-major: [src_lc * ψ + home_lc] counts
+  /// the lookup requests src sent to home over the fabric.
+  std::vector<std::uint64_t> remote_fanout;
   std::uint64_t fe_lookups = 0;          ///< LPM executions across all FEs
   std::uint64_t remote_requests = 0;     ///< fabric request messages
+  std::uint64_t remote_replies = 0;      ///< fabric reply messages
   std::uint64_t makespan_cycles = 0;     ///< last event time
   double max_fe_utilization = 0.0;       ///< busiest FE's busy fraction
   std::uint64_t resolved_packets = 0;
@@ -89,6 +109,11 @@ struct RouterResult {
   double router_packets_per_second(int num_lcs, double cycle_ns = 5.0) const {
     return latency.lookups_per_second(cycle_ns) * num_lcs;
   }
+
+  /// Machine-readable report: one JSON object with router-wide metrics,
+  /// the per-LC breakdown, per-port fabric stats, and the fan-out matrix.
+  /// Schema documented in DESIGN.md ("JSON report schema").
+  std::string to_json() const;
 };
 
 /// The paper's default SPAL configuration: ψ LCs, 4K-block 4-way LR-cache

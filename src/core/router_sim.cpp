@@ -1,5 +1,9 @@
 #include "core/router_sim.h"
 
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
 namespace spal::core {
 
 RouterConfig spal_default_config(int num_lcs) {
@@ -23,6 +27,141 @@ RouterConfig cache_only_config(int num_lcs) {
   RouterConfig config = spal_default_config(num_lcs);
   config.partition = false;
   return config;
+}
+
+// --- JSON reporter -------------------------------------------------------
+// Hand-rolled emission: the schema is small and fixed (documented in
+// DESIGN.md, "JSON report schema"), and the toolchain has no JSON library.
+
+namespace {
+
+void append_u64(std::string& out, const char* key, std::uint64_t value,
+                bool comma = true) {
+  char buffer[96];
+  std::snprintf(buffer, sizeof buffer, "\"%s\":%" PRIu64 "%s", key, value,
+                comma ? "," : "");
+  out += buffer;
+}
+
+void append_double(std::string& out, const char* key, double value,
+                   bool comma = true) {
+  char buffer[96];
+  // %.17g round-trips doubles exactly, so a diff of two reports compares
+  // the computed values, not a formatting artifact.
+  std::snprintf(buffer, sizeof buffer, "\"%s\":%.17g%s", key, value,
+                comma ? "," : "");
+  out += buffer;
+}
+
+void append_latency(std::string& out, const sim::LatencyStats& latency,
+                    bool comma = true) {
+  out += '{';
+  append_u64(out, "count", latency.count());
+  append_u64(out, "total_cycles", latency.total_cycles());
+  append_double(out, "mean_cycles", latency.mean_cycles());
+  append_u64(out, "p50", latency.percentile(0.5));
+  append_u64(out, "p90", latency.percentile(0.9));
+  append_u64(out, "p99", latency.percentile(0.99));
+  append_u64(out, "p999", latency.percentile(0.999));
+  append_u64(out, "worst_cycles", latency.worst_cycles(), /*comma=*/false);
+  out += '}';
+  if (comma) out += ',';
+}
+
+void append_cache(std::string& out, const cache::LrCacheStats& stats,
+                  bool comma = true) {
+  out += '{';
+  append_u64(out, "probes", stats.probes);
+  append_u64(out, "hits", stats.hits);
+  append_u64(out, "loc_hits", stats.loc_hits);
+  append_u64(out, "rem_hits", stats.rem_hits);
+  append_u64(out, "victim_hits", stats.victim_hits);
+  append_u64(out, "waiting_hits", stats.waiting_hits);
+  append_u64(out, "misses", stats.misses);
+  append_u64(out, "reservations", stats.reservations);
+  append_u64(out, "failed_reservations", stats.failed_reservations);
+  append_u64(out, "quota_bypasses", stats.quota_bypasses);
+  append_u64(out, "failed_promotions", stats.failed_promotions);
+  append_u64(out, "fills", stats.fills);
+  append_u64(out, "orphan_fills", stats.orphan_fills);
+  append_u64(out, "evictions", stats.evictions);
+  append_u64(out, "flushes", stats.flushes);
+  append_double(out, "hit_rate", stats.hit_rate(), /*comma=*/false);
+  out += '}';
+  if (comma) out += ',';
+}
+
+}  // namespace
+
+std::string RouterResult::to_json() const {
+  std::string out;
+  out.reserve(4096);
+  out += '{';
+  append_u64(out, "resolved_packets", resolved_packets);
+  append_u64(out, "verify_mismatches", verify_mismatches);
+  append_u64(out, "makespan_cycles", makespan_cycles);
+  append_u64(out, "fe_lookups", fe_lookups);
+  append_u64(out, "remote_requests", remote_requests);
+  append_u64(out, "remote_replies", remote_replies);
+  append_double(out, "max_fe_utilization", max_fe_utilization);
+  append_u64(out, "updates_applied", updates_applied);
+  append_u64(out, "blocks_invalidated", blocks_invalidated);
+  out += "\"latency\":";
+  append_latency(out, latency);
+  out += "\"cache_total\":";
+  append_cache(out, cache_total);
+  out += "\"fabric\":{";
+  append_u64(out, "messages", fabric.messages);
+  append_u64(out, "queueing_cycles", fabric.total_queueing_cycles);
+  out += "\"ports\":[";
+  for (std::size_t p = 0; p < fabric.ports.size(); ++p) {
+    const fabric::FabricPortStats& port = fabric.ports[p];
+    if (p > 0) out += ',';
+    out += '{';
+    append_u64(out, "sent", port.sent);
+    append_u64(out, "received", port.received);
+    append_u64(out, "egress_queue_cycles", port.egress_queue_cycles);
+    append_u64(out, "ingress_queue_cycles", port.ingress_queue_cycles,
+               /*comma=*/false);
+    out += '}';
+  }
+  out += "]},";
+  out += "\"per_lc\":[";
+  for (std::size_t lc = 0; lc < per_lc.size(); ++lc) {
+    const LcStats& stats = per_lc[lc];
+    if (lc > 0) out += ',';
+    out += '{';
+    append_u64(out, "lc", lc);
+    out += "\"latency\":";
+    append_latency(out, lc < per_lc_latency.size() ? per_lc_latency[lc]
+                                                   : sim::LatencyStats{});
+    out += "\"cache\":";
+    append_cache(out, stats.cache);
+    out += "\"fe\":{";
+    append_u64(out, "lookups", stats.fe_lookups);
+    append_u64(out, "busy_cycles", stats.fe_busy_cycles);
+    append_u64(out, "queue_wait_cycles", stats.fe_queue_wait_cycles);
+    append_double(out, "utilization", stats.fe_utilization, /*comma=*/false);
+    out += "},";
+    append_u64(out, "waiting_highwater", stats.waiting_highwater,
+               /*comma=*/false);
+    out += '}';
+  }
+  out += "],";
+  // ψ×ψ request fan-out as an array of rows (src-major).
+  out += "\"remote_fanout\":[";
+  const std::size_t psi = per_lc.size();
+  for (std::size_t src = 0; src < psi; ++src) {
+    if (src > 0) out += ',';
+    out += '[';
+    for (std::size_t home = 0; home < psi; ++home) {
+      if (home > 0) out += ',';
+      out += std::to_string(remote_fanout[src * psi + home]);
+    }
+    out += ']';
+  }
+  out += "]}";
+  return out;
 }
 
 }  // namespace spal::core

@@ -30,12 +30,14 @@ Fabric::Fabric(const FabricConfig& config)
       egress_free_(static_cast<std::size_t>(config.ports), 0),
       ingress_free_(static_cast<std::size_t>(config.ports), 0) {
   if (config.ports < 1) throw std::invalid_argument("Fabric: ports must be >= 1");
+  stats_.ports.resize(static_cast<std::size_t>(config.ports));
 }
 
 void Fabric::reset() {
   std::fill(egress_free_.begin(), egress_free_.end(), 0);
   std::fill(ingress_free_.begin(), ingress_free_.end(), 0);
   stats_ = FabricStats{};
+  stats_.ports.resize(static_cast<std::size_t>(config_.ports));
 }
 
 std::uint64_t Fabric::deliver(int src, int dst, std::uint64_t now) {
@@ -49,6 +51,12 @@ std::uint64_t Fabric::deliver(int src, int dst, std::uint64_t now) {
   ingress = arrival + 1;  // one message per cycle per destination port
   ++stats_.messages;
   stats_.total_queueing_cycles += (depart - now) + (arrival - raw_arrival);
+  auto& out = stats_.ports[static_cast<std::size_t>(src)];
+  auto& in = stats_.ports[static_cast<std::size_t>(dst)];
+  ++out.sent;
+  ++in.received;
+  out.egress_queue_cycles += depart - now;
+  in.ingress_queue_cycles += arrival - raw_arrival;
   return arrival;
 }
 

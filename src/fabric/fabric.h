@@ -31,9 +31,18 @@ int fabric_stages(int ports, int radix);
 /// End-to-end traversal latency in cycles for the configured fabric.
 double fabric_latency_cycles(const FabricConfig& config);
 
+/// Per-port occupancy and queueing breakdown (one entry per LC port).
+struct FabricPortStats {
+  std::uint64_t sent = 0;                  ///< messages injected at this port
+  std::uint64_t received = 0;              ///< messages delivered to this port
+  std::uint64_t egress_queue_cycles = 0;   ///< injection serialization waits
+  std::uint64_t ingress_queue_cycles = 0;  ///< delivery serialization waits
+};
+
 struct FabricStats {
   std::uint64_t messages = 0;
   std::uint64_t total_queueing_cycles = 0;  ///< cycles spent blocked on ports
+  std::vector<FabricPortStats> ports;       ///< indexed by port (= LC) id
 };
 
 /// Stateful port-contention model: deliver() returns the arrival time of a

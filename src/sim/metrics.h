@@ -2,26 +2,39 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
 namespace spal::sim {
 
-/// Accumulates per-packet lookup latencies (in cycles) with a bounded
-/// histogram for percentile queries. The paper's headline metric is the
-/// mean lookup time in 5 ns cycles.
+/// Accumulates per-packet lookup latencies (in cycles) for mean and
+/// percentile queries. The paper's headline metric is the mean lookup time
+/// in 5 ns cycles; the percentiles back the tail-latency claims.
+///
+/// Bucketing is two-tier:
+///   * a linear tier of 1-cycle-wide buckets covering [0, linear_buckets)
+///     — percentiles inside it are *exact* (they match a sorted-vector
+///     oracle), and simulated lookup latencies live almost entirely here;
+///   * a geometric overflow tier for larger values: each power-of-two
+///     octave is split into 2^kSubBucketBits sub-buckets, so tail
+///     percentiles keep a bounded relative error (< 2^-kSubBucketBits)
+///     at any scale instead of saturating at the last linear bucket.
+/// The true maximum is tracked exactly: percentile(1.0) == worst_cycles()
+/// always, and no reported percentile can exceed it.
 class LatencyStats {
  public:
-  explicit LatencyStats(std::size_t histogram_buckets = 1024)
-      : histogram_(histogram_buckets, 0) {}
+  /// Number of exact (1-cycle) buckets; clamped up to kMinLinearBuckets so
+  /// the geometric tier always starts beyond one full octave of sub-buckets.
+  explicit LatencyStats(std::size_t linear_buckets = 1024)
+      : linear_(std::max(linear_buckets, kMinLinearBuckets), 0) {}
 
   void record(std::uint64_t cycles) {
     ++count_;
     total_ += cycles;
     worst_ = std::max(worst_, cycles);
-    const std::size_t bucket =
-        std::min<std::size_t>(cycles, histogram_.size() - 1);
-    ++histogram_[bucket];
+    add_to_histogram(cycles, 1);
   }
 
   std::uint64_t count() const { return count_; }
@@ -33,18 +46,30 @@ class LatencyStats {
                        : static_cast<double>(total_) / static_cast<double>(count_);
   }
 
-  /// Smallest latency L such that at least `q` of packets finished in <= L
-  /// cycles. Latencies beyond the histogram range report the last bucket.
+  /// Smallest recorded latency L such that at least ceil(q * count) packets
+  /// finished in <= L cycles (the rank-th order statistic, 1-indexed).
+  /// Exact for values inside the linear tier; values in the geometric tier
+  /// report their sub-bucket upper bound, clamped to the exact worst case.
   std::uint64_t percentile(double q) const {
     if (count_ == 0) return 0;
-    const auto target = static_cast<std::uint64_t>(
-        q * static_cast<double>(count_));
+    q = std::clamp(q, 0.0, 1.0);
+    // Ceil-based rank: q = 0.99 over one sample must select that sample
+    // (rank 1), never "0 cycles". Clamped to [1, count] against fp noise.
+    const auto rank = std::min<std::uint64_t>(
+        count_,
+        std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(
+                   std::ceil(q * static_cast<double>(count_)))));
     std::uint64_t running = 0;
-    for (std::size_t i = 0; i < histogram_.size(); ++i) {
-      running += histogram_[i];
-      if (running >= target) return i;
+    for (std::size_t i = 0; i < linear_.size(); ++i) {
+      running += linear_[i];
+      if (running >= rank) return std::min<std::uint64_t>(i, worst_);
     }
-    return histogram_.size() - 1;
+    for (std::size_t g = 0; g < geo_.size(); ++g) {
+      running += geo_[g];
+      if (running >= rank) return std::min(geo_upper_bound(g), worst_);
+    }
+    return worst_;
   }
 
   /// Mean packets per second per LC given the cycle time, the reciprocal of
@@ -54,20 +79,75 @@ class LatencyStats {
     return mean <= 0.0 ? 0.0 : 1e9 / (mean * cycle_ns);
   }
 
+  /// Accumulates `other` into this. Histograms of different linear sizes
+  /// merge losslessly in counts: this grows to the larger linear tier and
+  /// remaps the smaller one's overflow buckets by their representative
+  /// value (never truncating tail buckets away).
   void merge(const LatencyStats& other) {
     count_ += other.count_;
     total_ += other.total_;
     worst_ = std::max(worst_, other.worst_);
-    for (std::size_t i = 0; i < histogram_.size() && i < other.histogram_.size(); ++i) {
-      histogram_[i] += other.histogram_[i];
+    if (linear_.size() < other.linear_.size()) {
+      linear_.resize(other.linear_.size(), 0);
+    }
+    // Linear buckets hold exactly value == index, so elementwise addition
+    // is exact once this tier is at least as large.
+    for (std::size_t i = 0; i < other.linear_.size(); ++i) {
+      linear_[i] += other.linear_[i];
+    }
+    // Geometric buckets are defined by absolute value ranges (independent
+    // of the linear size), so remapping by the bucket's upper bound lands
+    // in the same bucket — or in an exact linear bucket if this instance's
+    // linear tier covers that range.
+    for (std::size_t g = 0; g < other.geo_.size(); ++g) {
+      if (other.geo_[g] != 0) {
+        add_to_histogram(other.geo_upper_bound(g), other.geo_[g]);
+      }
     }
   }
 
  private:
+  static constexpr std::size_t kSubBucketBits = 6;  ///< 64 sub-buckets/octave
+  static constexpr std::size_t kSubBuckets = std::size_t{1} << kSubBucketBits;
+  static constexpr std::size_t kMinLinearBuckets = kSubBuckets;
+
+  /// Geometric index for a value >= linear_.size(): the octave (bit width)
+  /// selects a 64-sub-bucket row, the bits after the leading one select the
+  /// sub-bucket. Index order == value order.
+  static std::size_t geo_index(std::uint64_t value) {
+    const int width = std::bit_width(value);  // value >= 64 => width >= 7
+    const int shift = width - 1 - static_cast<int>(kSubBucketBits);
+    const auto sub = static_cast<std::size_t>(
+        (value >> shift) & (kSubBuckets - 1));
+    return static_cast<std::size_t>(width - 1) * kSubBuckets + sub;
+  }
+
+  /// Largest value mapping to geometric index `g` (the reported bound).
+  /// The stored sub-index is the mantissa *without* its implicit leading
+  /// bit (geo_index masks with kSubBuckets - 1), so that bit must be added
+  /// back before shifting.
+  static std::uint64_t geo_upper_bound(std::size_t g) {
+    const auto width = static_cast<int>(g / kSubBuckets) + 1;
+    const auto sub = static_cast<std::uint64_t>(g % kSubBuckets);
+    const int shift = width - 1 - static_cast<int>(kSubBucketBits);
+    return ((kSubBuckets + sub + 1) << shift) - 1;
+  }
+
+  void add_to_histogram(std::uint64_t value, std::uint64_t n) {
+    if (value < linear_.size()) {
+      linear_[value] += n;
+      return;
+    }
+    const std::size_t g = geo_index(value);
+    if (geo_.size() <= g) geo_.resize(g + 1, 0);  // lazy: most runs never overflow
+    geo_[g] += n;
+  }
+
   std::uint64_t count_ = 0;
   std::uint64_t total_ = 0;
   std::uint64_t worst_ = 0;
-  std::vector<std::uint64_t> histogram_;
+  std::vector<std::uint64_t> linear_;  ///< exact tier, bucket i == i cycles
+  std::vector<std::uint64_t> geo_;     ///< overflow tier, see geo_index()
 };
 
 }  // namespace spal::sim

@@ -223,6 +223,63 @@ TEST(LrCache, VictimHitPromotesBackToSet) {
   EXPECT_EQ(cache.stats().victim_hits, 1u);  // second hit from the set
 }
 
+TEST(LrCache, VictimPromotionDemotesQuotaLruBackToVictim) {
+  // Success path: promoting a victim-cache hit evicts the quota's LRU block
+  // into the victim cache (a swap), so neither result is lost.
+  LrCacheConfig config = small_config();  // γ = 50%: 2 REM ways
+  config.victim_blocks = 8;
+  LrCache cache(config);
+  cache.insert(addr_in_set(0, 1), 1, Origin::kRemote, 1);
+  cache.insert(addr_in_set(0, 2), 2, Origin::kRemote, 2);
+  cache.insert(addr_in_set(0, 3), 3, Origin::kRemote, 3);  // evicts tag 1
+
+  const auto hit = cache.probe(addr_in_set(0, 1), 10);  // victim hit, promotes
+  EXPECT_EQ(hit.state, ProbeState::kHit);
+  EXPECT_EQ(hit.next_hop, 1u);
+  EXPECT_EQ(cache.stats().victim_hits, 1u);
+  EXPECT_EQ(cache.stats().failed_promotions, 0u);
+  // Tag 1 now hits in the set (victim_hits stays 1)...
+  EXPECT_EQ(cache.probe(addr_in_set(0, 1), 11).state, ProbeState::kHit);
+  EXPECT_EQ(cache.stats().victim_hits, 1u);
+  // ...and tag 2 (the demoted LRU) survives in the victim cache.
+  const auto demoted = cache.probe(addr_in_set(0, 2), 12);
+  EXPECT_EQ(demoted.state, ProbeState::kHit);
+  EXPECT_EQ(demoted.next_hop, 2u);
+}
+
+TEST(LrCache, DeclinedVictimPromotionKeepsTheEntry) {
+  // Regression: when every way of the victim's origin quota is a pinned
+  // W=1 block, promotion must be declined — and the victim-cache entry must
+  // survive. The old code deleted the entry first and lost the result, so a
+  // re-probe of the same address missed.
+  LrCacheConfig config = small_config();  // γ = 50%: 2 REM ways
+  config.victim_blocks = 8;
+  LrCache cache(config);
+  cache.insert(addr_in_set(0, 1), 1, Origin::kRemote, 1);
+  cache.insert(addr_in_set(0, 2), 2, Origin::kRemote, 2);
+  cache.insert(addr_in_set(0, 3), 3, Origin::kRemote, 3);  // tag 1 -> victim
+  // Pin both REM ways with in-flight reservations (evicting tags 2 and 3
+  // to the victim cache on the way).
+  ASSERT_TRUE(cache.reserve(addr_in_set(0, 4), Origin::kRemote, 4));
+  ASSERT_TRUE(cache.reserve(addr_in_set(0, 5), Origin::kRemote, 5));
+
+  const std::uint64_t bypasses_before = cache.stats().quota_bypasses;
+  const auto hit = cache.probe(addr_in_set(0, 1), 10);
+  EXPECT_EQ(hit.state, ProbeState::kHit);
+  EXPECT_EQ(hit.next_hop, 1u);
+  EXPECT_EQ(cache.stats().failed_promotions, 1u);
+  // The declined promotion probes the set but must not be billed as a
+  // quota bypass — that counter tracks insert/reserve placement decisions.
+  EXPECT_EQ(cache.stats().quota_bypasses, bypasses_before);
+
+  // The entry stayed in the victim cache: probing again still hits.
+  const auto again = cache.probe(addr_in_set(0, 1), 11);
+  EXPECT_EQ(again.state, ProbeState::kHit);
+  EXPECT_EQ(again.next_hop, 1u);
+  EXPECT_EQ(cache.stats().victim_hits, 2u);
+  EXPECT_EQ(cache.stats().failed_promotions, 2u);
+}
+
 TEST(LrCache, WithoutVictimCacheConflictsAreLost) {
   LrCache cache(small_config());  // victim_blocks = 0
   for (std::uint32_t tag = 1; tag <= 5; ++tag) {

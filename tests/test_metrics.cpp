@@ -1,0 +1,201 @@
+// Property tests for LatencyStats against a sorted-vector oracle.
+//
+// The oracle for percentile(q) over n samples is the rank-th order
+// statistic with rank = clamp(ceil(q*n), 1, n), 1-indexed. Inside the
+// linear tier (1-cycle buckets) LatencyStats must match it *exactly*;
+// the geometric overflow tier must stay within its documented relative
+// error and never exceed the true worst case.
+//
+// Regression anchors: the old floor-based rank reported "0 cycles" for
+// percentile(0.99) over a single sample, and the old merge() truncated
+// the other histogram's tail buckets away.
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/metrics.h"
+
+namespace {
+
+using spal::sim::LatencyStats;
+
+constexpr double kQuantiles[] = {0.5, 0.9, 0.99, 1.0};
+
+std::uint64_t oracle_percentile(std::vector<std::uint64_t> values, double q) {
+  std::sort(values.begin(), values.end());
+  const auto n = static_cast<std::uint64_t>(values.size());
+  const auto rank = std::min<std::uint64_t>(
+      n, std::max<std::uint64_t>(
+             1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(n)))));
+  return values[rank - 1];
+}
+
+/// Stats instance whose linear tier covers every value the tests record,
+/// so percentiles are exact by construction.
+LatencyStats exact_stats() { return LatencyStats(std::size_t{1} << 20); }
+
+void expect_matches_oracle(const std::vector<std::uint64_t>& values) {
+  LatencyStats stats = exact_stats();
+  for (const std::uint64_t v : values) stats.record(v);
+  for (const double q : kQuantiles) {
+    EXPECT_EQ(stats.percentile(q), oracle_percentile(values, q))
+        << "q=" << q << " n=" << values.size();
+  }
+}
+
+TEST(LatencyStatsOracle, SingleSampleEveryQuantile) {
+  // Regression: floor-based rank turned ceil(0.99 * 1) into rank 0 and
+  // reported 0 cycles for a 7-cycle lookup.
+  LatencyStats stats = exact_stats();
+  stats.record(7);
+  for (const double q : {0.01, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(stats.percentile(q), 7u) << "q=" << q;
+  }
+}
+
+TEST(LatencyStatsOracle, UniformRandomSweepOverCounts) {
+  std::mt19937_64 rng(0x5ba1);
+  std::uniform_int_distribution<std::uint64_t> dist(0, (1u << 20) - 1);
+  for (const std::size_t n :
+       {1u, 2u, 3u, 7u, 10u, 99u, 100u, 101u, 1000u, 4096u, 10000u}) {
+    std::vector<std::uint64_t> values(n);
+    for (auto& v : values) v = dist(rng);
+    expect_matches_oracle(values);
+  }
+}
+
+TEST(LatencyStatsOracle, AdversarialDistributions) {
+  // All-equal: every quantile is the single value.
+  expect_matches_oracle(std::vector<std::uint64_t>(1000, 42));
+
+  // Two-point mass straddling the median.
+  {
+    std::vector<std::uint64_t> values(500, 1);
+    values.insert(values.end(), 500, 100000);
+    expect_matches_oracle(values);
+  }
+
+  // Heavy tail: 99% at 8 cycles, 1% spread high — exercises the exact
+  // p99/p100 boundary.
+  {
+    std::vector<std::uint64_t> values(9900, 8);
+    for (std::uint64_t i = 0; i < 100; ++i) values.push_back(900000 + i * 7);
+    expect_matches_oracle(values);
+  }
+
+  // Strictly ascending (every bucket count is 1).
+  {
+    std::vector<std::uint64_t> values;
+    for (std::uint64_t i = 0; i < 2500; ++i) values.push_back(i * 3);
+    expect_matches_oracle(values);
+  }
+
+  // Zeros are legal latencies and must not disappear.
+  {
+    std::vector<std::uint64_t> values(10, 0);
+    values.push_back(5);
+    expect_matches_oracle(values);
+  }
+}
+
+TEST(LatencyStatsOracle, CeilRankBoundaries) {
+  LatencyStats stats = exact_stats();
+  for (std::uint64_t v = 1; v <= 100; ++v) stats.record(v);
+  EXPECT_EQ(stats.percentile(0.0), 1u);     // rank clamps up to 1
+  EXPECT_EQ(stats.percentile(0.01), 1u);    // ceil(1) = 1
+  EXPECT_EQ(stats.percentile(0.5), 50u);    // ceil(50) = 50
+  EXPECT_EQ(stats.percentile(0.501), 51u);  // ceil(50.1) = 51
+  EXPECT_EQ(stats.percentile(0.99), 99u);
+  EXPECT_EQ(stats.percentile(0.991), 100u);  // ceil(99.1) = 100
+  EXPECT_EQ(stats.percentile(1.0), 100u);
+}
+
+TEST(LatencyStatsGeoTier, BoundedRelativeError) {
+  // Values far beyond the linear tier: reported quantiles must stay within
+  // the documented 2^-6 relative error of the oracle and never exceed the
+  // recorded worst.
+  std::mt19937_64 rng(77);
+  std::uniform_int_distribution<std::uint64_t> dist(1u << 12, 1u << 30);
+  LatencyStats stats;  // default 1024 linear buckets
+  std::vector<std::uint64_t> values(5000);
+  for (auto& v : values) {
+    v = dist(rng);
+    stats.record(v);
+  }
+  for (const double q : kQuantiles) {
+    const double exact = static_cast<double>(oracle_percentile(values, q));
+    const double reported = static_cast<double>(stats.percentile(q));
+    EXPECT_LE(std::abs(reported - exact) / exact, 1.0 / 64.0) << "q=" << q;
+    EXPECT_LE(stats.percentile(q), stats.worst_cycles()) << "q=" << q;
+  }
+  EXPECT_EQ(stats.percentile(1.0), stats.worst_cycles());
+}
+
+TEST(LatencyStatsGeoTier, MaxIsAlwaysExact) {
+  LatencyStats stats(64);
+  stats.record(3);
+  stats.record(123'456'789);
+  EXPECT_EQ(stats.worst_cycles(), 123'456'789u);
+  EXPECT_EQ(stats.percentile(1.0), 123'456'789u);
+  EXPECT_EQ(stats.percentile(0.5), 3u);
+}
+
+TEST(LatencyStatsMerge, PreservesCountsAndTail) {
+  // Regression: merging a larger histogram into a smaller one used to drop
+  // the buckets past the smaller size, losing tail counts entirely.
+  LatencyStats small(64);
+  LatencyStats big(4096);
+  for (std::uint64_t v = 0; v < 64; ++v) small.record(v);
+  for (std::uint64_t v = 1000; v < 1100; ++v) big.record(v);
+  big.record(50'000'000);  // geo-tier sample
+
+  small.merge(big);
+  EXPECT_EQ(small.count(), 64u + 100u + 1u);
+  EXPECT_EQ(small.worst_cycles(), 50'000'000u);
+  EXPECT_EQ(small.percentile(1.0), 50'000'000u);
+  // Median of the merged set: 165 samples, rank 83 -> the 19th sample of
+  // the [1000, 1100) run = 1018, exact in big's linear tier and preserved
+  // through the merge because small's linear tier grows to cover it.
+  EXPECT_EQ(small.percentile(0.5), 1018u);
+}
+
+TEST(LatencyStatsMerge, MatchesOracleWhenTiersCover) {
+  std::mt19937_64 rng(13);
+  std::uniform_int_distribution<std::uint64_t> dist(0, (1u << 20) - 1);
+  LatencyStats a = exact_stats();
+  LatencyStats b = exact_stats();
+  std::vector<std::uint64_t> all;
+  for (int i = 0; i < 3000; ++i) {
+    const std::uint64_t v = dist(rng);
+    a.record(v);
+    all.push_back(v);
+  }
+  for (int i = 0; i < 1700; ++i) {
+    const std::uint64_t v = dist(rng);
+    b.record(v);
+    all.push_back(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.size());
+  for (const double q : kQuantiles) {
+    EXPECT_EQ(a.percentile(q), oracle_percentile(all, q)) << "q=" << q;
+  }
+}
+
+TEST(LatencyStatsMerge, EmptyMergesAreNeutral) {
+  LatencyStats a = exact_stats();
+  a.record(10);
+  LatencyStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.percentile(0.99), 10u);
+  LatencyStats target;
+  target.merge(a);
+  EXPECT_EQ(target.count(), 1u);
+  EXPECT_EQ(target.percentile(0.99), 10u);
+}
+
+}  // namespace

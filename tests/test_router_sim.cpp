@@ -95,6 +95,89 @@ TEST(RouterSim, DeterministicAcrossRuns) {
   EXPECT_EQ(a.remote_requests, b.remote_requests);
 }
 
+TEST(RouterSim, PerLcCountersDecomposeRouterTotals) {
+  constexpr int kPsi = 4;
+  RouterSim router(small_table(), small_config(kPsi));
+  const RouterResult result = router.run_workload(small_profile());
+
+  ASSERT_EQ(result.per_lc.size(), static_cast<std::size_t>(kPsi));
+  ASSERT_EQ(result.per_lc_latency.size(), static_cast<std::size_t>(kPsi));
+  ASSERT_EQ(result.remote_fanout.size(),
+            static_cast<std::size_t>(kPsi) * kPsi);
+
+  // Per-LC latency counts partition the resolved packets.
+  std::uint64_t latency_count = 0;
+  for (const auto& stats : result.per_lc_latency) latency_count += stats.count();
+  EXPECT_EQ(latency_count, result.latency.count());
+  EXPECT_EQ(latency_count, result.resolved_packets);
+
+  // Per-LC cache counters sum to the router-wide totals, and the hit
+  // breakdown is internally consistent.
+  cache::LrCacheStats sum;
+  std::uint64_t fe_lookups = 0;
+  for (const auto& lc : result.per_lc) {
+    sum.accumulate(lc.cache);
+    fe_lookups += lc.fe_lookups;
+    EXPECT_LE(lc.fe_utilization, 1.0);
+    EXPECT_GE(lc.fe_utilization, 0.0);
+  }
+  EXPECT_EQ(sum.probes, result.cache_total.probes);
+  EXPECT_EQ(sum.hits, result.cache_total.hits);
+  EXPECT_EQ(sum.misses, result.cache_total.misses);
+  EXPECT_EQ(sum.waiting_hits, result.cache_total.waiting_hits);
+  EXPECT_EQ(sum.victim_hits, result.cache_total.victim_hits);
+  EXPECT_EQ(sum.loc_hits, result.cache_total.loc_hits);
+  EXPECT_EQ(sum.rem_hits, result.cache_total.rem_hits);
+  EXPECT_EQ(fe_lookups, result.fe_lookups);
+  EXPECT_EQ(result.cache_total.hits,
+            result.cache_total.loc_hits + result.cache_total.rem_hits);
+  EXPECT_EQ(result.cache_total.probes,
+            result.cache_total.hits + result.cache_total.misses +
+                result.cache_total.waiting_hits);
+
+  // Fabric: one reply per remote request, and every message leaves one
+  // port and arrives at another.
+  EXPECT_EQ(result.fabric.messages,
+            result.remote_requests + result.remote_replies);
+  EXPECT_GT(result.remote_requests, 0u);  // ψ = 4 must produce fan-out
+  ASSERT_EQ(result.fabric.ports.size(), static_cast<std::size_t>(kPsi));
+  std::uint64_t sent = 0, received = 0;
+  for (const auto& port : result.fabric.ports) {
+    sent += port.sent;
+    received += port.received;
+  }
+  EXPECT_EQ(sent, result.fabric.messages);
+  EXPECT_EQ(received, result.fabric.messages);
+
+  // The fan-out matrix counts each remote request once, never diagonally
+  // (an LC does not send itself a fabric request).
+  std::uint64_t fanout = 0;
+  for (int src = 0; src < kPsi; ++src) {
+    for (int home = 0; home < kPsi; ++home) {
+      const std::uint64_t cell = result.remote_fanout[src * kPsi + home];
+      fanout += cell;
+      if (src == home) {
+        EXPECT_EQ(cell, 0u) << "src=" << src;
+      }
+    }
+  }
+  EXPECT_EQ(fanout, result.remote_requests);
+}
+
+TEST(RouterSim, JsonReportRoundTripsKeyCounters) {
+  RouterSim router(small_table(), small_config(2));
+  const RouterResult result = router.run_workload(small_profile());
+  const std::string json = result.to_json();
+  EXPECT_NE(json.find("\"resolved_packets\":" +
+                      std::to_string(result.resolved_packets)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"per_lc\":["), std::string::npos);
+  EXPECT_NE(json.find("\"remote_fanout\":["), std::string::npos);
+  EXPECT_NE(json.find("\"waiting_highwater\""), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
 TEST(RouterSim, RejectsBadArguments) {
   EXPECT_THROW(RouterSim(small_table(), core::spal_default_config(0)),
                std::invalid_argument);

@@ -55,6 +55,44 @@ TEST(RouterSim6, Deterministic) {
   EXPECT_EQ(a.fe_lookups, b.fe_lookups);
 }
 
+TEST(RouterSim6, PerLcCountersDecomposeRouterTotals) {
+  // Same decomposition invariants as the IPv4 router: the per-LC
+  // observability layer is shared, so both address families must satisfy
+  // them.
+  constexpr int kPsi = 4;
+  core::RouterSim6 router(v6_table(), v6_config(kPsi));
+  const auto result = router.run_workload(v6_profile());
+
+  ASSERT_EQ(result.per_lc.size(), static_cast<std::size_t>(kPsi));
+  ASSERT_EQ(result.remote_fanout.size(),
+            static_cast<std::size_t>(kPsi) * kPsi);
+
+  std::uint64_t latency_count = 0;
+  for (const auto& stats : result.per_lc_latency) latency_count += stats.count();
+  EXPECT_EQ(latency_count, result.latency.count());
+  EXPECT_EQ(latency_count, result.resolved_packets);
+
+  cache::LrCacheStats sum;
+  std::uint64_t fe_lookups = 0;
+  for (const auto& lc : result.per_lc) {
+    sum.accumulate(lc.cache);
+    fe_lookups += lc.fe_lookups;
+  }
+  EXPECT_EQ(sum.probes, result.cache_total.probes);
+  EXPECT_EQ(sum.hits, result.cache_total.hits);
+  EXPECT_EQ(sum.misses, result.cache_total.misses);
+  EXPECT_EQ(sum.waiting_hits, result.cache_total.waiting_hits);
+  EXPECT_EQ(fe_lookups, result.fe_lookups);
+  EXPECT_EQ(result.cache_total.hits,
+            result.cache_total.loc_hits + result.cache_total.rem_hits);
+
+  EXPECT_EQ(result.fabric.messages,
+            result.remote_requests + result.remote_replies);
+  std::uint64_t fanout = 0;
+  for (const std::uint64_t cell : result.remote_fanout) fanout += cell;
+  EXPECT_EQ(fanout, result.remote_requests);
+}
+
 TEST(RouterSim6, CachingCutsFeLoad) {
   core::RouterSim6 router(v6_table(), v6_config(4));
   const auto result = router.run_workload(v6_profile());

@@ -1,0 +1,560 @@
+// spal_report: validate and diff the JSON reports the benches emit with
+// --json[=path] (schema in DESIGN.md, "JSON report schema").
+//
+// Usage:
+//   spal_report --check report.json
+//       Verify every cross-component invariant of a report: per-LC latency
+//       counts sum to the router total, per-LC cache counters sum to
+//       cache_total, the hit breakdown is consistent, fabric messages equal
+//       remote requests + replies, and the fan-out matrix sums to the
+//       request count. Exit 0 when all points hold, 1 otherwise — CI runs
+//       this on a small bench so a broken counter fails the build.
+//
+//   spal_report base.json new.json [--tolerance=PCT]
+//       Diff two reports point-by-point (matched by label): flags points
+//       whose mean/p99 lookup cycles rose or whose hit rate fell by more
+//       than PCT percent (default 2). Exit 1 when any regression is found.
+//
+// The parser below is a deliberately small recursive-descent reader for the
+// reports' fixed schema — the toolchain has no JSON library, and the tool
+// must not grow a dependency the benches don't have.
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+// --- minimal JSON value + parser -----------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* find(const char* key) const {
+    if (kind != Kind::kObject) return nullptr;
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  /// Returns false (with a message in error()) on malformed input.
+  bool parse(JsonValue& out) {
+    pos_ = 0;
+    if (!parse_value(out)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing bytes after document");
+    return true;
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  bool fail(const char* message) {
+    char buffer[128];
+    std::snprintf(buffer, sizeof buffer, "%s (offset %zu)", message, pos_);
+    error_ = buffer;
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool parse_value(JsonValue& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(out);
+    if (c == '[') return parse_array(out);
+    if (c == '"') {
+      out.kind = JsonValue::Kind::kString;
+      return parse_string(out.string);
+    }
+    if (c == 't' || c == 'f') return parse_bool(out);
+    if (c == 'n') return parse_null(out);
+    return parse_number(out);
+  }
+
+  bool parse_object(JsonValue& out) {
+    out.kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return fail("expected ':' in object");
+      }
+      ++pos_;
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.object.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parse_array(JsonValue& out) {
+    out.kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.array.push_back(std::move(value));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return fail("expected string");
+    }
+    ++pos_;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return fail("unterminated escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          default: return fail("unsupported escape in string");
+        }
+        continue;
+      }
+      out += c;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_bool(JsonValue& out) {
+    out.kind = JsonValue::Kind::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out.boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out.boolean = false;
+      pos_ += 5;
+      return true;
+    }
+    return fail("expected boolean");
+  }
+
+  bool parse_null(JsonValue& out) {
+    out.kind = JsonValue::Kind::kNull;
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    return fail("expected null");
+  }
+
+  bool parse_number(JsonValue& out) {
+    out.kind = JsonValue::Kind::kNumber;
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    out.number = std::strtod(start, &end);
+    if (end == start) return fail("expected number");
+    pos_ += static_cast<std::size_t>(end - start);
+    return true;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+// --- report access helpers ------------------------------------------------
+
+/// Fetches a numeric field along an object path, failing loudly: a missing
+/// counter in a report is a schema bug, not a zero.
+bool get_number(const JsonValue& root, std::initializer_list<const char*> path,
+                double& out, std::string& where) {
+  const JsonValue* node = &root;
+  where.clear();
+  for (const char* key : path) {
+    if (!where.empty()) where += '.';
+    where += key;
+    node = node->find(key);
+    if (node == nullptr) return false;
+  }
+  if (node->kind != JsonValue::Kind::kNumber) return false;
+  out = node->number;
+  return true;
+}
+
+bool load_file(const char* path, std::string& out) {
+  std::FILE* file = std::fopen(path, "rb");
+  if (file == nullptr) return false;
+  char buffer[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof buffer, file)) > 0) {
+    out.append(buffer, n);
+  }
+  const bool ok = std::ferror(file) == 0;
+  std::fclose(file);
+  return ok;
+}
+
+// --- invariant checking (--check) ----------------------------------------
+
+struct CheckContext {
+  const char* file = nullptr;
+  std::string label;
+  int failures = 0;
+
+  void fail(const char* fmt, ...) {
+    std::fprintf(stderr, "%s [%s]: ", file, label.c_str());
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fputc('\n', stderr);
+    ++failures;
+  }
+};
+
+/// Exact equality between counters parsed from the report. Counts are
+/// integers well below 2^53, so double comparison is exact.
+void expect_eq(CheckContext& ctx, const char* what, double actual,
+               double expected) {
+  if (actual != expected) {
+    ctx.fail("%s: %.0f != %.0f", what, actual, expected);
+  }
+}
+
+void expect_le(CheckContext& ctx, const char* what, double lhs, double rhs) {
+  if (lhs > rhs) {
+    ctx.fail("%s: %.0f > %.0f", what, lhs, rhs);
+  }
+}
+
+double require(CheckContext& ctx, const JsonValue& result,
+               std::initializer_list<const char*> path) {
+  double value = 0.0;
+  std::string where;
+  if (!get_number(result, path, value, where)) {
+    ctx.fail("missing numeric field '%s'", where.c_str());
+  }
+  return value;
+}
+
+/// Sums `key` across every per-LC cache object.
+double per_lc_cache_sum(const JsonValue& per_lc, const char* key) {
+  double sum = 0.0;
+  for (const JsonValue& lc : per_lc.array) {
+    const JsonValue* cache = lc.find("cache");
+    if (cache == nullptr) continue;
+    const JsonValue* field = cache->find(key);
+    if (field != nullptr) sum += field->number;
+  }
+  return sum;
+}
+
+void check_result(CheckContext& ctx, const JsonValue& result) {
+  const double resolved = require(ctx, result, {"resolved_packets"});
+  const double latency_count = require(ctx, result, {"latency", "count"});
+  expect_eq(ctx, "latency.count vs resolved_packets", latency_count, resolved);
+
+  // Hit breakdown: every completed hit is LOC- or REM-homed; victim hits
+  // are a subset; probes split into hits, misses, and waiting matches.
+  const double hits = require(ctx, result, {"cache_total", "hits"});
+  const double loc = require(ctx, result, {"cache_total", "loc_hits"});
+  const double rem = require(ctx, result, {"cache_total", "rem_hits"});
+  const double victim = require(ctx, result, {"cache_total", "victim_hits"});
+  const double waiting = require(ctx, result, {"cache_total", "waiting_hits"});
+  const double misses = require(ctx, result, {"cache_total", "misses"});
+  const double probes = require(ctx, result, {"cache_total", "probes"});
+  expect_eq(ctx, "cache_total.hits vs loc_hits+rem_hits", hits, loc + rem);
+  expect_le(ctx, "cache_total.victim_hits vs hits", victim, hits);
+  expect_eq(ctx, "cache_total.probes vs hits+misses+waiting_hits", probes,
+            hits + misses + waiting);
+
+  // Fabric: every remote request produces exactly one reply, and every
+  // message leaves one port and enters another.
+  const double remote_requests = require(ctx, result, {"remote_requests"});
+  const double remote_replies = require(ctx, result, {"remote_replies"});
+  const double messages = require(ctx, result, {"fabric", "messages"});
+  expect_eq(ctx, "fabric.messages vs remote_requests+remote_replies", messages,
+            remote_requests + remote_replies);
+  if (const JsonValue* ports = result.find("fabric")
+                                   ? result.find("fabric")->find("ports")
+                                   : nullptr) {
+    double sent = 0.0, received = 0.0;
+    for (const JsonValue& port : ports->array) {
+      if (const JsonValue* v = port.find("sent")) sent += v->number;
+      if (const JsonValue* v = port.find("received")) received += v->number;
+    }
+    expect_eq(ctx, "sum(ports.sent) vs fabric.messages", sent, messages);
+    expect_eq(ctx, "sum(ports.received) vs fabric.messages", received,
+              messages);
+  } else {
+    ctx.fail("missing fabric.ports array");
+  }
+
+  // Fan-out matrix: one cell increment per remote request.
+  if (const JsonValue* fanout = result.find("remote_fanout")) {
+    double sum = 0.0;
+    for (const JsonValue& row : fanout->array) {
+      for (const JsonValue& cell : row.array) sum += cell.number;
+    }
+    expect_eq(ctx, "sum(remote_fanout) vs remote_requests", sum,
+              remote_requests);
+  } else {
+    ctx.fail("missing remote_fanout matrix");
+  }
+
+  // Per-LC decomposition: latency counts, cache counters, and FE lookups
+  // all sum to the router-wide totals.
+  const JsonValue* per_lc = result.find("per_lc");
+  if (per_lc == nullptr || per_lc->kind != JsonValue::Kind::kArray ||
+      per_lc->array.empty()) {
+    ctx.fail("missing per_lc array");
+    return;
+  }
+  double lc_latency = 0.0, lc_fe = 0.0;
+  for (const JsonValue& lc : per_lc->array) {
+    if (const JsonValue* latency = lc.find("latency")) {
+      if (const JsonValue* count = latency->find("count")) {
+        lc_latency += count->number;
+      }
+    }
+    if (const JsonValue* fe = lc.find("fe")) {
+      if (const JsonValue* lookups = fe->find("lookups")) {
+        lc_fe += lookups->number;
+      }
+    }
+  }
+  expect_eq(ctx, "sum(per_lc.latency.count) vs latency.count", lc_latency,
+            latency_count);
+  expect_eq(ctx, "sum(per_lc.fe.lookups) vs fe_lookups", lc_fe,
+            require(ctx, result, {"fe_lookups"}));
+  static const char* kCacheCounters[] = {
+      "probes",       "hits",           "loc_hits",
+      "rem_hits",     "victim_hits",    "waiting_hits",
+      "misses",       "reservations",   "failed_reservations",
+      "quota_bypasses", "failed_promotions", "fills",
+      "orphan_fills", "evictions",      "flushes"};
+  for (const char* counter : kCacheCounters) {
+    char what[96];
+    std::snprintf(what, sizeof what, "sum(per_lc.cache.%s) vs cache_total.%s",
+                  counter, counter);
+    expect_eq(ctx, what, per_lc_cache_sum(*per_lc, counter),
+              require(ctx, result, {"cache_total", counter}));
+  }
+}
+
+bool load_report(const char* path, JsonValue& out) {
+  std::string text;
+  if (!load_file(path, text)) {
+    std::fprintf(stderr, "spal_report: cannot read '%s'\n", path);
+    return false;
+  }
+  JsonParser parser(text);
+  if (!parser.parse(out)) {
+    std::fprintf(stderr, "spal_report: %s: %s\n", path, parser.error().c_str());
+    return false;
+  }
+  if (out.find("points") == nullptr ||
+      out.find("points")->kind != JsonValue::Kind::kArray) {
+    std::fprintf(stderr, "spal_report: %s: no 'points' array\n", path);
+    return false;
+  }
+  return true;
+}
+
+int run_check(const char* path) {
+  JsonValue report;
+  if (!load_report(path, report)) return 1;
+  const JsonValue* points = report.find("points");
+  if (points->array.empty()) {
+    std::fprintf(stderr, "spal_report: %s: empty 'points' array\n", path);
+    return 1;
+  }
+  CheckContext ctx;
+  ctx.file = path;
+  for (const JsonValue& point : points->array) {
+    const JsonValue* label = point.find("label");
+    const JsonValue* result = point.find("result");
+    ctx.label = label != nullptr ? label->string : "<unlabelled>";
+    if (result == nullptr) {
+      ctx.fail("point has no 'result' object");
+      continue;
+    }
+    check_result(ctx, *result);
+  }
+  if (ctx.failures > 0) {
+    std::fprintf(stderr, "spal_report: %d invariant failure(s) in %s\n",
+                 ctx.failures, path);
+    return 1;
+  }
+  std::printf("spal_report: %zu point(s) in %s satisfy all invariants\n",
+              points->array.size(), path);
+  return 0;
+}
+
+// --- regression diff ------------------------------------------------------
+
+const JsonValue* find_point(const JsonValue& report, const std::string& label) {
+  for (const JsonValue& point : report.find("points")->array) {
+    const JsonValue* l = point.find("label");
+    if (l != nullptr && l->string == label) return &point;
+  }
+  return nullptr;
+}
+
+int run_diff(const char* base_path, const char* new_path, double tolerance_pct) {
+  JsonValue base, next;
+  if (!load_report(base_path, base) || !load_report(new_path, next)) return 1;
+
+  // Metric, path into result, and direction (+1: an increase is a
+  // regression; -1: a decrease is).
+  struct Metric {
+    const char* name;
+    std::initializer_list<const char*> path;
+    int bad_direction;
+  };
+  static const Metric kMetrics[] = {
+      {"mean_cycles", {"latency", "mean_cycles"}, +1},
+      {"p99_cycles", {"latency", "p99"}, +1},
+      {"worst_cycles", {"latency", "worst_cycles"}, +1},
+      {"hit_rate", {"cache_total", "hit_rate"}, -1},
+  };
+
+  int regressions = 0;
+  int compared = 0;
+  for (const JsonValue& point : next.find("points")->array) {
+    const JsonValue* label = point.find("label");
+    const JsonValue* result = point.find("result");
+    if (label == nullptr || result == nullptr) continue;
+    const JsonValue* base_point = find_point(base, label->string);
+    if (base_point == nullptr) {
+      std::printf("  new point (no baseline): %s\n", label->string.c_str());
+      continue;
+    }
+    const JsonValue* base_result = base_point->find("result");
+    if (base_result == nullptr) continue;
+    ++compared;
+    for (const Metric& metric : kMetrics) {
+      double before = 0.0, after = 0.0;
+      std::string where;
+      if (!get_number(*base_result, metric.path, before, where) ||
+          !get_number(*result, metric.path, after, where)) {
+        continue;
+      }
+      if (before == 0.0) continue;
+      const double change_pct = 100.0 * (after - before) / before;
+      if (change_pct * metric.bad_direction > tolerance_pct) {
+        std::printf("REGRESSION %s: %s %.6g -> %.6g (%+.2f%%)\n",
+                    label->string.c_str(), metric.name, before, after,
+                    change_pct);
+        ++regressions;
+      }
+    }
+  }
+  if (compared == 0) {
+    std::fprintf(stderr, "spal_report: no shared labels between %s and %s\n",
+                 base_path, new_path);
+    return 1;
+  }
+  if (regressions > 0) {
+    std::printf("spal_report: %d regression(s) beyond %.2f%% across %d "
+                "shared point(s)\n",
+                regressions, tolerance_pct, compared);
+    return 1;
+  }
+  std::printf("spal_report: no regressions beyond %.2f%% across %d shared "
+              "point(s)\n",
+              tolerance_pct, compared);
+  return 0;
+}
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: spal_report --check report.json\n"
+               "       spal_report base.json new.json [--tolerance=PCT]\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 3 && std::strcmp(argv[1], "--check") == 0) {
+    if (argc != 3) usage();
+    return run_check(argv[2]);
+  }
+  if (argc >= 3 && argv[1][0] != '-' && argv[2][0] != '-') {
+    double tolerance = 2.0;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--tolerance=", 12) == 0) {
+        char* end = nullptr;
+        tolerance = std::strtod(argv[i] + 12, &end);
+        if (end == argv[i] + 12 || *end != '\0' || tolerance < 0.0) usage();
+      } else {
+        usage();
+      }
+    }
+    return run_diff(argv[1], argv[2], tolerance);
+  }
+  usage();
+}
