@@ -1,0 +1,151 @@
+// Host-side LPM batch-pipeline micro bench: sweeps lookup batch width ×
+// trie × table size and reports wall-clock ns/lookup for the scalar path
+// and the interleaved software-prefetch pipeline (lookup_batch). Every
+// batched result is compared against the scalar path key-by-key; any
+// divergence is a hard failure (exit 1), so the CI smoke run doubles as a
+// batch/scalar equivalence check.
+//
+// With --batch=N only that width is swept; by default widths 1-64 are. With
+// --json[=path] a machine-readable report is emitted ("lpm_batch" schema in
+// DESIGN.md); `spal_report --check` validates it and `spal_report base new`
+// flags ns/lookup regressions. The checked-in BENCH_lpm.json is this
+// bench's Release-build baseline (see EXPERIMENTS.md).
+#include <algorithm>
+#include <chrono>
+#include <random>
+
+#include "bench_util.h"
+#include "net/table_gen.h"
+#include "trie/lpm.h"
+
+using namespace spal;
+
+namespace {
+
+struct TableSpec {
+  std::size_t size;
+  std::uint64_t seed;
+};
+
+// RT_1 scale plus the 120k-prefix table the perf trajectory tracks.
+constexpr TableSpec kTables[] = {{41'709, 0x5eed'0001}, {120'000, 0x5eed'0120}};
+constexpr trie::TrieKind kKinds[] = {trie::TrieKind::kLulea, trie::TrieKind::kLc,
+                                     trie::TrieKind::kDp};
+constexpr std::size_t kWidths[] = {1, 2, 4, 8, 16, 32, 64};
+constexpr int kReps = 3;  // timed passes; the fastest is reported
+
+std::vector<net::Ipv4Addr> matched_addresses(const net::RouteTable& table,
+                                             std::size_t count) {
+  std::mt19937_64 rng(0xba7c4ULL ^ table.size());
+  std::uniform_int_distribution<std::size_t> pick(0, table.size() - 1);
+  std::vector<net::Ipv4Addr> addresses;
+  addresses.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    addresses.push_back(
+        net::random_address_in(table.entries()[pick(rng)].prefix, rng));
+  }
+  return addresses;
+}
+
+/// Fastest-of-kReps wall-clock ns for one full pass over `keys`.
+template <typename Fn>
+double time_pass(Fn&& pass) {
+  double best = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    pass();
+    const auto stop = std::chrono::steady_clock::now();
+    const double ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+            .count());
+    if (rep == 0 || ns < best) best = ns;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::print_header(
+      "LPM batch pipeline: ns/lookup, scalar vs interleaved prefetch",
+      "trie,table_size,batch,ns_per_lookup,mlookups_per_s,speedup_vs_scalar,"
+      "match");
+
+  std::vector<std::string> entries;
+  std::size_t mismatches = 0;
+  for (const TableSpec& spec : kTables) {
+    net::TableGenConfig config;
+    config.size = spec.size;
+    config.seed = spec.seed;
+    const net::RouteTable table = net::generate_table(config);
+    const auto keys = matched_addresses(table, args.packets_per_lc);
+    const std::size_t n = keys.size();
+    std::vector<net::NextHop> scalar_out(n), batch_out(n);
+
+    for (const trie::TrieKind kind : kKinds) {
+      const auto index = trie::build_lpm(kind, table);
+      // Scalar reference: result vector + fastest-pass timing.
+      for (std::size_t i = 0; i < n; ++i) scalar_out[i] = index->lookup(keys[i]);
+      const double scalar_ns =
+          time_pass([&] {
+            for (std::size_t i = 0; i < n; ++i) {
+              scalar_out[i] = index->lookup(keys[i]);
+            }
+          }) /
+          static_cast<double>(n);
+
+      // --batch=N restricts the sweep to the scalar reference plus width N.
+      std::vector<std::size_t> widths(std::begin(kWidths), std::end(kWidths));
+      if (args.batch_set) {
+        widths.assign(1, std::size_t{1});
+        if (args.batch > 1) widths.push_back(args.batch);
+      }
+      for (const std::size_t width : widths) {
+        const double ns =
+            width == 1 ? scalar_ns
+                       : time_pass([&] {
+                           for (std::size_t i = 0; i < n; i += width) {
+                             index->lookup_batch(keys.data() + i,
+                                                 std::min(width, n - i),
+                                                 batch_out.data() + i);
+                           }
+                         }) / static_cast<double>(n);
+        bool match = true;
+        if (width > 1) {
+          for (std::size_t i = 0; i < n; ++i) {
+            if (batch_out[i] != scalar_out[i]) {
+              match = false;
+              ++mismatches;
+            }
+          }
+        }
+        const double speedup = ns > 0.0 ? scalar_ns / ns : 0.0;
+        std::printf("%s,%zu,%zu,%.2f,%.2f,%.2f,%d\n",
+                    std::string(trie::to_string(kind)).c_str(), spec.size,
+                    width, ns, 1e3 / ns, speedup, match ? 1 : 0);
+        if (args.json) {
+          entries.push_back(bench::rowf(
+              "{\"label\":\"trie=%s,size=%zu,batch=%zu\",\"result\":{"
+              "\"kind\":\"lpm_batch\",\"trie\":\"%s\",\"table_size\":%zu,"
+              "\"batch\":%zu,\"lookups\":%zu,\"ns_per_lookup\":%.3f,"
+              "\"lookups_per_second\":%.0f,\"scalar_ns_per_lookup\":%.3f,"
+              "\"speedup_vs_scalar\":%.4f,\"storage_bytes\":%zu,"
+              "\"match\":%s}}",
+              std::string(trie::to_string(kind)).c_str(), spec.size, width,
+              std::string(trie::to_string(kind)).c_str(), spec.size, width, n,
+              ns, 1e9 / ns, scalar_ns, speedup, index->storage_bytes(),
+              match ? "true" : "false"));
+        }
+      }
+    }
+  }
+  if (mismatches > 0) {
+    std::fprintf(stderr,
+                 "bench_lpm_batch: %zu batch/scalar next-hop mismatches\n",
+                 mismatches);
+    return 1;
+  }
+  bench::write_json_report(args, "lpm_batch", entries);
+  return 0;
+}

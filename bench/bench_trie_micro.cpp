@@ -68,6 +68,29 @@ void BM_TrieLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_TrieLookup)->DenseRange(0, 3);
 
+// Batched path (lookup_batch in chunks of range(1) keys) over the same
+// address stream; select scalar vs batch with
+// --benchmark_filter='BM_TrieLookup/…' vs 'BM_TrieLookupBatch/…'.
+void BM_TrieLookupBatch(benchmark::State& state) {
+  const auto kind = kind_of(static_cast<int>(state.range(0)));
+  const auto width = static_cast<std::size_t>(state.range(1));
+  const auto index = trie::build_lpm(kind, bench_table());
+  const auto addresses = bench_addresses(1 << 16);
+  std::vector<net::NextHop> out(width);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    index->lookup_batch(addresses.data() + i, width, out.data());
+    benchmark::DoNotOptimize(out.data());
+    i += width;
+    if (i + width > addresses.size()) i = 0;
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * width));
+  state.SetLabel(std::string(trie::to_string(kind)));
+}
+BENCHMARK(BM_TrieLookupBatch)
+    ->ArgsProduct({benchmark::CreateDenseRange(0, 3, 1), {8, 32}});
+
 void BM_LrCacheProbe(benchmark::State& state) {
   cache::LrCacheConfig config;
   config.blocks = static_cast<std::size_t>(state.range(0));

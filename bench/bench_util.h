@@ -35,10 +35,15 @@ struct BenchArgs {
   sim::EngineKind engine = sim::EngineKind::kCalendar;
   bool json = false;        ///< --json[=path]: emit the JSON report
   std::string json_path;    ///< empty = stdout
+  /// --batch=N: LPM lookup batch width for the host-side measurements
+  /// (1 = the scalar path; > 1 routes through lookup_batch in chunks of N).
+  std::size_t batch = 8;
+  bool batch_set = false;  ///< --batch was given explicitly
 
-  /// Parses the shared bench flags. Malformed values (--packets=0, negative
-  /// or non-numeric counts) and unknown flags are rejected with exit code 2
-  /// instead of silently running a meaningless simulation.
+  /// Parses the shared bench flags. Malformed values (--packets=0 or
+  /// --batch=0, negative or non-numeric counts) and unknown flags are
+  /// rejected with exit code 2 instead of silently running a meaningless
+  /// simulation.
   static BenchArgs parse(int argc, char** argv) {
     BenchArgs args;
     for (int i = 1; i < argc; ++i) {
@@ -47,7 +52,10 @@ struct BenchArgs {
         args.full = true;
         args.packets_per_lc = 300'000;  // the paper's per-LC packet count
       } else if (std::strncmp(arg, "--packets=", 10) == 0) {
-        args.packets_per_lc = parse_packet_count(arg + 10);
+        args.packets_per_lc = parse_count(arg + 10, "--packets");
+      } else if (std::strncmp(arg, "--batch=", 8) == 0) {
+        args.batch = parse_count(arg + 8, "--batch");
+        args.batch_set = true;
       } else if (std::strcmp(arg, "--engine=heap") == 0) {
         args.engine = sim::EngineKind::kHeap;
       } else if (std::strcmp(arg, "--engine=calendar") == 0) {
@@ -70,19 +78,19 @@ struct BenchArgs {
   [[noreturn]] static void usage_error(const char* message) {
     if (message != nullptr) std::fprintf(stderr, "%s\n", message);
     std::fprintf(stderr,
-                 "usage: [--full] [--packets=N] [--engine=heap|calendar] "
-                 "[--json[=path]]\n");
+                 "usage: [--full] [--packets=N] [--batch=N] "
+                 "[--engine=heap|calendar] [--json[=path]]\n");
     std::exit(2);
   }
 
-  static std::size_t parse_packet_count(const char* text) {
+  static std::size_t parse_count(const char* text, const char* flag) {
     errno = 0;
     char* end = nullptr;
     const unsigned long long value = std::strtoull(text, &end, 10);
     if (*text == '\0' || *text == '-' || end == text || *end != '\0' ||
         errno != 0 || value == 0) {
-      std::fprintf(stderr,
-                   "--packets expects a positive integer, got '%s'\n", text);
+      std::fprintf(stderr, "%s expects a positive integer, got '%s'\n", flag,
+                   text);
       usage_error(nullptr);
     }
     return static_cast<std::size_t>(value);

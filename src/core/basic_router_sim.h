@@ -16,6 +16,8 @@
 //     static Partition make_partition(const Table&, int lcs, const RouterConfig&);
 //     static Fe build_fe(const Table&, const RouterConfig&);
 //     static net::NextHop fe_lookup(const Fe&, const Addr&);
+//     static void fe_lookup_batch(const Fe&, const Addr*, std::size_t n,
+//                                 net::NextHop*);  // bit-identical to scalar
 //     static std::size_t fe_storage(const Fe&);
 //     static Oracle build_oracle(const Table&);
 //     static net::NextHop oracle_lookup(const Oracle&, const Addr&);
@@ -192,6 +194,23 @@ class BasicRouterSim {
     sizes.reserve(fes_.size());
     for (const auto& fe : fes_) sizes.push_back(Family::fe_storage(fe));
     return sizes;
+  }
+
+  /// Host-side (wall-clock) lookups through one LC's built forwarding
+  /// engine: the interleaved batch pipeline in chunks of `batch` keys when
+  /// batch > 1, the scalar path otherwise. Results are bit-identical either
+  /// way; this does not touch simulation state — the throughput benches use
+  /// it to measure real ns/lookup on the per-LC structures.
+  void fe_host_lookup(int lc, const Addr* keys, std::size_t n,
+                      net::NextHop* out, std::size_t batch) const {
+    const auto& fe = fes_[static_cast<std::size_t>(lc)];
+    if (batch <= 1) {
+      for (std::size_t i = 0; i < n; ++i) out[i] = Family::fe_lookup(fe, keys[i]);
+      return;
+    }
+    for (std::size_t i = 0; i < n; i += batch) {
+      Family::fe_lookup_batch(fe, keys + i, std::min(batch, n - i), out + i);
+    }
   }
 
  private:

@@ -51,6 +51,10 @@ struct V4Family {
   static net::NextHop fe_lookup(const Fe& fe, const Addr& addr) {
     return fe->lookup(addr);
   }
+  static void fe_lookup_batch(const Fe& fe, const Addr* keys, std::size_t n,
+                              net::NextHop* out) {
+    fe->lookup_batch(keys, n, out);
+  }
   static std::size_t fe_storage(const Fe& fe) { return fe->storage_bytes(); }
   static Oracle build_oracle(const Table& table) { return Oracle(table); }
   static net::NextHop oracle_lookup(const Oracle& oracle, const Addr& addr) {
@@ -93,6 +97,12 @@ class RouterSim {
   /// Per-LC forwarding-trie storage in bytes.
   std::vector<std::size_t> trie_storage_bytes() const {
     return impl_.fe_storage_bytes();
+  }
+  /// Host-side lookups through LC `lc`'s built trie (batch pipeline in
+  /// chunks of `batch` keys when batch > 1, scalar otherwise).
+  void host_fe_lookup(int lc, const net::Ipv4Addr* keys, std::size_t n,
+                      net::NextHop* out, std::size_t batch) const {
+    impl_.fe_host_lookup(lc, keys, n, out, batch);
   }
 
  private:

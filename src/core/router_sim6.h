@@ -41,6 +41,12 @@ struct V6Family {
   static net::NextHop fe_lookup(const Fe& fe, const Addr& addr) {
     return fe.lookup(addr);
   }
+  static void fe_lookup_batch(const Fe& fe, const Addr* keys, std::size_t n,
+                              net::NextHop* out) {
+    // The v6 FE (DP-style trie) has no interleaved pipeline yet; the batch
+    // contract (out[i] == lookup(keys[i])) is met by the scalar loop.
+    for (std::size_t i = 0; i < n; ++i) out[i] = fe.lookup(keys[i]);
+  }
   static std::size_t fe_storage(const Fe& fe) { return fe.storage_bytes(); }
   static Oracle build_oracle(const Table& table) { return Oracle(table); }
   static net::NextHop oracle_lookup(const Oracle& oracle, const Addr& addr) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <stdexcept>
 
 namespace spal::trie {
 namespace {
@@ -12,6 +13,8 @@ inline std::uint32_t extract(int pos, int count, std::uint32_t word) {
   return (word >> (32 - pos - count)) &
          (count >= 32 ? ~std::uint32_t{0} : ((std::uint32_t{1} << count) - 1));
 }
+
+inline void prefetch(const void* address) { __builtin_prefetch(address, 0, 3); }
 
 }  // namespace
 
@@ -45,6 +48,9 @@ LcTrie::LcTrie(const net::RouteTable& table, double fill_factor, int max_root_br
     }
   }
   if (base_.empty()) return;
+  if (base_.size() > Node::kAdrMask) {
+    throw std::length_error("LcTrie: base vector exceeds the packed 20-bit adr");
+  }
   nodes_.resize(1);
   build(0, base_.size(), 0, 0);
 }
@@ -96,17 +102,19 @@ int LcTrie::compute_branch(std::size_t first, std::size_t n, int pos,
 void LcTrie::build(std::size_t first, std::size_t n, int pos,
                    std::size_t node_index) {
   if (n == 1) {
-    nodes_[node_index] =
-        Node{0, 0, static_cast<std::uint32_t>(first)};
+    nodes_[node_index] = Node::make(0, 0, static_cast<std::uint32_t>(first));
     return;
   }
   int skip = 0;
   const int branch = compute_branch(first, n, pos, &skip);
   const std::size_t adr = nodes_.size();
+  if (adr + (std::size_t{1} << branch) > Node::kAdrMask + 1) {
+    throw std::length_error("LcTrie: node count exceeds the packed 20-bit adr");
+  }
   nodes_.resize(adr + (std::size_t{1} << branch));
-  nodes_[node_index] = Node{static_cast<std::uint8_t>(branch),
-                            static_cast<std::uint8_t>(skip),
-                            static_cast<std::uint32_t>(adr)};
+  nodes_[node_index] = Node::make(static_cast<std::uint32_t>(branch),
+                                  static_cast<std::uint32_t>(skip),
+                                  static_cast<std::uint32_t>(adr));
   const int child_pos = pos + skip + branch;
   std::size_t p = first;
   for (std::uint32_t pattern = 0; pattern < (1u << branch); ++pattern) {
@@ -152,16 +160,16 @@ net::NextHop LcTrie::lookup_impl(net::Ipv4Addr addr,
   const std::uint32_t s = addr.value();
   if constexpr (kCounted) counter->record();  // root node read
   Node node = nodes_[0];
-  int pos = node.skip;
-  while (node.branch != 0) {
+  int pos = static_cast<int>(node.skip());
+  while (node.branch() != 0) {
     if constexpr (kCounted) counter->record();  // child node read
-    const int parent_branch = node.branch;
-    node = nodes_[node.adr + extract(pos, parent_branch, s)];
+    const int parent_branch = static_cast<int>(node.branch());
+    node = nodes_[node.adr() + extract(pos, parent_branch, s)];
     // Consume the parent's branch bits plus the child's skipped bits.
-    pos += parent_branch + node.skip;
+    pos += parent_branch + static_cast<int>(node.skip());
   }
   if constexpr (kCounted) counter->record();  // base-vector entry read
-  const BaseEntry& base = base_[node.adr];
+  const BaseEntry& base = base_[node.adr()];
   const std::uint32_t diff = base.bits ^ s;
   if (extract(0, base.len, diff) == 0) return base.next_hop;
   // Explicit comparison failed; walk the chain of covering internal
@@ -179,6 +187,104 @@ net::NextHop LcTrie::lookup_impl(net::Ipv4Addr addr,
 net::NextHop LcTrie::lookup(net::Ipv4Addr addr) const {
   MemAccessCounter unused;
   return lookup_impl<false>(addr, &unused);
+}
+
+void LcTrie::lookup_batch(const net::Ipv4Addr* keys, std::size_t n,
+                          net::NextHop* out) const {
+  // Stage-synchronous pipeline (see LuleaTrie::lookup_batch for the model):
+  // groups of G keys walk the trie in lockstep waves — every wave performs
+  // one node read per still-walking lane, so the reads of a wave are
+  // independent and overlap, and each lane prefetches the line its next
+  // wave will read. Per-lane control flow is branch-free: the leaf/child
+  // decision, the base-entry comparison and the covering-prefix chain all
+  // compact their lane lists with arithmetic instead of predicted branches.
+  if (nodes_.empty()) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = lookup(keys[i]);
+    return;
+  }
+  constexpr std::size_t G = 2 * kLpmBatchLanes;
+  // Branch-free masked extract of `count` bits at MSB-relative `pos`:
+  // count == 0 yields 0 via the zero mask (the shift amount is clamped, so
+  // it is well-defined where extract() would branch).
+  const auto bits_at = [](std::uint32_t word, int pos, int count) {
+    const std::uint32_t mask =
+        count >= 32 ? ~std::uint32_t{0} : ((std::uint32_t{1} << count) - 1u);
+    return (word >> ((32 - pos - count) & 31)) & mask;
+  };
+  std::size_t i = 0;
+  while (i < n) {
+    const std::size_t g = i + G <= n ? G : n - i;
+    std::uint32_t s[G];    // full keys
+    std::uint32_t idx[G];  // node index while walking, base index at a leaf
+    std::uint32_t diff[G]; // key XOR base bits
+    std::int32_t pre[G];   // current covering-prefix entry (-1 = none)
+    int pos[G];            // address bits consumed
+    std::uint8_t list_a[G];
+    std::uint8_t list_b[G];
+
+    std::uint8_t* walk = list_a;
+    std::uint8_t* next_walk = list_b;
+    std::size_t wn = g;
+    for (std::size_t k = 0; k < g; ++k) {
+      s[k] = keys[i + k].value();
+      idx[k] = 0;
+      pos[k] = 0;
+      walk[k] = static_cast<std::uint8_t>(k);
+    }
+    // Node-walk waves: a lane whose node has branch == 0 found its leaf (its
+    // child index is then just adr, the base-vector slot) and leaves the
+    // walk list with the base entry's line prefetched.
+    while (wn > 0) {
+      std::size_t nw = 0;
+      for (std::size_t c = 0; c < wn; ++c) {
+        const std::size_t k = walk[c];
+        const Node node = nodes_[idx[k]];
+        const int branch = static_cast<int>(node.branch());
+        const int p = pos[k] + static_cast<int>(node.skip());
+        idx[k] = node.adr() + bits_at(s[k], p, branch);
+        pos[k] = p + branch;
+        next_walk[nw] = static_cast<std::uint8_t>(k);
+        nw += branch != 0 ? 1 : 0;
+        prefetch(branch != 0
+                     ? static_cast<const void*>(nodes_.data() + idx[k])
+                     : static_cast<const void*>(base_.data() + idx[k]));
+      }
+      std::swap(walk, next_walk);
+      wn = nw;
+    }
+    // Base wave: explicit prefix comparison; mismatches queue for the
+    // covering-prefix chain (kNoRoute is written provisionally and stands
+    // if the chain is empty or exhausts).
+    std::uint8_t chain[G];
+    std::size_t cn = 0;
+    for (std::size_t k = 0; k < g; ++k) {
+      const BaseEntry& base = base_[idx[k]];
+      diff[k] = base.bits ^ s[k];
+      const bool matched = bits_at(diff[k], 0, base.len) == 0;
+      out[i + k] = matched ? base.next_hop : net::kNoRoute;
+      pre[k] = matched ? -1 : base.pre;
+      chain[cn] = static_cast<std::uint8_t>(k);
+      cn += pre[k] >= 0 ? 1 : 0;
+      prefetch(pre_.data() + (pre[k] >= 0 ? pre[k] : 0));
+    }
+    // Chain waves, longest covering prefix first. In-place compaction is
+    // safe: the write index never passes the read index.
+    while (cn > 0) {
+      std::size_t nc = 0;
+      for (std::size_t c = 0; c < cn; ++c) {
+        const std::size_t k = chain[c];
+        const PreEntry& entry = pre_[static_cast<std::size_t>(pre[k])];
+        const bool matched = bits_at(diff[k], 0, entry.len) == 0;
+        out[i + k] = matched ? entry.next_hop : out[i + k];
+        pre[k] = matched ? -1 : entry.pre;
+        chain[nc] = static_cast<std::uint8_t>(k);
+        nc += pre[k] >= 0 ? 1 : 0;
+        prefetch(pre_.data() + (pre[k] >= 0 ? pre[k] : 0));
+      }
+      cn = nc;
+    }
+    i += g;
+  }
 }
 
 net::NextHop LcTrie::lookup_counted(net::Ipv4Addr addr,

@@ -12,6 +12,10 @@
 // paper's Sec. 2.1 notes exactly this "explicit comparison" step.
 //
 // The SPAL paper evaluates the LC-trie with fill factor 0.25 (Sec. 4).
+//
+// Host layout: trie nodes are packed into the 4-byte word the JSAC paper's
+// storage model describes (5-bit branch, 7-bit skip, 20-bit adr), so 16
+// nodes share a cache line and storage_bytes() reports actual host memory.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +25,32 @@
 
 namespace spal::trie {
 
+namespace lc_detail {
+
+/// Packed 4-byte LC-trie node: branch in the top 5 bits, skip in the next
+/// 7, adr (children start, or base-vector index for leaves) in the low 20.
+/// branch == 0 marks a leaf. The reachable value ranges fit: branch <= 31
+/// (bounded by the address width minus one consumed bit), skip <= 127, and
+/// builds exceeding 2^20 nodes (~500k base prefixes) throw length_error.
+struct PackedNode {
+  static constexpr std::uint32_t kAdrBits = 20;
+  static constexpr std::uint32_t kAdrMask = (1u << kAdrBits) - 1;
+  static constexpr std::uint32_t kSkipBits = 7;
+
+  std::uint32_t word = 0;
+
+  static PackedNode make(std::uint32_t branch, std::uint32_t skip,
+                         std::uint32_t adr) {
+    return PackedNode{(branch << (kAdrBits + kSkipBits)) | (skip << kAdrBits) |
+                      adr};
+  }
+  std::uint32_t branch() const { return word >> (kAdrBits + kSkipBits); }
+  std::uint32_t skip() const { return (word >> kAdrBits) & ((1u << kSkipBits) - 1); }
+  std::uint32_t adr() const { return word & kAdrMask; }
+};
+
+}  // namespace lc_detail
+
 class LcTrie final : public LpmIndex {
  public:
   explicit LcTrie(const net::RouteTable& table, double fill_factor = 0.25,
@@ -28,6 +58,8 @@ class LcTrie final : public LpmIndex {
 
   // LpmIndex:
   net::NextHop lookup(net::Ipv4Addr addr) const override;
+  void lookup_batch(const net::Ipv4Addr* keys, std::size_t n,
+                    net::NextHop* out) const override;
   net::NextHop lookup_counted(net::Ipv4Addr addr,
                               MemAccessCounter& counter) const override;
   std::size_t storage_bytes() const override;
@@ -38,11 +70,7 @@ class LcTrie final : public LpmIndex {
   std::size_t internal_count() const { return pre_.size(); }
 
  private:
-  struct Node {
-    std::uint8_t branch = 0;  ///< 0 = leaf
-    std::uint8_t skip = 0;
-    std::uint32_t adr = 0;    ///< children start, or base index for leaves
-  };
+  using Node = lc_detail::PackedNode;
   struct BaseEntry {
     std::uint32_t bits = 0;
     std::uint8_t len = 0;

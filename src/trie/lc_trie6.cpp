@@ -1,6 +1,7 @@
 #include "trie/lc_trie6.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace spal::trie {
 namespace {
@@ -61,6 +62,9 @@ LcTrie6::LcTrie6(const net::RouteTable6& table, double fill_factor, int max_bran
     }
   }
   if (base_.empty()) return;
+  if (base_.size() > Node::kAdrMask) {
+    throw std::length_error("LcTrie6: base vector exceeds the packed 20-bit adr");
+  }
   nodes_.resize(1);
   build(0, base_.size(), 0, 0);
 }
@@ -101,16 +105,19 @@ int LcTrie6::compute_branch(std::size_t first, std::size_t n, int pos,
 void LcTrie6::build(std::size_t first, std::size_t n, int pos,
                     std::size_t node_index) {
   if (n == 1) {
-    nodes_[node_index] = Node{0, 0, static_cast<std::uint32_t>(first)};
+    nodes_[node_index] = Node::make(0, 0, static_cast<std::uint32_t>(first));
     return;
   }
   int skip = 0;
   const int branch = compute_branch(first, n, pos, &skip);
   const std::size_t adr = nodes_.size();
+  if (adr + (std::size_t{1} << branch) > Node::kAdrMask + 1) {
+    throw std::length_error("LcTrie6: node count exceeds the packed 20-bit adr");
+  }
   nodes_.resize(adr + (std::size_t{1} << branch));
-  nodes_[node_index] = Node{static_cast<std::uint8_t>(branch),
-                            static_cast<std::uint8_t>(skip),
-                            static_cast<std::uint32_t>(adr)};
+  nodes_[node_index] = Node::make(static_cast<std::uint32_t>(branch),
+                                  static_cast<std::uint32_t>(skip),
+                                  static_cast<std::uint32_t>(adr));
   const int child_pos = pos + skip + branch;
   std::size_t p = first;
   for (std::uint32_t pattern = 0; pattern < (1u << branch); ++pattern) {
@@ -149,15 +156,15 @@ net::NextHop LcTrie6::lookup_impl(const net::Ipv6Addr& addr,
   if (nodes_.empty()) return net::kNoRoute;
   if constexpr (kCounted) counter->record();  // root node read
   Node node = nodes_[0];
-  int pos = node.skip;
-  while (node.branch != 0) {
+  int pos = static_cast<int>(node.skip());
+  while (node.branch() != 0) {
     if constexpr (kCounted) counter->record();  // child node read
-    const int parent_branch = node.branch;
-    node = nodes_[node.adr + addr.bits(pos, parent_branch)];
-    pos += parent_branch + node.skip;
+    const int parent_branch = static_cast<int>(node.branch());
+    node = nodes_[node.adr() + addr.bits(pos, parent_branch)];
+    pos += parent_branch + static_cast<int>(node.skip());
   }
   if constexpr (kCounted) counter->record();  // base-vector entry read
-  const BaseEntry& base = base_[node.adr];
+  const BaseEntry& base = base_[node.adr()];
   if (net::equal_prefix_bits(addr, base.bits, base.len)) return base.next_hop;
   std::int32_t pre = base.pre;
   while (pre >= 0) {
@@ -172,6 +179,89 @@ net::NextHop LcTrie6::lookup_impl(const net::Ipv6Addr& addr,
 net::NextHop LcTrie6::lookup(const net::Ipv6Addr& addr) const {
   MemAccessCounter unused;
   return lookup_impl<false>(addr, &unused);
+}
+
+void LcTrie6::lookup_batch(const net::Ipv6Addr* keys, std::size_t n,
+                           net::NextHop* out) const {
+  // Same stage-synchronous wave pipeline as LcTrie::lookup_batch, over
+  // 128-bit keys (see lc_trie.cpp for the stage narrative): lockstep
+  // node-walk waves with branch-free lane-list compaction, then the base
+  // comparison and covering-prefix chain waves.
+  if (nodes_.empty()) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = lookup(keys[i]);
+    return;
+  }
+  constexpr std::size_t G = 2 * kLpmBatchLanes;
+  std::size_t i = 0;
+  while (i < n) {
+    const std::size_t g = i + G <= n ? G : n - i;
+    std::uint32_t idx[G];  // node index while walking, base index at a leaf
+    std::int32_t pre[G];   // current covering-prefix entry (-1 = none)
+    int pos[G];            // address bits consumed
+    std::uint8_t list_a[G];
+    std::uint8_t list_b[G];
+
+    std::uint8_t* walk = list_a;
+    std::uint8_t* next_walk = list_b;
+    std::size_t wn = g;
+    for (std::size_t k = 0; k < g; ++k) {
+      idx[k] = 0;
+      pos[k] = 0;
+      walk[k] = static_cast<std::uint8_t>(k);
+    }
+    while (wn > 0) {
+      std::size_t nw = 0;
+      for (std::size_t c = 0; c < wn; ++c) {
+        const std::size_t k = walk[c];
+        const Node node = nodes_[idx[k]];
+        const int branch = static_cast<int>(node.branch());
+        const int p = pos[k] + static_cast<int>(node.skip());
+        // addr.bits(p, 0) == 0, so a leaf's child index is just its adr —
+        // the base-vector slot.
+        idx[k] = node.adr() + keys[i + k].bits(p, branch);
+        pos[k] = p + branch;
+        next_walk[nw] = static_cast<std::uint8_t>(k);
+        nw += branch != 0 ? 1 : 0;
+        __builtin_prefetch(
+            branch != 0 ? static_cast<const void*>(nodes_.data() + idx[k])
+                        : static_cast<const void*>(base_.data() + idx[k]),
+            0, 3);
+      }
+      std::swap(walk, next_walk);
+      wn = nw;
+    }
+    // Base wave; mismatches queue for the covering-prefix chain (kNoRoute
+    // stands if the chain is empty or exhausts).
+    std::uint8_t chain[G];
+    std::size_t cn = 0;
+    for (std::size_t k = 0; k < g; ++k) {
+      const BaseEntry& base = base_[idx[k]];
+      const bool matched = net::equal_prefix_bits(keys[i + k], base.bits, base.len);
+      out[i + k] = matched ? base.next_hop : net::kNoRoute;
+      pre[k] = matched ? -1 : base.pre;
+      chain[cn] = static_cast<std::uint8_t>(k);
+      cn += pre[k] >= 0 ? 1 : 0;
+      __builtin_prefetch(pre_.data() + (pre[k] >= 0 ? pre[k] : 0), 0, 3);
+    }
+    while (cn > 0) {
+      std::size_t nc = 0;
+      for (std::size_t c = 0; c < cn; ++c) {
+        const std::size_t k = chain[c];
+        const PreEntry& entry = pre_[static_cast<std::size_t>(pre[k])];
+        // The scalar path compares against the leaf's base bits, which share
+        // every internal prefix's bits by construction; keep that exactly.
+        const bool matched =
+            net::equal_prefix_bits(keys[i + k], base_[idx[k]].bits, entry.len);
+        out[i + k] = matched ? entry.next_hop : out[i + k];
+        pre[k] = matched ? -1 : entry.pre;
+        chain[nc] = static_cast<std::uint8_t>(k);
+        nc += pre[k] >= 0 ? 1 : 0;
+        __builtin_prefetch(pre_.data() + (pre[k] >= 0 ? pre[k] : 0), 0, 3);
+      }
+      cn = nc;
+    }
+    i += g;
+  }
 }
 
 net::NextHop LcTrie6::lookup_counted(const net::Ipv6Addr& addr,

@@ -7,12 +7,16 @@
 //
 // Storage model: 4-byte packed trie nodes, 24-byte base entries (16-byte
 // string + length + next hop + chain pointer), 8-byte internal entries.
+// Trie nodes use the same packed 4-byte host word as the IPv4 LcTrie
+// (lc_detail::PackedNode — the 7-bit skip field covers the 128-bit strings'
+// longer compressible runs).
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "net/prefix6.h"
+#include "trie/lc_trie.h"
 #include "trie/lpm.h"
 
 namespace spal::trie {
@@ -23,6 +27,12 @@ class LcTrie6 {
                    int max_branch = 16);
 
   net::NextHop lookup(const net::Ipv6Addr& addr) const;
+
+  /// Batched lookups, bit-identical to the scalar path — the IPv6 analogue
+  /// of LpmIndex::lookup_batch (interleaved walk with software prefetch).
+  void lookup_batch(const net::Ipv6Addr* keys, std::size_t n,
+                    net::NextHop* out) const;
+
   net::NextHop lookup_counted(const net::Ipv6Addr& addr,
                               MemAccessCounter& counter) const;
 
@@ -34,11 +44,7 @@ class LcTrie6 {
   std::size_t internal_count() const { return pre_.size(); }
 
  private:
-  struct Node {
-    std::uint8_t branch = 0;  ///< 0 = leaf
-    std::uint8_t skip = 0;
-    std::uint32_t adr = 0;    ///< children start, or base index for leaves
-  };
+  using Node = lc_detail::PackedNode;
   struct BaseEntry {
     net::Ipv6Addr bits;
     std::uint8_t len = 0;

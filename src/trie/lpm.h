@@ -31,6 +31,12 @@ class MemAccessCounter {
   std::uint64_t total_ = 0;
 };
 
+/// In-flight keys the batched lookup pipelines interleave (G in DESIGN.md,
+/// "Batched lookup pipeline"): enough independent dependent-miss chains to
+/// cover one cache-miss latency, small enough that lane state stays in
+/// registers/L1.
+inline constexpr std::size_t kLpmBatchLanes = 8;
+
 /// A built (immutable) longest-prefix-match index over a routing table.
 class LpmIndex {
  public:
@@ -38,6 +44,16 @@ class LpmIndex {
 
   /// Longest-prefix match; kNoRoute if nothing matches.
   virtual net::NextHop lookup(net::Ipv4Addr addr) const = 0;
+
+  /// Looks up `n` independent keys, writing out[i] = lookup(keys[i]).
+  /// Results are always bit-identical to the scalar path; structures with a
+  /// batched pipeline (Lulea, LC) override this with an interleaved
+  /// software-prefetch loop that hides one key's dependent misses behind the
+  /// others'. The base implementation is the plain scalar loop.
+  virtual void lookup_batch(const net::Ipv4Addr* keys, std::size_t n,
+                            net::NextHop* out) const {
+    for (std::size_t i = 0; i < n; ++i) out[i] = lookup(keys[i]);
+  }
 
   /// Same as lookup() but records every dependent memory access.
   virtual net::NextHop lookup_counted(net::Ipv4Addr addr,

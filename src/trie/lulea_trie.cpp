@@ -10,12 +10,12 @@ std::uint16_t MapTable::intern(std::uint16_t mask) {
   const auto [it, inserted] =
       index_.try_emplace(mask, static_cast<std::uint16_t>(rows_.size()));
   if (inserted) {
-    std::array<std::uint8_t, 16> row{};
+    std::uint64_t row = 0;
     int running = 0;
     for (int pos = 0; pos < 16; ++pos) {
       // Exclusive rank: set bits strictly before `pos` (fits 4 bits); the
-      // bit at `pos` itself is recovered from the mask in rank().
-      row[static_cast<std::size_t>(pos)] = static_cast<std::uint8_t>(running);
+      // bit at `pos` itself is recovered from the mask in rank_inclusive().
+      row |= static_cast<std::uint64_t>(running) << (pos * 4);
       running += (mask >> pos) & 1;
     }
     rows_.push_back(row);
@@ -24,17 +24,28 @@ std::uint16_t MapTable::intern(std::uint16_t mask) {
   return it->second;
 }
 
-CompressedLevel::CompressedLevel(const std::vector<std::uint32_t>& dense,
-                                 MapTable& maptable) {
+}  // namespace lulea_detail
+
+using lulea_detail::ChunkRef;
+using lulea_detail::Codeword;
+using lulea_detail::DenseRef;
+using lulea_detail::Pointer;
+
+lulea_detail::DenseRef LuleaTrie::append_compressed(
+    const std::vector<std::uint32_t>& dense) {
+  DenseRef ref{static_cast<std::uint32_t>(codewords_.size()),
+               static_cast<std::uint32_t>(pointers_.size())};
   const std::size_t n = dense.size();
   const std::size_t num_masks = (n + 15) / 16;
-  codewords_.resize(num_masks);
-  bases_.resize((num_masks + 3) / 4);
   std::uint32_t total_heads = 0;
+  std::uint32_t group_base = 0;
   for (std::size_t m = 0; m < num_masks; ++m) {
-    if (m % 4 == 0) bases_[m / 4] = total_heads;
+    if (m % 4 == 0) {
+      group_base = total_heads;
+      bases_.push_back(group_base);
+    }
     std::uint16_t mask = 0;
-    std::uint32_t group_offset = total_heads - bases_[m / 4];
+    const std::uint32_t group_offset = total_heads - group_base;
     for (std::size_t j = 0; j < 16 && m * 16 + j < n; ++j) {
       const std::size_t pos = m * 16 + j;
       const bool head = pos == 0 || dense[pos] != dense[pos - 1];
@@ -44,67 +55,79 @@ CompressedLevel::CompressedLevel(const std::vector<std::uint32_t>& dense,
         ++total_heads;
       }
     }
-    codewords_[m] = Codeword{maptable.intern(mask),
-                             static_cast<std::uint8_t>(group_offset)};
+    codewords_.push_back(Codeword{maptable_.intern(mask),
+                                  static_cast<std::uint8_t>(group_offset)});
   }
+  return ref;
 }
 
-Pointer CompressedLevel::lookup(std::uint32_t pos, const MapTable& maptable,
-                                MemAccessCounter* counter) const {
-  const std::uint32_t m = pos >> 4;
-  const int low = static_cast<int>(pos & 15u);
-  if (counter != nullptr) counter->record();  // codeword read
-  const Codeword cw = codewords_[m];
-  if (counter != nullptr) counter->record();  // base-index read
-  const std::uint32_t base = bases_[m >> 2];
-  if (counter != nullptr) counter->record();  // maptable row read
-  // Inclusive rank of `pos`; every position is governed by some head, so
-  // the rank is always >= 1.
-  const std::uint32_t rank =
-      base + cw.offset +
-      static_cast<std::uint32_t>(maptable.rank_inclusive(cw.row, low));
-  if (counter != nullptr) counter->record();  // pointer read
-  return pointers_[rank - 1];
-}
-
-Chunk::Chunk(const std::vector<std::uint32_t>& dense, MapTable& maptable) {
+lulea_detail::ChunkRef LuleaTrie::append_chunk(
+    const std::vector<std::uint32_t>& dense) {
   std::size_t heads = 0;
   for (std::size_t i = 0; i < dense.size(); ++i) {
     if (i == 0 || dense[i] != dense[i - 1]) ++heads;
   }
-  if (heads <= kSparseLimit) {
-    heads_.reserve(heads);
-    pointers_.reserve(heads);
-    for (std::size_t i = 0; i < dense.size(); ++i) {
-      if (i == 0 || dense[i] != dense[i - 1]) {
-        heads_.push_back(static_cast<std::uint8_t>(i));
-        pointers_.push_back(Pointer{dense[i]});
-      }
-    }
-  } else {
-    dense_ = std::make_unique<CompressedLevel>(dense, maptable);
+  if (heads > kSparseLimit) {
+    const DenseRef ref = append_compressed(dense);
+    return ChunkRef{ref.cw_base, ref.ptr_base};
   }
+  // Sparse form: the ascending head offsets packed into one 8-byte block
+  // (byte i = offset of head i), searched in a single read.
+  ChunkRef ref{ChunkRef::kSparseFlag |
+                   (static_cast<std::uint32_t>(heads - 1) << 27) |
+                   static_cast<std::uint32_t>(sparse_heads_.size()),
+               static_cast<std::uint32_t>(pointers_.size())};
+  std::uint64_t block = 0;
+  std::size_t slot = 0;
+  for (std::size_t i = 0; i < dense.size(); ++i) {
+    if (i == 0 || dense[i] != dense[i - 1]) {
+      block |= static_cast<std::uint64_t>(i) << (8 * slot);
+      ++slot;
+      pointers_.push_back(Pointer{dense[i]});
+    }
+  }
+  sparse_heads_.push_back(block);
+  return ref;
 }
 
-Pointer Chunk::lookup(std::uint32_t pos, const MapTable& maptable,
-                      MemAccessCounter* counter) const {
-  if (dense_ != nullptr) return dense_->lookup(pos, maptable, counter);
-  // Sparse form: the whole offset block is one 8-byte read, the governing
+template <bool kCounted>
+Pointer LuleaTrie::dense_lookup(const DenseRef& ref, std::uint32_t pos,
+                                MemAccessCounter* counter) const {
+  const std::uint32_t m = pos >> 4;
+  const int low = static_cast<int>(pos & 15u);
+  if constexpr (kCounted) counter->record();  // codeword read
+  const Codeword cw = codewords_[ref.cw_base + m];
+  if constexpr (kCounted) counter->record();  // base-index read
+  // Every structure appends codewords in multiples of four masks, so its
+  // base block always starts at cw_base / 4.
+  const std::uint32_t base = bases_[(ref.cw_base >> 2) + (m >> 2)];
+  if constexpr (kCounted) counter->record();  // maptable row read
+  // Inclusive rank of `pos`; every position is governed by some head, so
+  // the rank is always >= 1.
+  const std::uint32_t rank =
+      base + cw.offset +
+      static_cast<std::uint32_t>(maptable_.rank_inclusive(cw.row, low));
+  if constexpr (kCounted) counter->record();  // pointer read
+  return pointers_[ref.ptr_base + rank - 1];
+}
+
+template <bool kCounted>
+Pointer LuleaTrie::chunk_lookup(const ChunkRef& chunk, std::uint32_t pos,
+                                MemAccessCounter* counter) const {
+  if (!chunk.is_sparse()) {
+    return dense_lookup<kCounted>(DenseRef{chunk.meta & ~ChunkRef::kSparseFlag,
+                                           chunk.ptr_base},
+                                  pos, counter);
+  }
+  // Sparse form: the whole head block is one 8-byte read, the governing
   // pointer a second read.
-  if (counter != nullptr) counter->record();  // offsets block read
-  std::size_t index = heads_.size() - 1;
-  while (heads_[index] > pos) --index;  // heads_[0] == 0 bounds the scan
-  if (counter != nullptr) counter->record();  // pointer read
-  return pointers_[index];
+  if constexpr (kCounted) counter->record();  // head block read
+  const std::uint64_t block = sparse_heads_[chunk.meta & ChunkRef::kHeadsMask];
+  std::uint32_t index = (chunk.meta >> 27) & 7u;  // head_count - 1
+  while (index > 0 && ((block >> (8 * index)) & 0xFF) > pos) --index;
+  if constexpr (kCounted) counter->record();  // pointer read
+  return pointers_[chunk.ptr_base + index];
 }
-
-std::size_t Chunk::storage_bytes() const {
-  if (dense_ != nullptr) return dense_->storage_bytes();
-  // The original stores sparse offsets in a fixed 8-byte block.
-  return kSparseLimit + pointers_.size() * 2;
-}
-
-}  // namespace lulea_detail
 
 LuleaTrie::LuleaTrie(const net::RouteTable& table) {
   intern_next_hop(net::kNoRoute);  // index 0 = no route
@@ -129,14 +152,13 @@ LuleaTrie::LuleaTrie(const net::RouteTable& table) {
 
   // Level-1 dense map: paint next hops shortest-first so longer prefixes
   // override (leaf pushing), then carve out chunk slots.
-  std::vector<std::uint32_t> dense1(
-      1u << 16, lulea_detail::Pointer::next_hop(0).raw);
+  std::vector<std::uint32_t> dense1(1u << 16, Pointer::next_hop(0).raw);
   for (const net::RouteEntry& e : short_prefixes) {
     const std::uint32_t first = e.prefix.bits() >> 16;
     const std::uint32_t last = e.prefix.range_last().value() >> 16;
     const std::uint32_t hop = intern_next_hop(e.next_hop);
     for (std::uint32_t s = first; s <= last; ++s) {
-      dense1[s] = lulea_detail::Pointer::next_hop(hop).raw;
+      dense1[s] = Pointer::next_hop(hop).raw;
     }
   }
 
@@ -157,7 +179,7 @@ LuleaTrie::LuleaTrie(const net::RouteTable& table) {
       const std::uint32_t last = (e.prefix.range_last().value() >> 8) & 0xffu;
       const std::uint32_t hop = intern_next_hop(e.next_hop);
       for (std::uint32_t t = first; t <= last; ++t) {
-        dense2[t] = lulea_detail::Pointer::next_hop(hop).raw;
+        dense2[t] = Pointer::next_hop(hop).raw;
       }
     }
     // Level-3 chunks nested under this slot.
@@ -174,19 +196,19 @@ LuleaTrie::LuleaTrie(const net::RouteTable& table) {
         const std::uint32_t last = e.prefix.range_last().value() & 0xffu;
         const std::uint32_t hop = intern_next_hop(e.next_hop);
         for (std::uint32_t u = first; u <= last; ++u) {
-          dense3[u] = lulea_detail::Pointer::next_hop(hop).raw;
+          dense3[u] = Pointer::next_hop(hop).raw;
         }
       }
       const std::uint32_t l3_id = static_cast<std::uint32_t>(level3_.size());
-      level3_.emplace_back(dense3, maptable_);
-      dense2[t] = lulea_detail::Pointer::chunk(l3_id).raw;
+      level3_.push_back(append_chunk(dense3));
+      dense2[t] = Pointer::chunk(l3_id).raw;
     }
     const std::uint32_t l2_id = static_cast<std::uint32_t>(level2_.size());
-    level2_.emplace_back(dense2, maptable_);
-    dense1[slot] = lulea_detail::Pointer::chunk(l2_id).raw;
+    level2_.push_back(append_chunk(dense2));
+    dense1[slot] = Pointer::chunk(l2_id).raw;
   }
 
-  level1_ = lulea_detail::CompressedLevel(dense1, maptable_);
+  level1_ = append_compressed(dense1);
 }
 
 std::uint32_t LuleaTrie::intern_next_hop(net::NextHop hop) {
@@ -196,34 +218,202 @@ std::uint32_t LuleaTrie::intern_next_hop(net::NextHop hop) {
   return it->second;
 }
 
+template <bool kCounted>
 net::NextHop LuleaTrie::lookup_impl(net::Ipv4Addr addr,
                                     MemAccessCounter* counter) const {
-  using lulea_detail::Pointer;
-  Pointer p = level1_.lookup(addr.value() >> 16, maptable_, counter);
+  Pointer p = dense_lookup<kCounted>(level1_, addr.value() >> 16, counter);
   if (p.is_chunk()) {
-    p = level2_[p.value()].lookup((addr.value() >> 8) & 0xffu, maptable_, counter);
+    p = chunk_lookup<kCounted>(level2_[p.value()], (addr.value() >> 8) & 0xffu,
+                               counter);
     if (p.is_chunk()) {
-      p = level3_[p.value()].lookup(addr.value() & 0xffu, maptable_, counter);
+      p = chunk_lookup<kCounted>(level3_[p.value()], addr.value() & 0xffu,
+                                 counter);
     }
   }
   return next_hop_table_[p.value()];
 }
 
 net::NextHop LuleaTrie::lookup(net::Ipv4Addr addr) const {
-  return lookup_impl(addr, nullptr);
+  return lookup_impl<false>(addr, nullptr);
 }
 
 net::NextHop LuleaTrie::lookup_counted(net::Ipv4Addr addr,
                                        MemAccessCounter& counter) const {
-  return lookup_impl(addr, &counter);
+  return lookup_impl<true>(addr, &counter);
+}
+
+namespace {
+
+inline void prefetch(const void* address) { __builtin_prefetch(address, 0, 3); }
+
+/// Branch-free sparse-chunk head scan: index of the last valid head offset
+/// <= pos. The block holds `count_minus_1 + 1` ascending byte offsets
+/// (byte 0 is always 0) padded with zero bytes, so counting *all* bytes
+/// <= pos overcounts by exactly the number of padding bytes:
+///   index = (#bytes <= pos) + (count - 8) - 1.
+inline std::uint32_t sparse_head_index(std::uint64_t block,
+                                       std::uint32_t count_minus_1,
+                                       std::uint32_t pos) {
+  std::uint32_t le = 0;
+  for (int j = 0; j < 8; ++j) {
+    le += ((block >> (8 * j)) & 0xFFu) <= pos ? 1u : 0u;
+  }
+  return le + count_minus_1 - 8;
+}
+
+}  // namespace
+
+void LuleaTrie::lookup_batch(const net::Ipv4Addr* keys, std::size_t n,
+                             net::NextHop* out) const {
+  // Stage-synchronous pipeline over groups of kLpmBatchLanes keys: each
+  // stage runs the *same* dependent access for every in-flight lane before
+  // any lane advances, so the loads of one stage are independent of each
+  // other and overlap in the memory system, and every line the next stage
+  // needs is prefetched one stage ahead. The stages mirror the dependent
+  // read chain the paper counts — codeword + base (no mutual dependency),
+  // maptable row, pointer — repeated per level; lanes that resolve early
+  // drop out of the compacted lane list. Control flow per stage is a plain
+  // counted loop, so the scheduler adds no per-access branching.
+  // Two API batch groups per wave: 16 in-flight lanes keep more independent
+  // loads in the memory system than the G=8 call granularity alone.
+  constexpr std::size_t G = 2 * kLpmBatchLanes;
+  // Branch-free descriptor loads need a valid address even when a level has
+  // no chunks at all (tables with no long prefixes).
+  static constexpr ChunkRef kNoChunk{};
+  const ChunkRef* const level2 = level2_.empty() ? &kNoChunk : level2_.data();
+  const ChunkRef* const level3 = level3_.empty() ? &kNoChunk : level3_.data();
+  std::size_t i = 0;
+  while (i < n) {
+    const std::size_t g = i + G <= n ? G : n - i;
+    std::uint32_t addr[G];     // full keys
+    std::uint32_t pos[G];      // position within the lane's current structure
+    std::uint32_t partial[G];  // base + codeword offset
+    std::uint32_t pidx[G];     // absolute pointer-array index
+    std::uint16_t row[G];      // codeword maptable row
+
+    // Level 1, codeword + base wave.
+    for (std::size_t k = 0; k < g; ++k) {
+      addr[k] = keys[i + k].value();
+      pos[k] = addr[k] >> 16;
+      const std::uint32_t m = pos[k] >> 4;
+      const Codeword cw = codewords_[level1_.cw_base + m];
+      const std::uint32_t base = bases_[(level1_.cw_base >> 2) + (m >> 2)];
+      partial[k] = base + cw.offset;
+      row[k] = cw.row;
+      prefetch(maptable_.row_addr(cw.row));
+    }
+    // Level 1, rank wave.
+    for (std::size_t k = 0; k < g; ++k) {
+      const std::uint32_t rank =
+          partial[k] + static_cast<std::uint32_t>(maptable_.rank_inclusive(
+                           row[k], static_cast<int>(pos[k] & 15u)));
+      pidx[k] = level1_.ptr_base + rank - 1;
+      prefetch(&pointers_[pidx[k]]);
+    }
+    // Level 1, pointer wave. Branch-free per lane: every lane writes a
+    // (possibly provisional) result through a cmov-selected index, loads a
+    // chunk descriptor, and conditionally appends itself to the level-2
+    // sparse or dense lane list — descent is decided by arithmetic, not by
+    // a data-dependent branch the predictor would have to guess.
+    std::uint32_t cmeta[G];  // lane's current chunk descriptor
+    std::uint32_t cptr[G];
+    std::uint8_t dlane[G];   // dense chunk lanes
+    std::uint8_t slane[G];   // sparse chunk lanes
+    std::size_t dn = 0;
+    std::size_t sn = 0;
+    for (std::size_t k = 0; k < g; ++k) {
+      const Pointer p = pointers_[pidx[k]];
+      const bool descend = p.is_chunk();
+      out[i + k] = next_hop_table_[descend ? 0u : p.value()];
+      const ChunkRef ch = level2[descend ? p.value() : 0u];
+      pos[k] = (addr[k] >> 8) & 0xffu;
+      cmeta[k] = ch.meta;
+      cptr[k] = ch.ptr_base;
+      const bool sp = ch.is_sparse();
+      dlane[dn] = static_cast<std::uint8_t>(k);
+      dn += (descend && !sp) ? 1 : 0;
+      slane[sn] = static_cast<std::uint8_t>(k);
+      sn += (descend && sp) ? 1 : 0;
+      prefetch(sp ? static_cast<const void*>(sparse_heads_.data() +
+                                             (ch.meta & ChunkRef::kHeadsMask))
+                  : static_cast<const void*>(codewords_.data() + ch.meta +
+                                             (pos[k] >> 4)));
+      prefetch(sp ? static_cast<const void*>(sparse_heads_.data() +
+                                             (ch.meta & ChunkRef::kHeadsMask))
+                  : static_cast<const void*>(bases_.data() + (ch.meta >> 2) +
+                                             (pos[k] >> 6)));
+    }
+
+    for (int level = 2; level <= 3 && dn + sn > 0; ++level) {
+      // Sparse wave: one head-block read resolves the pointer index (the
+      // scan is the branch-free byte count of sparse_head_index).
+      for (std::size_t c = 0; c < sn; ++c) {
+        const std::size_t k = slane[c];
+        const std::uint64_t block =
+            sparse_heads_[cmeta[k] & ChunkRef::kHeadsMask];
+        pidx[k] = cptr[k] +
+                  sparse_head_index(block, (cmeta[k] >> 27) & 7u, pos[k]);
+        prefetch(&pointers_[pidx[k]]);
+      }
+      // Dense codeword + base wave.
+      for (std::size_t c = 0; c < dn; ++c) {
+        const std::size_t k = dlane[c];
+        const std::uint32_t m = pos[k] >> 4;
+        const Codeword cw = codewords_[cmeta[k] + m];
+        const std::uint32_t base = bases_[(cmeta[k] >> 2) + (m >> 2)];
+        partial[k] = base + cw.offset;
+        row[k] = cw.row;
+        prefetch(maptable_.row_addr(cw.row));
+      }
+      // Dense rank wave.
+      for (std::size_t c = 0; c < dn; ++c) {
+        const std::size_t k = dlane[c];
+        const std::uint32_t rank =
+            partial[k] + static_cast<std::uint32_t>(maptable_.rank_inclusive(
+                             row[k], static_cast<int>(pos[k] & 15u)));
+        pidx[k] = cptr[k] + rank - 1;
+        prefetch(&pointers_[pidx[k]]);
+      }
+      // Merged pointer wave: resolve, or queue the level-3 chunk. Level-3
+      // pointers are always next hops (build invariant; the scalar path
+      // reads them the same way), so nothing descends past level 3.
+      std::uint8_t live[G];
+      std::size_t ln = 0;
+      for (std::size_t c = 0; c < dn; ++c) live[ln++] = dlane[c];
+      for (std::size_t c = 0; c < sn; ++c) live[ln++] = slane[c];
+      dn = 0;
+      sn = 0;
+      for (std::size_t c = 0; c < ln; ++c) {
+        const std::size_t k = live[c];
+        const Pointer p = pointers_[pidx[k]];
+        const bool descend = level == 2 && p.is_chunk();
+        out[i + k] = next_hop_table_[descend ? 0u : p.value()];
+        const ChunkRef ch = level3[descend ? p.value() : 0u];
+        pos[k] = addr[k] & 0xffu;
+        cmeta[k] = ch.meta;
+        cptr[k] = ch.ptr_base;
+        const bool sp = ch.is_sparse();
+        dlane[dn] = static_cast<std::uint8_t>(k);
+        dn += (descend && !sp) ? 1 : 0;
+        slane[sn] = static_cast<std::uint8_t>(k);
+        sn += (descend && sp) ? 1 : 0;
+        prefetch(sp ? static_cast<const void*>(
+                          sparse_heads_.data() + (ch.meta & ChunkRef::kHeadsMask))
+                    : static_cast<const void*>(codewords_.data() + ch.meta +
+                                               (pos[k] >> 4)));
+      }
+    }
+    i += g;
+  }
 }
 
 std::size_t LuleaTrie::storage_bytes() const {
-  std::size_t total = maptable_.storage_bytes() + level1_.storage_bytes();
-  for (const auto& chunk : level2_) total += chunk.storage_bytes();
-  for (const auto& chunk : level3_) total += chunk.storage_bytes();
-  total += next_hop_table_.size() * 4;
-  return total;
+  // Codewords 2 B, base indexes 4 B, pointers 2 B (the original's 16-bit
+  // pointer model), sparse head blocks 8 B, maptable rows 8 B — now also
+  // the actual host layout, modulo the 4-byte Codeword/Pointer host types.
+  return maptable_.storage_bytes() + codewords_.size() * 2 + bases_.size() * 4 +
+         pointers_.size() * 2 + sparse_heads_.size() * 8 +
+         next_hop_table_.size() * 4;
 }
 
 std::size_t LuleaTrie::sparse_chunk_count() const {

@@ -20,11 +20,17 @@
 // and the maptable is built from the bitmasks actually present instead of
 // enumerating all 678 complete-tree masks. Lookup cost and storage
 // behaviour track the original closely.
+//
+// Host layout (DESIGN.md, "Flat arena layout"): the whole structure lives in
+// five flat arrays shared by every level and chunk — codewords, base
+// indexes, pointers, packed 8-byte sparse-head blocks, and packed 8-byte
+// maptable rows — plus per-chunk descriptors that are just offsets into
+// those arrays. There is no per-chunk allocation and no pointer chasing
+// beyond the dependent reads the paper counts; the uncounted lookup() path
+// is compiled without any counter bookkeeping.
 #pragma once
 
-#include <array>
 #include <cstdint>
-#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -34,8 +40,9 @@ namespace spal::trie {
 
 namespace lulea_detail {
 
-/// Maptable shared by every level/chunk of one trie: one 16-entry row of
-/// 4-bit popcounts per distinct 16-bit bitmask.
+/// Maptable shared by every level/chunk of one trie: one row of 16 4-bit
+/// popcounts per distinct 16-bit bitmask, packed in a single uint64_t (the
+/// documented 8-bytes-per-row storage model, now also the host layout).
 class MapTable {
  public:
   /// Returns the row id for `mask`, creating the row on first sight.
@@ -45,9 +52,14 @@ class MapTable {
   /// exclusive 4-bit counts; the bit at `pos` itself comes from the mask,
   /// which the same row read yields.
   int rank_inclusive(std::uint16_t row, int pos) const {
-    return rows_[row][static_cast<std::size_t>(pos)] +
+    return static_cast<int>((rows_[row] >> (pos * 4)) & 0xF) +
            static_cast<int>((masks_[row] >> pos) & 1u);
   }
+
+  /// Prefetch targets for the batched pipeline (the row and its mask are
+  /// the two lines a rank read can miss on).
+  const std::uint64_t* row_addr(std::uint16_t row) const { return &rows_[row]; }
+  const std::uint16_t* mask_addr(std::uint16_t row) const { return &masks_[row]; }
 
   std::size_t row_count() const { return rows_.size(); }
 
@@ -55,7 +67,7 @@ class MapTable {
   std::size_t storage_bytes() const { return rows_.size() * 8; }
 
  private:
-  std::vector<std::array<std::uint8_t, 16>> rows_;
+  std::vector<std::uint64_t> rows_;  // 16 nibbles per row, nibble i = rank<(i)
   std::vector<std::uint16_t> masks_;
   std::unordered_map<std::uint16_t, std::uint16_t> index_;
 };
@@ -71,58 +83,35 @@ struct Pointer {
   std::uint32_t value() const { return raw & ~kChunkFlag; }
 };
 
-/// One run-compressed level: maps each of 2^width positions to a Pointer,
-/// storing only interval heads plus the rank structure.
-class CompressedLevel {
- public:
-  /// Builds from the dense per-position pointer values (size 2^width).
-  /// Positions with equal consecutive raw values are merged into runs.
-  CompressedLevel(const std::vector<std::uint32_t>& dense, MapTable& maptable);
-  CompressedLevel() = default;
-
-  /// Pointer governing `pos`; counts the 4 dependent reads.
-  Pointer lookup(std::uint32_t pos, const MapTable& maptable,
-                 MemAccessCounter* counter) const;
-
-  std::size_t pointer_count() const { return pointers_.size(); }
-
-  /// Codewords (2 B) + base indexes (4 B) + pointers (2 B each, the
-  /// original's 16-bit pointer model). The maptable is accounted once per
-  /// trie, not per level.
-  std::size_t storage_bytes() const {
-    return codewords_.size() * 2 + bases_.size() * 4 + pointers_.size() * 2;
-  }
-
- private:
-  struct Codeword {
-    std::uint16_t row;    ///< maptable row id
-    std::uint8_t offset;  ///< set bits in earlier masks of this 4-mask group
-  };
-  std::vector<Codeword> codewords_;   // one per 16 positions
-  std::vector<std::uint32_t> bases_;  // one per 4 codewords
-  std::vector<Pointer> pointers_;     // one per interval head
+/// One codeword: maptable row id plus the count of interval heads in the
+/// earlier masks of its group of four.
+struct Codeword {
+  std::uint16_t row = 0;
+  std::uint8_t offset = 0;
 };
 
-/// A 256-position level-2/3 chunk: sparse form for <= 8 interval heads
-/// (original Lulea), dense codeword form otherwise.
-class Chunk {
- public:
-  static constexpr std::size_t kSparseLimit = 8;
+/// A dense (codeword-form) structure inside the shared arena: its codewords
+/// start at cw_base, its bases at cw_base / 4 (every structure appends
+/// codewords in multiples of four masks), its pointers at ptr_base.
+struct DenseRef {
+  std::uint32_t cw_base = 0;
+  std::uint32_t ptr_base = 0;
+};
 
-  Chunk(const std::vector<std::uint32_t>& dense, MapTable& maptable);
+/// A level-2/3 chunk descriptor. Dense chunks reference the shared
+/// codeword/base arrays; sparse chunks (<= 8 interval heads) reference one
+/// packed 8-byte head block. Descriptor reads are not charged as memory
+/// accesses (they replace what used to be the Chunk object header).
+struct ChunkRef {
+  static constexpr std::uint32_t kSparseFlag = 0x8000'0000u;
+  static constexpr std::uint32_t kHeadsMask = 0x07FF'FFFFu;
 
-  Pointer lookup(std::uint32_t pos, const MapTable& maptable,
-                 MemAccessCounter* counter) const;
+  /// Dense: codeword base. Sparse: kSparseFlag | (head_count-1) << 27 |
+  /// index into the sparse-heads array.
+  std::uint32_t meta = 0;
+  std::uint32_t ptr_base = 0;
 
-  bool is_sparse() const { return dense_ == nullptr; }
-  std::size_t storage_bytes() const;
-
- private:
-  // Sparse form: head positions, ascending; heads_[i] governs positions
-  // [heads_[i], heads_[i+1]). heads_[0] is always 0.
-  std::vector<std::uint8_t> heads_;
-  std::vector<Pointer> pointers_;
-  std::unique_ptr<CompressedLevel> dense_;  // dense form when non-null
+  bool is_sparse() const { return meta & kSparseFlag; }
 };
 
 }  // namespace lulea_detail
@@ -133,6 +122,8 @@ class LuleaTrie final : public LpmIndex {
 
   // LpmIndex:
   net::NextHop lookup(net::Ipv4Addr addr) const override;
+  void lookup_batch(const net::Ipv4Addr* keys, std::size_t n,
+                    net::NextHop* out) const override;
   net::NextHop lookup_counted(net::Ipv4Addr addr,
                               MemAccessCounter& counter) const override;
   std::size_t storage_bytes() const override;
@@ -143,14 +134,42 @@ class LuleaTrie final : public LpmIndex {
   std::size_t sparse_chunk_count() const;
 
  private:
+  template <bool kCounted>
   net::NextHop lookup_impl(net::Ipv4Addr addr, MemAccessCounter* counter) const;
+
+  /// The four dependent reads of one codeword-form rank lookup.
+  template <bool kCounted>
+  lulea_detail::Pointer dense_lookup(const lulea_detail::DenseRef& ref,
+                                     std::uint32_t pos,
+                                     MemAccessCounter* counter) const;
+
+  /// Chunk dispatch: dense rank lookup or one-read sparse head scan.
+  template <bool kCounted>
+  lulea_detail::Pointer chunk_lookup(const lulea_detail::ChunkRef& chunk,
+                                     std::uint32_t pos,
+                                     MemAccessCounter* counter) const;
+
+  /// Run-compresses a dense per-position pointer map (size divisible by 16)
+  /// into the shared arena; returns the new structure's offsets.
+  lulea_detail::DenseRef append_compressed(const std::vector<std::uint32_t>& dense);
+
+  /// Builds a level-2/3 chunk (256 positions): sparse head block when at
+  /// most kSparseLimit interval heads, codeword form otherwise.
+  lulea_detail::ChunkRef append_chunk(const std::vector<std::uint32_t>& dense);
 
   std::uint32_t intern_next_hop(net::NextHop hop);
 
+  static constexpr std::size_t kSparseLimit = 8;
+
   lulea_detail::MapTable maptable_;
-  lulea_detail::CompressedLevel level1_;
-  std::vector<lulea_detail::Chunk> level2_;
-  std::vector<lulea_detail::Chunk> level3_;
+  // The arena: every level and chunk indexes into these shared arrays.
+  std::vector<lulea_detail::Codeword> codewords_;
+  std::vector<std::uint32_t> bases_;
+  std::vector<lulea_detail::Pointer> pointers_;
+  std::vector<std::uint64_t> sparse_heads_;  // 8 ascending head offsets each
+  lulea_detail::DenseRef level1_;
+  std::vector<lulea_detail::ChunkRef> level2_;
+  std::vector<lulea_detail::ChunkRef> level3_;
   std::vector<net::NextHop> next_hop_table_;
   std::unordered_map<net::NextHop, std::uint32_t> next_hop_index_;
 };

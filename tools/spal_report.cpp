@@ -9,6 +9,9 @@
 //       remote requests + replies, and the fan-out matrix sums to the
 //       request count. Exit 0 when all points hold, 1 otherwise — CI runs
 //       this on a small bench so a broken counter fails the build.
+//       Points whose result carries `"kind": "lpm_batch"` (bench_lpm_batch)
+//       are checked against that schema instead: positive timings, rate and
+//       speedup consistent with ns_per_lookup, and batch == scalar results.
 //
 //   spal_report base.json new.json [--tolerance=PCT]
 //       Diff two reports point-by-point (matched by label): flags points
@@ -404,6 +407,49 @@ void check_result(CheckContext& ctx, const JsonValue& result) {
   }
 }
 
+/// Relative-tolerance comparison for derived metrics a bench emits alongside
+/// their inputs (rounded independently when printed).
+void expect_close(CheckContext& ctx, const char* what, double actual,
+                  double expected, double rel_tolerance) {
+  const double scale = expected < 0 ? -expected : expected;
+  const double diff = actual - expected;
+  if ((diff < 0 ? -diff : diff) > rel_tolerance * (scale > 1.0 ? scale : 1.0)) {
+    ctx.fail("%s: %g not within %.2g%% of %g", what, actual,
+             100.0 * rel_tolerance, expected);
+  }
+}
+
+/// bench_lpm_batch point ("kind": "lpm_batch"): host-side timing sanity and
+/// the batch-equals-scalar guarantee.
+void check_lpm_result(CheckContext& ctx, const JsonValue& result) {
+  const double lookups = require(ctx, result, {"lookups"});
+  const double batch = require(ctx, result, {"batch"});
+  const double table_size = require(ctx, result, {"table_size"});
+  const double storage = require(ctx, result, {"storage_bytes"});
+  const double ns = require(ctx, result, {"ns_per_lookup"});
+  const double rate = require(ctx, result, {"lookups_per_second"});
+  const double scalar_ns = require(ctx, result, {"scalar_ns_per_lookup"});
+  const double speedup = require(ctx, result, {"speedup_vs_scalar"});
+  if (lookups <= 0) ctx.fail("lookups: %.0f not positive", lookups);
+  if (batch < 1) ctx.fail("batch: %.0f below 1", batch);
+  if (table_size <= 0) ctx.fail("table_size: %.0f not positive", table_size);
+  if (storage <= 0) ctx.fail("storage_bytes: %.0f not positive", storage);
+  if (ns <= 0.0 || scalar_ns <= 0.0) {
+    ctx.fail("ns_per_lookup: %g / scalar %g not positive", ns, scalar_ns);
+  } else {
+    expect_close(ctx, "lookups_per_second vs 1e9/ns_per_lookup", rate, 1e9 / ns,
+                 0.01);
+    expect_close(ctx, "speedup_vs_scalar vs scalar_ns/ns", speedup,
+                 scalar_ns / ns, 0.01);
+  }
+  const JsonValue* match = result.find("match");
+  if (match == nullptr || match->kind != JsonValue::Kind::kBool) {
+    ctx.fail("missing boolean 'match'");
+  } else if (!match->boolean) {
+    ctx.fail("batch/scalar next-hop divergence (match == false)");
+  }
+}
+
 bool load_report(const char* path, JsonValue& out) {
   std::string text;
   if (!load_file(path, text)) {
@@ -441,7 +487,12 @@ int run_check(const char* path) {
       ctx.fail("point has no 'result' object");
       continue;
     }
-    check_result(ctx, *result);
+    const JsonValue* kind = result->find("kind");
+    if (kind != nullptr && kind->string == "lpm_batch") {
+      check_lpm_result(ctx, *result);
+    } else {
+      check_result(ctx, *result);
+    }
   }
   if (ctx.failures > 0) {
     std::fprintf(stderr, "spal_report: %d invariant failure(s) in %s\n",
@@ -479,6 +530,9 @@ int run_diff(const char* base_path, const char* new_path, double tolerance_pct) 
       {"p99_cycles", {"latency", "p99"}, +1},
       {"worst_cycles", {"latency", "worst_cycles"}, +1},
       {"hit_rate", {"cache_total", "hit_rate"}, -1},
+      // lpm_batch points (router points skip these: the fields are absent).
+      {"ns_per_lookup", {"ns_per_lookup"}, +1},
+      {"speedup_vs_scalar", {"speedup_vs_scalar"}, -1},
   };
 
   int regressions = 0;
