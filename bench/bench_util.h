@@ -39,6 +39,17 @@ struct BenchArgs {
   /// (1 = the scalar path; > 1 routes through lookup_batch in chunks of N).
   std::size_t batch = 8;
   bool batch_set = false;  ///< --batch was given explicitly
+  /// Fault-injection knobs (bench_fault): --drop-rate=F is the per-message
+  /// loss probability in [0,1], --outage=N a port-0..k outage length in
+  /// cycles, --max-retries=N the retransmit budget before the degraded
+  /// fallback. All validated strictly; out-of-range or non-numeric values
+  /// exit 2.
+  double drop_rate = 0.0;
+  bool drop_rate_set = false;
+  std::uint64_t outage_cycles = 0;
+  bool outage_set = false;
+  int max_retries = 3;
+  bool max_retries_set = false;
 
   /// Parses the shared bench flags. Malformed values (--packets=0 or
   /// --batch=0, negative or non-numeric counts) and unknown flags are
@@ -56,6 +67,22 @@ struct BenchArgs {
       } else if (std::strncmp(arg, "--batch=", 8) == 0) {
         args.batch = parse_count(arg + 8, "--batch");
         args.batch_set = true;
+      } else if (std::strncmp(arg, "--drop-rate=", 12) == 0) {
+        args.drop_rate = parse_fraction(arg + 12, "--drop-rate");
+        args.drop_rate_set = true;
+      } else if (std::strncmp(arg, "--outage=", 9) == 0) {
+        args.outage_cycles = parse_nonnegative(arg + 9, "--outage");
+        args.outage_set = true;
+      } else if (std::strncmp(arg, "--max-retries=", 14) == 0) {
+        const std::uint64_t retries =
+            parse_nonnegative(arg + 14, "--max-retries");
+        if (retries > 64) {
+          std::fprintf(stderr, "--max-retries expects at most 64, got %llu\n",
+                       static_cast<unsigned long long>(retries));
+          usage_error(nullptr);
+        }
+        args.max_retries = static_cast<int>(retries);
+        args.max_retries_set = true;
       } else if (std::strcmp(arg, "--engine=heap") == 0) {
         args.engine = sim::EngineKind::kHeap;
       } else if (std::strcmp(arg, "--engine=calendar") == 0) {
@@ -79,6 +106,7 @@ struct BenchArgs {
     if (message != nullptr) std::fprintf(stderr, "%s\n", message);
     std::fprintf(stderr,
                  "usage: [--full] [--packets=N] [--batch=N] "
+                 "[--drop-rate=F] [--outage=N] [--max-retries=N] "
                  "[--engine=heap|calendar] [--json[=path]]\n");
     std::exit(2);
   }
@@ -94,6 +122,35 @@ struct BenchArgs {
       usage_error(nullptr);
     }
     return static_cast<std::size_t>(value);
+  }
+
+  /// Non-negative integer (0 allowed — "no outage" / "no retries" are valid
+  /// sweep points, unlike a zero packet count).
+  static std::uint64_t parse_nonnegative(const char* text, const char* flag) {
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(text, &end, 10);
+    if (*text == '\0' || *text == '-' || end == text || *end != '\0' ||
+        errno != 0) {
+      std::fprintf(stderr, "%s expects a non-negative integer, got '%s'\n",
+                   flag, text);
+      usage_error(nullptr);
+    }
+    return static_cast<std::uint64_t>(value);
+  }
+
+  /// Probability in [0, 1]; rejects non-numeric text and out-of-range values.
+  static double parse_fraction(const char* text, const char* flag) {
+    errno = 0;
+    char* end = nullptr;
+    const double value = std::strtod(text, &end);
+    if (*text == '\0' || end == text || *end != '\0' || errno != 0 ||
+        value < 0.0 || value > 1.0) {
+      std::fprintf(stderr, "%s expects a probability in [0,1], got '%s'\n",
+                   flag, text);
+      usage_error(nullptr);
+    }
+    return value;
   }
 };
 

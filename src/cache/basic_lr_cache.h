@@ -62,6 +62,7 @@ struct LrCacheStats {
   std::uint64_t failed_promotions = 0;    ///< victim hit kept in victim cache
   std::uint64_t fills = 0;
   std::uint64_t orphan_fills = 0;  ///< reply arrived after flush removed block
+  std::uint64_t cancelled_reservations = 0;  ///< W=1 blocks reclaimed on timeout
   std::uint64_t evictions = 0;
   std::uint64_t flushes = 0;
 
@@ -83,6 +84,7 @@ struct LrCacheStats {
     failed_promotions += other.failed_promotions;
     fills += other.fills;
     orphan_fills += other.orphan_fills;
+    cancelled_reservations += other.cancelled_reservations;
     evictions += other.evictions;
     flushes += other.flushes;
   }
@@ -176,6 +178,19 @@ class BasicLrCache {
     block->waiting = false;
     block->last_use = now;
     ++stats_.fills;
+    return true;
+  }
+
+  /// Releases the waiting (W=1) block for `addr` without filling it: the
+  /// router's timeout path reclaims blocks whose reply was lost so they
+  /// stop pinning their origin's γ quota forever. False when no waiting
+  /// block exists (already filled, flushed, or never reserved). Completed
+  /// blocks are never touched.
+  bool cancel_waiting(const Addr& addr) {
+    Block* block = find_in_set(addr);
+    if (block == nullptr || !block->waiting) return false;
+    block->valid = false;
+    ++stats_.cancelled_reservations;
     return true;
   }
 

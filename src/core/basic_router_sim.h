@@ -28,6 +28,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <random>
 #include <stdexcept>
@@ -75,7 +76,7 @@ class BasicRouterSim {
     }
     fabric::FabricConfig fabric_config = config_.fabric;
     fabric_config.ports = config_.num_lcs;
-    fabric_ = std::make_unique<fabric::Fabric>(fabric_config);
+    fabric_ = std::make_unique<fabric::Fabric>(fabric_config, config_.fault);
   }
 
   /// Runs one simulation over per-LC destination streams. With `verify`,
@@ -112,6 +113,25 @@ class BasicRouterSim {
     }
     queue_.reset(config_.engine, total_packets, arrival_horizon);
     waiting_.clear();
+    pending_.clear();
+    next_request_seq_ = 0;
+    timeout_base_ = config_.recovery.timeout_cycles;
+    if (timeout_base_ == 0) {
+      // Auto: a lightly loaded remote round trip (two fabric traversals plus
+      // one FE service) with 16x slack for queueing. A too-small timeout is
+      // safe — spurious retransmits are absorbed by duplicate suppression —
+      // but wastes fabric messages.
+      timeout_base_ = 16 * (2 * static_cast<std::uint64_t>(std::llround(
+                                    fabric_->latency_cycles())) +
+                            static_cast<std::uint64_t>(std::max(
+                                1, config_.fe_service_cycles)));
+    }
+    result_.fault.per_lc_outage_cycles.assign(
+        static_cast<std::size_t>(config_.num_lcs), 0);
+    for (int lc = 0; lc < config_.num_lcs; ++lc) {
+      result_.fault.per_lc_outage_cycles[static_cast<std::size_t>(lc)] =
+          config_.fault.outage_cycles(lc);
+    }
     for (const auto& c : caches_) c->reset();
     fabric_->reset();
     cache_port_free_.assign(static_cast<std::size_t>(config_.num_lcs), 0);
@@ -152,12 +172,20 @@ class BasicRouterSim {
     // Event loop.
     while (!queue_.empty()) {
       auto [now, event] = queue_.pop();
+      // A timer whose request already settled (reply accepted or degraded)
+      // is stale: skip it before it can stretch the measured makespan.
+      if (event.type == Event::Type::kTimeout &&
+          pending_.find(event.requester.seq) == pending_.end()) {
+        continue;
+      }
       maybe_update_table(now);
       result_.makespan_cycles = std::max(result_.makespan_cycles, now);
       switch (event.type) {
         case Event::Type::kLookup: handle_lookup(now, event); break;
         case Event::Type::kFeComplete: handle_fe_complete(now, event); break;
         case Event::Type::kReply: handle_reply(now, event); break;
+        case Event::Type::kTimeout: handle_timeout(now, event); break;
+        case Event::Type::kDegraded: handle_degraded(now, event); break;
       }
     }
 
@@ -167,6 +195,10 @@ class BasicRouterSim {
       result_.cache_total.accumulate(caches_[lc]->stats());
     }
     result_.fabric = fabric_->stats();
+    result_.fault.drops = result_.fabric.dropped;
+    result_.fault.outage_drops = result_.fabric.outage_dropped;
+    result_.fault.jitter_events = result_.fabric.jitter_events;
+    result_.fault.jitter_cycles = result_.fabric.jitter_cycles;
     if (result_.makespan_cycles > 0) {
       const double capacity =
           static_cast<double>(result_.makespan_cycles) *
@@ -220,16 +252,36 @@ class BasicRouterSim {
     /// Set on a remote request when the arrival LC reserved a W=1 block;
     /// the home LC echoes it so the reply knows whether to fill.
     bool fill_on_reply = false;
+    /// Request sequence number (fault mode only, 0 otherwise): the home LC
+    /// echoes it in every reply so the requester can match replies to its
+    /// pending-request table and suppress duplicates from retransmits.
+    std::uint64_t seq = 0;
   };
 
   struct Event {
-    enum class Type : std::uint8_t { kLookup, kFeComplete, kReply };
+    enum class Type : std::uint8_t {
+      kLookup,
+      kFeComplete,
+      kReply,
+      kTimeout,   ///< remote-request timer (fault mode); requester.seq keys it
+      kDegraded,  ///< slow-path completion for one packet (fault mode)
+    };
     Type type;
     int lc;
     Addr addr;
     Requester requester;
     bool fill = false;
     net::NextHop hop = net::kNoRoute;
+  };
+
+  /// One outstanding remote request (fault mode), keyed by its seq. Retries
+  /// reuse the seq: any attempt's reply settles the request, and later
+  /// replies for the same seq are counted as duplicates and dropped.
+  struct PendingRequest {
+    Addr addr;
+    Requester requester;  ///< carries the seq and fill_on_reply flag
+    int home;
+    int attempt = 0;      ///< retransmits so far
   };
 
   // Waiting lists are keyed by the exact (LC, address) pair — the hash
@@ -388,6 +440,18 @@ class BasicRouterSim {
   void handle_reply(std::uint64_t now, const Event& event) {
     const int lc = event.lc;
     const Addr addr = event.addr;
+    if (faults_active()) {
+      // Match the reply to its pending request. A miss means the request
+      // already settled — an earlier attempt's reply was accepted or the
+      // lookup fell back to the degraded path — so this one is a duplicate
+      // and must not touch the cache or resolve anything twice.
+      const auto it = pending_.find(event.requester.seq);
+      if (it == pending_.end()) {
+        ++result_.fault.duplicate_replies;
+        return;
+      }
+      pending_.erase(it);
+    }
     if (!caches_.empty()) {
       if (event.requester.fill_on_reply) {
         caches_[static_cast<std::size_t>(lc)]->fill(addr, event.hop, now);
@@ -413,14 +477,29 @@ class BasicRouterSim {
       return;
     }
     ++result_.remote_replies;
+    if (faults_active()) {
+      // The reply can be lost too; the requester's timeout covers the whole
+      // round trip, so a dropped reply is indistinguishable from a dropped
+      // request and triggers the same retry/degraded recovery.
+      const fabric::Delivery delivery =
+          fabric_->try_deliver(lc, requester.lc, now);
+      if (delivery.delivered) {
+        queue_.schedule(delivery.arrival,
+                        Event{Event::Type::kReply, requester.lc, addr,
+                              requester, false, hop});
+      }
+      return;
+    }
     const std::uint64_t arrival = fabric_->deliver(lc, requester.lc, now);
     queue_.schedule(arrival, Event{Event::Type::kReply, requester.lc, addr,
                                    requester, false, hop});
   }
 
-  void resolve_packet(std::uint64_t now, std::int64_t packet, net::NextHop hop) {
+  /// Marks a packet resolved; false when it already was (waiting-list
+  /// drains and the degraded path can race the same packet).
+  bool resolve_packet(std::uint64_t now, std::int64_t packet, net::NextHop hop) {
     const auto index = static_cast<std::size_t>(packet);
-    if (resolved_[index]) return;
+    if (resolved_[index]) return false;
     resolved_[index] = true;
     ++result_.resolved_packets;
     const std::uint64_t cycles = now - arrival_time_[index];
@@ -432,17 +511,105 @@ class BasicRouterSim {
           Family::oracle_lookup(*oracle_, destinations_[index]);
       if (expected != hop) ++result_.verify_mismatches;
     }
+    return true;
+  }
+
+  bool faults_active() const { return config_.fault.enabled; }
+
+  /// The full-table slow-path index for degraded mode (shared with verify
+  /// mode's oracle — both are LPM over the unpartitioned table).
+  const typename Family::Oracle& degraded_index() {
+    if (oracle_ == nullptr) {
+      oracle_ = std::make_unique<typename Family::Oracle>(
+          Family::build_oracle(full_table_));
+    }
+    return *oracle_;
   }
 
   void send_request(std::uint64_t now, int from_lc, int home, const Addr& addr,
                     const Requester& requester) {
+    if (!faults_active()) {
+      count_request(from_lc, home);
+      const std::uint64_t arrival = fabric_->deliver(from_lc, home, now + 1);
+      queue_.schedule(arrival, Event{Event::Type::kLookup, home, addr,
+                                     requester, false, net::kNoRoute});
+      return;
+    }
+    Requester tagged = requester;
+    tagged.seq = ++next_request_seq_;
+    pending_.emplace(tagged.seq, PendingRequest{addr, tagged, home, 0});
+    dispatch_request(now, home, addr, tagged, /*attempt=*/0);
+  }
+
+  void count_request(int from_lc, int home) {
     ++result_.remote_requests;
     ++result_.remote_fanout[static_cast<std::size_t>(from_lc) *
                                 static_cast<std::size_t>(config_.num_lcs) +
                             static_cast<std::size_t>(home)];
-    const std::uint64_t arrival = fabric_->deliver(from_lc, home, now + 1);
-    queue_.schedule(arrival, Event{Event::Type::kLookup, home, addr, requester,
-                                   false, net::kNoRoute});
+  }
+
+  /// Injects one (re)transmission of a pending request into the fabric and
+  /// arms its timeout. The fabric may lose the message (drop or outage);
+  /// either way the timeout fires unless some attempt's reply settles the
+  /// seq first, so a lost message can never strand the lookup.
+  void dispatch_request(std::uint64_t now, int home, const Addr& addr,
+                        const Requester& requester, int attempt) {
+    count_request(requester.lc, home);
+    const fabric::Delivery delivery =
+        fabric_->try_deliver(requester.lc, home, now + 1);
+    if (delivery.delivered) {
+      queue_.schedule(delivery.arrival, Event{Event::Type::kLookup, home, addr,
+                                              requester, false, net::kNoRoute});
+    }
+    // Exponential backoff: timeout_base_ << attempt (shift capped well
+    // below overflow; max_retries bounds attempt in practice).
+    const std::uint64_t backoff = timeout_base_ << std::min(attempt, 20);
+    queue_.schedule(now + 1 + backoff,
+                    Event{Event::Type::kTimeout, requester.lc, addr, requester,
+                          false, net::kNoRoute});
+  }
+
+  void handle_timeout(std::uint64_t now, const Event& event) {
+    // Stale timers were filtered in the event loop: this seq is live.
+    const auto it = pending_.find(event.requester.seq);
+    PendingRequest& pending = it->second;
+    ++result_.fault.timeouts;
+    if (pending.attempt < config_.recovery.max_retries) {
+      ++pending.attempt;
+      ++result_.fault.retransmits;
+      dispatch_request(now, pending.home, pending.addr, pending.requester,
+                       pending.attempt);
+      return;
+    }
+    // Retries exhausted: degraded mode. Release the W=1 block the lost
+    // reply would have filled (its quota must not leak for the rest of the
+    // run), then resolve the requester and every packet parked behind it
+    // with a local full-table lookup at the conventional-router cost.
+    ++result_.fault.degraded_fallbacks;
+    const int lc = pending.requester.lc;
+    const Addr addr = pending.addr;
+    if (!caches_.empty() && pending.requester.fill_on_reply) {
+      if (caches_[static_cast<std::size_t>(lc)]->cancel_waiting(addr)) {
+        ++result_.fault.reclaimed_waiting_blocks;
+      }
+    }
+    const net::NextHop hop = Family::oracle_lookup(degraded_index(), addr);
+    const std::uint64_t done =
+        now + static_cast<std::uint64_t>(
+                  std::max(1, config_.recovery.degraded_service_cycles));
+    for (const Requester& r : take_waiters(lc, addr)) {
+      queue_.schedule(done,
+                      Event{Event::Type::kDegraded, lc, addr, r, false, hop});
+    }
+    queue_.schedule(done, Event{Event::Type::kDegraded, lc, addr,
+                                pending.requester, false, hop});
+    pending_.erase(it);
+  }
+
+  void handle_degraded(std::uint64_t now, const Event& event) {
+    if (resolve_packet(now, event.requester.packet, event.hop)) {
+      ++result_.fault.degraded_lookups;
+    }
   }
 
   void maybe_update_table(std::uint64_t now) {
@@ -481,6 +648,11 @@ class BasicRouterSim {
   WaitMap waiting_;
   std::vector<typename WaitMap::node_type> wait_pool_;  // recycled list nodes
   std::vector<Requester> wait_scratch_;                 // take_waiters() buffer
+  // Fault-mode recovery state: outstanding remote requests by seq, the next
+  // seq to hand out, and the first-attempt timeout (doubles per retry).
+  std::unordered_map<std::uint64_t, PendingRequest> pending_;
+  std::uint64_t next_request_seq_ = 0;
+  std::uint64_t timeout_base_ = 0;
   std::vector<std::uint64_t> waiting_depth_;  // per LC, currently parked
   std::vector<std::uint64_t> arrival_time_;          // per packet
   std::vector<int> arrival_lc_;                      // per packet

@@ -42,6 +42,29 @@ struct RouterConfig {
 
   fabric::FabricConfig fabric;         ///< ports is overridden with num_lcs
 
+  /// Fabric fault injection (drops, jitter, per-port outage windows).
+  /// Disabled by default; a disabled fault layer leaves every simulation
+  /// bit-identical to a build without it (no RNG draws, no timeout events).
+  fabric::FaultConfig fault;
+
+  /// Remote-lookup recovery protocol, armed only when `fault.enabled`:
+  /// every fabric request carries a sequence number and arms a timeout in
+  /// the event engine; expiry retransmits with exponential backoff, and an
+  /// exhausted request falls back to a degraded local full-resolution
+  /// lookup so the simulator never strands a packet.
+  struct RecoveryConfig {
+    /// Cycles before the first retransmit; doubles per retry. 0 = auto:
+    /// 16 × (2 × fabric traversal latency + fe_service_cycles), covering a
+    /// lightly loaded round trip with generous slack.
+    std::uint64_t timeout_cycles = 0;
+    int max_retries = 3;
+    /// Service time of the degraded slow path: an unpartitioned full-table
+    /// LPM at the arrival LC, costed like the paper's conventional router
+    /// (62 cycles = the DP-trie FE time it quotes).
+    int degraded_service_cycles = 62;
+  };
+  RecoveryConfig recovery;
+
   /// Early cache-block recording on a miss (the W-bit mechanism). Disabled
   /// only by the ablation bench: without it, every packet of a burst that
   /// misses goes to the FE / fabric individually.
@@ -64,6 +87,27 @@ struct RouterConfig {
   UpdatePolicy update_policy = UpdatePolicy::kFlushAll;
 
   std::uint64_t seed = 42;
+};
+
+/// Fault-and-recovery counters for one run: the fabric-level losses plus
+/// the router-level protocol activity they triggered. All zero when the
+/// fault layer is disabled. Conservation (checked by `spal_report --check`):
+/// timeouts == retransmits + degraded_fallbacks, and every dropped message
+/// is answered by a retransmit or a degraded fallback
+/// (retransmits + degraded_fallbacks >= drops).
+struct FaultStats {
+  std::uint64_t drops = 0;           ///< fabric messages lost (random + outage)
+  std::uint64_t outage_drops = 0;    ///< subset of drops: an endpoint was down
+  std::uint64_t jitter_events = 0;   ///< delivered messages arriving late
+  std::uint64_t jitter_cycles = 0;   ///< extra traversal cycles added
+  std::uint64_t timeouts = 0;        ///< non-stale request timeouts fired
+  std::uint64_t retransmits = 0;     ///< timeout-triggered request resends
+  std::uint64_t duplicate_replies = 0;  ///< replies for an already-settled seq
+  std::uint64_t degraded_fallbacks = 0;  ///< requests exhausted into slow path
+  std::uint64_t degraded_lookups = 0;    ///< packets resolved by the slow path
+  std::uint64_t reclaimed_waiting_blocks = 0;  ///< W=1 blocks released on fallback
+  /// Configured outage cycles per LC port (from FaultConfig, index = LC).
+  std::vector<std::uint64_t> per_lc_outage_cycles;
 };
 
 /// Per-LC structured counters (index = arrival/home LC). The latency
@@ -89,6 +133,7 @@ struct RouterResult {
   std::vector<LcStats> per_lc;
   cache::LrCacheStats cache_total;       ///< summed over all LR-caches
   fabric::FabricStats fabric;
+  FaultStats fault;                      ///< fault injection + recovery
   /// ψ×ψ remote-request fan-out, row-major: [src_lc * ψ + home_lc] counts
   /// the lookup requests src sent to home over the fabric.
   std::vector<std::uint64_t> remote_fanout;

@@ -84,6 +84,7 @@ void append_cache(std::string& out, const cache::LrCacheStats& stats,
   append_u64(out, "failed_promotions", stats.failed_promotions);
   append_u64(out, "fills", stats.fills);
   append_u64(out, "orphan_fills", stats.orphan_fills);
+  append_u64(out, "cancelled_reservations", stats.cancelled_reservations);
   append_u64(out, "evictions", stats.evictions);
   append_u64(out, "flushes", stats.flushes);
   append_double(out, "hit_rate", stats.hit_rate(), /*comma=*/false);
@@ -113,6 +114,10 @@ std::string RouterResult::to_json() const {
   out += "\"fabric\":{";
   append_u64(out, "messages", fabric.messages);
   append_u64(out, "queueing_cycles", fabric.total_queueing_cycles);
+  append_u64(out, "dropped", fabric.dropped);
+  append_u64(out, "outage_dropped", fabric.outage_dropped);
+  append_u64(out, "jitter_events", fabric.jitter_events);
+  append_u64(out, "jitter_cycles", fabric.jitter_cycles);
   out += "\"ports\":[";
   for (std::size_t p = 0; p < fabric.ports.size(); ++p) {
     const fabric::FabricPortStats& port = fabric.ports[p];
@@ -121,9 +126,27 @@ std::string RouterResult::to_json() const {
     append_u64(out, "sent", port.sent);
     append_u64(out, "received", port.received);
     append_u64(out, "egress_queue_cycles", port.egress_queue_cycles);
-    append_u64(out, "ingress_queue_cycles", port.ingress_queue_cycles,
-               /*comma=*/false);
+    append_u64(out, "ingress_queue_cycles", port.ingress_queue_cycles);
+    append_u64(out, "dropped", port.dropped, /*comma=*/false);
     out += '}';
+  }
+  out += "]},";
+  // Fault-and-recovery counters (all zero with the fault layer disabled).
+  out += "\"fault\":{";
+  append_u64(out, "drops", fault.drops);
+  append_u64(out, "outage_drops", fault.outage_drops);
+  append_u64(out, "jitter_events", fault.jitter_events);
+  append_u64(out, "jitter_cycles", fault.jitter_cycles);
+  append_u64(out, "timeouts", fault.timeouts);
+  append_u64(out, "retransmits", fault.retransmits);
+  append_u64(out, "duplicate_replies", fault.duplicate_replies);
+  append_u64(out, "degraded_fallbacks", fault.degraded_fallbacks);
+  append_u64(out, "degraded_lookups", fault.degraded_lookups);
+  append_u64(out, "reclaimed_waiting_blocks", fault.reclaimed_waiting_blocks);
+  out += "\"per_lc_outage_cycles\":[";
+  for (std::size_t lc = 0; lc < fault.per_lc_outage_cycles.size(); ++lc) {
+    if (lc > 0) out += ',';
+    out += std::to_string(fault.per_lc_outage_cycles[lc]);
   }
   out += "]},";
   out += "\"per_lc\":[";

@@ -20,6 +20,14 @@
 // k-server queues tracked by next-free-time bookkeeping, and the fabric
 // model adds traversal latency plus per-port serialization.
 //
+// With `config.fault.enabled`, the fabric is lossy (seeded drops, jitter,
+// per-port outage windows) and every remote request runs a timeout/retry
+// protocol: sequence-numbered requests, exponential backoff up to
+// `recovery.max_retries`, duplicate-reply suppression, and — when retries
+// are exhausted — a degraded local full-table lookup at the
+// conventional-router cost, with the arrival LC's W=1 block reclaimed so
+// the lost reply cannot leak cache quota. See DESIGN.md ("Fault model").
+//
 // The machinery is shared with the IPv6 router (basic_router_sim.h /
 // router_sim6.h) through an address-family policy.
 #pragma once

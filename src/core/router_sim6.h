@@ -10,6 +10,9 @@
 //     abstract service time.
 //   * `config.partition_config` is ignored — control bits are selected by
 //     the Sec. 3.1 criteria over bits 0..63.
+//   * `config.fault` / `config.recovery` work identically to IPv4: the
+//     timeout/retry/degraded machinery lives in the shared core, and the
+//     degraded slow path resolves against the full-table BinaryTrie6.
 #pragma once
 
 #include "core/basic_router_sim.h"

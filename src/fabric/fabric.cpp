@@ -24,28 +24,108 @@ double fabric_latency_cycles(const FabricConfig& config) {
              static_cast<double>(fabric_stages(config.ports, config.radix));
 }
 
-Fabric::Fabric(const FabricConfig& config)
+void FaultConfig::validate(int ports) const {
+  if (drop_probability < 0.0 || drop_probability > 1.0) {
+    throw std::invalid_argument("FaultConfig: drop_probability outside [0,1]");
+  }
+  if (jitter_probability < 0.0 || jitter_probability > 1.0) {
+    throw std::invalid_argument("FaultConfig: jitter_probability outside [0,1]");
+  }
+  if (jitter_probability > 0.0 && max_jitter_cycles == 0) {
+    throw std::invalid_argument(
+        "FaultConfig: jitter_probability > 0 needs max_jitter_cycles >= 1");
+  }
+  for (const OutageWindow& window : outages) {
+    if (window.port < 0 || window.port >= ports) {
+      throw std::invalid_argument("FaultConfig: outage port out of range");
+    }
+    if (window.end_cycle <= window.start_cycle) {
+      throw std::invalid_argument("FaultConfig: outage window end <= start");
+    }
+  }
+}
+
+std::uint64_t FaultConfig::outage_cycles(int port) const {
+  std::uint64_t total = 0;
+  for (const OutageWindow& window : outages) {
+    if (window.port == port) total += window.end_cycle - window.start_cycle;
+  }
+  return total;
+}
+
+Fabric::Fabric(const FabricConfig& config, const FaultConfig& faults)
     : config_(config),
+      faults_(faults),
       latency_(fabric_latency_cycles(config)),
       egress_free_(static_cast<std::size_t>(config.ports), 0),
-      ingress_free_(static_cast<std::size_t>(config.ports), 0) {
+      ingress_free_(static_cast<std::size_t>(config.ports), 0),
+      fault_rng_(faults.seed) {
   if (config.ports < 1) throw std::invalid_argument("Fabric: ports must be >= 1");
+  faults_.validate(config.ports);
   stats_.ports.resize(static_cast<std::size_t>(config.ports));
 }
 
 void Fabric::reset() {
   std::fill(egress_free_.begin(), egress_free_.end(), 0);
   std::fill(ingress_free_.begin(), ingress_free_.end(), 0);
+  last_injection_ = 0;
   stats_ = FabricStats{};
   stats_.ports.resize(static_cast<std::size_t>(config_.ports));
+  fault_rng_.seed(faults_.seed);
+}
+
+void Fabric::reconfigure(const FabricConfig& config, const FaultConfig& faults) {
+  // Validate before touching any member so a throwing reconfigure leaves
+  // the fabric in its previous, consistent state.
+  const double latency = fabric_latency_cycles(config);  // throws on bad sizes
+  faults.validate(config.ports);
+  config_ = config;
+  faults_ = faults;
+  latency_ = latency;
+  egress_free_.assign(static_cast<std::size_t>(config.ports), 0);
+  ingress_free_.assign(static_cast<std::size_t>(config.ports), 0);
+  last_injection_ = 0;
+  stats_ = FabricStats{};
+  stats_.ports.resize(static_cast<std::size_t>(config.ports));
+  fault_rng_.seed(faults_.seed);
+}
+
+bool Fabric::port_down(int port, std::uint64_t now) const {
+  for (const OutageWindow& window : faults_.outages) {
+    if (window.port == port && now >= window.start_cycle &&
+        now < window.end_cycle) {
+      return true;
+    }
+  }
+  return false;
 }
 
 std::uint64_t Fabric::deliver(int src, int dst, std::uint64_t now) {
+  // The event loop hands out non-decreasing times and callers inject at
+  // `now` or `now + 1`, so legal injection times regress by at most one
+  // cycle. Anything further back is an out-of-order caller whose waits
+  // would silently inflate the queueing statistics — reject it.
+  if (now + 1 < last_injection_) {
+    throw std::logic_error(
+        "Fabric::deliver: injection time regressed (calls must be in "
+        "non-decreasing `now` order)");
+  }
+  last_injection_ = std::max(last_injection_, now);
   auto& egress = egress_free_[static_cast<std::size_t>(src)];
   const std::uint64_t depart = std::max(now, egress);
   egress = depart + 1;  // one message per cycle per source port
-  const auto raw_arrival =
+  std::uint64_t raw_arrival =
       depart + static_cast<std::uint64_t>(std::llround(latency_));
+  if (faults_.enabled && faults_.jitter_probability > 0.0) {
+    std::uniform_real_distribution<double> uniform(0.0, 1.0);
+    if (uniform(fault_rng_) < faults_.jitter_probability) {
+      const std::uint64_t extra = std::uniform_int_distribution<std::uint64_t>(
+          1, faults_.max_jitter_cycles)(fault_rng_);
+      raw_arrival += extra;
+      ++stats_.jitter_events;
+      stats_.jitter_cycles += extra;
+    }
+  }
   auto& ingress = ingress_free_[static_cast<std::size_t>(dst)];
   const std::uint64_t arrival = std::max(raw_arrival, ingress);
   ingress = arrival + 1;  // one message per cycle per destination port
@@ -58,6 +138,29 @@ std::uint64_t Fabric::deliver(int src, int dst, std::uint64_t now) {
   out.egress_queue_cycles += depart - now;
   in.ingress_queue_cycles += arrival - raw_arrival;
   return arrival;
+}
+
+Delivery Fabric::try_deliver(int src, int dst, std::uint64_t now) {
+  if (faults_.enabled) {
+    // A message injected while either endpoint is down vanishes: it never
+    // occupies a port slot, so surviving traffic is timed exactly as if the
+    // lost message had not been sent.
+    if (port_down(src, now) || port_down(dst, now)) {
+      ++stats_.dropped;
+      ++stats_.outage_dropped;
+      ++stats_.ports[static_cast<std::size_t>(src)].dropped;
+      return Delivery{false, 0};
+    }
+    if (faults_.drop_probability > 0.0) {
+      std::uniform_real_distribution<double> uniform(0.0, 1.0);
+      if (uniform(fault_rng_) < faults_.drop_probability) {
+        ++stats_.dropped;
+        ++stats_.ports[static_cast<std::size_t>(src)].dropped;
+        return Delivery{false, 0};
+      }
+    }
+  }
+  return Delivery{true, deliver(src, dst, now)};
 }
 
 }  // namespace spal::fabric

@@ -10,9 +10,19 @@
 //   * each port serializes: one message per cycle in each direction.
 // Message timing is computed analytically (no per-cycle simulation), which
 // the event-driven router simulator consumes directly.
+//
+// Fault injection: a seeded FaultConfig makes the fabric lossy — messages
+// can be dropped at random (per-message drop probability), delayed by
+// latency jitter, or lost wholesale while a port is inside a scheduled
+// outage window (a dead line card). try_deliver() reports the loss to the
+// caller; the router core layers a timeout/retry protocol on top so no
+// lookup is ever stranded (basic_router_sim.h). With faults disabled (the
+// default) the fault RNG is never consumed and try_deliver() is
+// bit-identical to deliver().
 #pragma once
 
 #include <cstdint>
+#include <random>
 #include <vector>
 
 namespace spal::fabric {
@@ -22,6 +32,34 @@ struct FabricConfig {
   int radix = 16;                  ///< crossbar size used to build stages
   double base_latency_cycles = 1.0;
   double per_stage_cycles = 1.0;   ///< a modern small crossbar switches in ~5 ns
+};
+
+/// A scheduled per-port outage: every message injected while `port` is its
+/// source or destination during [start_cycle, end_cycle) is lost. Models an
+/// LC going down (and coming back) mid-run.
+struct OutageWindow {
+  int port = 0;
+  std::uint64_t start_cycle = 0;
+  std::uint64_t end_cycle = 0;  ///< exclusive
+};
+
+/// Deterministic, seeded fault model applied per message. Disabled by
+/// default; validate() rejects out-of-range probabilities and windows.
+struct FaultConfig {
+  bool enabled = false;
+  double drop_probability = 0.0;     ///< per-message loss chance in [0, 1]
+  double jitter_probability = 0.0;   ///< chance of extra traversal latency
+  std::uint64_t max_jitter_cycles = 0;  ///< jittered messages gain U[1, max]
+  std::vector<OutageWindow> outages;
+  std::uint64_t seed = 0xfa17;
+
+  /// Throws std::invalid_argument on probabilities outside [0,1], a jittered
+  /// config with max_jitter_cycles == 0, or an outage with end <= start.
+  void validate(int ports) const;
+
+  /// Total configured outage cycles for `port` (overlaps not merged — the
+  /// router benches schedule disjoint windows).
+  std::uint64_t outage_cycles(int port) const;
 };
 
 /// Number of crossbar stages needed to connect `ports` endpoints with
@@ -37,39 +75,77 @@ struct FabricPortStats {
   std::uint64_t received = 0;              ///< messages delivered to this port
   std::uint64_t egress_queue_cycles = 0;   ///< injection serialization waits
   std::uint64_t ingress_queue_cycles = 0;  ///< delivery serialization waits
+  std::uint64_t dropped = 0;               ///< injections lost (src attribution)
 };
 
 struct FabricStats {
-  std::uint64_t messages = 0;
+  std::uint64_t messages = 0;               ///< delivered messages only
   std::uint64_t total_queueing_cycles = 0;  ///< cycles spent blocked on ports
+  std::uint64_t dropped = 0;          ///< messages lost (random + outage)
+  std::uint64_t outage_dropped = 0;   ///< subset of dropped: port was down
+  std::uint64_t jitter_events = 0;    ///< delivered messages that were jittered
+  std::uint64_t jitter_cycles = 0;    ///< extra traversal cycles added
   std::vector<FabricPortStats> ports;       ///< indexed by port (= LC) id
+};
+
+/// Outcome of try_deliver(): `delivered` is false when the fault layer lost
+/// the message (arrival is meaningless then).
+struct Delivery {
+  bool delivered = true;
+  std::uint64_t arrival = 0;
 };
 
 /// Stateful port-contention model: deliver() returns the arrival time of a
 /// message injected at `now`, accounting for egress/ingress serialization.
-/// Calls must be made in non-decreasing `now` order per port (the DES event
-/// loop guarantees global time order).
+/// Calls must be made in non-decreasing `now` order per port; the DES event
+/// loop guarantees global time order, and the router's request path injects
+/// at `now + 1`, so injection times may step back by at most one cycle
+/// between calls. deliver() enforces that bound explicitly (throws
+/// std::logic_error) instead of silently folding a time regression into the
+/// queueing statistics.
 class Fabric {
  public:
-  explicit Fabric(const FabricConfig& config);
+  explicit Fabric(const FabricConfig& config, const FaultConfig& faults = {});
 
   /// Schedules a message src -> dst injected at cycle `now`; returns its
-  /// arrival cycle at dst.
+  /// arrival cycle at dst. Never drops — faults are ignored on this path
+  /// (the pre-fault API; the router core uses try_deliver).
   std::uint64_t deliver(int src, int dst, std::uint64_t now);
 
-  /// Clears port occupancy and statistics (between independent runs).
+  /// deliver() with the fault layer applied: the message may be lost to a
+  /// random drop or an outage window covering `now` at either endpoint, and
+  /// delivered messages may arrive late by the configured jitter. With
+  /// faults disabled this is exactly deliver().
+  Delivery try_deliver(int src, int dst, std::uint64_t now);
+
+  /// Clears port occupancy, statistics, and the fault RNG (between
+  /// independent runs).
   void reset();
+
+  /// Rebuilds the fabric for a new configuration: revalidates, recomputes
+  /// the latency, resizes every per-port vector (occupancy and statistics)
+  /// to the new port count, and resets all state. Lets one Fabric be reused
+  /// across runs whose `ports` differ without stale or missized per-port
+  /// entries.
+  void reconfigure(const FabricConfig& config, const FaultConfig& faults = {});
 
   double latency_cycles() const { return latency_; }
   const FabricStats& stats() const { return stats_; }
   const FabricConfig& config() const { return config_; }
+  const FaultConfig& faults() const { return faults_; }
+  bool faults_enabled() const { return faults_.enabled; }
 
  private:
+  bool port_down(int port, std::uint64_t now) const;
+
   FabricConfig config_;
+  FaultConfig faults_;
   double latency_;
   std::vector<std::uint64_t> egress_free_;   ///< next free cycle per source port
   std::vector<std::uint64_t> ingress_free_;  ///< next free cycle per dest port
+  std::uint64_t last_injection_ = 0;         ///< monotonicity guard (slack 1)
   FabricStats stats_;
+  std::mt19937_64 fault_rng_;
 };
 
 }  // namespace spal::fabric

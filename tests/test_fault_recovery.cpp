@@ -1,0 +1,222 @@
+// Fault-tolerance tests for the router core: fabric fault injection plus
+// the remote-lookup timeout/retry/degraded protocol (DESIGN.md, "Fault
+// model"). The load-bearing property in every scenario is packet
+// conservation — no matter what the fabric loses, every injected packet
+// resolves exactly once with the full-table-correct next hop.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/router_sim.h"
+#include "core/router_sim6.h"
+#include "net/prefix6.h"
+#include "net/table_gen.h"
+
+namespace {
+
+using namespace spal;
+using core::RouterConfig;
+using core::RouterResult;
+using core::RouterSim;
+using core::RouterSim6;
+
+net::RouteTable small_table() {
+  net::TableGenConfig config;
+  config.size = 3'000;
+  config.seed = 201;
+  return net::generate_table(config);
+}
+
+RouterConfig small_config(int num_lcs) {
+  RouterConfig config = core::spal_default_config(num_lcs);
+  config.packets_per_lc = 2'000;
+  config.cache.blocks = 512;
+  config.line_rate_gbps = 10.0;
+  return config;
+}
+
+trace::WorkloadProfile small_profile() {
+  trace::WorkloadProfile profile = trace::profile_d81();
+  profile.flows = 2'000;
+  return profile;
+}
+
+/// Every-scenario invariants: full conservation plus a balanced recovery
+/// ledger (see FaultStats in router_config.h for the derivations).
+void expect_conserved(const RouterResult& result, std::uint64_t injected) {
+  EXPECT_EQ(result.resolved_packets, injected);
+  EXPECT_EQ(result.verify_mismatches, 0u);
+  EXPECT_EQ(result.latency.count(), injected);
+  EXPECT_EQ(result.fault.timeouts,
+            result.fault.retransmits + result.fault.degraded_fallbacks);
+  EXPECT_LE(result.fault.drops,
+            result.fault.retransmits + result.fault.degraded_fallbacks);
+  EXPECT_LE(result.fault.outage_drops, result.fault.drops);
+  EXPECT_GE(result.fault.degraded_lookups, result.fault.degraded_fallbacks);
+  EXPECT_EQ(result.fault.reclaimed_waiting_blocks,
+            result.cache_total.cancelled_reservations);
+  // Attempt accounting: every request/reply transmission either traversed
+  // the fabric or was dropped at injection.
+  EXPECT_EQ(result.remote_requests + result.remote_replies,
+            result.fabric.messages + result.fabric.dropped);
+}
+
+TEST(FaultRecovery, EnabledZeroFaultLayerIsByteIdentical) {
+  // Arming the fault layer with zero probabilities and no outages must not
+  // perturb the simulation at all: the timers it schedules are all stale by
+  // the time they fire, no RNG is consumed, and every metric — latencies,
+  // cache counters, makespan — matches the disabled run exactly.
+  RouterConfig plain = small_config(4);
+  RouterConfig armed = plain;
+  armed.fault.enabled = true;
+
+  RouterSim a(small_table(), plain);
+  RouterSim b(small_table(), armed);
+  const RouterResult ra = a.run_workload(small_profile(), /*verify=*/true);
+  const RouterResult rb = b.run_workload(small_profile(), /*verify=*/true);
+  EXPECT_EQ(ra.to_json(), rb.to_json());
+  EXPECT_EQ(rb.fault.timeouts, 0u);
+  EXPECT_EQ(rb.fault.duplicate_replies, 0u);
+}
+
+TEST(FaultRecovery, ModerateDropsRecoverByRetransmission) {
+  RouterConfig config = small_config(4);
+  config.fault.enabled = true;
+  config.fault.drop_probability = 0.05;
+  config.recovery.max_retries = 5;
+  RouterSim router(small_table(), config);
+  const RouterResult result =
+      router.run_workload(small_profile(), /*verify=*/true);
+  expect_conserved(result, 4 * config.packets_per_lc);
+  EXPECT_GT(result.fault.drops, 0u);
+  EXPECT_GT(result.fault.retransmits, 0u);
+}
+
+TEST(FaultRecovery, TotalLossDegradesEveryRemoteLookup) {
+  // drop_probability = 1: no request ever reaches its home LC, so every
+  // remote lookup must burn its full retry budget and fall back to the
+  // degraded local slow path — and still resolve correctly.
+  RouterConfig config = small_config(4);
+  config.fault.enabled = true;
+  config.fault.drop_probability = 1.0;
+  config.recovery.max_retries = 2;
+  RouterSim router(small_table(), config);
+  const RouterResult result =
+      router.run_workload(small_profile(), /*verify=*/true);
+  expect_conserved(result, 4 * config.packets_per_lc);
+  EXPECT_GT(result.fault.degraded_fallbacks, 0u);
+  EXPECT_EQ(result.remote_replies, 0u);  // nothing ever got through
+  // Every attempt was dropped, so the ledger balances exactly.
+  EXPECT_EQ(result.fault.drops, result.remote_requests);
+  EXPECT_EQ(result.fault.drops,
+            result.fault.retransmits + result.fault.degraded_fallbacks);
+  EXPECT_EQ(result.fabric.messages, 0u);
+}
+
+TEST(FaultRecovery, DeadLineCardIsSurvivedInDegradedMode) {
+  // LC 1's fabric port is down for the whole run: every lookup homed there
+  // (and every reply LC 1 owes others) is lost. Packets that arrive at LC 1
+  // itself still resolve locally; everyone else reaches LC 1's share of the
+  // table through the degraded fallback.
+  RouterConfig config = small_config(4);
+  config.fault.enabled = true;
+  config.fault.outages.push_back(
+      fabric::OutageWindow{/*port=*/1, /*start=*/0,
+                           /*end=*/std::uint64_t{1} << 40});
+  config.recovery.max_retries = 1;  // keep the retry tax small
+  RouterSim router(small_table(), config);
+  const RouterResult result =
+      router.run_workload(small_profile(), /*verify=*/true);
+  expect_conserved(result, 4 * config.packets_per_lc);
+  EXPECT_GT(result.fault.outage_drops, 0u);
+  EXPECT_GT(result.fault.degraded_lookups, 0u);
+  EXPECT_GT(result.fault.per_lc_outage_cycles[1], 0u);
+  EXPECT_EQ(result.fault.per_lc_outage_cycles[0], 0u);
+}
+
+TEST(FaultRecovery, SpuriousTimeoutsAreAbsorbedAsDuplicates) {
+  // An absurdly aggressive timer fires long before any reply can arrive, so
+  // every remote lookup retransmits and the home LC answers multiple
+  // attempts of the same sequence number. Exactly one reply settles each
+  // request; the rest must be counted and suppressed without touching the
+  // cache or double-resolving.
+  RouterConfig config = small_config(4);
+  config.fault.enabled = true;
+  config.recovery.timeout_cycles = 1;
+  config.recovery.max_retries = 12;
+  RouterSim router(small_table(), config);
+  const RouterResult result =
+      router.run_workload(small_profile(), /*verify=*/true);
+  expect_conserved(result, 4 * config.packets_per_lc);
+  EXPECT_GT(result.fault.retransmits, 0u);
+  EXPECT_GT(result.fault.duplicate_replies, 0u);
+}
+
+TEST(FaultRecovery, SeededFaultRunsAreReproducible) {
+  RouterConfig config = small_config(4);
+  config.fault.enabled = true;
+  config.fault.drop_probability = 0.1;
+  config.fault.jitter_probability = 0.2;
+  config.fault.max_jitter_cycles = 7;
+  config.fault.outages.push_back(fabric::OutageWindow{2, 1'000, 30'000});
+  RouterSim router(small_table(), config);
+  const RouterResult a = router.run_workload(small_profile(), /*verify=*/true);
+  const RouterResult b = router.run_workload(small_profile(), /*verify=*/true);
+  EXPECT_EQ(a.to_json(), b.to_json());
+  EXPECT_GT(a.fault.drops, 0u);
+  EXPECT_GT(a.fault.jitter_events, 0u);
+}
+
+TEST(FaultRecovery, JitterAloneNeverLosesPackets) {
+  RouterConfig config = small_config(4);
+  config.fault.enabled = true;
+  config.fault.jitter_probability = 0.5;
+  config.fault.max_jitter_cycles = 9;
+  RouterSim router(small_table(), config);
+  const RouterResult result =
+      router.run_workload(small_profile(), /*verify=*/true);
+  expect_conserved(result, 4 * config.packets_per_lc);
+  EXPECT_GT(result.fault.jitter_events, 0u);
+  EXPECT_EQ(result.fault.drops, 0u);
+  EXPECT_EQ(result.fault.degraded_fallbacks, 0u);
+}
+
+TEST(FaultRecovery, InvalidFaultConfigIsRejectedAtConstruction) {
+  RouterConfig config = small_config(4);
+  config.fault.enabled = true;
+  config.fault.drop_probability = 1.5;
+  EXPECT_THROW(RouterSim(small_table(), config), std::invalid_argument);
+  config = small_config(4);
+  config.fault.enabled = true;
+  config.fault.outages.push_back(fabric::OutageWindow{/*port=*/7, 0, 100});
+  EXPECT_THROW(RouterSim(small_table(), config), std::invalid_argument);
+}
+
+TEST(FaultRecovery6, Ipv6RouterSurvivesDropsAndOutage) {
+  // The recovery protocol lives in the shared core: the IPv6 router must
+  // show the same conservation under combined loss and a dead LC.
+  net::TableGen6Config table_config;
+  table_config.size = 3'000;
+  table_config.seed = 601;
+  const net::RouteTable6 table = net::generate_table6(table_config);
+  RouterConfig config = core::spal_default_config(4);
+  config.packets_per_lc = 1'500;
+  config.cache.blocks = 512;
+  config.line_rate_gbps = 10.0;
+  config.fault.enabled = true;
+  config.fault.drop_probability = 0.05;
+  config.fault.outages.push_back(
+      fabric::OutageWindow{/*port=*/2, /*start=*/0,
+                           /*end=*/std::uint64_t{1} << 40});
+  config.recovery.max_retries = 2;
+  trace::WorkloadProfile profile = trace::profile_d81();
+  profile.flows = 2'000;
+  RouterSim6 router(table, config);
+  const RouterResult result = router.run_workload(profile, /*verify=*/true);
+  expect_conserved(result, 4 * config.packets_per_lc);
+  EXPECT_GT(result.fault.outage_drops, 0u);
+  EXPECT_GT(result.fault.degraded_lookups, 0u);
+  EXPECT_GT(result.fault.retransmits, 0u);
+}
+
+}  // namespace

@@ -196,6 +196,38 @@ TEST(LrCache, WaitingBlocksArePinned) {
   }
 }
 
+TEST(LrCache, CancelWaitingReleasesQuota) {
+  // The router's timeout path reclaims a W=1 block whose reply was lost so
+  // the origin's γ quota is not pinned for the rest of the run.
+  LrCache cache(small_config());  // γ = 50%: 2 REM ways
+  ASSERT_TRUE(cache.reserve(addr_in_set(0, 1), Origin::kRemote, 1));
+  ASSERT_TRUE(cache.reserve(addr_in_set(0, 2), Origin::kRemote, 2));
+  EXPECT_FALSE(cache.reserve(addr_in_set(0, 3), Origin::kRemote, 3));
+
+  EXPECT_TRUE(cache.cancel_waiting(addr_in_set(0, 1)));
+  EXPECT_EQ(cache.stats().cancelled_reservations, 1u);
+  // The cancelled block is gone (a later reply would be an orphan fill)...
+  EXPECT_EQ(cache.probe(addr_in_set(0, 1), 4).state, ProbeState::kMiss);
+  EXPECT_FALSE(cache.fill(addr_in_set(0, 1), 7, 5));
+  EXPECT_EQ(cache.stats().orphan_fills, 1u);
+  // ...and its way is reservable again.
+  EXPECT_TRUE(cache.reserve(addr_in_set(0, 3), Origin::kRemote, 6));
+}
+
+TEST(LrCache, CancelWaitingNeverTouchesCompletedBlocks) {
+  LrCache cache(small_config());
+  const Ipv4Addr a = addr_in_set(0, 1);
+  EXPECT_FALSE(cache.cancel_waiting(a));  // never reserved
+  ASSERT_TRUE(cache.reserve(a, Origin::kRemote, 0));
+  ASSERT_TRUE(cache.fill(a, 9, 1));
+  EXPECT_FALSE(cache.cancel_waiting(a));  // completed: must survive
+  EXPECT_EQ(cache.probe(a, 2).next_hop, 9u);
+  ASSERT_TRUE(cache.reserve(addr_in_set(0, 2), Origin::kRemote, 3));
+  cache.flush();
+  EXPECT_FALSE(cache.cancel_waiting(addr_in_set(0, 2)));  // flushed away
+  EXPECT_EQ(cache.stats().cancelled_reservations, 0u);
+}
+
 TEST(LrCache, VictimCacheCatchesConflictEvictions) {
   LrCacheConfig config = small_config();
   config.victim_blocks = 8;

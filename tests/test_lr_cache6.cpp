@@ -73,6 +73,47 @@ TEST(LrCache6, WaitingAndFill) {
   EXPECT_EQ(cache.probe(a, 3).next_hop, 3u);
 }
 
+TEST(LrCache6, FillAfterFlushIsOrphan) {
+  // A reply that lands after a table update flushed its W=1 block must be
+  // reported (not silently re-create a block) — same contract as IPv4.
+  Cache6 cache(config16());
+  const Ipv6Addr a{0x20010DB800000000ULL, 9};
+  ASSERT_TRUE(cache.reserve(a, Origin::kRemote, 0));
+  cache.flush();
+  EXPECT_FALSE(cache.fill(a, 7, 1));
+  EXPECT_EQ(cache.stats().orphan_fills, 1u);
+  EXPECT_EQ(cache.probe(a, 2).state, ProbeState::kMiss);
+}
+
+TEST(LrCache6, QuotaEntirelyWaitingFailsReservation) {
+  // Both ways of an origin pinned by W=1 blocks: a further reservation must
+  // fail (and be counted) rather than evict an in-flight block.
+  Cache6 cache(config16());  // 4 sets, assoc 4, γ = 50%: 2 REM ways
+  const Ipv6Addr r1{0x2001000000000000ULL, 0x20};
+  const Ipv6Addr r2{0x2002000000000000ULL, 0x20};  // same set
+  const Ipv6Addr r3{0x2003000000000000ULL, 0x20};
+  ASSERT_TRUE(cache.reserve(r1, Origin::kRemote, 0));
+  ASSERT_TRUE(cache.reserve(r2, Origin::kRemote, 1));
+  EXPECT_FALSE(cache.reserve(r3, Origin::kRemote, 2));
+  EXPECT_EQ(cache.stats().failed_reservations, 1u);
+  EXPECT_EQ(cache.probe(r1, 3).state, ProbeState::kWaiting);
+  EXPECT_EQ(cache.probe(r2, 4).state, ProbeState::kWaiting);
+}
+
+TEST(LrCache6, CancelWaitingReclaimsBlock) {
+  Cache6 cache(config16());
+  const Ipv6Addr r1{0x2001000000000000ULL, 0x20};
+  const Ipv6Addr r2{0x2002000000000000ULL, 0x20};
+  const Ipv6Addr r3{0x2003000000000000ULL, 0x20};
+  ASSERT_TRUE(cache.reserve(r1, Origin::kRemote, 0));
+  ASSERT_TRUE(cache.reserve(r2, Origin::kRemote, 1));
+  ASSERT_FALSE(cache.reserve(r3, Origin::kRemote, 2));
+  EXPECT_TRUE(cache.cancel_waiting(r1));
+  EXPECT_FALSE(cache.cancel_waiting(r1));  // already gone
+  EXPECT_EQ(cache.stats().cancelled_reservations, 1u);
+  EXPECT_TRUE(cache.reserve(r3, Origin::kRemote, 3));  // quota released
+}
+
 TEST(LrCache6, Prefix6SelectiveInvalidation) {
   Cache6 cache(config16());
   const Ipv6Addr inside{0x20010DB800000000ULL, 1};

@@ -91,7 +91,10 @@ TEST(TableGen, NextHopsWithinRange) {
   TableGenConfig config;
   config.size = 2000;
   config.next_hops = 4;
-  for (const RouteEntry& e : generate_table(config).entries()) {
+  // The table must outlive the loop: entries() returns a reference into it,
+  // and a temporary dies at the end of the range-init expression.
+  const RouteTable table = generate_table(config);
+  for (const RouteEntry& e : table.entries()) {
     EXPECT_LT(e.next_hop, 4u);
   }
 }

@@ -5,10 +5,14 @@
 //   spal_report --check report.json
 //       Verify every cross-component invariant of a report: per-LC latency
 //       counts sum to the router total, per-LC cache counters sum to
-//       cache_total, the hit breakdown is consistent, fabric messages equal
-//       remote requests + replies, and the fan-out matrix sums to the
-//       request count. Exit 0 when all points hold, 1 otherwise — CI runs
-//       this on a small bench so a broken counter fails the build.
+//       cache_total, the hit breakdown is consistent, fabric messages plus
+//       dropped messages equal remote requests + replies, the fan-out
+//       matrix sums to the request count, and the fault-recovery ledger
+//       balances (every timeout is a retransmit or a degraded fallback,
+//       recovery actions cover every dropped message, every degraded
+//       fallback resolves at least one packet). Exit 0 when all points
+//       hold, 1 otherwise — CI runs this on a small bench so a broken
+//       counter fails the build.
 //       Points whose result carries `"kind": "lpm_batch"` (bench_lpm_batch)
 //       are checked against that schema instead: positive timings, rate and
 //       speedup consistent with ns_per_lookup, and batch == scalar results.
@@ -333,27 +337,71 @@ void check_result(CheckContext& ctx, const JsonValue& result) {
   expect_eq(ctx, "cache_total.probes vs hits+misses+waiting_hits", probes,
             hits + misses + waiting);
 
-  // Fabric: every remote request produces exactly one reply, and every
-  // message leaves one port and enters another.
+  // Fabric: requests and replies count transmission attempts; a message
+  // either traverses the fabric (messages) or is lost at injection
+  // (dropped). Delivered messages leave one port and enter another; drops
+  // are charged to the injecting port.
   const double remote_requests = require(ctx, result, {"remote_requests"});
   const double remote_replies = require(ctx, result, {"remote_replies"});
   const double messages = require(ctx, result, {"fabric", "messages"});
-  expect_eq(ctx, "fabric.messages vs remote_requests+remote_replies", messages,
-            remote_requests + remote_replies);
+  const double dropped = require(ctx, result, {"fabric", "dropped"});
+  expect_eq(ctx, "fabric.messages+dropped vs remote_requests+remote_replies",
+            messages + dropped, remote_requests + remote_replies);
   if (const JsonValue* ports = result.find("fabric")
                                    ? result.find("fabric")->find("ports")
                                    : nullptr) {
-    double sent = 0.0, received = 0.0;
+    double sent = 0.0, received = 0.0, port_dropped = 0.0;
     for (const JsonValue& port : ports->array) {
       if (const JsonValue* v = port.find("sent")) sent += v->number;
       if (const JsonValue* v = port.find("received")) received += v->number;
+      if (const JsonValue* v = port.find("dropped")) port_dropped += v->number;
     }
     expect_eq(ctx, "sum(ports.sent) vs fabric.messages", sent, messages);
     expect_eq(ctx, "sum(ports.received) vs fabric.messages", received,
               messages);
+    expect_eq(ctx, "sum(ports.dropped) vs fabric.dropped", port_dropped,
+              dropped);
   } else {
     ctx.fail("missing fabric.ports array");
   }
+
+  // Fault-recovery ledger. All zero in a fault-free run, so the invariants
+  // hold (and are checked) for every router point.
+  const double f_drops = require(ctx, result, {"fault", "drops"});
+  const double f_outage = require(ctx, result, {"fault", "outage_drops"});
+  const double f_jitter = require(ctx, result, {"fault", "jitter_events"});
+  const double timeouts = require(ctx, result, {"fault", "timeouts"});
+  const double retransmits = require(ctx, result, {"fault", "retransmits"});
+  const double fallbacks =
+      require(ctx, result, {"fault", "degraded_fallbacks"});
+  const double degraded = require(ctx, result, {"fault", "degraded_lookups"});
+  const double reclaimed =
+      require(ctx, result, {"fault", "reclaimed_waiting_blocks"});
+  expect_eq(ctx, "fault.drops vs fabric.dropped", f_drops, dropped);
+  expect_le(ctx, "fault.outage_drops vs fault.drops", f_outage, f_drops);
+  expect_eq(ctx, "fault.jitter_events vs fabric.jitter_events", f_jitter,
+            require(ctx, result, {"fabric", "jitter_events"}));
+  // Every non-stale timeout is answered: a retransmit while the retry
+  // budget lasts, a degraded fallback when it is exhausted.
+  expect_eq(ctx, "fault.timeouts vs retransmits+degraded_fallbacks", timeouts,
+            retransmits + fallbacks);
+  // Every dropped message belongs to some attempt of some request, and a
+  // lost attempt always times out into a retransmit or a fallback.
+  expect_le(ctx, "fault.drops vs retransmits+degraded_fallbacks", f_drops,
+            retransmits + fallbacks);
+  // Each fallback resolves at least the request's own packet (plus any
+  // packets parked behind its block).
+  expect_le(ctx, "fault.degraded_fallbacks vs degraded_lookups", fallbacks,
+            degraded);
+  // cancel_waiting() is only invoked by the fallback path, so the router's
+  // reclaim counter and the caches' cancellation counter must agree.
+  expect_eq(ctx,
+            "fault.reclaimed_waiting_blocks vs "
+            "cache_total.cancelled_reservations",
+            reclaimed,
+            require(ctx, result, {"cache_total", "cancelled_reservations"}));
+  expect_le(ctx, "fault.reclaimed_waiting_blocks vs degraded_fallbacks",
+            reclaimed, fallbacks);
 
   // Fan-out matrix: one cell increment per remote request.
   if (const JsonValue* fanout = result.find("remote_fanout")) {
@@ -397,7 +445,8 @@ void check_result(CheckContext& ctx, const JsonValue& result) {
       "rem_hits",     "victim_hits",    "waiting_hits",
       "misses",       "reservations",   "failed_reservations",
       "quota_bypasses", "failed_promotions", "fills",
-      "orphan_fills", "evictions",      "flushes"};
+      "orphan_fills", "cancelled_reservations", "evictions",
+      "flushes"};
   for (const char* counter : kCacheCounters) {
     char what[96];
     std::snprintf(what, sizeof what, "sum(per_lc.cache.%s) vs cache_total.%s",
