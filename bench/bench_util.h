@@ -50,6 +50,17 @@ struct BenchArgs {
   bool outage_set = false;
   int max_retries = 3;
   bool max_retries_set = false;
+  /// Live route-update knobs (bench_update): --update-rate=N injects N
+  /// updates per million cycles, --update-seed=N seeds the stream,
+  /// --trie=dp|lulea|lc|stride|gupta|binary picks the FE structure,
+  /// --verify checks every resolved hop against the churning oracle.
+  std::uint64_t update_rate = 0;  ///< updates per 1M cycles
+  bool update_rate_set = false;
+  std::uint64_t update_seed = 7;
+  bool update_seed_set = false;
+  trie::TrieKind trie = trie::TrieKind::kLulea;
+  bool trie_set = false;
+  bool verify = false;
 
   /// Parses the shared bench flags. Malformed values (--packets=0 or
   /// --batch=0, negative or non-numeric counts) and unknown flags are
@@ -83,6 +94,23 @@ struct BenchArgs {
         }
         args.max_retries = static_cast<int>(retries);
         args.max_retries_set = true;
+      } else if (std::strncmp(arg, "--update-rate=", 14) == 0) {
+        args.update_rate = parse_nonnegative(arg + 14, "--update-rate");
+        args.update_rate_set = true;
+      } else if (std::strncmp(arg, "--update-seed=", 14) == 0) {
+        args.update_seed = parse_nonnegative(arg + 14, "--update-seed");
+        args.update_seed_set = true;
+      } else if (std::strncmp(arg, "--trie=", 7) == 0) {
+        const auto kind = trie::trie_kind_from_string(arg + 7);
+        if (!kind.has_value()) {
+          std::fprintf(stderr, "--trie expects a known trie kind, got '%s'\n",
+                       arg + 7);
+          usage_error(nullptr);
+        }
+        args.trie = *kind;
+        args.trie_set = true;
+      } else if (std::strcmp(arg, "--verify") == 0) {
+        args.verify = true;
       } else if (std::strcmp(arg, "--engine=heap") == 0) {
         args.engine = sim::EngineKind::kHeap;
       } else if (std::strcmp(arg, "--engine=calendar") == 0) {
@@ -107,7 +135,8 @@ struct BenchArgs {
     std::fprintf(stderr,
                  "usage: [--full] [--packets=N] [--batch=N] "
                  "[--drop-rate=F] [--outage=N] [--max-retries=N] "
-                 "[--engine=heap|calendar] [--json[=path]]\n");
+                 "[--update-rate=N] [--update-seed=N] [--trie=KIND] "
+                 "[--verify] [--engine=heap|calendar] [--json[=path]]\n");
     std::exit(2);
   }
 

@@ -65,6 +65,7 @@ struct LrCacheStats {
   std::uint64_t cancelled_reservations = 0;  ///< W=1 blocks reclaimed on timeout
   std::uint64_t evictions = 0;
   std::uint64_t flushes = 0;
+  std::uint64_t invalidated_blocks = 0;  ///< blocks dropped by invalidate_matching
 
   double hit_rate() const {
     return probes == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(probes);
@@ -87,6 +88,7 @@ struct LrCacheStats {
     cancelled_reservations += other.cancelled_reservations;
     evictions += other.evictions;
     flushes += other.flushes;
+    invalidated_blocks += other.invalidated_blocks;
   }
 };
 
@@ -238,6 +240,7 @@ class BasicLrCache {
     };
     for (Block& block : blocks_) drop(block);
     for (Block& block : victim_) drop(block);
+    stats_.invalidated_blocks += invalidated;
     return invalidated;
   }
 

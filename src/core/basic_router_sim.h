@@ -22,8 +22,13 @@
 //     static Oracle build_oracle(const Table&);
 //     static net::NextHop oracle_lookup(const Oracle&, const Addr&);
 //     static std::uint64_t hash_bits(const Addr&);       // waiting-list key
-//     static void apply_update(...)                      // cache side of a
-//                                                        // table update
+//     // Live route-update pipeline:
+//     using Update;                   // net::TableUpdate / net::TableUpdate6
+//     static std::vector<Update> make_updates(const Table&,
+//                                             const net::UpdateStreamConfig&);
+//     static bool fe_supports_update(const Fe&);
+//     static void fe_insert(Fe&, const PrefixT&, net::NextHop);
+//     static void fe_remove(Fe&, const PrefixT&);
 //   };
 #pragma once
 
@@ -38,6 +43,7 @@
 #include "cache/basic_lr_cache.h"
 #include "core/router_config.h"
 #include "fabric/fabric.h"
+#include "net/update_stream.h"
 #include "sim/calendar_queue.h"
 #include "sim/engine.h"
 #include "sim/packet_source.h"
@@ -111,7 +117,23 @@ class BasicRouterSim {
         arrival_horizon = std::max(arrival_horizon, arrivals_per_lc.back().back());
       }
     }
-    queue_.reset(config_.engine, total_packets, arrival_horizon);
+    // Live route-update pipeline: resolve how many updates this run injects
+    // before sizing the queue (their schedule extends the horizon).
+    const bool live_updates = config_.update.interval_cycles != 0;
+    std::size_t update_count = 0;
+    if (live_updates) {
+      update_count = config_.update.count;
+      if (update_count == 0) {
+        update_count = static_cast<std::size_t>(arrival_horizon /
+                                                config_.update.interval_cycles);
+      }
+    }
+    const std::uint64_t update_horizon =
+        live_updates ? static_cast<std::uint64_t>(update_count) *
+                           config_.update.interval_cycles
+                     : 0;
+    queue_.reset(config_.engine, total_packets + update_count,
+                 std::max(arrival_horizon, update_horizon));
     waiting_.clear();
     pending_.clear();
     next_request_seq_ = 0;
@@ -141,10 +163,59 @@ class BasicRouterSim {
     fe_busy_.assign(static_cast<std::size_t>(config_.num_lcs), 0);
     next_flush_ = config_.flush_interval_cycles;
     update_rng_.seed(config_.seed ^ 0x0badf00dULL);
+    // A prior run's live updates mutated the FEs / fragments / oracle:
+    // rebuild them so every run starts from the configured table.
+    if (fes_dirty_) {
+      fes_.clear();
+      for (int lc = 0; lc < config_.num_lcs; ++lc) {
+        const Table& fwd = config_.partition ? rot_->table_of(lc) : full_table_;
+        fes_.push_back(Family::build_fe(fwd, config_));
+      }
+      lc_tables_.clear();
+      fes_dirty_ = false;
+    }
+    if (oracle_dirty_) {
+      oracle_.reset();
+      oracle_dirty_ = false;
+    }
     verify_ = verify;
-    if (verify_ && oracle_ == nullptr) {
+    if ((verify_ || (live_updates && faults_active())) && oracle_ == nullptr) {
+      // With live updates in fault mode the degraded slow path must track
+      // the evolving table, so the oracle is built eagerly.
       oracle_ = std::make_unique<typename Family::Oracle>(
           Family::build_oracle(full_table_));
+    }
+    updates_.clear();
+    update_inject_time_.clear();
+    update_settle_time_.clear();
+    update_outstanding_.clear();
+    if (live_updates && update_count > 0) {
+      net::UpdateStreamConfig stream_config;
+      stream_config.count = update_count;
+      stream_config.seed = config_.update.seed;
+      stream_config.announce_fraction = config_.update.announce_fraction;
+      stream_config.withdraw_fraction = config_.update.withdraw_fraction;
+      stream_config.next_hops = config_.update.next_hops;
+      updates_ = Family::make_updates(full_table_, stream_config);
+      update_inject_time_.resize(updates_.size());
+      update_settle_time_.assign(updates_.size(), kSettlePending);
+      update_outstanding_.assign(updates_.size(), 0);
+      if (lc_tables_.empty()) {
+        lc_tables_.reserve(static_cast<std::size_t>(config_.num_lcs));
+        for (int lc = 0; lc < config_.num_lcs; ++lc) {
+          lc_tables_.push_back(config_.partition ? rot_->table_of(lc)
+                                                 : full_table_);
+        }
+      }
+      for (std::size_t i = 0; i < updates_.size(); ++i) {
+        const std::uint64_t at =
+            (static_cast<std::uint64_t>(i) + 1) * config_.update.interval_cycles;
+        update_inject_time_[i] = at;
+        queue_.schedule(
+            at, Event{Event::Type::kUpdateInject, 0, Addr{},
+                      Requester{0, static_cast<std::int64_t>(i), false}, false,
+                      net::kNoRoute});
+      }
     }
 
     // Assign global packet ids and schedule arrivals.
@@ -186,6 +257,9 @@ class BasicRouterSim {
         case Event::Type::kReply: handle_reply(now, event); break;
         case Event::Type::kTimeout: handle_timeout(now, event); break;
         case Event::Type::kDegraded: handle_degraded(now, event); break;
+        case Event::Type::kUpdateInject: handle_update_inject(now, event); break;
+        case Event::Type::kUpdateApply: handle_update_apply(now, event); break;
+        case Event::Type::kInvalidate: handle_invalidate(now, event); break;
       }
     }
 
@@ -265,6 +339,11 @@ class BasicRouterSim {
       kReply,
       kTimeout,   ///< remote-request timer (fault mode); requester.seq keys it
       kDegraded,  ///< slow-path completion for one packet (fault mode)
+      // Live route-update pipeline (requester.packet carries the update
+      // index into updates_; addr is unused):
+      kUpdateInject,  ///< control plane emits update i to its home LCs
+      kUpdateApply,   ///< update i reaches home LC `lc`: apply to its FE
+      kInvalidate,    ///< invalidation for update i reaches LC `lc`'s cache
     };
     Type type;
     int lc;
@@ -509,9 +588,29 @@ class BasicRouterSim {
     if (verify_) {
       const net::NextHop expected =
           Family::oracle_lookup(*oracle_, destinations_[index]);
-      if (expected != hop) ++result_.verify_mismatches;
+      if (expected != hop && !update_excuses(index, now)) {
+        ++result_.verify_mismatches;
+      }
     }
     return true;
+  }
+
+  /// Verify-under-churn: a mismatch against the (control-plane) oracle is
+  /// excused iff some update covering the destination was in flight during
+  /// the packet's lifetime — its [inject, settle] window overlaps
+  /// [arrival, resolve]. Packets arriving after an update fully settled
+  /// (every apply and invalidation delivered) get no excuse from it: that
+  /// is the staleness property the update tests assert.
+  bool update_excuses(std::size_t packet_index, std::uint64_t resolve_time) const {
+    if (updates_.empty()) return false;
+    const Addr& dst = destinations_[packet_index];
+    const std::uint64_t arrival = arrival_time_[packet_index];
+    for (std::size_t i = 0; i < updates_.size(); ++i) {
+      if (update_inject_time_[i] > resolve_time) break;  // stream is time-ordered
+      if (update_settle_time_[i] < arrival) continue;
+      if (updates_[i].prefix.matches(dst)) return true;
+    }
+    return false;
   }
 
   bool faults_active() const { return config_.fault.enabled; }
@@ -632,6 +731,135 @@ class BasicRouterSim {
     }
   }
 
+  // ----- Live route-update pipeline ---------------------------------------
+
+  /// Injection of update i at the control plane (modelled at LC 0's fabric
+  /// port): the oracle advances immediately — it is the control plane's
+  /// view — and one fabric message per home LC carries the update out.
+  void handle_update_inject(std::uint64_t now, const Event& event) {
+    const auto index = static_cast<std::size_t>(event.requester.packet);
+    const auto& update = updates_[index];
+    ++result_.update.applied;
+    ++result_.updates_applied;
+    switch (update.kind) {
+      case net::UpdateKind::kAnnounce: ++result_.update.announces; break;
+      case net::UpdateKind::kWithdraw: ++result_.update.withdraws; break;
+      case net::UpdateKind::kHopChange: ++result_.update.hop_changes; break;
+    }
+    if (oracle_ != nullptr) {
+      if (update.kind == net::UpdateKind::kWithdraw) {
+        oracle_->remove(update.prefix);
+      } else {
+        oracle_->insert(update.prefix, update.next_hop);
+      }
+      oracle_dirty_ = true;
+    }
+    // Route to every home LC whose fragment replicates the prefix. An
+    // unpartitioned router keeps the full table in every LC, so all of
+    // them are homes.
+    std::vector<int> homes;
+    if (config_.partition) {
+      homes = rot_->homes_of(update.prefix);
+    } else {
+      homes.reserve(static_cast<std::size_t>(config_.num_lcs));
+      for (int lc = 0; lc < config_.num_lcs; ++lc) homes.push_back(lc);
+    }
+    update_outstanding_[index] += static_cast<std::uint32_t>(homes.size());
+    for (const int home : homes) {
+      ++result_.update.update_messages;
+      // Control messages ride the fabric reliably (deliver, not
+      // try_deliver): BGP sessions run over TCP, losses are retransmitted
+      // below the timescale this model resolves.
+      const std::uint64_t arrival = fabric_->deliver(0, home, now + 1);
+      queue_.schedule(arrival, Event{Event::Type::kUpdateApply, home, Addr{},
+                                     event.requester, false, net::kNoRoute});
+    }
+  }
+
+  /// Update i arrives at home LC `lc`: apply it to the LC's fragment and
+  /// FE (incrementally when supported, by epoch rebuild otherwise), charge
+  /// the FE servers, invalidate the local cache, and broadcast invalidation
+  /// to every other LC. The broadcast is injected *after* the FE applied,
+  /// so per-(src,dst) fabric FIFO guarantees it overtakes no stale reply
+  /// this home produced earlier — the invalidation is a barrier behind
+  /// which no pre-update value survives in any cache.
+  void handle_update_apply(std::uint64_t now, const Event& event) {
+    const auto index = static_cast<std::size_t>(event.requester.packet);
+    const auto& update = updates_[index];
+    const int lc = event.lc;
+    Table& fragment = lc_tables_[static_cast<std::size_t>(lc)];
+    net::apply_update(fragment, update);
+    auto& fe = fes_[static_cast<std::size_t>(lc)];
+    std::uint64_t cost = 0;
+    ++result_.update.applications;
+    if (Family::fe_supports_update(fe)) {
+      if (update.kind == net::UpdateKind::kWithdraw) {
+        Family::fe_remove(fe, update.prefix);
+      } else {
+        Family::fe_insert(fe, update.prefix, update.next_hop);
+      }
+      ++result_.update.fe_incremental;
+      cost = config_.update.incremental_cost_cycles;
+    } else {
+      fe = Family::build_fe(fragment, config_);
+      ++result_.update.fe_rebuilds;
+      cost = config_.update.rebuild_base_cycles +
+             fragment.size() * config_.update.rebuild_millicycles_per_entry /
+                 1000;
+    }
+    fes_dirty_ = true;
+    // The FE is unavailable while the update applies: every server stalls.
+    for (auto& server : fe_free_[static_cast<std::size_t>(lc)]) {
+      server = std::max(server, now) + cost;
+    }
+    fe_busy_[static_cast<std::size_t>(lc)] += cost;
+    result_.update.update_cost_cycles += cost;
+    if (!caches_.empty()) {
+      invalidate_cache(lc, update);
+      for (int other = 0; other < config_.num_lcs; ++other) {
+        if (other == lc) continue;
+        ++result_.update.invalidation_messages;
+        ++update_outstanding_[index];
+        const std::uint64_t arrival = fabric_->deliver(lc, other, now + 1);
+        queue_.schedule(arrival,
+                        Event{Event::Type::kInvalidate, other, Addr{},
+                              event.requester, false, net::kNoRoute});
+      }
+    }
+    settle_update(index, now);
+  }
+
+  void handle_invalidate(std::uint64_t now, const Event& event) {
+    const auto index = static_cast<std::size_t>(event.requester.packet);
+    invalidate_cache(event.lc, updates_[index]);
+    settle_update(index, now);
+  }
+
+  /// Cache side of one update at one LC, per the configured policy.
+  /// Waiting (W=1) blocks are left for their fill on the selective path:
+  /// any in-flight fill was either produced after the update applied
+  /// (fresh), or was injected before this invalidation by the same home
+  /// and therefore already landed (fabric FIFO) and been dropped here.
+  void invalidate_cache(int lc, const typename Family::Update& update) {
+    Cache& cache = *caches_[static_cast<std::size_t>(lc)];
+    if (config_.update_policy == RouterConfig::UpdatePolicy::kSelectiveInvalidate) {
+      const std::size_t dropped = cache.invalidate_matching(update.prefix);
+      result_.blocks_invalidated += dropped;
+      result_.update.blocks_invalidated += dropped;
+    } else {
+      cache.flush();
+      ++result_.update.cache_flushes;
+    }
+  }
+
+  /// One apply/invalidation event of update `index` completed; the last one
+  /// stamps the settle time (until then the update excuses mismatches).
+  void settle_update(std::size_t index, std::uint64_t now) {
+    if (--update_outstanding_[index] == 0) update_settle_time_[index] = now;
+  }
+
+  static constexpr std::uint64_t kSettlePending = ~std::uint64_t{0};
+
   RouterConfig config_;
   Table full_table_;
   std::unique_ptr<Partition> rot_;
@@ -660,6 +888,16 @@ class BasicRouterSim {
   std::vector<bool> resolved_;                       // per packet
   std::uint64_t next_flush_ = 0;
   std::mt19937_64 update_rng_;
+  // Live-update pipeline state. lc_tables_ are the mutable per-LC fragments
+  // (materialized only when the pipeline is on); the dirty flags make run()
+  // rebuild FEs / oracle that a prior run's updates mutated.
+  std::vector<typename Family::Update> updates_;
+  std::vector<Table> lc_tables_;
+  std::vector<std::uint64_t> update_inject_time_;   // per update
+  std::vector<std::uint64_t> update_settle_time_;   // kSettlePending in flight
+  std::vector<std::uint32_t> update_outstanding_;   // undelivered effects
+  bool fes_dirty_ = false;
+  bool oracle_dirty_ = false;
   bool verify_ = false;
   RouterResult result_;
 };

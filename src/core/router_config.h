@@ -86,6 +86,31 @@ struct RouterConfig {
   std::uint64_t flush_interval_cycles = 0;
   UpdatePolicy update_policy = UpdatePolicy::kFlushAll;
 
+  /// Live route-update pipeline: a BGP-style announce/withdraw/hop-change
+  /// stream (net/update_stream.h) injected while packets are in flight.
+  /// Each update is routed over the fabric to every home LC whose fragment
+  /// holds the prefix, applied there (incrementally when the FE supports
+  /// it, by epoch rebuild otherwise), and followed by LR-cache invalidation
+  /// on all LCs per `update_policy`. Fully off at interval_cycles == 0:
+  /// zero-update runs are bit-identical to builds without this pipeline.
+  struct LiveUpdateConfig {
+    std::uint64_t interval_cycles = 0;  ///< injection period; 0 = disabled
+    std::size_t count = 0;              ///< updates to inject; 0 = fill horizon
+    std::uint64_t seed = 7;             ///< update-stream seed
+    double announce_fraction = 0.25;
+    double withdraw_fraction = 0.25;
+    std::uint32_t next_hops = 16;
+    /// Cost charged to the home LC's FE per incremental trie update (the
+    /// DP-trie insert/remove walk; the paper quotes 62 cycles for a full
+    /// DP lookup, and an update walks the same path once).
+    std::uint64_t incremental_cost_cycles = 62;
+    /// Epoch-rebuild cost for FEs without incremental update support:
+    /// base + entries × milli / 1000 cycles (integer math, deterministic).
+    std::uint64_t rebuild_base_cycles = 1'000;
+    std::uint64_t rebuild_millicycles_per_entry = 250;
+  };
+  LiveUpdateConfig update;
+
   std::uint64_t seed = 42;
 };
 
@@ -108,6 +133,27 @@ struct FaultStats {
   std::uint64_t reclaimed_waiting_blocks = 0;  ///< W=1 blocks released on fallback
   /// Configured outage cycles per LC port (from FaultConfig, index = LC).
   std::vector<std::uint64_t> per_lc_outage_cycles;
+};
+
+/// Live route-update pipeline counters for one run. All zero when the
+/// pipeline is off. Ledger (checked by `spal_report --check`):
+/// applied == announces + withdraws + hop_changes;
+/// applications == fe_incremental + fe_rebuilds and >= applied (a prefix
+/// with star control bits applies at several home LCs);
+/// blocks_invalidated == cache_total.invalidated_blocks.
+struct UpdateStats {
+  std::uint64_t applied = 0;        ///< updates injected and applied
+  std::uint64_t announces = 0;
+  std::uint64_t withdraws = 0;
+  std::uint64_t hop_changes = 0;
+  std::uint64_t applications = 0;   ///< per-home-LC fragment applications
+  std::uint64_t fe_incremental = 0; ///< applications via trie insert/remove
+  std::uint64_t fe_rebuilds = 0;    ///< applications via epoch rebuild
+  std::uint64_t update_cost_cycles = 0;  ///< FE cycles charged for updates
+  std::uint64_t update_messages = 0;     ///< fabric control msgs carrying updates
+  std::uint64_t invalidation_messages = 0;  ///< fabric invalidation broadcasts
+  std::uint64_t blocks_invalidated = 0;  ///< cache blocks dropped by updates
+  std::uint64_t cache_flushes = 0;       ///< full flushes under kFlushAll
 };
 
 /// Per-LC structured counters (index = arrival/home LC). The latency
@@ -146,6 +192,7 @@ struct RouterResult {
   std::uint64_t verify_mismatches = 0;   ///< vs full-table oracle (verify mode)
   std::uint64_t updates_applied = 0;     ///< routing-table updates simulated
   std::uint64_t blocks_invalidated = 0;  ///< via selective invalidation
+  UpdateStats update;                    ///< live update-pipeline counters
 
   double mean_lookup_cycles() const { return latency.mean_cycles(); }
   std::uint64_t worst_lookup_cycles() const { return latency.worst_cycles(); }

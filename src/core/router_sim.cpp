@@ -87,6 +87,7 @@ void append_cache(std::string& out, const cache::LrCacheStats& stats,
   append_u64(out, "cancelled_reservations", stats.cancelled_reservations);
   append_u64(out, "evictions", stats.evictions);
   append_u64(out, "flushes", stats.flushes);
+  append_u64(out, "invalidated_blocks", stats.invalidated_blocks);
   append_double(out, "hit_rate", stats.hit_rate(), /*comma=*/false);
   out += '}';
   if (comma) out += ',';
@@ -107,6 +108,21 @@ std::string RouterResult::to_json() const {
   append_double(out, "max_fe_utilization", max_fe_utilization);
   append_u64(out, "updates_applied", updates_applied);
   append_u64(out, "blocks_invalidated", blocks_invalidated);
+  // Live route-update pipeline counters (all zero with the pipeline off).
+  out += "\"update\":{";
+  append_u64(out, "applied", update.applied);
+  append_u64(out, "announces", update.announces);
+  append_u64(out, "withdraws", update.withdraws);
+  append_u64(out, "hop_changes", update.hop_changes);
+  append_u64(out, "applications", update.applications);
+  append_u64(out, "fe_incremental", update.fe_incremental);
+  append_u64(out, "fe_rebuilds", update.fe_rebuilds);
+  append_u64(out, "update_cost_cycles", update.update_cost_cycles);
+  append_u64(out, "update_messages", update.update_messages);
+  append_u64(out, "invalidation_messages", update.invalidation_messages);
+  append_u64(out, "blocks_invalidated", update.blocks_invalidated);
+  append_u64(out, "cache_flushes", update.cache_flushes, /*comma=*/false);
+  out += "},";
   out += "\"latency\":";
   append_latency(out, latency);
   out += "\"cache_total\":";

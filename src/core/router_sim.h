@@ -69,6 +69,20 @@ struct V4Family {
     return oracle.lookup(addr);
   }
   static std::uint64_t hash_bits(const Addr& addr) { return addr.value(); }
+
+  // Live route-update pipeline:
+  using Update = net::TableUpdate;
+  static std::vector<Update> make_updates(const Table& table,
+                                          const net::UpdateStreamConfig& config) {
+    return net::generate_update_stream(table, config);
+  }
+  static bool fe_supports_update(const Fe& fe) {
+    return fe->supports_incremental_update();
+  }
+  static void fe_insert(Fe& fe, const net::Prefix& prefix, net::NextHop hop) {
+    fe->insert(prefix, hop);
+  }
+  static void fe_remove(Fe& fe, const net::Prefix& prefix) { fe->remove(prefix); }
 };
 
 class RouterSim {

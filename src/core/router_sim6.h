@@ -58,6 +58,21 @@ struct V6Family {
   static std::uint64_t hash_bits(const Addr& addr) {
     return addr.hi() * 0x9e3779b97f4a7c15ULL ^ addr.lo();
   }
+
+  // Live route-update pipeline:
+  using Update = net::TableUpdate6;
+  static std::vector<Update> make_updates(const Table& table,
+                                          const net::UpdateStreamConfig& config) {
+    return net::generate_update_stream6(table, config);
+  }
+  static bool fe_supports_update(const Fe& fe) {
+    (void)fe;
+    return true;  // the DP-style v6 trie always updates in place
+  }
+  static void fe_insert(Fe& fe, const net::Prefix6& prefix, net::NextHop hop) {
+    fe.insert(prefix, hop);
+  }
+  static void fe_remove(Fe& fe, const net::Prefix6& prefix) { fe.remove(prefix); }
 };
 
 class RouterSim6 {

@@ -77,6 +77,29 @@ void RouteTable6::add(const Prefix6& prefix, NextHop next_hop) {
   }
 }
 
+bool RouteTable6::remove(const Prefix6& prefix) {
+  const auto pos = std::lower_bound(
+      entries_.begin(), entries_.end(), prefix,
+      [](const RouteEntry6& e, const Prefix6& p) {
+        return std::tuple(e.prefix.address(), e.prefix.length()) <
+               std::tuple(p.address(), p.length());
+      });
+  if (pos == entries_.end() || pos->prefix != prefix) return false;
+  entries_.erase(pos);
+  return true;
+}
+
+std::optional<NextHop> RouteTable6::find(const Prefix6& prefix) const {
+  const auto pos = std::lower_bound(
+      entries_.begin(), entries_.end(), prefix,
+      [](const RouteEntry6& e, const Prefix6& p) {
+        return std::tuple(e.prefix.address(), e.prefix.length()) <
+               std::tuple(p.address(), p.length());
+      });
+  if (pos == entries_.end() || pos->prefix != prefix) return std::nullopt;
+  return pos->next_hop;
+}
+
 NextHop RouteTable6::lookup_linear(const Ipv6Addr& addr) const {
   int best_len = -1;
   NextHop best = kNoRoute;

@@ -97,6 +97,12 @@ class RouteTable6 {
 
   void add(const Prefix6& prefix, NextHop next_hop);
 
+  /// Removes an exact prefix; false if absent.
+  bool remove(const Prefix6& prefix);
+
+  /// Exact-prefix lookup (not LPM); nullopt if absent.
+  std::optional<NextHop> find(const Prefix6& prefix) const;
+
   std::size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
   std::span<const RouteEntry6> entries() const { return entries_; }

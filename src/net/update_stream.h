@@ -12,6 +12,7 @@
 #include <random>
 #include <vector>
 
+#include "net/prefix6.h"
 #include "net/route_table.h"
 
 namespace spal::net {
@@ -49,5 +50,21 @@ std::vector<TableUpdate> generate_update_stream(const RouteTable& initial,
 /// Applies one update to `table`. Returns false if the update was a no-op
 /// (withdrawing an absent prefix); generated streams never produce those.
 bool apply_update(RouteTable& table, const TableUpdate& update);
+
+/// IPv6 counterpart of TableUpdate.
+struct TableUpdate6 {
+  UpdateKind kind;
+  Prefix6 prefix;
+  NextHop next_hop = kNoRoute;  ///< unused for withdrawals
+
+  friend constexpr auto operator<=>(const TableUpdate6&, const TableUpdate6&) = default;
+};
+
+/// IPv6 update stream: same kind mix as the v4 generator; announcements use
+/// the v6 table generator's length model inside 2000::/3.
+std::vector<TableUpdate6> generate_update_stream6(const RouteTable6& initial,
+                                                  const UpdateStreamConfig& config);
+
+bool apply_update(RouteTable6& table, const TableUpdate6& update);
 
 }  // namespace spal::net

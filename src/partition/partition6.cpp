@@ -1,5 +1,6 @@
 #include "partition/partition6.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "partition/generic.h"
@@ -43,6 +44,35 @@ std::vector<std::size_t> RotPartition6::partition_sizes() const {
   sizes.reserve(tables_.size());
   for (const auto& t : tables_) sizes.push_back(t.size());
   return sizes;
+}
+
+std::vector<int> RotPartition6::homes_of(const net::Prefix6& prefix) const {
+  if (control_bits_.empty()) return {0};
+  std::vector<std::uint32_t> groups{0};
+  for (const int bit : control_bits_) {
+    const net::PrefixBit value = prefix.bit(bit);
+    const std::size_t count = groups.size();
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uint32_t base = groups[i] << 1;
+      switch (value) {
+        case net::PrefixBit::kZero:
+          groups[i] = base;
+          break;
+        case net::PrefixBit::kOne:
+          groups[i] = base | 1u;
+          break;
+        case net::PrefixBit::kStar:
+          groups[i] = base;
+          groups.push_back(base | 1u);
+          break;
+      }
+    }
+  }
+  std::vector<int> lcs;
+  for (const std::uint32_t g : groups) lcs.push_back(group_to_lc_[g]);
+  std::sort(lcs.begin(), lcs.end());
+  lcs.erase(std::unique(lcs.begin(), lcs.end()), lcs.end());
+  return lcs;
 }
 
 }  // namespace spal::partition

@@ -56,6 +56,10 @@ class RotPartition6 {
   std::span<const int> group_to_lc() const { return group_to_lc_; }
   std::vector<std::size_t> partition_sizes() const;
 
+  /// Home LCs of a prefix: every LC whose fragment holds (a copy of) it;
+  /// see RotPartition::homes_of.
+  std::vector<int> homes_of(const net::Prefix6& prefix) const;
+
  private:
   std::vector<int> control_bits_;
   std::vector<int> group_to_lc_;

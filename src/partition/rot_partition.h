@@ -61,6 +61,12 @@ class RotPartition {
   /// Which LC each of the 2^η groups is assigned to.
   std::span<const int> group_to_lc() const { return group_to_lc_; }
 
+  /// Home LCs of a *prefix*: every LC whose fragment holds (a copy of) it.
+  /// A prefix replicates into each group compatible with its tri-state
+  /// control bits (a kStar control bit matches both groups), mirroring how
+  /// the fragmenter assigns entries. Result is sorted and de-duplicated.
+  std::vector<int> homes_of(const net::Prefix& prefix) const;
+
   /// Per-LC prefix counts (the partition sizes Sec. 4 reports).
   std::vector<std::size_t> partition_sizes() const;
 

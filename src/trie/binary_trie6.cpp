@@ -24,6 +24,19 @@ void BinaryTrie6::insert(const net::Prefix6& prefix, net::NextHop next_hop) {
   nodes_[static_cast<std::size_t>(node)].next_hop = next_hop;
 }
 
+bool BinaryTrie6::remove(const net::Prefix6& prefix) {
+  std::int32_t node = 0;
+  const net::Ipv6Addr addr = prefix.address();
+  for (int depth = 0; depth < prefix.length(); ++depth) {
+    node = nodes_[static_cast<std::size_t>(node)].child[addr.bit(depth)];
+    if (node < 0) return false;
+  }
+  Node& target = nodes_[static_cast<std::size_t>(node)];
+  if (target.next_hop == net::kNoRoute) return false;
+  target.next_hop = net::kNoRoute;
+  return true;
+}
+
 net::NextHop BinaryTrie6::lookup(const net::Ipv6Addr& addr) const {
   net::NextHop best = net::kNoRoute;
   std::int32_t node = 0;

@@ -18,6 +18,10 @@ class BinaryTrie6 {
 
   void insert(const net::Prefix6& prefix, net::NextHop next_hop);
 
+  /// Removes `prefix` exactly; returns true if it was present. Handles the
+  /// root/default route (length 0) like any other prefix.
+  bool remove(const net::Prefix6& prefix);
+
   net::NextHop lookup(const net::Ipv6Addr& addr) const;
   net::NextHop lookup_counted(const net::Ipv6Addr& addr,
                               MemAccessCounter& counter) const;

@@ -1,6 +1,7 @@
 #include "trie/dp_trie.h"
 
 #include <algorithm>
+#include <bit>
 
 namespace spal::trie {
 namespace {
@@ -87,6 +88,163 @@ DpTrie::DpTrie(const net::RouteTable& table) {
   }
 }
 
+namespace {
+
+/// Bit of an MSB-aligned 32-bit key at position `pos` (0 = MSB).
+inline int key_bit(std::uint32_t key, int pos) {
+  return static_cast<int>((key >> (31 - pos)) & 1u);
+}
+
+/// `key` truncated to its first `len` bits (low bits zeroed).
+inline std::uint32_t key_head(std::uint32_t key, int len) {
+  return len == 0 ? 0 : (key & (~std::uint32_t{0} << (32 - len)));
+}
+
+/// First position in [from, limit) where the keys differ; `limit` if none.
+inline int first_divergence(std::uint32_t a, std::uint32_t b, int from,
+                            int limit) {
+  const std::uint32_t diff = (a ^ b) & (limit == 0 ? 0 : ~std::uint32_t{0}
+                                                             << (32 - limit));
+  if (diff == 0) return limit;
+  const int pos = std::countl_zero(diff);
+  return pos < from ? from : pos;  // callers guarantee agreement below `from`
+}
+
+}  // namespace
+
+std::int32_t DpTrie::alloc_node() {
+  if (!free_.empty()) {
+    const std::int32_t id = free_.back();
+    free_.pop_back();
+    nodes_[static_cast<std::size_t>(id)] = Node{};
+    return id;
+  }
+  nodes_.emplace_back();
+  return static_cast<std::int32_t>(nodes_.size() - 1);
+}
+
+void DpTrie::free_node(std::int32_t id) { free_.push_back(id); }
+
+void DpTrie::insert(const net::Prefix& prefix, net::NextHop next_hop) {
+  const int len = prefix.length();
+  const std::uint32_t key = prefix.bits();  // already masked to `len` bits
+  std::int32_t cur = 0;
+  // Invariant: nodes_[cur].key agrees with `key` on min(index, len) bits and
+  // nodes_[cur].index <= len.
+  while (true) {
+    Node& n = nodes_[static_cast<std::size_t>(cur)];
+    if (n.index == len) {  // exact node exists (possibly a pass-through)
+      n.has_prefix = true;
+      n.next_hop = next_hop;
+      return;
+    }
+    const int slot = key_bit(key, n.index);
+    const std::int32_t child = n.child[slot];
+    if (child < 0) {
+      const std::int32_t leaf = alloc_node();
+      Node& ln = nodes_[static_cast<std::size_t>(leaf)];
+      ln.key = key;
+      ln.index = static_cast<std::uint8_t>(len);
+      ln.has_prefix = true;
+      ln.next_hop = next_hop;
+      ln.parent = cur;
+      nodes_[static_cast<std::size_t>(cur)].child[slot] = leaf;
+      return;
+    }
+    Node& c = nodes_[static_cast<std::size_t>(child)];
+    const int edge_end = std::min<int>(c.index, len);
+    const int d = first_divergence(key, c.key, n.index, edge_end);
+    if (d == edge_end && c.index <= len) {
+      cur = child;  // the child's whole compressed edge matches: descend
+      continue;
+    }
+    if (d == edge_end) {
+      // len < c.index, keys agree on all `len` bits: the new prefix sits on
+      // the compressed edge itself. Split the edge with a prefix node.
+      const std::int32_t mid = alloc_node();
+      Node& mn = nodes_[static_cast<std::size_t>(mid)];
+      Node& cc = nodes_[static_cast<std::size_t>(child)];
+      mn.key = key;
+      mn.index = static_cast<std::uint8_t>(len);
+      mn.has_prefix = true;
+      mn.next_hop = next_hop;
+      mn.parent = cur;
+      mn.child[key_bit(cc.key, len)] = child;
+      cc.parent = mid;
+      nodes_[static_cast<std::size_t>(cur)].child[slot] = mid;
+      return;
+    }
+    // Keys diverge at bit d (< both len and c.index): split the edge with a
+    // branch node holding the old subtree on one side, a new leaf on the
+    // other — the announce-that-splits-a-compressed-path case.
+    const std::int32_t branch = alloc_node();
+    const std::int32_t leaf = alloc_node();
+    Node& bn = nodes_[static_cast<std::size_t>(branch)];
+    Node& ln = nodes_[static_cast<std::size_t>(leaf)];
+    Node& cc = nodes_[static_cast<std::size_t>(child)];
+    bn.key = key_head(key, d);
+    bn.index = static_cast<std::uint8_t>(d);
+    bn.parent = cur;
+    bn.child[key_bit(cc.key, d)] = child;
+    bn.child[key_bit(key, d)] = leaf;
+    cc.parent = branch;
+    ln.key = key;
+    ln.index = static_cast<std::uint8_t>(len);
+    ln.has_prefix = true;
+    ln.next_hop = next_hop;
+    ln.parent = branch;
+    nodes_[static_cast<std::size_t>(cur)].child[slot] = branch;
+    return;
+  }
+}
+
+void DpTrie::maybe_splice(std::int32_t id) {
+  while (id > 0) {
+    Node& n = nodes_[static_cast<std::size_t>(id)];
+    if (n.has_prefix) return;
+    const int children = (n.child[0] >= 0 ? 1 : 0) + (n.child[1] >= 0 ? 1 : 0);
+    if (children >= 2) return;
+    const std::int32_t parent = n.parent;
+    Node& p = nodes_[static_cast<std::size_t>(parent)];
+    const int slot = p.child[0] == id ? 0 : 1;
+    if (children == 1) {
+      // Pass-through: fold this node back into the child's compressed edge.
+      const std::int32_t child = n.child[0] >= 0 ? n.child[0] : n.child[1];
+      p.child[slot] = child;
+      nodes_[static_cast<std::size_t>(child)].parent = parent;
+      free_node(id);
+      return;  // parent's child count is unchanged
+    }
+    p.child[slot] = -1;  // empty subtree: drop and re-check the parent
+    free_node(id);
+    id = parent;
+  }
+}
+
+bool DpTrie::remove(const net::Prefix& prefix) {
+  const int len = prefix.length();
+  const std::uint32_t key = prefix.bits();
+  std::int32_t cur = 0;
+  while (nodes_[static_cast<std::size_t>(cur)].index < len) {
+    const Node& n = nodes_[static_cast<std::size_t>(cur)];
+    const std::int32_t child = n.child[key_bit(key, n.index)];
+    if (child < 0) return false;
+    const Node& c = nodes_[static_cast<std::size_t>(child)];
+    if (c.index > len || key_head(c.key, c.index) != key_head(key, c.index)) {
+      return false;  // the compressed edge skips past or diverges from `key`
+    }
+    cur = child;
+  }
+  Node& n = nodes_[static_cast<std::size_t>(cur)];
+  if (n.index != len || !n.has_prefix || key_head(n.key, len) != key) {
+    return false;
+  }
+  n.has_prefix = false;
+  n.next_hop = net::kNoRoute;
+  maybe_splice(cur);
+  return true;
+}
+
 template <bool kCounted>
 net::NextHop DpTrie::lookup_impl(net::Ipv4Addr addr,
                                  MemAccessCounter* counter) const {
@@ -125,8 +283,9 @@ net::NextHop DpTrie::lookup_counted(net::Ipv4Addr addr,
 
 std::size_t DpTrie::storage_bytes() const {
   // The SPAL paper's stated DP-trie node layout: 1-byte index field plus
-  // five 4-byte pointers (left, right, parent, key, prefix-data).
-  return nodes_.size() * (1 + 5 * 4);
+  // five 4-byte pointers (left, right, parent, key, prefix-data). Freed
+  // slots are reusable, so only live nodes count.
+  return node_count() * (1 + 5 * 4);
 }
 
 }  // namespace spal::trie

@@ -30,7 +30,16 @@ class DpTrie final : public LpmIndex {
   std::size_t storage_bytes() const override;
   std::string_view name() const override { return "dp"; }
 
-  std::size_t node_count() const { return nodes_.size(); }
+  // Incremental updates (the property the paper picks the DP trie for):
+  // insert splits a compressed edge at the first divergent bit; remove
+  // clears the prefix and splices out the node when it stops branching,
+  // returning its slot to a free list. No rebuild, ever.
+  bool supports_incremental_update() const override { return true; }
+  void insert(const net::Prefix& prefix, net::NextHop next_hop) override;
+  bool remove(const net::Prefix& prefix) override;
+
+  /// Live (reachable) nodes; freed slots are excluded.
+  std::size_t node_count() const { return nodes_.size() - free_.size(); }
 
  private:
   struct Node {
@@ -45,7 +54,14 @@ class DpTrie final : public LpmIndex {
   template <bool kCounted>
   net::NextHop lookup_impl(net::Ipv4Addr addr, MemAccessCounter* counter) const;
 
+  std::int32_t alloc_node();
+  void free_node(std::int32_t id);
+  /// Splices `id` out if it is a non-root pass-through (no prefix, <2
+  /// children), cascading to its parent when it empties.
+  void maybe_splice(std::int32_t id);
+
   std::vector<Node> nodes_;  // nodes_[0] is the root (depth 0)
+  std::vector<std::int32_t> free_;  // reclaimed slots for reuse
 };
 
 }  // namespace spal::trie

@@ -88,6 +88,7 @@ DpTrie6::DpTrie6(const net::RouteTable6& table) {
     node.index = static_cast<std::uint8_t>(f.depth);
     node.has_prefix = bn->has_prefix;
     node.next_hop = bn->next_hop;
+    node.parent = f.compressed_parent;
     nodes_.push_back(node);
     nodes_[static_cast<std::size_t>(f.compressed_parent)].child[f.parent_bit] = id;
     for (int bit = 0; bit < 2; ++bit) {
@@ -98,6 +99,133 @@ DpTrie6::DpTrie6(const net::RouteTable6& table) {
       }
     }
   }
+}
+
+std::int32_t DpTrie6::alloc_node() {
+  if (!free_.empty()) {
+    const std::int32_t id = free_.back();
+    free_.pop_back();
+    nodes_[static_cast<std::size_t>(id)] = Node{};
+    return id;
+  }
+  nodes_.emplace_back();
+  return static_cast<std::int32_t>(nodes_.size() - 1);
+}
+
+void DpTrie6::insert(const net::Prefix6& prefix, net::NextHop next_hop) {
+  const int len = prefix.length();
+  const net::Ipv6Addr key = prefix.address();  // masked to `len` bits
+  std::int32_t cur = 0;
+  // Invariant: nodes_[cur].key agrees with `key` on min(index, len) bits
+  // and nodes_[cur].index <= len (see dp_trie.cpp for the IPv4 original).
+  while (true) {
+    Node& n = nodes_[static_cast<std::size_t>(cur)];
+    if (n.index == len) {
+      n.has_prefix = true;
+      n.next_hop = next_hop;
+      return;
+    }
+    const int slot = key.bit(n.index);
+    const std::int32_t child = n.child[slot];
+    if (child < 0) {
+      const std::int32_t leaf = alloc_node();
+      Node& ln = nodes_[static_cast<std::size_t>(leaf)];
+      ln.key = key;
+      ln.index = static_cast<std::uint8_t>(len);
+      ln.has_prefix = true;
+      ln.next_hop = next_hop;
+      ln.parent = cur;
+      nodes_[static_cast<std::size_t>(cur)].child[slot] = leaf;
+      return;
+    }
+    const Node& c = nodes_[static_cast<std::size_t>(child)];
+    const int edge_end = std::min<int>(c.index, len);
+    const int common = net::common_prefix_bits(key, c.key);
+    const int d = common < edge_end ? common : edge_end;
+    if (d == edge_end && c.index <= len) {
+      cur = child;
+      continue;
+    }
+    if (d == edge_end) {
+      // len < c.index, keys agree on all len bits: split the edge with a
+      // prefix node on it.
+      const std::int32_t mid = alloc_node();
+      Node& mn = nodes_[static_cast<std::size_t>(mid)];
+      Node& cc = nodes_[static_cast<std::size_t>(child)];
+      mn.key = key;
+      mn.index = static_cast<std::uint8_t>(len);
+      mn.has_prefix = true;
+      mn.next_hop = next_hop;
+      mn.parent = cur;
+      mn.child[cc.key.bit(len)] = child;
+      cc.parent = mid;
+      nodes_[static_cast<std::size_t>(cur)].child[slot] = mid;
+      return;
+    }
+    // Divergence at bit d: branch node + new leaf.
+    const std::int32_t branch = alloc_node();
+    const std::int32_t leaf = alloc_node();
+    Node& bn = nodes_[static_cast<std::size_t>(branch)];
+    Node& ln = nodes_[static_cast<std::size_t>(leaf)];
+    Node& cc = nodes_[static_cast<std::size_t>(child)];
+    bn.key = net::Prefix6(key, d).address();
+    bn.index = static_cast<std::uint8_t>(d);
+    bn.parent = cur;
+    bn.child[cc.key.bit(d)] = child;
+    bn.child[key.bit(d)] = leaf;
+    cc.parent = branch;
+    ln.key = key;
+    ln.index = static_cast<std::uint8_t>(len);
+    ln.has_prefix = true;
+    ln.next_hop = next_hop;
+    ln.parent = branch;
+    nodes_[static_cast<std::size_t>(cur)].child[slot] = branch;
+    return;
+  }
+}
+
+void DpTrie6::maybe_splice(std::int32_t id) {
+  while (id > 0) {
+    Node& n = nodes_[static_cast<std::size_t>(id)];
+    if (n.has_prefix) return;
+    const int children = (n.child[0] >= 0 ? 1 : 0) + (n.child[1] >= 0 ? 1 : 0);
+    if (children >= 2) return;
+    const std::int32_t parent = n.parent;
+    Node& p = nodes_[static_cast<std::size_t>(parent)];
+    const int slot = p.child[0] == id ? 0 : 1;
+    if (children == 1) {
+      const std::int32_t child = n.child[0] >= 0 ? n.child[0] : n.child[1];
+      p.child[slot] = child;
+      nodes_[static_cast<std::size_t>(child)].parent = parent;
+      free_.push_back(id);
+      return;
+    }
+    p.child[slot] = -1;
+    free_.push_back(id);
+    id = parent;
+  }
+}
+
+bool DpTrie6::remove(const net::Prefix6& prefix) {
+  const int len = prefix.length();
+  const net::Ipv6Addr key = prefix.address();
+  std::int32_t cur = 0;
+  while (nodes_[static_cast<std::size_t>(cur)].index < len) {
+    const Node& n = nodes_[static_cast<std::size_t>(cur)];
+    const std::int32_t child = n.child[key.bit(n.index)];
+    if (child < 0) return false;
+    const Node& c = nodes_[static_cast<std::size_t>(child)];
+    if (c.index > len || !match_bits(key, c.key, c.index)) return false;
+    cur = child;
+  }
+  Node& n = nodes_[static_cast<std::size_t>(cur)];
+  if (n.index != len || !n.has_prefix || !match_bits(key, n.key, len)) {
+    return false;
+  }
+  n.has_prefix = false;
+  n.next_hop = net::kNoRoute;
+  maybe_splice(cur);
+  return true;
 }
 
 template <bool kCounted>

@@ -24,8 +24,13 @@ class DpTrie6 {
   net::NextHop lookup_counted(const net::Ipv6Addr& addr,
                               MemAccessCounter& counter) const;
 
-  std::size_t storage_bytes() const { return nodes_.size() * 37; }
-  std::size_t node_count() const { return nodes_.size(); }
+  // Incremental updates — same edge split/splice as DpTrie (see dp_trie.h),
+  // over 128-bit keys. The IPv6 router's live-update path relies on these.
+  void insert(const net::Prefix6& prefix, net::NextHop next_hop);
+  bool remove(const net::Prefix6& prefix);
+
+  std::size_t storage_bytes() const { return node_count() * 37; }
+  std::size_t node_count() const { return nodes_.size() - free_.size(); }
 
  private:
   struct Node {
@@ -34,6 +39,7 @@ class DpTrie6 {
     bool has_prefix = false;
     net::NextHop next_hop = net::kNoRoute;
     std::int32_t child[2] = {-1, -1};
+    std::int32_t parent = -1;
   };
 
   /// True iff the first `bits` bits of a and b agree.
@@ -43,7 +49,11 @@ class DpTrie6 {
   net::NextHop lookup_impl(const net::Ipv6Addr& addr,
                            MemAccessCounter* counter) const;
 
+  std::int32_t alloc_node();
+  void maybe_splice(std::int32_t id);
+
   std::vector<Node> nodes_;  // nodes_[0] is the root
+  std::vector<std::int32_t> free_;  // reclaimed slots
 };
 
 }  // namespace spal::trie

@@ -24,6 +24,15 @@ std::string_view to_string(TrieKind kind) {
   return "?";
 }
 
+std::optional<TrieKind> trie_kind_from_string(std::string_view name) {
+  for (const TrieKind kind :
+       {TrieKind::kBinary, TrieKind::kDp, TrieKind::kLulea, TrieKind::kLc,
+        TrieKind::kGupta, TrieKind::kStride}) {
+    if (name == to_string(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
 std::unique_ptr<LpmIndex> build_lpm(TrieKind kind, const net::RouteTable& table,
                                     const LpmBuildOptions& options) {
   switch (kind) {

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string_view>
 #include <vector>
 
@@ -37,7 +38,10 @@ class MemAccessCounter {
 /// registers/L1.
 inline constexpr std::size_t kLpmBatchLanes = 8;
 
-/// A built (immutable) longest-prefix-match index over a routing table.
+/// A built longest-prefix-match index over a routing table. Most structures
+/// are immutable after build; dynamic tries (binary, DP) additionally
+/// support in-place announce/withdraw via the incremental-update interface
+/// below, which the live route-update pipeline uses to avoid epoch rebuilds.
 class LpmIndex {
  public:
   virtual ~LpmIndex() = default;
@@ -65,12 +69,37 @@ class LpmIndex {
 
   /// Human-readable algorithm name ("binary", "dp", "lulea", "lc").
   virtual std::string_view name() const = 0;
+
+  // --- Incremental updates (dynamic tries only) ---------------------------
+  // Callers must check supports_incremental_update() first; immutable
+  // structures (Lulea, LC, Gupta, stride) keep the defaults and are updated
+  // by an epoch rebuild (build_lpm over the changed table) instead.
+
+  /// True iff insert()/remove() mutate the structure in place.
+  virtual bool supports_incremental_update() const { return false; }
+
+  /// Inserts or replaces `prefix` in place. No-op on immutable structures.
+  virtual void insert(const net::Prefix& prefix, net::NextHop next_hop) {
+    (void)prefix;
+    (void)next_hop;
+  }
+
+  /// Removes `prefix` exactly; true if it was present. Always false on
+  /// immutable structures.
+  virtual bool remove(const net::Prefix& prefix) {
+    (void)prefix;
+    return false;
+  }
 };
 
 /// Trie algorithm selector used by factories and experiment configs.
 enum class TrieKind { kBinary, kDp, kLulea, kLc, kGupta, kStride };
 
 std::string_view to_string(TrieKind kind);
+
+/// Parses a trie-kind name as printed by to_string(); nullopt on anything
+/// else (used by the bench CLIs' strict --trie flag).
+std::optional<TrieKind> trie_kind_from_string(std::string_view name);
 
 /// Options consumed by specific builders.
 struct LpmBuildOptions {

@@ -70,6 +70,30 @@ TEST(BinaryTrie, RemoveAbsentReturnsFalse) {
   EXPECT_FALSE(trie.remove(p("11.0.0.0/8")));
 }
 
+TEST(BinaryTrie, RemoveDefaultRoute) {
+  // The default route lives on the root node, which is never deleted;
+  // removing it must clear the hop without disturbing longer matches.
+  BinaryTrie trie;
+  trie.insert(p("0.0.0.0/0"), 7);
+  trie.insert(p("10.0.0.0/8"), 1);
+  EXPECT_TRUE(trie.remove(p("0.0.0.0/0")));
+  EXPECT_EQ(trie.lookup(Ipv4Addr{0x0B000000u}), kNoRoute);
+  EXPECT_EQ(trie.lookup(Ipv4Addr{0x0A000001u}), 1u);
+  EXPECT_FALSE(trie.remove(p("0.0.0.0/0")));
+  trie.insert(p("0.0.0.0/0"), 9);
+  EXPECT_EQ(trie.lookup(Ipv4Addr{0x0B000000u}), 9u);
+}
+
+TEST(BinaryTrie, RemoveLastPrefixLeavesEmptyTrie) {
+  BinaryTrie trie;
+  trie.insert(p("10.1.2.0/24"), 1);
+  EXPECT_TRUE(trie.remove(p("10.1.2.0/24")));
+  EXPECT_EQ(trie.lookup(Ipv4Addr{0x0A010200u}), kNoRoute);
+  // A second removal (and removal of an inner path node) must not succeed.
+  EXPECT_FALSE(trie.remove(p("10.1.2.0/24")));
+  EXPECT_FALSE(trie.remove(p("10.1.0.0/16")));
+}
+
 TEST(BinaryTrie, BuildFromTableMatchesLinearOracle) {
   net::TableGenConfig config;
   config.size = 3000;

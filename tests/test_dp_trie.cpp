@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "net/table_gen.h"
+#include "net/update_stream.h"
 
 namespace {
 
@@ -70,6 +73,79 @@ TEST(DpTrie, RootPrefixHandled) {
 
 TEST(DpTrie, NameIsDp) {
   EXPECT_EQ(DpTrie(RouteTable{}).name(), "dp");
+}
+
+TEST(DpTrie, SupportsIncrementalUpdate) {
+  EXPECT_TRUE(DpTrie(RouteTable{}).supports_incremental_update());
+}
+
+TEST(DpTrie, InsertThenLookup) {
+  DpTrie trie((RouteTable{}));
+  trie.insert(p("10.0.0.0/8"), 1);
+  trie.insert(p("10.1.0.0/16"), 2);
+  EXPECT_EQ(trie.lookup(Ipv4Addr{0x0A010001u}), 2u);
+  EXPECT_EQ(trie.lookup(Ipv4Addr{0x0A020001u}), 1u);
+  // Re-insertion replaces the hop in place.
+  trie.insert(p("10.1.0.0/16"), 5);
+  EXPECT_EQ(trie.lookup(Ipv4Addr{0x0A010001u}), 5u);
+}
+
+TEST(DpTrie, RemoveFallsBackToAncestor) {
+  RouteTable table;
+  table.add(p("10.0.0.0/8"), 1);
+  table.add(p("10.1.0.0/16"), 2);
+  DpTrie trie(table);
+  EXPECT_TRUE(trie.remove(p("10.1.0.0/16")));
+  EXPECT_EQ(trie.lookup(Ipv4Addr{0x0A010001u}), 1u);
+  EXPECT_FALSE(trie.remove(p("10.1.0.0/16")));
+  // Removing a prefix that only exists as an interior path fails too.
+  EXPECT_FALSE(trie.remove(p("10.0.0.0/12")));
+}
+
+TEST(DpTrie, SpliceReusesFreedNodes) {
+  // Insert/remove churn must recycle spliced nodes through the free list:
+  // the node count after a full cycle returns to the baseline, and the
+  // arena does not grow on the second cycle.
+  DpTrie trie((RouteTable{}));
+  const std::size_t baseline = trie.node_count();
+  for (int cycle = 0; cycle < 2; ++cycle) {
+    for (std::uint32_t i = 0; i < 64; ++i) {
+      trie.insert(Prefix(Ipv4Addr{i << 8}, 24), i + 1);
+    }
+    for (std::uint32_t i = 0; i < 64; ++i) {
+      EXPECT_TRUE(trie.remove(Prefix(Ipv4Addr{i << 8}, 24)));
+    }
+    EXPECT_EQ(trie.node_count(), baseline);
+  }
+  const std::size_t bytes_after = trie.storage_bytes();
+  EXPECT_EQ(bytes_after, baseline * 21);
+}
+
+TEST(DpTrie, IncrementalChurnMatchesRebuild) {
+  net::TableGenConfig config;
+  config.size = 2'000;
+  config.seed = 33;
+  net::RouteTable working = net::generate_table(config);
+  DpTrie trie(working);
+  net::UpdateStreamConfig stream_config;
+  stream_config.count = 3'000;
+  stream_config.seed = 34;
+  std::mt19937_64 rng(35);
+  for (const net::TableUpdate& update :
+       net::generate_update_stream(working, stream_config)) {
+    net::apply_update(working, update);
+    if (update.kind == net::UpdateKind::kWithdraw) {
+      ASSERT_TRUE(trie.remove(update.prefix));
+    } else {
+      trie.insert(update.prefix, update.next_hop);
+    }
+  }
+  const DpTrie rebuilt(working);
+  EXPECT_EQ(trie.node_count(), rebuilt.node_count());
+  for (int i = 0; i < 3'000; ++i) {
+    const Ipv4Addr addr{static_cast<std::uint32_t>(rng())};
+    ASSERT_EQ(trie.lookup(addr), rebuilt.lookup(addr)) << addr.to_string();
+  }
 }
 
 }  // namespace

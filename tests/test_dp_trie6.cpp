@@ -93,6 +93,43 @@ TEST(DpTrie6, FarFewerAccessesThanBinaryWalk) {
   EXPECT_LT(dp_counter.total() * 2, binary_counter.total());
 }
 
+TEST(DpTrie6, InsertThenLookup) {
+  DpTrie6 trie{RouteTable6{}};
+  trie.insert(p6(0x2001000000000000ULL, 0, 16), 1);
+  trie.insert(p6(0x20010DB800000000ULL, 0, 32), 2);
+  EXPECT_EQ(trie.lookup(Ipv6Addr{0x20010DB800000000ULL, 1}), 2u);
+  EXPECT_EQ(trie.lookup(Ipv6Addr{0x2001FF0000000000ULL, 1}), 1u);
+  trie.insert(p6(0x20010DB800000000ULL, 0, 32), 5);  // replace in place
+  EXPECT_EQ(trie.lookup(Ipv6Addr{0x20010DB800000000ULL, 1}), 5u);
+}
+
+TEST(DpTrie6, RemoveFallsBackToAncestor) {
+  RouteTable6 table;
+  table.add(p6(0x2001000000000000ULL, 0, 16), 1);
+  table.add(p6(0x20010DB800000000ULL, 0, 32), 2);
+  DpTrie6 trie(table);
+  EXPECT_TRUE(trie.remove(p6(0x20010DB800000000ULL, 0, 32)));
+  EXPECT_EQ(trie.lookup(Ipv6Addr{0x20010DB800000000ULL, 1}), 1u);
+  EXPECT_FALSE(trie.remove(p6(0x20010DB800000000ULL, 0, 32)));
+  // A prefix that only exists as an interior path is not removable.
+  EXPECT_FALSE(trie.remove(p6(0x2001000000000000ULL, 0, 24)));
+}
+
+TEST(DpTrie6, SpliceReusesFreedNodes) {
+  DpTrie6 trie{RouteTable6{}};
+  const std::size_t baseline = trie.node_count();
+  for (int cycle = 0; cycle < 2; ++cycle) {
+    for (std::uint64_t i = 0; i < 64; ++i) {
+      trie.insert(p6(0x2001000000000000ULL | (i << 16), 0, 48), i + 1);
+    }
+    for (std::uint64_t i = 0; i < 64; ++i) {
+      EXPECT_TRUE(trie.remove(p6(0x2001000000000000ULL | (i << 16), 0, 48)));
+    }
+    EXPECT_EQ(trie.node_count(), baseline);
+  }
+  EXPECT_EQ(trie.storage_bytes(), baseline * 37);
+}
+
 TEST(DpTrie6, CountedMatchesPlain) {
   RouteTable6 table;
   table.add(p6(0x20010DB800000000ULL, 0, 32), 1);

@@ -413,4 +413,84 @@ TEST(LrCache, GammaZeroKeepsNoRemoteUnderPressure) {
   EXPECT_EQ(cache.count_origin(Origin::kRemote), 0u);
 }
 
+// --- Selective invalidation (live route updates) -------------------------
+
+TEST(LrCache, InvalidateMatchingDropsOnlyCoveredBlocks) {
+  LrCache cache(small_config());
+  const Ipv4Addr covered = addr_in_set(0, 1);    // 4 -> inside 0.0.0.0/24
+  const Ipv4Addr outside{0x0A000000u + 0};       // same set, other /24
+  cache.insert(covered, 1, Origin::kLocal, 0);
+  cache.insert(outside, 2, Origin::kRemote, 1);
+  const auto prefix = *net::Prefix::parse("0.0.0.0/24");
+  EXPECT_EQ(cache.invalidate_matching(prefix), 1u);
+  EXPECT_EQ(cache.stats().invalidated_blocks, 1u);
+  EXPECT_EQ(cache.probe(covered, 2).state, ProbeState::kMiss);
+  EXPECT_EQ(cache.probe(outside, 3).state, ProbeState::kHit);
+}
+
+TEST(LrCache, InvalidateMatchingReleasesQuota) {
+  // γ = 0.5 on 4 ways -> 2 REM ways per set. Fill the quota, invalidate the
+  // covering prefix, and the freed ways must accept new REM blocks without
+  // evicting anyone (the eviction counter stays put).
+  LrCache cache(small_config());
+  cache.insert(addr_in_set(0, 1), 1, Origin::kRemote, 0);
+  cache.insert(addr_in_set(0, 2), 2, Origin::kRemote, 1);
+  EXPECT_EQ(cache.count_origin(Origin::kRemote), 2u);
+  EXPECT_EQ(cache.invalidate_matching(*net::Prefix::parse("0.0.0.0/24")), 2u);
+  EXPECT_EQ(cache.count_origin(Origin::kRemote), 0u);
+  const std::uint64_t evictions = cache.stats().evictions;
+  EXPECT_TRUE(cache.reserve(addr_in_set(0, 3), Origin::kRemote, 2));
+  EXPECT_TRUE(cache.fill(addr_in_set(0, 3), 3, 3));
+  EXPECT_TRUE(cache.reserve(addr_in_set(0, 4), Origin::kRemote, 4));
+  EXPECT_EQ(cache.stats().evictions, evictions);
+  EXPECT_EQ(cache.stats().failed_reservations, 0u);
+}
+
+TEST(LrCache, InvalidateMatchingLeavesWaitingBlocksForTheirFill) {
+  // W=1 blocks must survive selective invalidation: their in-flight reply
+  // either carries post-update data or is dropped by a later invalidation,
+  // and destroying the block here would orphan the fill and leak the
+  // waiting packet list.
+  LrCache cache(small_config());
+  const Ipv4Addr addr = addr_in_set(0, 1);
+  EXPECT_TRUE(cache.reserve(addr, Origin::kRemote, 0));
+  EXPECT_EQ(cache.invalidate_matching(*net::Prefix::parse("0.0.0.0/24")), 0u);
+  EXPECT_EQ(cache.probe(addr, 1).state, ProbeState::kWaiting);
+  EXPECT_TRUE(cache.fill(addr, 7, 2));
+  EXPECT_EQ(cache.stats().orphan_fills, 0u);
+  EXPECT_EQ(cache.stats().fills, 1u);
+  EXPECT_EQ(cache.probe(addr, 3).next_hop, 7u);
+}
+
+TEST(LrCache, InvalidateMatchingCoversVictimCache) {
+  LrCacheConfig config = small_config();
+  config.victim_blocks = 4;
+  config.remote_fraction = 0.0;  // all 4 ways LOC: easy to force demotion
+  LrCache cache(config);
+  for (std::uint32_t tag = 1; tag <= 5; ++tag) {
+    cache.insert(addr_in_set(0, tag), tag, Origin::kLocal, tag);
+  }
+  ASSERT_GT(cache.stats().evictions, 0u);  // someone was demoted to victim
+  const std::size_t dropped =
+      cache.invalidate_matching(*net::Prefix::parse("0.0.0.0/24"));
+  EXPECT_EQ(dropped, 5u);  // all five live results, set and victim alike
+  for (std::uint32_t tag = 1; tag <= 5; ++tag) {
+    EXPECT_EQ(cache.probe(addr_in_set(0, tag), 10 + tag).state,
+              ProbeState::kMiss);
+  }
+}
+
+TEST(LrCache, FlushTurnsInFlightFillsIntoOrphans) {
+  // The paper's flush-everything policy destroys waiting blocks; the fill
+  // arriving afterwards must be counted as an orphan, not crash or
+  // resurrect the block.
+  LrCache cache(small_config());
+  const Ipv4Addr addr = addr_in_set(0, 1);
+  EXPECT_TRUE(cache.reserve(addr, Origin::kRemote, 0));
+  cache.flush();
+  EXPECT_FALSE(cache.fill(addr, 7, 1));
+  EXPECT_EQ(cache.stats().orphan_fills, 1u);
+  EXPECT_EQ(cache.probe(addr, 2).state, ProbeState::kMiss);
+}
+
 }  // namespace

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+
 #include "net/table_gen.h"
 #include "trie/binary_trie.h"
 
@@ -132,6 +135,135 @@ TEST(UpdateStream, EmptyInitialTableStillGeneratesAnnounces) {
       net::generate_update_stream(RouteTable{}, UpdateStreamConfig{100, 13});
   EXPECT_EQ(updates.size(), 100u);
   EXPECT_EQ(updates.front().kind, UpdateKind::kAnnounce);
+}
+
+TEST(UpdateStream, KindMixTracksCustomFractions) {
+  const RouteTable table = base_table();
+  UpdateStreamConfig config;
+  config.count = 10'000;
+  config.seed = 23;
+  config.announce_fraction = 0.2;
+  config.withdraw_fraction = 0.5;
+  std::size_t announces = 0, withdraws = 0, changes = 0;
+  for (const TableUpdate& update : net::generate_update_stream(table, config)) {
+    switch (update.kind) {
+      case UpdateKind::kAnnounce: ++announces; break;
+      case UpdateKind::kWithdraw: ++withdraws; break;
+      case UpdateKind::kHopChange: ++changes; break;
+    }
+  }
+  const double n = static_cast<double>(config.count);
+  EXPECT_NEAR(static_cast<double>(announces) / n, 0.2, 0.02);
+  EXPECT_NEAR(static_cast<double>(withdraws) / n, 0.5, 0.02);
+  EXPECT_NEAR(static_cast<double>(changes) / n, 0.3, 0.02);
+}
+
+TEST(UpdateStream, AnnouncedLengthsFollowTableModel) {
+  // Announcement lengths reuse the table generator's weights (floored at
+  // /8), so the table keeps its BGP shape as it churns: /24 stays the
+  // dominant length and nothing shorter than /8 appears.
+  const RouteTable table = base_table();
+  UpdateStreamConfig config;
+  config.count = 10'000;
+  config.seed = 29;
+  config.announce_fraction = 1.0;
+  config.withdraw_fraction = 0.0;
+  std::array<std::size_t, net::Prefix::kMaxLength + 1> histogram{};
+  for (const TableUpdate& update : net::generate_update_stream(table, config)) {
+    ASSERT_EQ(update.kind, UpdateKind::kAnnounce);
+    ASSERT_GE(update.prefix.length(), 8);
+    ASSERT_LE(update.prefix.length(), net::Prefix::kMaxLength);
+    ++histogram[static_cast<std::size_t>(update.prefix.length())];
+  }
+  const std::size_t modal = static_cast<std::size_t>(
+      std::max_element(histogram.begin(), histogram.end()) -
+      histogram.begin());
+  EXPECT_EQ(modal, 24u);
+  EXPECT_GT(std::count_if(histogram.begin(), histogram.end(),
+                          [](std::size_t c) { return c > 0; }),
+            5);
+}
+
+// --- IPv6 stream ---------------------------------------------------------
+
+net::RouteTable6 base_table6() {
+  net::TableGen6Config config;
+  config.size = 3'000;
+  config.seed = 709;
+  return net::generate_table6(config);
+}
+
+TEST(UpdateStream6, DeterministicPerSeed) {
+  const net::RouteTable6 table = base_table6();
+  UpdateStreamConfig config;
+  config.count = 500;
+  config.seed = 3;
+  EXPECT_EQ(net::generate_update_stream6(table, config),
+            net::generate_update_stream6(table, config));
+  config.seed = 4;
+  EXPECT_NE(net::generate_update_stream6(table, UpdateStreamConfig{500, 3}),
+            net::generate_update_stream6(table, config));
+}
+
+TEST(UpdateStream6, EveryUpdateAppliesCleanly) {
+  net::RouteTable6 table = base_table6();
+  UpdateStreamConfig config;
+  config.count = 2'000;
+  for (const net::TableUpdate6& update :
+       net::generate_update_stream6(base_table6(), config)) {
+    EXPECT_TRUE(net::apply_update(table, update));
+  }
+}
+
+TEST(UpdateStream6, WithdrawalsNameLivePrefixesOnly) {
+  net::RouteTable6 table = base_table6();
+  UpdateStreamConfig config;
+  config.count = 2'000;
+  config.seed = 31;
+  for (const net::TableUpdate6& update :
+       net::generate_update_stream6(base_table6(), config)) {
+    if (update.kind == UpdateKind::kWithdraw) {
+      EXPECT_TRUE(table.find(update.prefix).has_value());
+    }
+    net::apply_update(table, update);
+  }
+}
+
+TEST(UpdateStream6, AnnouncementsAreNewGlobalUnicastPrefixes) {
+  net::RouteTable6 table = base_table6();
+  UpdateStreamConfig config;
+  config.count = 2'000;
+  config.seed = 37;
+  for (const net::TableUpdate6& update :
+       net::generate_update_stream6(base_table6(), config)) {
+    if (update.kind == UpdateKind::kAnnounce) {
+      EXPECT_FALSE(table.find(update.prefix).has_value());
+      // Inside 2000::/3, at least /16, per the v6 table generator's model.
+      EXPECT_EQ(update.prefix.address().hi() >> 61, 1u);
+      EXPECT_GE(update.prefix.length(), 16);
+      EXPECT_LE(update.prefix.length(), net::Prefix6::kMaxLength);
+    }
+    net::apply_update(table, update);
+  }
+}
+
+TEST(UpdateStream6, AnnouncedLengthsFollow48DominantModel) {
+  UpdateStreamConfig config;
+  config.count = 10'000;
+  config.seed = 41;
+  config.announce_fraction = 1.0;
+  config.withdraw_fraction = 0.0;
+  std::array<std::size_t, net::Prefix6::kMaxLength + 1> histogram{};
+  for (const net::TableUpdate6& update :
+       net::generate_update_stream6(base_table6(), config)) {
+    ASSERT_EQ(update.kind, UpdateKind::kAnnounce);
+    ++histogram[static_cast<std::size_t>(update.prefix.length())];
+  }
+  const std::size_t modal = static_cast<std::size_t>(
+      std::max_element(histogram.begin(), histogram.end()) -
+      histogram.begin());
+  EXPECT_EQ(modal, 48u);
+  EXPECT_GT(histogram[32], histogram[40]);  // the RIR-allocation spike
 }
 
 }  // namespace

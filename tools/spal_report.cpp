@@ -345,8 +345,54 @@ void check_result(CheckContext& ctx, const JsonValue& result) {
   const double remote_replies = require(ctx, result, {"remote_replies"});
   const double messages = require(ctx, result, {"fabric", "messages"});
   const double dropped = require(ctx, result, {"fabric", "dropped"});
-  expect_eq(ctx, "fabric.messages+dropped vs remote_requests+remote_replies",
-            messages + dropped, remote_requests + remote_replies);
+  const double update_messages = require(ctx, result, {"update", "update_messages"});
+  const double invalidation_messages =
+      require(ctx, result, {"update", "invalidation_messages"});
+  expect_eq(ctx,
+            "fabric.messages+dropped vs "
+            "remote_requests+remote_replies+update_messages+invalidation_messages",
+            messages + dropped,
+            remote_requests + remote_replies + update_messages +
+                invalidation_messages);
+
+  // Live route-update ledger. All zero with the pipeline off, so these
+  // hold for every router point.
+  const double u_applied = require(ctx, result, {"update", "applied"});
+  const double u_announces = require(ctx, result, {"update", "announces"});
+  const double u_withdraws = require(ctx, result, {"update", "withdraws"});
+  const double u_hop_changes = require(ctx, result, {"update", "hop_changes"});
+  const double u_applications = require(ctx, result, {"update", "applications"});
+  const double u_incremental = require(ctx, result, {"update", "fe_incremental"});
+  const double u_rebuilds = require(ctx, result, {"update", "fe_rebuilds"});
+  const double u_invalidated =
+      require(ctx, result, {"update", "blocks_invalidated"});
+  expect_eq(ctx, "update.applied vs announces+withdraws+hop_changes", u_applied,
+            u_announces + u_withdraws + u_hop_changes);
+  expect_eq(ctx, "update.applications vs fe_incremental+fe_rebuilds",
+            u_applications, u_incremental + u_rebuilds);
+  // A prefix with star control bits replicates into several fragments, so
+  // each update applies at one or more home LCs.
+  expect_le(ctx, "update.applied vs update.applications", u_applied,
+            u_applications);
+  expect_eq(ctx, "update.update_messages vs update.applications",
+            update_messages, u_applications);
+  // Every application invalidates on the other ψ−1 LCs (when caches exist).
+  const double psi = static_cast<double>(
+      result.find("per_lc") != nullptr ? result.find("per_lc")->array.size() : 0);
+  if (probes > 0 && psi > 0) {
+    expect_eq(ctx, "update.invalidation_messages vs applications*(psi-1)",
+              invalidation_messages, u_applications * (psi - 1));
+  } else {
+    expect_eq(ctx, "update.invalidation_messages (no caches)",
+              invalidation_messages, 0.0);
+  }
+  // Both the legacy flush path and the live pipeline drop blocks through
+  // invalidate_matching, whose counter is invalidated_blocks.
+  expect_le(ctx, "update.blocks_invalidated vs blocks_invalidated",
+            u_invalidated, require(ctx, result, {"blocks_invalidated"}));
+  expect_eq(ctx, "blocks_invalidated vs cache_total.invalidated_blocks",
+            require(ctx, result, {"blocks_invalidated"}),
+            require(ctx, result, {"cache_total", "invalidated_blocks"}));
   if (const JsonValue* ports = result.find("fabric")
                                    ? result.find("fabric")->find("ports")
                                    : nullptr) {
@@ -446,7 +492,7 @@ void check_result(CheckContext& ctx, const JsonValue& result) {
       "misses",       "reservations",   "failed_reservations",
       "quota_bypasses", "failed_promotions", "fills",
       "orphan_fills", "cancelled_reservations", "evictions",
-      "flushes"};
+      "flushes",      "invalidated_blocks"};
   for (const char* counter : kCacheCounters) {
     char what[96];
     std::snprintf(what, sizeof what, "sum(per_lc.cache.%s) vs cache_total.%s",
