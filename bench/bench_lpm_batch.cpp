@@ -5,8 +5,11 @@
 // divergence is a hard failure (exit 1), so the CI smoke run doubles as a
 // batch/scalar equivalence check.
 //
-// With --batch=N only that width is swept; by default widths 1-64 are. With
-// --json[=path] a machine-readable report is emitted ("lpm_batch" schema in
+// With --batch=N only that width is swept; by default widths 1-64 are. Each
+// width runs once per SIMD dispatch level the CPU supports (generic up to
+// the detected level; pin one with --simd=LEVEL), and every CSV row / JSON
+// point carries its level in the `simd` column/field. With --json[=path] a
+// machine-readable report is emitted ("lpm_batch" schema in
 // DESIGN.md); `spal_report --check` validates it and `spal_report base new`
 // flags ns/lookup regressions. The checked-in BENCH_lpm.json is this
 // bench's Release-build baseline (see EXPERIMENTS.md).
@@ -17,6 +20,7 @@
 #include "bench_util.h"
 #include "net/table_gen.h"
 #include "trie/lpm.h"
+#include "trie/simd_dispatch.h"
 
 using namespace spal;
 
@@ -69,8 +73,21 @@ int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   bench::print_header(
       "LPM batch pipeline: ns/lookup, scalar vs interleaved prefetch",
-      "trie,table_size,batch,ns_per_lookup,mlookups_per_s,speedup_vs_scalar,"
-      "match");
+      "trie,table_size,batch,simd,ns_per_lookup,mlookups_per_s,"
+      "speedup_vs_scalar,match");
+
+  // Dispatch levels to sweep: generic up to the resolved level — all the
+  // CPU supports by default, capped by SPAL_SIMD (so a generic CI leg emits
+  // only generic points). --simd pins a single level instead
+  // (--simd=auto pins the detected one).
+  std::vector<trie::SimdLevel> levels;
+  if (args.simd_set) {
+    levels.push_back(trie::resolved_simd_level());
+  } else {
+    for (int l = 0; l <= static_cast<int>(trie::resolved_simd_level()); ++l) {
+      levels.push_back(static_cast<trie::SimdLevel>(l));
+    }
+  }
 
   std::vector<std::string> entries;
   std::size_t mismatches = 0;
@@ -85,7 +102,8 @@ int main(int argc, char** argv) {
 
     for (const trie::TrieKind kind : kKinds) {
       const auto index = trie::build_lpm(kind, table);
-      // Scalar reference: result vector + fastest-pass timing.
+      // Scalar reference: result vector + fastest-pass timing. lookup() is
+      // dispatch-independent, so one baseline serves every level.
       for (std::size_t i = 0; i < n; ++i) scalar_out[i] = index->lookup(keys[i]);
       const double scalar_ns =
           time_pass([&] {
@@ -101,41 +119,48 @@ int main(int argc, char** argv) {
         widths.assign(1, std::size_t{1});
         if (args.batch > 1) widths.push_back(args.batch);
       }
-      for (const std::size_t width : widths) {
-        const double ns =
-            width == 1 ? scalar_ns
-                       : time_pass([&] {
-                           for (std::size_t i = 0; i < n; i += width) {
-                             index->lookup_batch(keys.data() + i,
-                                                 std::min(width, n - i),
-                                                 batch_out.data() + i);
-                           }
-                         }) / static_cast<double>(n);
-        bool match = true;
-        if (width > 1) {
-          for (std::size_t i = 0; i < n; ++i) {
-            if (batch_out[i] != scalar_out[i]) {
-              match = false;
-              ++mismatches;
+      for (const trie::SimdLevel level : levels) {
+        trie::set_simd_mode(static_cast<trie::SimdMode>(level));
+        const std::string simd(trie::to_string(level));
+        for (const std::size_t width : widths) {
+          const double ns =
+              width == 1 ? scalar_ns
+                         : time_pass([&] {
+                             for (std::size_t i = 0; i < n; i += width) {
+                               index->lookup_batch(keys.data() + i,
+                                                   std::min(width, n - i),
+                                                   batch_out.data() + i);
+                             }
+                           }) / static_cast<double>(n);
+          bool match = true;
+          if (width > 1) {
+            for (std::size_t i = 0; i < n; ++i) {
+              if (batch_out[i] != scalar_out[i]) {
+                match = false;
+                ++mismatches;
+              }
             }
           }
-        }
-        const double speedup = ns > 0.0 ? scalar_ns / ns : 0.0;
-        std::printf("%s,%zu,%zu,%.2f,%.2f,%.2f,%d\n",
-                    std::string(trie::to_string(kind)).c_str(), spec.size,
-                    width, ns, 1e3 / ns, speedup, match ? 1 : 0);
-        if (args.json) {
-          entries.push_back(bench::rowf(
-              "{\"label\":\"trie=%s,size=%zu,batch=%zu\",\"result\":{"
-              "\"kind\":\"lpm_batch\",\"trie\":\"%s\",\"table_size\":%zu,"
-              "\"batch\":%zu,\"lookups\":%zu,\"ns_per_lookup\":%.3f,"
-              "\"lookups_per_second\":%.0f,\"scalar_ns_per_lookup\":%.3f,"
-              "\"speedup_vs_scalar\":%.4f,\"storage_bytes\":%zu,"
-              "\"match\":%s}}",
-              std::string(trie::to_string(kind)).c_str(), spec.size, width,
-              std::string(trie::to_string(kind)).c_str(), spec.size, width, n,
-              ns, 1e9 / ns, scalar_ns, speedup, index->storage_bytes(),
-              match ? "true" : "false"));
+          const double speedup = ns > 0.0 ? scalar_ns / ns : 0.0;
+          std::printf("%s,%zu,%zu,%s,%.2f,%.2f,%.2f,%d\n",
+                      std::string(trie::to_string(kind)).c_str(), spec.size,
+                      width, simd.c_str(), ns, 1e3 / ns, speedup, match ? 1 : 0);
+          if (args.json) {
+            entries.push_back(bench::rowf(
+                "{\"label\":\"trie=%s,size=%zu,batch=%zu,simd=%s\","
+                "\"result\":{"
+                "\"kind\":\"lpm_batch\",\"trie\":\"%s\",\"table_size\":%zu,"
+                "\"batch\":%zu,\"simd\":\"%s\",\"lookups\":%zu,"
+                "\"ns_per_lookup\":%.3f,"
+                "\"lookups_per_second\":%.0f,\"scalar_ns_per_lookup\":%.3f,"
+                "\"speedup_vs_scalar\":%.4f,\"storage_bytes\":%zu,"
+                "\"match\":%s}}",
+                std::string(trie::to_string(kind)).c_str(), spec.size, width,
+                simd.c_str(), std::string(trie::to_string(kind)).c_str(),
+                spec.size, width, simd.c_str(), n, ns, 1e9 / ns, scalar_ns,
+                speedup,
+                index->storage_bytes(), match ? "true" : "false"));
+          }
         }
       }
     }

@@ -84,9 +84,11 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "host FE batch/scalar next-hop divergence\n");
       return 1;
     }
-    std::printf("# host FE (LC 0, %s): scalar %.1f ns/lookup, batch(width=%zu) "
-                "%.1f ns/lookup, %.2fx\n",
+    std::printf("# host FE (LC 0, %s, simd=%s): scalar %.1f ns/lookup, "
+                "batch(width=%zu) %.1f ns/lookup, %.2fx\n",
                 std::string(trie::to_string(router.config().trie)).c_str(),
+                std::string(trie::to_string(trie::resolved_simd_level()))
+                    .c_str(),
                 scalar_ns, width, batch_ns,
                 batch_ns > 0.0 ? scalar_ns / batch_ns : 0.0);
   }

@@ -24,6 +24,7 @@
 
 #include "core/spal.h"
 #include "sim/sweep.h"
+#include "trie/simd_dispatch.h"
 
 namespace spal::bench {
 
@@ -61,6 +62,13 @@ struct BenchArgs {
   trie::TrieKind trie = trie::TrieKind::kLulea;
   bool trie_set = false;
   bool verify = false;
+  /// --simd=generic|sse42|avx2|auto pins the batch-lookup dispatch level
+  /// for the whole process (applied immediately via trie::set_simd_mode, so
+  /// it also overrides a SPAL_SIMD env setting). Unknown levels exit 2.
+  /// Requests above the CPU's capability clamp to the detected level with a
+  /// warning, exactly like the env variable.
+  trie::SimdMode simd = trie::SimdMode::kAuto;
+  bool simd_set = false;
 
   /// Parses the shared bench flags. Malformed values (--packets=0 or
   /// --batch=0, negative or non-numeric counts) and unknown flags are
@@ -109,6 +117,18 @@ struct BenchArgs {
         }
         args.trie = *kind;
         args.trie_set = true;
+      } else if (std::strncmp(arg, "--simd=", 7) == 0) {
+        const auto mode = trie::simd_mode_from_string(arg + 7);
+        if (!mode.has_value()) {
+          std::fprintf(stderr,
+                       "--simd expects generic, sse42, avx2, or auto, got "
+                       "'%s'\n",
+                       arg + 7);
+          usage_error(nullptr);
+        }
+        args.simd = *mode;
+        args.simd_set = true;
+        trie::set_simd_mode(*mode);
       } else if (std::strcmp(arg, "--verify") == 0) {
         args.verify = true;
       } else if (std::strcmp(arg, "--engine=heap") == 0) {
@@ -136,7 +156,8 @@ struct BenchArgs {
                  "usage: [--full] [--packets=N] [--batch=N] "
                  "[--drop-rate=F] [--outage=N] [--max-retries=N] "
                  "[--update-rate=N] [--update-seed=N] [--trie=KIND] "
-                 "[--verify] [--engine=heap|calendar] [--json[=path]]\n");
+                 "[--simd=generic|sse42|avx2|auto] [--verify] "
+                 "[--engine=heap|calendar] [--json[=path]]\n");
     std::exit(2);
   }
 

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <string>
 
+#include "trie/simd_dispatch.h"
+
 namespace spal::core {
 
 RouterConfig spal_default_config(int num_lcs) {
@@ -99,6 +101,11 @@ std::string RouterResult::to_json() const {
   std::string out;
   out.reserve(4096);
   out += '{';
+  // Batch-lookup dispatch level the host FE ran at (trie/simd_dispatch.h) —
+  // recorded so perf reports are only compared like-for-like.
+  out += "\"simd\":\"";
+  out += trie::to_string(trie::resolved_simd_level());
+  out += "\",";
   append_u64(out, "resolved_packets", resolved_packets);
   append_u64(out, "verify_mismatches", verify_mismatches);
   append_u64(out, "makespan_cycles", makespan_cycles);

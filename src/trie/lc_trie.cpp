@@ -4,6 +4,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "trie/simd_dispatch.h"
+
 namespace spal::trie {
 namespace {
 
@@ -191,6 +193,19 @@ net::NextHop LcTrie::lookup(net::Ipv4Addr addr) const {
 
 void LcTrie::lookup_batch(const net::Ipv4Addr* keys, std::size_t n,
                           net::NextHop* out) const {
+  if (nodes_.empty() || n < kMinWaveWidth) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = lookup(keys[i]);
+    return;
+  }
+  if (resolved_simd_level() == SimdLevel::kAvx2) {
+    lookup_batch_avx2(keys, n, out);
+    return;
+  }
+  lookup_batch_generic(keys, n, out);
+}
+
+void LcTrie::lookup_batch_generic(const net::Ipv4Addr* keys, std::size_t n,
+                                  net::NextHop* out) const {
   // Stage-synchronous pipeline (see LuleaTrie::lookup_batch for the model):
   // groups of G keys walk the trie in lockstep waves — every wave performs
   // one node read per still-walking lane, so the reads of a wave are
@@ -198,10 +213,6 @@ void LcTrie::lookup_batch(const net::Ipv4Addr* keys, std::size_t n,
   // wave will read. Per-lane control flow is branch-free: the leaf/child
   // decision, the base-entry comparison and the covering-prefix chain all
   // compact their lane lists with arithmetic instead of predicted branches.
-  if (nodes_.empty()) {
-    for (std::size_t i = 0; i < n; ++i) out[i] = lookup(keys[i]);
-    return;
-  }
   constexpr std::size_t G = 2 * kLpmBatchLanes;
   // Branch-free masked extract of `count` bits at MSB-relative `pos`:
   // count == 0 yields 0 via the zero mask (the shift amount is clamped, so

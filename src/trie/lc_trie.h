@@ -86,6 +86,20 @@ class LcTrie final : public LpmIndex {
   void build(std::size_t first, std::size_t n, int prefix_pos, std::size_t node_index);
   int compute_branch(std::size_t first, std::size_t n, int pos, int* skip_out) const;
 
+  /// Below this many keys lookup_batch uses the plain scalar loop (pipeline
+  /// setup cost exceeds the overlap win; see BENCH_lpm.json small batches).
+  static constexpr std::size_t kMinWaveWidth = 8;
+
+  // Dispatch-level kernels (trie/simd_dispatch.h). There is no SSE4.2 tier:
+  // the LC walk has no rank computation for POPCNT to accelerate, so the
+  // sse42 level runs the generic pipeline. The AVX2 kernel (lc_trie_simd.cpp;
+  // generic-calling stub off x86) runs the node walk and base comparison as
+  // 8-lane gather waves.
+  void lookup_batch_generic(const net::Ipv4Addr* keys, std::size_t n,
+                            net::NextHop* out) const;
+  void lookup_batch_avx2(const net::Ipv4Addr* keys, std::size_t n,
+                         net::NextHop* out) const;
+
   template <bool kCounted>
   net::NextHop lookup_impl(net::Ipv4Addr addr, MemAccessCounter* counter) const;
 

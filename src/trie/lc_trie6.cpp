@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "trie/simd_dispatch.h"
+
 namespace spal::trie {
 namespace {
 
@@ -183,14 +185,23 @@ net::NextHop LcTrie6::lookup(const net::Ipv6Addr& addr) const {
 
 void LcTrie6::lookup_batch(const net::Ipv6Addr* keys, std::size_t n,
                            net::NextHop* out) const {
+  if (nodes_.empty() || n < kMinWaveWidth) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = lookup(keys[i]);
+    return;
+  }
+  if (resolved_simd_level() == SimdLevel::kAvx2) {
+    lookup_batch_avx2(keys, n, out);
+    return;
+  }
+  lookup_batch_generic(keys, n, out);
+}
+
+void LcTrie6::lookup_batch_generic(const net::Ipv6Addr* keys, std::size_t n,
+                                   net::NextHop* out) const {
   // Same stage-synchronous wave pipeline as LcTrie::lookup_batch, over
   // 128-bit keys (see lc_trie.cpp for the stage narrative): lockstep
   // node-walk waves with branch-free lane-list compaction, then the base
   // comparison and covering-prefix chain waves.
-  if (nodes_.empty()) {
-    for (std::size_t i = 0; i < n; ++i) out[i] = lookup(keys[i]);
-    return;
-  }
   constexpr std::size_t G = 2 * kLpmBatchLanes;
   std::size_t i = 0;
   while (i < n) {

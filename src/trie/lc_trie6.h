@@ -57,6 +57,20 @@ class LcTrie6 {
     std::int32_t pre = -1;
   };
 
+  /// Below this many keys lookup_batch uses the plain scalar loop (pipeline
+  /// setup cost exceeds the overlap win, as for the IPv4 tries).
+  static constexpr std::size_t kMinWaveWidth = 8;
+
+  // Dispatch-level kernels (trie/simd_dispatch.h). As for LcTrie there is
+  // no SSE4.2 tier (no rank computation to accelerate); the AVX2 kernel
+  // (lc_trie6_simd.cpp; generic-calling stub off x86) walks four 128-bit
+  // keys per vector with 64-bit-lane gathers and a branchless straddling
+  // bit-field extraction.
+  void lookup_batch_generic(const net::Ipv6Addr* keys, std::size_t n,
+                            net::NextHop* out) const;
+  void lookup_batch_avx2(const net::Ipv6Addr* keys, std::size_t n,
+                         net::NextHop* out) const;
+
   void build(std::size_t first, std::size_t n, int pos, std::size_t node_index);
   int compute_branch(std::size_t first, std::size_t n, int pos, int* skip_out) const;
 

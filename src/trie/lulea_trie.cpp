@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "trie/simd_dispatch.h"
+
 namespace spal::trie {
 namespace lulea_detail {
 
@@ -265,6 +267,44 @@ inline std::uint32_t sparse_head_index(std::uint64_t block,
 
 void LuleaTrie::lookup_batch(const net::Ipv4Addr* keys, std::size_t n,
                              net::NextHop* out) const {
+  const SimdLevel level = resolved_simd_level();
+  if (n < kMinWaveWidth) {
+    // Pipeline setup costs more than the overlap wins below one wave, but
+    // two cheaper levers still apply: prefetch the trailing keys' level-1
+    // lines so their first dependent read overlaps the leading lookups, and
+    // use the popcnt-rank scalars (no nibble-row read) at the SIMD levels.
+    for (std::size_t i = 1; i < n; ++i) {
+      const std::uint32_t m = keys[i].value() >> 20;  // (addr >> 16) / 16
+      prefetch(codewords_.data() + level1_.cw_base + m);
+      prefetch(bases_.data() + (level1_.cw_base >> 2) + (m >> 2));
+    }
+    switch (level) {
+      case SimdLevel::kAvx2:
+        for (std::size_t i = 0; i < n; ++i) {
+          out[i] = lookup_scalar_bmi2(keys[i]);
+        }
+        return;
+      case SimdLevel::kSse42:
+        for (std::size_t i = 0; i < n; ++i) {
+          out[i] = lookup_scalar_popcnt(keys[i]);
+        }
+        return;
+      case SimdLevel::kGeneric:
+        for (std::size_t i = 0; i < n; ++i) out[i] = lookup(keys[i]);
+        return;
+    }
+    return;
+  }
+  switch (level) {
+    case SimdLevel::kAvx2: lookup_batch_avx2(keys, n, out); return;
+    case SimdLevel::kSse42: lookup_batch_sse42(keys, n, out); return;
+    case SimdLevel::kGeneric: break;
+  }
+  lookup_batch_generic(keys, n, out);
+}
+
+void LuleaTrie::lookup_batch_generic(const net::Ipv4Addr* keys, std::size_t n,
+                                     net::NextHop* out) const {
   // Stage-synchronous pipeline over groups of kLpmBatchLanes keys: each
   // stage runs the *same* dependent access for every in-flight lane before
   // any lane advances, so the loads of one stage are independent of each

@@ -59,7 +59,14 @@ class MapTable {
   /// Prefetch targets for the batched pipeline (the row and its mask are
   /// the two lines a rank read can miss on).
   const std::uint64_t* row_addr(std::uint16_t row) const { return &rows_[row]; }
-  const std::uint16_t* mask_addr(std::uint16_t row) const { return &masks_[row]; }
+  const std::uint32_t* mask_addr(std::uint16_t row) const { return &masks_[row]; }
+
+  /// Raw arena views for the SIMD kernels: the SSE4.2/AVX2 tiers replace the
+  /// nibble-row read with popcnt(mask & below-mask), so they index masks_
+  /// directly. Masks are stored zero-extended to 32 bits so a 4-byte vector
+  /// gather of row i never reads past the array.
+  const std::uint64_t* rows_data() const { return rows_.data(); }
+  const std::uint32_t* masks_data() const { return masks_.data(); }
 
   std::size_t row_count() const { return rows_.size(); }
 
@@ -68,7 +75,7 @@ class MapTable {
 
  private:
   std::vector<std::uint64_t> rows_;  // 16 nibbles per row, nibble i = rank<(i)
-  std::vector<std::uint16_t> masks_;
+  std::vector<std::uint32_t> masks_;  // 16-bit bitmask of row i, zero-extended
   std::unordered_map<std::uint16_t, std::uint16_t> index_;
 };
 
@@ -134,6 +141,34 @@ class LuleaTrie final : public LpmIndex {
   std::size_t sparse_chunk_count() const;
 
  private:
+  /// Below this many keys the batch pipelines' setup cost outweighs the
+  /// memory-level parallelism they buy (the BENCH_lpm.json batch=2
+  /// regression); lookup_batch falls back to the plain scalar loop.
+  static constexpr std::size_t kMinWaveWidth = 4;
+
+  // Per-dispatch-level batch kernels (see trie/simd_dispatch.h). All three
+  // produce bit-identical results; lookup_batch picks one at runtime from
+  // resolved_simd_level(). The SIMD tiers live in lulea_trie_simd.cpp and
+  // compile to generic-calling stubs on non-x86 targets.
+  void lookup_batch_generic(const net::Ipv4Addr* keys, std::size_t n,
+                            net::NextHop* out) const;
+  /// Generic wave pipeline with the maptable nibble read replaced by
+  /// popcnt over the interned bitmask (one dependent load less per rank).
+  void lookup_batch_sse42(const net::Ipv4Addr* keys, std::size_t n,
+                          net::NextHop* out) const;
+  /// Full-vector lane waves: gathers over the flat arenas, pshufb popcount
+  /// ranks, byte-compare sparse head scans, masked gathers for divergence.
+  void lookup_batch_avx2(const net::Ipv4Addr* keys, std::size_t n,
+                         net::NextHop* out) const;
+  /// Scalar lookup used for sub-vector tails of the AVX2 kernel: same reads
+  /// as lookup(), with ranks from popcnt + BMI2 bzhi instead of the nibble
+  /// row.
+  net::NextHop lookup_scalar_bmi2(net::Ipv4Addr addr) const;
+  /// SSE4.2-tier analogue: popcnt rank with a shift-built below-mask. Both
+  /// scalars skip the nibble-row read, so they also serve the
+  /// below-kMinWaveWidth fallback at their levels.
+  net::NextHop lookup_scalar_popcnt(net::Ipv4Addr addr) const;
+
   template <bool kCounted>
   net::NextHop lookup_impl(net::Ipv4Addr addr, MemAccessCounter* counter) const;
 

@@ -1,0 +1,565 @@
+// SSE4.2 and AVX2+BMI2 tiers of LuleaTrie::lookup_batch (see
+// trie/simd_dispatch.h for the dispatch contract). Both tiers exploit the
+// same identity: the maptable stores, per interned 16-bit bitmask, the
+// exclusive popcount of every position — so
+//   rank_inclusive(row, low) == popcount(mask[row] & ((2 << low) - 1))
+// and the dependent 8-byte nibble-row read can be replaced by a popcount of
+// the (independently gathered) mask itself.
+//
+// The SSE4.2 tier keeps the generic stage-synchronous wave structure and
+// only swaps the rank computation for POPCNT. The AVX2 tier runs whole
+// 8-lane waves as vector code: unmasked gathers over the flat
+// codeword/base/pointer arenas at level 1, masked gathers below it (a
+// masked-off lane performs no memory access, so divergence costs nothing),
+// pshufb-LUT popcounts for ranks, and a byte-compare + maddubs horizontal
+// sum for the sparse-chunk head scan. Early-exit lanes retire by mask: the
+// final masked next-hop gather doubles as the blend with already-resolved
+// results. Sub-vector tails use a scalar walk whose ranks come from
+// POPCNT + BMI2 BZHI.
+//
+// Every path is bit-identical to the scalar lookup(); tests/test_lpm_batch
+// fuzzes each dispatch level against the binary-trie oracle and
+// bench_lpm_batch exits nonzero on any element-wise divergence.
+#include <cstddef>
+#include <cstdint>
+
+#include "trie/lulea_trie.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+namespace spal::trie {
+
+using lulea_detail::ChunkRef;
+using lulea_detail::Codeword;
+using lulea_detail::Pointer;
+
+// The gather kernels address the arenas as flat int arrays; pin the layouts
+// they assume.
+static_assert(sizeof(Codeword) == 4 && offsetof(Codeword, row) == 0 &&
+              offsetof(Codeword, offset) == 2);
+static_assert(sizeof(Pointer) == 4);
+static_assert(sizeof(ChunkRef) == 8 && offsetof(ChunkRef, meta) == 0 &&
+              offsetof(ChunkRef, ptr_base) == 4);
+static_assert(sizeof(net::NextHop) == 4);
+
+namespace {
+
+inline void prefetch(const void* address) { __builtin_prefetch(address, 0, 3); }
+
+/// Branch-free sparse-chunk head scan (same contract as the generic
+/// pipeline's helper): index of the last valid head offset <= pos given the
+/// zero-padded ascending byte block.
+inline std::uint32_t sparse_head_index(std::uint64_t block,
+                                       std::uint32_t count_minus_1,
+                                       std::uint32_t pos) {
+  std::uint32_t le = 0;
+  for (int j = 0; j < 8; ++j) {
+    le += ((block >> (8 * j)) & 0xFFu) <= pos ? 1u : 0u;
+  }
+  return le + count_minus_1 - 8;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SSE4.2 tier: the generic wave pipeline with POPCNT ranks.
+// ---------------------------------------------------------------------------
+#pragma GCC push_options
+#pragma GCC target("sse4.2,popcnt")
+
+namespace {
+
+/// rank_inclusive via the mask identity; `low` is pos & 15.
+inline std::uint32_t rank_popcnt(std::uint32_t mask, std::uint32_t low) {
+  return static_cast<std::uint32_t>(
+      __builtin_popcount(mask & ((2u << low) - 1u)));
+}
+
+}  // namespace
+
+void LuleaTrie::lookup_batch_sse42(const net::Ipv4Addr* keys, std::size_t n,
+                                   net::NextHop* out) const {
+  // Wave structure identical to lookup_batch_generic (see lulea_trie.cpp for
+  // the stage commentary); the only change is that the maptable row read of
+  // the rank wave becomes a popcount over the gathered 16-bit mask, removing
+  // one dependent load per rank.
+  constexpr std::size_t G = 2 * kLpmBatchLanes;
+  static constexpr ChunkRef kNoChunk{};
+  const ChunkRef* const level2 = level2_.empty() ? &kNoChunk : level2_.data();
+  const ChunkRef* const level3 = level3_.empty() ? &kNoChunk : level3_.data();
+  const std::uint32_t* const masks = maptable_.masks_data();
+  std::size_t i = 0;
+  while (i < n) {
+    const std::size_t g = i + G <= n ? G : n - i;
+    std::uint32_t addr[G];
+    std::uint32_t pos[G];
+    std::uint32_t partial[G];
+    std::uint32_t pidx[G];
+    std::uint16_t row[G];
+
+    for (std::size_t k = 0; k < g; ++k) {
+      addr[k] = keys[i + k].value();
+      pos[k] = addr[k] >> 16;
+      const std::uint32_t m = pos[k] >> 4;
+      const Codeword cw = codewords_[level1_.cw_base + m];
+      const std::uint32_t base = bases_[(level1_.cw_base >> 2) + (m >> 2)];
+      partial[k] = base + cw.offset;
+      row[k] = cw.row;
+      prefetch(maptable_.mask_addr(cw.row));
+    }
+    for (std::size_t k = 0; k < g; ++k) {
+      const std::uint32_t rank =
+          partial[k] + rank_popcnt(masks[row[k]], pos[k] & 15u);
+      pidx[k] = level1_.ptr_base + rank - 1;
+      prefetch(&pointers_[pidx[k]]);
+    }
+    std::uint32_t cmeta[G];
+    std::uint32_t cptr[G];
+    std::uint8_t dlane[G];
+    std::uint8_t slane[G];
+    std::size_t dn = 0;
+    std::size_t sn = 0;
+    for (std::size_t k = 0; k < g; ++k) {
+      const Pointer p = pointers_[pidx[k]];
+      const bool descend = p.is_chunk();
+      out[i + k] = next_hop_table_[descend ? 0u : p.value()];
+      const ChunkRef ch = level2[descend ? p.value() : 0u];
+      pos[k] = (addr[k] >> 8) & 0xffu;
+      cmeta[k] = ch.meta;
+      cptr[k] = ch.ptr_base;
+      const bool sp = ch.is_sparse();
+      dlane[dn] = static_cast<std::uint8_t>(k);
+      dn += (descend && !sp) ? 1 : 0;
+      slane[sn] = static_cast<std::uint8_t>(k);
+      sn += (descend && sp) ? 1 : 0;
+      prefetch(sp ? static_cast<const void*>(sparse_heads_.data() +
+                                             (ch.meta & ChunkRef::kHeadsMask))
+                  : static_cast<const void*>(codewords_.data() + ch.meta +
+                                             (pos[k] >> 4)));
+      prefetch(sp ? static_cast<const void*>(sparse_heads_.data() +
+                                             (ch.meta & ChunkRef::kHeadsMask))
+                  : static_cast<const void*>(bases_.data() + (ch.meta >> 2) +
+                                             (pos[k] >> 6)));
+    }
+
+    for (int level = 2; level <= 3 && dn + sn > 0; ++level) {
+      for (std::size_t c = 0; c < sn; ++c) {
+        const std::size_t k = slane[c];
+        const std::uint64_t block =
+            sparse_heads_[cmeta[k] & ChunkRef::kHeadsMask];
+        pidx[k] = cptr[k] +
+                  sparse_head_index(block, (cmeta[k] >> 27) & 7u, pos[k]);
+        prefetch(&pointers_[pidx[k]]);
+      }
+      for (std::size_t c = 0; c < dn; ++c) {
+        const std::size_t k = dlane[c];
+        const std::uint32_t m = pos[k] >> 4;
+        const Codeword cw = codewords_[cmeta[k] + m];
+        const std::uint32_t base = bases_[(cmeta[k] >> 2) + (m >> 2)];
+        partial[k] = base + cw.offset;
+        row[k] = cw.row;
+        prefetch(maptable_.mask_addr(cw.row));
+      }
+      for (std::size_t c = 0; c < dn; ++c) {
+        const std::size_t k = dlane[c];
+        const std::uint32_t rank =
+            partial[k] + rank_popcnt(masks[row[k]], pos[k] & 15u);
+        pidx[k] = cptr[k] + rank - 1;
+        prefetch(&pointers_[pidx[k]]);
+      }
+      std::uint8_t live[G];
+      std::size_t ln = 0;
+      for (std::size_t c = 0; c < dn; ++c) live[ln++] = dlane[c];
+      for (std::size_t c = 0; c < sn; ++c) live[ln++] = slane[c];
+      dn = 0;
+      sn = 0;
+      for (std::size_t c = 0; c < ln; ++c) {
+        const std::size_t k = live[c];
+        const Pointer p = pointers_[pidx[k]];
+        const bool descend = level == 2 && p.is_chunk();
+        out[i + k] = next_hop_table_[descend ? 0u : p.value()];
+        const ChunkRef ch = level3[descend ? p.value() : 0u];
+        pos[k] = addr[k] & 0xffu;
+        cmeta[k] = ch.meta;
+        cptr[k] = ch.ptr_base;
+        const bool sp = ch.is_sparse();
+        dlane[dn] = static_cast<std::uint8_t>(k);
+        dn += (descend && !sp) ? 1 : 0;
+        slane[sn] = static_cast<std::uint8_t>(k);
+        sn += (descend && sp) ? 1 : 0;
+        prefetch(sp ? static_cast<const void*>(
+                          sparse_heads_.data() + (ch.meta & ChunkRef::kHeadsMask))
+                    : static_cast<const void*>(codewords_.data() + ch.meta +
+                                               (pos[k] >> 4)));
+      }
+    }
+    i += g;
+  }
+}
+
+net::NextHop LuleaTrie::lookup_scalar_popcnt(net::Ipv4Addr addr) const {
+  // Same dependent reads as lookup(); ranks come from POPCNT over the
+  // interned mask (rank_popcnt), skipping the nibble-row read — which is
+  // why this also serves sub-wave batches at the SSE4.2 level.
+  const std::uint32_t* const masks = maptable_.masks_data();
+  const auto dense = [&](std::uint32_t cw_base, std::uint32_t ptr_base,
+                         std::uint32_t pos) {
+    const std::uint32_t m = pos >> 4;
+    const Codeword cw = codewords_[cw_base + m];
+    const std::uint32_t base = bases_[(cw_base >> 2) + (m >> 2)];
+    const std::uint32_t rank =
+        base + cw.offset + rank_popcnt(masks[cw.row], pos & 15u);
+    return pointers_[ptr_base + rank - 1];
+  };
+  const auto chunk = [&](const ChunkRef& ch, std::uint32_t pos) {
+    if (!ch.is_sparse()) return dense(ch.meta, ch.ptr_base, pos);
+    const std::uint64_t block = sparse_heads_[ch.meta & ChunkRef::kHeadsMask];
+    return pointers_[ch.ptr_base +
+                     sparse_head_index(block, (ch.meta >> 27) & 7u, pos)];
+  };
+  Pointer p = dense(level1_.cw_base, level1_.ptr_base, addr.value() >> 16);
+  if (p.is_chunk()) {
+    p = chunk(level2_[p.value()], (addr.value() >> 8) & 0xffu);
+    if (p.is_chunk()) {
+      p = chunk(level3_[p.value()], addr.value() & 0xffu);
+    }
+  }
+  return next_hop_table_[p.value()];
+}
+
+#pragma GCC pop_options
+
+// ---------------------------------------------------------------------------
+// AVX2 + BMI2 tier: full-vector lane waves.
+// ---------------------------------------------------------------------------
+#pragma GCC push_options
+#pragma GCC target("avx2,bmi2,popcnt")
+
+namespace {
+
+/// Per-32-bit-lane popcount via the classic pshufb nibble LUT, reduced with
+/// maddubs/madd. Inputs are 16-bit masks, but the helper is general.
+inline __m256i popcnt_epi32(__m256i v) {
+  const __m256i lut =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+                       0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low4 = _mm256_set1_epi8(0x0F);
+  const __m256i lo = _mm256_and_si256(v, low4);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low4);
+  const __m256i per_byte = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                           _mm256_shuffle_epi8(lut, hi));
+  return _mm256_madd_epi16(_mm256_maddubs_epi16(per_byte, _mm256_set1_epi8(1)),
+                           _mm256_set1_epi16(1));
+}
+
+/// Horizontal per-lane sum of 0/1 bytes (the sparse head-scan tally).
+inline __m256i byte_sum_epi32(__m256i bytes01) {
+  return _mm256_madd_epi16(_mm256_maddubs_epi16(bytes01, _mm256_set1_epi8(1)),
+                           _mm256_set1_epi16(1));
+}
+
+/// Masked gather shorthand: lanes with the mask MSB clear keep `src` and
+/// make no memory access at all.
+inline __m256i mgather(__m256i src, const int* base, __m256i idx,
+                       __m256i mask) {
+  return _mm256_mask_i32gather_epi32(src, base, idx, mask, 4);
+}
+
+}  // namespace
+
+net::NextHop LuleaTrie::lookup_scalar_bmi2(net::Ipv4Addr addr) const {
+  // Same dependent reads as lookup(); ranks come from POPCNT over the mask
+  // with BZHI building the inclusive below-mask, instead of the nibble row.
+  const std::uint32_t* const masks = maptable_.masks_data();
+  const auto dense = [&](std::uint32_t cw_base, std::uint32_t ptr_base,
+                         std::uint32_t pos) {
+    const std::uint32_t m = pos >> 4;
+    const Codeword cw = codewords_[cw_base + m];
+    const std::uint32_t base = bases_[(cw_base >> 2) + (m >> 2)];
+    const std::uint32_t rank =
+        base + cw.offset +
+        static_cast<std::uint32_t>(
+            _mm_popcnt_u32(_bzhi_u32(masks[cw.row], (pos & 15u) + 1u)));
+    return pointers_[ptr_base + rank - 1];
+  };
+  const auto chunk = [&](const ChunkRef& ch, std::uint32_t pos) {
+    if (!ch.is_sparse()) return dense(ch.meta, ch.ptr_base, pos);
+    const std::uint64_t block = sparse_heads_[ch.meta & ChunkRef::kHeadsMask];
+    return pointers_[ch.ptr_base +
+                     sparse_head_index(block, (ch.meta >> 27) & 7u, pos)];
+  };
+  Pointer p = dense(level1_.cw_base, level1_.ptr_base, addr.value() >> 16);
+  if (p.is_chunk()) {
+    p = chunk(level2_[p.value()], (addr.value() >> 8) & 0xffu);
+    if (p.is_chunk()) {
+      p = chunk(level3_[p.value()], addr.value() & 0xffu);
+    }
+  }
+  return next_hop_table_[p.value()];
+}
+
+/// Everything the vector waves index, hoisted once per batch call. The
+/// kernel functions below are plain data transforms over these arrays.
+struct Arenas {
+  const int* cws;
+  const int* bas;
+  const int* ptrs;
+  const int* masks;
+  const int* hops;
+  const int* sheads;
+  const int* chunks2;
+  const int* chunks3;
+  std::uint32_t l1cw = 0;
+  std::uint32_t l1b = 0;
+  std::uint32_t l1p = 0;
+};
+
+namespace {
+
+/// One level-2/3 step for up to two interleaved 8-lane halves: chunk
+/// descriptor gathers for the active lanes, branchless dense rank / sparse
+/// head scan, pointer gather, and a masked next-hop gather that doubles as
+/// the blend into vout. Each stage runs for every half before the next
+/// stage consumes its results, so the two halves' dependent gather chains
+/// overlap in the memory system. Returns nonzero if any lane still
+/// descends. always_inline so the half count H is a compile-time constant
+/// at both call sites and the h-loops fully unroll.
+__attribute__((always_inline)) inline int lulea_chunk_level_avx2(
+    const Arenas& a, const int* chunks, const __m256i* vpos, __m256i* vactive,
+    __m256i* vval, __m256i* vout, const int H) {
+  const __m256i vzero = _mm256_setzero_si256();
+  const __m256i vone = _mm256_set1_epi32(1);
+  const __m256i vtwo = _mm256_set1_epi32(2);
+  const __m256i v15 = _mm256_set1_epi32(15);
+  const __m256i vffff = _mm256_set1_epi32(0xFFFF);
+  const __m256i vff = _mm256_set1_epi32(0xFF);
+  const __m256i vvalmask = _mm256_set1_epi32(0x7FFFFFFF);
+  const __m256i vheads =
+      _mm256_set1_epi32(static_cast<int>(ChunkRef::kHeadsMask));
+  const __m256i vrep = _mm256_set1_epi32(0x01010101);
+
+  __m256i vmeta[4], vpbase[4], vsparse[4], vdense[4], vsp[4];
+  __m256i vcw[4], vbase[4], vmask16[4], vpidx[4];
+  for (int h = 0; h < H; ++h) {
+    const __m256i vci = _mm256_slli_epi32(vval[h], 1);  // ChunkRef = two ints
+    vmeta[h] = mgather(vzero, chunks, vci, vactive[h]);
+    vpbase[h] =
+        mgather(vzero, chunks, _mm256_add_epi32(vci, vone), vactive[h]);
+  }
+  for (int h = 0; h < H; ++h) {
+    vsparse[h] = _mm256_srai_epi32(vmeta[h], 31);
+    vdense[h] = _mm256_andnot_si256(vsparse[h], vactive[h]);
+    vsp[h] = _mm256_and_si256(vsparse[h], vactive[h]);
+    // Dense lanes: same rank machinery as level 1, chunk-relative.
+    const __m256i vm = _mm256_srli_epi32(vpos[h], 4);
+    vcw[h] =
+        mgather(vzero, a.cws, _mm256_add_epi32(vmeta[h], vm), vdense[h]);
+    vbase[h] = mgather(vzero, a.bas,
+                       _mm256_add_epi32(_mm256_srli_epi32(vmeta[h], 2),
+                                        _mm256_srli_epi32(vm, 2)),
+                       vdense[h]);
+  }
+  for (int h = 0; h < H; ++h) {
+    vmask16[h] = mgather(vzero, a.masks, _mm256_and_si256(vcw[h], vffff),
+                         vdense[h]);
+  }
+  int anysp = 0;
+  for (int h = 0; h < H; ++h) {
+    const __m256i voff =
+        _mm256_and_si256(_mm256_srli_epi32(vcw[h], 16), vff);
+    const __m256i vbelow = _mm256_sub_epi32(
+        _mm256_sllv_epi32(vtwo, _mm256_and_si256(vpos[h], v15)), vone);
+    __m256i vrank = popcnt_epi32(_mm256_and_si256(vmask16[h], vbelow));
+    vrank = _mm256_add_epi32(vrank, _mm256_add_epi32(vbase[h], voff));
+    vpidx[h] = _mm256_sub_epi32(
+        _mm256_add_epi32(vpbase[h], vrank), vone);
+    anysp |= !_mm256_testz_si256(vsp[h], vsp[h]);
+  }
+  if (anysp) {
+    // Sparse lanes: count head bytes <= pos in the 8-byte block. The pos
+    // byte is broadcast into every byte of the lane; min/cmpeq is the
+    // unsigned byte <=; the zero-padding overcount is cancelled by the
+    // stored head_count-1 exactly as in the scalar helper.
+    __m256i vblo[4], vbhi[4];
+    for (int h = 0; h < H; ++h) {
+      const __m256i vbi =
+          _mm256_slli_epi32(_mm256_and_si256(vmeta[h], vheads), 1);
+      vblo[h] = mgather(vzero, a.sheads, vbi, vsp[h]);
+      vbhi[h] =
+          mgather(vzero, a.sheads, _mm256_add_epi32(vbi, vone), vsp[h]);
+    }
+    for (int h = 0; h < H; ++h) {
+      const __m256i vposb = _mm256_mullo_epi32(vpos[h], vrep);
+      const __m256i vle = _mm256_add_epi32(
+          byte_sum_epi32(_mm256_and_si256(
+              _mm256_cmpeq_epi8(_mm256_min_epu8(vblo[h], vposb), vblo[h]),
+              _mm256_set1_epi8(1))),
+          byte_sum_epi32(_mm256_and_si256(
+              _mm256_cmpeq_epi8(_mm256_min_epu8(vbhi[h], vposb), vbhi[h]),
+              _mm256_set1_epi8(1))));
+      const __m256i vcm1 = _mm256_and_si256(
+          _mm256_srli_epi32(vmeta[h], 27), _mm256_set1_epi32(7));
+      const __m256i vsidx = _mm256_add_epi32(
+          vpbase[h], _mm256_sub_epi32(_mm256_add_epi32(vle, vcm1),
+                                      _mm256_set1_epi32(8)));
+      vpidx[h] = _mm256_blendv_epi8(vpidx[h], vsidx, vsparse[h]);
+    }
+  }
+  __m256i vptr[4];
+  for (int h = 0; h < H; ++h) {
+    vptr[h] = mgather(vzero, a.ptrs, vpidx[h], vactive[h]);
+  }
+  int any = 0;
+  for (int h = 0; h < H; ++h) {
+    const __m256i vnext =
+        _mm256_and_si256(vactive[h], _mm256_srai_epi32(vptr[h], 31));
+    vval[h] = _mm256_and_si256(vptr[h], vvalmask);
+    // Lanes that resolved at this level fold their hop into vout; the
+    // masked gather doubles as the blend.
+    vout[h] = mgather(vout[h], a.hops, vval[h],
+                      _mm256_andnot_si256(vnext, vactive[h]));
+    vactive[h] = vnext;
+    any |= !_mm256_testz_si256(vnext, vnext);
+  }
+  return any;
+}
+
+/// One group of H * 8 keys through all three levels. H == 4 keeps
+/// thirty-two lanes in flight: each wave stage issues every half's gathers
+/// before any dependent stage runs, multiplying the memory-level
+/// parallelism of the dependent chain (spilled halves cost L1 reloads, far
+/// cheaper than serialized gathers; narrower variants serve remainders).
+__attribute__((always_inline)) inline void lulea_group_avx2(
+    const Arenas& a, const net::Ipv4Addr* keys, net::NextHop* out,
+    const int H) {
+  const __m256i vone = _mm256_set1_epi32(1);
+  const __m256i vtwo = _mm256_set1_epi32(2);
+  const __m256i v15 = _mm256_set1_epi32(15);
+  const __m256i vffff = _mm256_set1_epi32(0xFFFF);
+  const __m256i vff = _mm256_set1_epi32(0xFF);
+  const __m256i vvalmask = _mm256_set1_epi32(0x7FFFFFFF);
+  const __m256i vl1cw = _mm256_set1_epi32(static_cast<int>(a.l1cw));
+  const __m256i vl1b = _mm256_set1_epi32(static_cast<int>(a.l1b));
+  const __m256i vl1p = _mm256_set1_epi32(static_cast<int>(a.l1p));
+
+  __m256i vaddr[4], vpos[4], vcw[4], vbase[4], vmask16[4], vpidx[4];
+  __m256i vptr[4], vactive[4], vval[4], vout[4];
+  // Level 1: dense rank over the full waves (no masking needed).
+  for (int h = 0; h < H; ++h) {
+    vaddr[h] = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(keys + 8 * h));
+    vpos[h] = _mm256_srli_epi32(vaddr[h], 16);
+    const __m256i vm = _mm256_srli_epi32(vpos[h], 4);
+    vcw[h] = _mm256_i32gather_epi32(a.cws, _mm256_add_epi32(vl1cw, vm), 4);
+    vbase[h] = _mm256_i32gather_epi32(
+        a.bas, _mm256_add_epi32(vl1b, _mm256_srli_epi32(vm, 2)), 4);
+  }
+  for (int h = 0; h < H; ++h) {
+    vmask16[h] =
+        _mm256_i32gather_epi32(a.masks, _mm256_and_si256(vcw[h], vffff), 4);
+  }
+  for (int h = 0; h < H; ++h) {
+    const __m256i voff =
+        _mm256_and_si256(_mm256_srli_epi32(vcw[h], 16), vff);
+    const __m256i vbelow = _mm256_sub_epi32(
+        _mm256_sllv_epi32(vtwo, _mm256_and_si256(vpos[h], v15)), vone);
+    __m256i vrank = popcnt_epi32(_mm256_and_si256(vmask16[h], vbelow));
+    vrank = _mm256_add_epi32(vrank, _mm256_add_epi32(vbase[h], voff));
+    vpidx[h] = _mm256_sub_epi32(_mm256_add_epi32(vl1p, vrank), vone);
+  }
+  for (int h = 0; h < H; ++h) {
+    vptr[h] = _mm256_i32gather_epi32(a.ptrs, vpidx[h], 4);
+  }
+  int any = 0;
+  for (int h = 0; h < H; ++h) {
+    vactive[h] = _mm256_srai_epi32(vptr[h], 31);  // chunk flag = sign bit
+    vval[h] = _mm256_and_si256(vptr[h], vvalmask);
+    // Resolved lanes read their hop now; descending lanes read hops[0] as
+    // a harmless placeholder (index 0 always exists: kNoRoute is interned
+    // first).
+    vout[h] = _mm256_i32gather_epi32(
+        a.hops, _mm256_andnot_si256(vactive[h], vval[h]), 4);
+    any |= !_mm256_testz_si256(vactive[h], vactive[h]);
+  }
+  if (any) {
+    __m256i vposl[4];
+    for (int h = 0; h < H; ++h) {
+      vposl[h] = _mm256_and_si256(_mm256_srli_epi32(vaddr[h], 8), vff);
+    }
+    any = lulea_chunk_level_avx2(a, a.chunks2, vposl, vactive, vval, vout, H);
+    if (any) {
+      // Level-3 pointers are always next hops by build invariant, so the
+      // step's descend set empties and its return value is ignored.
+      for (int h = 0; h < H; ++h) {
+        vposl[h] = _mm256_and_si256(vaddr[h], vff);
+      }
+      (void)lulea_chunk_level_avx2(a, a.chunks3, vposl, vactive, vval, vout,
+                                   H);
+    }
+  }
+  for (int h = 0; h < H; ++h) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 8 * h), vout[h]);
+  }
+}
+
+}  // namespace
+
+void LuleaTrie::lookup_batch_avx2(const net::Ipv4Addr* keys, std::size_t n,
+                                  net::NextHop* out) const {
+  static constexpr ChunkRef kNoChunk{};
+  Arenas a;
+  a.cws = reinterpret_cast<const int*>(codewords_.data());
+  a.bas = reinterpret_cast<const int*>(bases_.data());
+  a.ptrs = reinterpret_cast<const int*>(pointers_.data());
+  a.masks = reinterpret_cast<const int*>(maptable_.masks_data());
+  a.hops = reinterpret_cast<const int*>(next_hop_table_.data());
+  a.sheads = reinterpret_cast<const int*>(sparse_heads_.data());
+  // Branch-free descriptor gathers need a valid address even when a level
+  // has no chunks at all (tables with no long prefixes).
+  a.chunks2 = reinterpret_cast<const int*>(
+      level2_.empty() ? &kNoChunk : level2_.data());
+  a.chunks3 = reinterpret_cast<const int*>(
+      level3_.empty() ? &kNoChunk : level3_.data());
+  a.l1cw = level1_.cw_base;
+  a.l1b = level1_.cw_base >> 2;
+  a.l1p = level1_.ptr_base;
+
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) lulea_group_avx2(a, keys + i, out + i, 4);
+  for (; i + 16 <= n; i += 16) lulea_group_avx2(a, keys + i, out + i, 2);
+  for (; i + 8 <= n; i += 8) lulea_group_avx2(a, keys + i, out + i, 1);
+  for (; i < n; ++i) out[i] = lookup_scalar_bmi2(keys[i]);
+}
+
+
+#pragma GCC pop_options
+
+}  // namespace spal::trie
+
+#else  // !x86: the dispatcher never selects these, but they must link.
+
+namespace spal::trie {
+
+void LuleaTrie::lookup_batch_sse42(const net::Ipv4Addr* keys, std::size_t n,
+                                   net::NextHop* out) const {
+  lookup_batch_generic(keys, n, out);
+}
+
+void LuleaTrie::lookup_batch_avx2(const net::Ipv4Addr* keys, std::size_t n,
+                                  net::NextHop* out) const {
+  lookup_batch_generic(keys, n, out);
+}
+
+net::NextHop LuleaTrie::lookup_scalar_bmi2(net::Ipv4Addr addr) const {
+  return lookup(addr);
+}
+
+net::NextHop LuleaTrie::lookup_scalar_popcnt(net::Ipv4Addr addr) const {
+  return lookup(addr);
+}
+
+}  // namespace spal::trie
+
+#endif

@@ -1,0 +1,118 @@
+#include "trie/simd_dispatch.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace spal::trie {
+
+namespace {
+
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define SPAL_SIMD_CPUID 1
+#else
+#define SPAL_SIMD_CPUID 0
+#endif
+
+SimdLevel probe_cpu() {
+#if SPAL_SIMD_CPUID
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("bmi2") &&
+      __builtin_cpu_supports("popcnt")) {
+    return SimdLevel::kAvx2;
+  }
+  if (__builtin_cpu_supports("sse4.2") && __builtin_cpu_supports("popcnt")) {
+    return SimdLevel::kSse42;
+  }
+#endif
+  return SimdLevel::kGeneric;
+}
+
+SimdMode mode_from_env() {
+  const char* env = std::getenv("SPAL_SIMD");
+  if (env == nullptr || env[0] == '\0') return SimdMode::kAuto;
+  if (const auto mode = simd_mode_from_string(env)) return *mode;
+  std::fprintf(stderr,
+               "spal: ignoring invalid SPAL_SIMD value '%s' "
+               "(expected generic|sse42|avx2|auto)\n",
+               env);
+  return SimdMode::kAuto;
+}
+
+/// Requested mode, seeded from SPAL_SIMD on first use (thread-safe via the
+/// magic static), then mutated only through set_simd_mode().
+std::atomic<int>& mode_slot() {
+  static std::atomic<int> slot{static_cast<int>(mode_from_env())};
+  return slot;
+}
+
+SimdLevel resolve(SimdMode mode) {
+  const SimdLevel detected = detected_simd_level();
+  if (mode == SimdMode::kAuto) return detected;
+  const auto requested = static_cast<SimdLevel>(mode);
+  return requested <= detected ? requested : detected;
+}
+
+}  // namespace
+
+namespace simd_detail {
+
+std::atomic<int> g_resolved{-1};
+
+/// First-call slow path of the inline resolved_simd_level(): resolves the
+/// (env-seeded) requested mode against CPUID and caches the answer.
+SimdLevel resolve_slow() {
+  const SimdLevel level = resolve(simd_mode());
+  g_resolved.store(static_cast<int>(level), std::memory_order_relaxed);
+  return level;
+}
+
+}  // namespace simd_detail
+
+SimdLevel detected_simd_level() {
+  static const SimdLevel level = probe_cpu();
+  return level;
+}
+
+SimdMode simd_mode() {
+  return static_cast<SimdMode>(mode_slot().load(std::memory_order_relaxed));
+}
+
+SimdLevel set_simd_mode(SimdMode mode) {
+  const SimdLevel resolved = resolve(mode);
+  if (mode != SimdMode::kAuto && static_cast<int>(mode) > static_cast<int>(resolved)) {
+    std::fprintf(stderr, "spal: requested simd level %.*s but CPU supports %.*s\n",
+                 static_cast<int>(to_string(mode).size()), to_string(mode).data(),
+                 static_cast<int>(to_string(resolved).size()),
+                 to_string(resolved).data());
+  }
+  mode_slot().store(static_cast<int>(mode), std::memory_order_relaxed);
+  simd_detail::g_resolved.store(static_cast<int>(resolved),
+                                std::memory_order_relaxed);
+  return resolved;
+}
+
+std::string_view to_string(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kGeneric: return "generic";
+    case SimdLevel::kSse42: return "sse42";
+    case SimdLevel::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+std::string_view to_string(SimdMode mode) {
+  if (mode == SimdMode::kAuto) return "auto";
+  return to_string(static_cast<SimdLevel>(mode));
+}
+
+std::optional<SimdMode> simd_mode_from_string(std::string_view name) {
+  for (const SimdMode mode : {SimdMode::kAuto, SimdMode::kGeneric,
+                              SimdMode::kSse42, SimdMode::kAvx2}) {
+    if (name == to_string(mode)) return mode;
+  }
+  return std::nullopt;
+}
+
+}  // namespace spal::trie

@@ -1,0 +1,70 @@
+// Runtime SIMD dispatch for the batched LPM pipelines.
+//
+// The batch lookup paths (LuleaTrie, LcTrie, LcTrie6) come in up to three
+// tiers per structure: the portable stage-synchronous scalar pipeline
+// ("generic"), an SSE4.2 tier that replaces the Lulea maptable nibble read
+// with a POPCNT over the interned bitmask, and an AVX2+BMI2 tier that runs
+// whole lane waves as vector gathers over the flat arenas. The tier is
+// picked once per process from CPUID (detected_simd_level), can be capped
+// for testing via the SPAL_SIMD environment variable or a bench --simd flag
+// (set_simd_mode), and is never raised above what the CPU supports. Every
+// tier returns bit-identical results; the tests and benches verify this
+// element-wise against the scalar oracle.
+#pragma once
+
+#include <atomic>
+#include <optional>
+#include <string_view>
+
+namespace spal::trie {
+
+/// Dispatch tiers, ordered: a level's kernels may use every feature of the
+/// levels below it. kAvx2 implies BMI2 and POPCNT (checked together at
+/// detection; Haswell+ ships all three), kSse42 implies POPCNT (Nehalem+).
+enum class SimdLevel { kGeneric = 0, kSse42 = 1, kAvx2 = 2 };
+
+/// Requested cap: kAuto resolves to whatever CPUID detects.
+enum class SimdMode {
+  kAuto = -1,
+  kGeneric = 0,
+  kSse42 = 1,
+  kAvx2 = 2,
+};
+
+/// Best level this CPU can run, probed once via CPUID. kGeneric on
+/// non-x86 builds.
+SimdLevel detected_simd_level();
+
+namespace simd_detail {
+/// Cached resolved level (-1 = not yet computed). Written only by
+/// simd_dispatch.cpp; read inline below so the per-lookup_batch dispatch
+/// costs one relaxed load even for tiny batches.
+extern std::atomic<int> g_resolved;
+SimdLevel resolve_slow();
+}  // namespace simd_detail
+
+/// The level batch lookups dispatch on right now: min(requested, detected).
+/// The request defaults to SPAL_SIMD (generic|sse42|avx2|auto; unset or
+/// invalid values mean auto) and can be changed at runtime with
+/// set_simd_mode(). Thread-safe; one relaxed atomic load per call (the env
+/// read and CPUID probe run once, on the first call).
+inline SimdLevel resolved_simd_level() {
+  const int v = simd_detail::g_resolved.load(std::memory_order_relaxed);
+  return v >= 0 ? static_cast<SimdLevel>(v) : simd_detail::resolve_slow();
+}
+
+/// Current request as set by SPAL_SIMD / set_simd_mode (kAuto if neither).
+SimdMode simd_mode();
+
+/// Sets the process-wide requested level and returns the resolved one
+/// (clamped to detected_simd_level(); a clamp warns once on stderr).
+SimdLevel set_simd_mode(SimdMode mode);
+
+std::string_view to_string(SimdLevel level);
+std::string_view to_string(SimdMode mode);
+
+/// Parses "generic" | "sse42" | "avx2" | "auto"; nullopt on anything else
+/// (used by the bench CLIs' strict --simd flag).
+std::optional<SimdMode> simd_mode_from_string(std::string_view name);
+
+}  // namespace spal::trie

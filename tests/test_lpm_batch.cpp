@@ -3,7 +3,11 @@
 // turn must agree with a BinaryTrie oracle — over random keys, adversarial
 // shared-prefix bursts, and every batch-size shape (1, sub-lane, exactly one
 // lane group, many groups, odd tails). The IPv6 LcTrie6 pipeline gets the
-// same batch-vs-scalar treatment.
+// same batch-vs-scalar treatment. The SIMD-dispatched pipelines (Lulea,
+// LC, LC6 — trie/simd_dispatch.h) are additionally fuzzed at every dispatch
+// level the CPU can run, including unaligned batch buffers and a forced
+// generic run; the process-wide mode is restored after each test so a CI
+// leg running under SPAL_SIMD keeps its pinned level.
 #include "trie/lpm.h"
 
 #include <gtest/gtest.h>
@@ -17,6 +21,7 @@
 #include "trie/binary_trie.h"
 #include "trie/binary_trie6.h"
 #include "trie/lc_trie6.h"
+#include "trie/simd_dispatch.h"
 
 namespace {
 
@@ -161,6 +166,86 @@ TEST(LpmBatch, EmptyAndDefaultRouteTables) {
   }
 }
 
+/// Restores the process-wide SIMD mode on scope exit, so the per-level
+/// tests below don't leak their override into the rest of the suite (a CI
+/// leg may be running everything under SPAL_SIMD=generic, and that setting
+/// must survive).
+struct SimdModeGuard {
+  trie::SimdMode saved = trie::simd_mode();
+  ~SimdModeGuard() { trie::set_simd_mode(saved); }
+};
+
+/// Every dispatch level this build can actually run: generic up to the
+/// CPUID-detected level.
+std::vector<trie::SimdMode> runnable_levels() {
+  std::vector<trie::SimdMode> levels;
+  for (int l = 0; l <= static_cast<int>(trie::detected_simd_level()); ++l) {
+    levels.push_back(static_cast<trie::SimdMode>(l));
+  }
+  return levels;
+}
+
+TEST(LpmBatch, EveryDispatchLevelMatchesOracle) {
+  SimdModeGuard guard;
+  const net::RouteTable table = fuzz_table(8'000, 0xfeed'0004);
+  const trie::BinaryTrie oracle(table);
+  const auto random = random_keys(table, 3'000, 0xabc4);
+  const auto bursts = burst_keys(table, 2'048, 0xabc5);
+  for (const trie::SimdMode mode : runnable_levels()) {
+    const trie::SimdLevel level = trie::set_simd_mode(mode);
+    ASSERT_EQ(static_cast<int>(level), static_cast<int>(mode));
+    // The SIMD-overridden pipelines plus dp as a dispatch-independent
+    // control.
+    for (const TrieKind kind :
+         {TrieKind::kLulea, TrieKind::kLc, TrieKind::kDp}) {
+      SCOPED_TRACE(std::string("simd=") + std::string(trie::to_string(level)));
+      const auto index = trie::build_lpm(kind, table);
+      expect_batch_matches(*index, oracle, random);
+      expect_batch_matches(*index, oracle, bursts);
+    }
+  }
+}
+
+TEST(LpmBatch, UnalignedBatchBuffersAtEveryLevel) {
+  SimdModeGuard guard;
+  const net::RouteTable table = fuzz_table(4'000, 0xfeed'0005);
+  const auto keys = random_keys(table, 600, 0xabc7);
+  const auto lulea = trie::build_lpm(TrieKind::kLulea, table);
+  const auto lc = trie::build_lpm(TrieKind::kLc, table);
+  for (const trie::SimdMode mode : runnable_levels()) {
+    trie::set_simd_mode(mode);
+    for (const auto* index : {lulea.get(), lc.get()}) {
+      // Start the batch at every sub-vector offset into the key array and
+      // write through an offset output pointer: the kernels' vector
+      // loads/stores must not assume 32-byte alignment.
+      for (std::size_t off = 0; off < 9; ++off) {
+        const std::size_t n = keys.size() - off - 3;
+        std::vector<net::NextHop> batched(n + off, net::kNoRoute - 1);
+        index->lookup_batch(keys.data() + off, n, batched.data() + off);
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(batched[off + i], index->lookup(keys[off + i]))
+              << index->name() << " simd=" << static_cast<int>(mode)
+              << " off=" << off << " key " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(LpmBatch, ForcedGenericResolvesAndMatches) {
+  SimdModeGuard guard;
+  const trie::SimdLevel level = trie::set_simd_mode(trie::SimdMode::kGeneric);
+  ASSERT_EQ(level, trie::SimdLevel::kGeneric);
+  ASSERT_EQ(trie::resolved_simd_level(), trie::SimdLevel::kGeneric);
+  const net::RouteTable table = fuzz_table(2'000, 0xfeed'0007);
+  const trie::BinaryTrie oracle(table);
+  const auto keys = random_keys(table, 1'000, 0xabc8);
+  for (const TrieKind kind : {TrieKind::kLulea, TrieKind::kLc}) {
+    const auto index = trie::build_lpm(kind, table);
+    expect_batch_matches(*index, oracle, keys);
+  }
+}
+
 TEST(LpmBatch6, LcTrie6MatchesScalarAndOracle) {
   net::TableGen6Config config;
   config.size = 4'000;
@@ -185,14 +270,32 @@ TEST(LpmBatch6, LcTrie6MatchesScalarAndOracle) {
     scalar[i] = index.lookup(keys[i]);
     ASSERT_EQ(scalar[i], oracle.lookup(keys[i])) << "v6 scalar vs oracle " << i;
   }
-  for (const std::size_t batch : kBatchSizes) {
-    std::vector<net::NextHop> batched(n, net::kNoRoute - 1);
-    for (std::size_t i = 0; i < n; i += batch) {
-      index.lookup_batch(keys.data() + i, std::min(batch, n - i),
-                         batched.data() + i);
+  SimdModeGuard guard;
+  for (const trie::SimdMode mode : runnable_levels()) {
+    trie::set_simd_mode(mode);
+    for (const std::size_t batch : kBatchSizes) {
+      std::vector<net::NextHop> batched(n, net::kNoRoute - 1);
+      for (std::size_t i = 0; i < n; i += batch) {
+        index.lookup_batch(keys.data() + i, std::min(batch, n - i),
+                           batched.data() + i);
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(batched[i], scalar[i])
+            << "v6 simd=" << static_cast<int>(mode) << " batch=" << batch
+            << " key " << i;
+      }
     }
-    for (std::size_t i = 0; i < n; ++i) {
-      ASSERT_EQ(batched[i], scalar[i]) << "v6 batch=" << batch << " key " << i;
+    // Unaligned start offsets: the 4-lane kernel's stores go through an
+    // unaligned 128-bit write.
+    for (std::size_t off = 1; off < 5; ++off) {
+      const std::size_t m = n - off - 1;
+      std::vector<net::NextHop> batched(n, net::kNoRoute - 1);
+      index.lookup_batch(keys.data() + off, m, batched.data() + off);
+      for (std::size_t i = 0; i < m; ++i) {
+        ASSERT_EQ(batched[off + i], scalar[off + i])
+            << "v6 simd=" << static_cast<int>(mode) << " off=" << off
+            << " key " << i;
+      }
     }
   }
 }

@@ -15,12 +15,15 @@
 //       counter fails the build.
 //       Points whose result carries `"kind": "lpm_batch"` (bench_lpm_batch)
 //       are checked against that schema instead: positive timings, rate and
-//       speedup consistent with ns_per_lookup, and batch == scalar results.
+//       speedup consistent with ns_per_lookup, batch == scalar results, and
+//       a non-empty `simd` dispatch level on every point.
 //
 //   spal_report base.json new.json [--tolerance=PCT]
 //       Diff two reports point-by-point (matched by label): flags points
 //       whose mean/p99 lookup cycles rose or whose hit rate fell by more
-//       than PCT percent (default 2). Exit 1 when any regression is found.
+//       than PCT percent (default 2). Timing points are only compared when
+//       both sides ran at the same `simd` level; mismatched pairs are
+//       skipped. Exit 1 when any regression is found.
 //
 // The parser below is a deliberately small recursive-descent reader for the
 // reports' fixed schema — the toolchain has no JSON library, and the tool
@@ -543,6 +546,13 @@ void check_lpm_result(CheckContext& ctx, const JsonValue& result) {
   } else if (!match->boolean) {
     ctx.fail("batch/scalar next-hop divergence (match == false)");
   }
+  // Every timing point must name the dispatch level it ran at — perf
+  // numbers from different SIMD tiers are not comparable.
+  const JsonValue* simd = result.find("simd");
+  if (simd == nullptr || simd->kind != JsonValue::Kind::kString ||
+      simd->string.empty()) {
+    ctx.fail("missing string 'simd' (batch-lookup dispatch level)");
+  }
 }
 
 bool load_report(const char* path, JsonValue& out) {
@@ -643,6 +653,21 @@ int run_diff(const char* base_path, const char* new_path, double tolerance_pct) 
     }
     const JsonValue* base_result = base_point->find("result");
     if (base_result == nullptr) continue;
+    // Timing points are only comparable at the same SIMD dispatch level:
+    // skip pairs whose levels differ or where only one side records one
+    // (labels normally encode the level, so this guards edited reports).
+    const JsonValue* base_simd = base_result->find("simd");
+    const JsonValue* new_simd = result->find("simd");
+    const bool base_has_simd =
+        base_simd != nullptr && base_simd->kind == JsonValue::Kind::kString;
+    const bool new_has_simd =
+        new_simd != nullptr && new_simd->kind == JsonValue::Kind::kString;
+    if (base_has_simd != new_has_simd ||
+        (base_has_simd && base_simd->string != new_simd->string)) {
+      std::printf("  skipped (simd level mismatch): %s\n",
+                  label->string.c_str());
+      continue;
+    }
     ++compared;
     for (const Metric& metric : kMetrics) {
       double before = 0.0, after = 0.0;
