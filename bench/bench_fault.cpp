@@ -60,6 +60,8 @@ int main(int argc, char** argv) {
     core::RouterConfig config =
         bench::figure_config(point.psi, args.packets_per_lc);
     config.engine = args.engine;
+    config.execution = args.execution;
+    config.threads = args.threads;
     config.fault.enabled = true;
     config.fault.drop_probability = point.drop;
     config.recovery.max_retries = args.max_retries;

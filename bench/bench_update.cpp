@@ -64,6 +64,8 @@ int main(int argc, char** argv) {
     core::RouterConfig config =
         bench::figure_config(point.psi, args.packets_per_lc);
     config.engine = args.engine;
+    config.execution = args.execution;
+    config.threads = args.threads;
     config.trie = point.trie;
     config.update_policy =
         core::RouterConfig::UpdatePolicy::kSelectiveInvalidate;

@@ -30,13 +30,78 @@
 //     static void fe_insert(Fe&, const PrefixT&, net::NextHop);
 //     static void fe_remove(Fe&, const PrefixT&);
 //   };
+//
+// Execution model — sharded conservative-parallel DES.
+//
+// The LCs are split into contiguous shards; each shard owns the event
+// queue, waiting lists, pending-request table, caches, FEs, and fabric
+// ports of its LCs, and one worker thread runs each shard's loop. Fabric
+// messages are the only cross-shard traffic. A send happens in two fabric
+// phases: the *egress* phase runs at the source shard (which owns the
+// source port's serialization state and fault RNG) and yields a raw arrival
+// time >= now + D where D = Fabric::min_lookahead(); the message is then
+// staged, locally or through a bounded SPSC ring to the destination shard,
+// and the *ingress commit* phase (destination-port serialization) runs at
+// the destination shard when the message is pulled out of staging.
+//
+// Correctness rests on the frontier/lookahead protocol:
+//
+//   * Each shard publishes a frontier F_i (release store): a lower bound on
+//     the injection time of anything it will ever send again. Handlers run
+//     at times >= the published value, and every egress at time t yields
+//     raw arrival >= t + D, so a peer that has read F_i can safely process
+//     all events strictly below F_i + D.
+//   * A shard's safe horizon is S = min over peers of F_j + D. Each
+//     iteration it (1) reads peer frontiers (acquire), (2) drains its
+//     inbound rings, (3) computes its next local work time, (4) publishes
+//     min(next work, S), then processes events strictly below S. The
+//     read-frontiers-THEN-drain order is load-bearing: the acquire read
+//     synchronizes with the sender's publish, so any message still
+//     undrained after step (2) was sent after that publish and carries
+//     raw >= F_j_read + D >= S. Nothing below S can still be in flight.
+//   * Within a window the shard republishes its next pop time before each
+//     dispatch, so sends made *during* a handler at time t are covered
+//     (raw >= t + D >= published + D).
+//   * Idle shards publish their safe horizon (never "infinity"), which
+//     ratchets peer horizons forward by D per round and guarantees global
+//     progress; termination uses a central veto barrier (TerminationGate)
+//     that re-checks queues and rings after all shards report idle. Shards
+//     parked in the barrier keep processing raced-in work below their safe
+//     horizon from the poll callback — merely holding it would pin their
+//     frontier and deadlock a busy peer whose next event sits at
+//     frontier + D (the peer then never idles, never joins the barrier).
+//   * The D-per-round ratchet alone is pathological when events are sparse
+//     (e.g. live updates spaced thousands of cycles apart on one shard):
+//     idle shards bound each other and creep toward the next event in
+//     O(gap/D) rounds. A Mattern-style flux-consistent jump fixes this:
+//     every shard also publishes its *uncapped* next local event time
+//     (local_next), and global counters track messages sent to / drained
+//     from the SPSC rings. A stalled shard that observes sent == drained,
+//     scans all local_next values, and re-reads sent unchanged has a
+//     consistent snapshot with no message in flight; the scan minimum T is
+//     then a true bound on the next action anywhere, every future arrival
+//     is >= T + D, and the shard may adopt T + D as its safe horizon
+//     directly — leaping the stale-frontier chain in one round. (Drains
+//     lower local_next *before* bumping the drained counter, so a scan
+//     that sees the count also sees the lowered minimum.)
+//
+// Determinism: messages are committed at the destination in a canonical
+// order — a min-heap on (raw arrival, origin LC, per-origin sequence) —
+// and committed *before* any queue event at the same or later time. The
+// sequential engine (execution = kSequential, or any configuration the
+// sharded engine does not support — see planned_shards()) is exactly this
+// machinery run solo on a single all-LC shard, so RouterResult::to_json()
+// is byte-identical between the two engines for every configuration.
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <memory>
 #include <random>
 #include <stdexcept>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -47,6 +112,8 @@
 #include "sim/calendar_queue.h"
 #include "sim/engine.h"
 #include "sim/packet_source.h"
+#include "sim/shard_sync.h"
+#include "sim/spsc_ring.h"
 
 namespace spal::core {
 
@@ -103,9 +170,10 @@ class BasicRouterSim {
     waiting_depth_.assign(static_cast<std::size_t>(config_.num_lcs), 0);
     std::size_t total_packets = 0;
     for (const auto& stream : streams) total_packets += stream.size();
-    // Generate per-LC arrival times before sizing the queue: the count bounds
-    // its peak population and the last arrival bounds the schedule horizon
-    // (so the calendar engine picks a bucket width that fits the whole run).
+    // Generate per-LC arrival times before sizing the queues: the count
+    // bounds their peak population and the last arrival bounds the schedule
+    // horizon (so the calendar engine picks a bucket width that fits the
+    // whole run).
     std::vector<std::vector<std::uint64_t>> arrivals_per_lc;
     arrivals_per_lc.reserve(static_cast<std::size_t>(config_.num_lcs));
     std::uint64_t arrival_horizon = 0;
@@ -118,7 +186,7 @@ class BasicRouterSim {
       }
     }
     // Live route-update pipeline: resolve how many updates this run injects
-    // before sizing the queue (their schedule extends the horizon).
+    // before sizing the queues (their schedule extends the horizon).
     const bool live_updates = config_.update.interval_cycles != 0;
     std::size_t update_count = 0;
     if (live_updates) {
@@ -132,19 +200,15 @@ class BasicRouterSim {
         live_updates ? static_cast<std::uint64_t>(update_count) *
                            config_.update.interval_cycles
                      : 0;
-    queue_.reset(config_.engine, total_packets + update_count,
-                 std::max(arrival_horizon, update_horizon));
-    waiting_.clear();
-    pending_.clear();
-    next_request_seq_ = 0;
+    const std::uint64_t horizon = std::max(arrival_horizon, update_horizon);
+    verify_ = verify;
     timeout_base_ = config_.recovery.timeout_cycles;
     if (timeout_base_ == 0) {
       // Auto: a lightly loaded remote round trip (two fabric traversals plus
       // one FE service) with 16x slack for queueing. A too-small timeout is
       // safe — spurious retransmits are absorbed by duplicate suppression —
       // but wastes fabric messages.
-      timeout_base_ = 16 * (2 * static_cast<std::uint64_t>(std::llround(
-                                    fabric_->latency_cycles())) +
+      timeout_base_ = 16 * (2 * fabric_->min_lookahead() +
                             static_cast<std::uint64_t>(std::max(
                                 1, config_.fe_service_cycles)));
     }
@@ -163,6 +227,8 @@ class BasicRouterSim {
     fe_busy_.assign(static_cast<std::size_t>(config_.num_lcs), 0);
     next_flush_ = config_.flush_interval_cycles;
     update_rng_.seed(config_.seed ^ 0x0badf00dULL);
+    request_seq_.assign(static_cast<std::size_t>(config_.num_lcs), 0);
+    send_seq_.assign(static_cast<std::size_t>(config_.num_lcs), 0);
     // A prior run's live updates mutated the FEs / fragments / oracle:
     // rebuild them so every run starts from the configured table.
     if (fes_dirty_) {
@@ -178,17 +244,19 @@ class BasicRouterSim {
       oracle_.reset();
       oracle_dirty_ = false;
     }
-    verify_ = verify;
-    if ((verify_ || (live_updates && faults_active())) && oracle_ == nullptr) {
-      // With live updates in fault mode the degraded slow path must track
-      // the evolving table, so the oracle is built eagerly.
+    if ((verify_ || faults_active()) && oracle_ == nullptr) {
+      // Verify mode reads it per packet; fault mode's degraded slow path
+      // may need it at any shard. Building it eagerly here (instead of
+      // lazily on the first degraded fallback) keeps the handlers free of
+      // shared-state construction.
       oracle_ = std::make_unique<typename Family::Oracle>(
           Family::build_oracle(full_table_));
     }
     updates_.clear();
     update_inject_time_.clear();
     update_settle_time_.clear();
-    update_outstanding_.clear();
+    update_outstanding_.reset();
+    update_settle_max_.reset();
     if (live_updates && update_count > 0) {
       net::UpdateStreamConfig stream_config;
       stream_config.count = update_count;
@@ -199,7 +267,11 @@ class BasicRouterSim {
       updates_ = Family::make_updates(full_table_, stream_config);
       update_inject_time_.resize(updates_.size());
       update_settle_time_.assign(updates_.size(), kSettlePending);
-      update_outstanding_.assign(updates_.size(), 0);
+      // make_unique<T[]> value-initializes: counters start at zero.
+      update_outstanding_ =
+          std::make_unique<std::atomic<std::uint32_t>[]>(updates_.size());
+      update_settle_max_ =
+          std::make_unique<std::atomic<std::uint64_t>[]>(updates_.size());
       if (lc_tables_.empty()) {
         lc_tables_.reserve(static_cast<std::size_t>(config_.num_lcs));
         for (int lc = 0; lc < config_.num_lcs; ++lc) {
@@ -207,63 +279,126 @@ class BasicRouterSim {
                                                  : full_table_);
         }
       }
-      for (std::size_t i = 0; i < updates_.size(); ++i) {
-        const std::uint64_t at =
-            (static_cast<std::uint64_t>(i) + 1) * config_.update.interval_cycles;
-        update_inject_time_[i] = at;
-        queue_.schedule(
-            at, Event{Event::Type::kUpdateInject, 0, Addr{},
-                      Requester{0, static_cast<std::int64_t>(i), false}, false,
-                      net::kNoRoute});
-      }
     }
+    // The run ahead will mutate FEs/fragments (every injected update is
+    // applied) and the oracle if present; flag them for the next run now so
+    // the handlers never touch the flags from worker threads.
+    fes_dirty_ = !updates_.empty();
+    oracle_dirty_ = !updates_.empty() && oracle_ != nullptr;
 
-    // Assign global packet ids and schedule arrivals.
+    // Assign global packet ids.
     arrival_time_.assign(total_packets, 0);
     arrival_lc_.assign(total_packets, 0);
-    resolved_.assign(total_packets, false);
+    resolved_.assign(total_packets, 0);
     destinations_.clear();
     destinations_.reserve(total_packets);
+
+    // Build the shards and scatter the initial schedule. Event insertion
+    // order per shard matches the sequential engine's insertion order
+    // restricted to that shard (updates first, then arrivals LC-major), so
+    // equal-time tie-breaks agree between the engines.
+    shard_count_ = planned_shards(verify);
+    lookahead_ = fabric_->min_lookahead();
+    msgs_sent_.store(0, std::memory_order_relaxed);
+    msgs_drained_.store(0, std::memory_order_relaxed);
+    shards_.clear();
+    shards_.reserve(static_cast<std::size_t>(shard_count_));
+    for (int s = 0; s < shard_count_; ++s) {
+      shards_.push_back(std::make_unique<Shard>());
+      Shard& sh = *shards_.back();
+      sh.index = s;
+      if (shard_count_ > 1) {
+        sh.inbound.resize(static_cast<std::size_t>(shard_count_));
+        for (int src = 0; src < shard_count_; ++src) {
+          if (src == s) continue;
+          sh.inbound[static_cast<std::size_t>(src)] =
+              std::make_unique<sim::SpscRing<StagedMsg>>(kRingCapacity);
+        }
+      }
+    }
+    {
+      std::vector<std::size_t> expected(static_cast<std::size_t>(shard_count_),
+                                        0);
+      for (int lc = 0; lc < config_.num_lcs; ++lc) {
+        expected[static_cast<std::size_t>(shard_of_lc(lc))] +=
+            streams[static_cast<std::size_t>(lc)].size();
+      }
+      expected[static_cast<std::size_t>(shard_of_lc(0))] += update_count;
+      for (int s = 0; s < shard_count_; ++s) {
+        shards_[static_cast<std::size_t>(s)]->queue.reset(
+            config_.engine, expected[static_cast<std::size_t>(s)], horizon);
+      }
+    }
+    for (std::size_t i = 0; i < updates_.size(); ++i) {
+      const std::uint64_t at =
+          (static_cast<std::uint64_t>(i) + 1) * config_.update.interval_cycles;
+      update_inject_time_[i] = at;
+      shard_for_lc(0).queue.schedule(
+          at, Event{Event::Type::kUpdateInject, 0, Addr{},
+                    Requester{0, static_cast<std::int64_t>(i), false}, false,
+                    net::kNoRoute});
+    }
     std::int64_t packet_id = 0;
     for (int lc = 0; lc < config_.num_lcs; ++lc) {
       const auto& stream = streams[static_cast<std::size_t>(lc)];
       const auto& arrivals = arrivals_per_lc[static_cast<std::size_t>(lc)];
+      Shard& sh = shard_for_lc(lc);
       for (std::size_t i = 0; i < stream.size(); ++i) {
         arrival_time_[static_cast<std::size_t>(packet_id)] = arrivals[i];
         arrival_lc_[static_cast<std::size_t>(packet_id)] = lc;
         destinations_.push_back(stream[i]);
-        queue_.schedule(arrivals[i],
-                        Event{Event::Type::kLookup, lc, stream[i],
-                              Requester{lc, packet_id, false}, false,
-                              net::kNoRoute});
+        sh.queue.schedule(arrivals[i],
+                          Event{Event::Type::kLookup, lc, stream[i],
+                                Requester{lc, packet_id, false}, false,
+                                net::kNoRoute});
         ++packet_id;
       }
     }
 
-    // Event loop.
-    while (!queue_.empty()) {
-      auto [now, event] = queue_.pop();
-      // A timer whose request already settled (reply accepted or degraded)
-      // is stale: skip it before it can stretch the measured makespan.
-      if (event.type == Event::Type::kTimeout &&
-          pending_.find(event.requester.seq) == pending_.end()) {
-        continue;
-      }
-      maybe_update_table(now);
-      result_.makespan_cycles = std::max(result_.makespan_cycles, now);
-      switch (event.type) {
-        case Event::Type::kLookup: handle_lookup(now, event); break;
-        case Event::Type::kFeComplete: handle_fe_complete(now, event); break;
-        case Event::Type::kReply: handle_reply(now, event); break;
-        case Event::Type::kTimeout: handle_timeout(now, event); break;
-        case Event::Type::kDegraded: handle_degraded(now, event); break;
-        case Event::Type::kUpdateInject: handle_update_inject(now, event); break;
-        case Event::Type::kUpdateApply: handle_update_apply(now, event); break;
-        case Event::Type::kInvalidate: handle_invalidate(now, event); break;
-      }
+    if (shard_count_ == 1) {
+      run_solo(*shards_.front());
+    } else {
+      run_sharded();
     }
 
-    // Aggregate per-LC statistics.
+    // Aggregate per-shard and per-LC statistics. The shard loop runs in
+    // index order and the latency merge in LC order in both engines, so the
+    // aggregation itself cannot introduce a divergence.
+    for (const auto& shp : shards_) {
+      const ShardCounters& c = shp->c;
+      result_.makespan_cycles = std::max(result_.makespan_cycles, c.makespan);
+      result_.fe_lookups += c.fe_lookups;
+      result_.remote_requests += c.remote_requests;
+      result_.remote_replies += c.remote_replies;
+      result_.resolved_packets += c.resolved_packets;
+      result_.verify_mismatches += c.verify_mismatches;
+      result_.updates_applied += c.updates_applied;
+      result_.blocks_invalidated += c.blocks_invalidated;
+      result_.fault.timeouts += c.timeouts;
+      result_.fault.retransmits += c.retransmits;
+      result_.fault.duplicate_replies += c.duplicate_replies;
+      result_.fault.degraded_fallbacks += c.degraded_fallbacks;
+      result_.fault.degraded_lookups += c.degraded_lookups;
+      result_.fault.reclaimed_waiting_blocks += c.reclaimed_waiting_blocks;
+      result_.update.applied += c.update.applied;
+      result_.update.announces += c.update.announces;
+      result_.update.withdraws += c.update.withdraws;
+      result_.update.hop_changes += c.update.hop_changes;
+      result_.update.applications += c.update.applications;
+      result_.update.fe_incremental += c.update.fe_incremental;
+      result_.update.fe_rebuilds += c.update.fe_rebuilds;
+      result_.update.update_cost_cycles += c.update.update_cost_cycles;
+      result_.update.update_messages += c.update.update_messages;
+      result_.update.invalidation_messages += c.update.invalidation_messages;
+      result_.update.blocks_invalidated += c.update.blocks_invalidated;
+      result_.update.cache_flushes += c.update.cache_flushes;
+    }
+    // Per-LC latency merges are exact (identical bucket layout), so merging
+    // in LC order reproduces the global histogram a direct record() per
+    // packet would have produced — and does so engine-independently.
+    for (const sim::LatencyStats& lc_latency : result_.per_lc_latency) {
+      result_.latency.merge(lc_latency);
+    }
     for (std::size_t lc = 0; lc < caches_.size(); ++lc) {
       result_.per_lc[lc].cache = caches_[lc]->stats();
       result_.cache_total.accumulate(caches_[lc]->stats());
@@ -294,6 +429,27 @@ class BasicRouterSim {
   /// The full (unfragmented) routing table the router was built from.
   const Table& table() const { return full_table_; }
 
+  /// How many shards (worker threads) a run(streams, verify) would use.
+  /// kSequential always runs one shard. kSharded silently falls back to one
+  /// shard for configurations the parallel engine does not support:
+  /// periodic cache flushes (flush_interval_cycles touches every LC's cache
+  /// from one event), live updates combined with verify or fault injection
+  /// (both read the oracle concurrently with inject-time mutation), and a
+  /// fabric with zero minimum latency (no lookahead, no parallelism).
+  int planned_shards(bool verify = false) const {
+    if (config_.execution != RouterConfig::ExecutionMode::kSharded) return 1;
+    if (config_.flush_interval_cycles != 0) return 1;
+    const bool live_updates = config_.update.interval_cycles != 0;
+    if (live_updates && (verify || config_.fault.enabled)) return 1;
+    if (fabric_->min_lookahead() < 1) return 1;
+    int threads = config_.threads;
+    if (threads <= 0) {
+      const unsigned hw = std::thread::hardware_concurrency();
+      threads = hw == 0 ? 1 : static_cast<int>(hw);
+    }
+    return std::max(1, std::min(threads, config_.num_lcs));
+  }
+
   /// Per-LC forwarding-index storage in bytes.
   std::vector<std::size_t> fe_storage_bytes() const {
     std::vector<std::size_t> sizes;
@@ -320,6 +476,9 @@ class BasicRouterSim {
   }
 
  private:
+  static constexpr std::uint64_t kNoTime = ~std::uint64_t{0};
+  static constexpr std::size_t kRingCapacity = 1024;
+
   struct Requester {
     int lc;               ///< LC the requesting packet arrived at
     std::int64_t packet;  ///< global packet id
@@ -363,6 +522,24 @@ class BasicRouterSim {
     int attempt = 0;      ///< retransmits so far
   };
 
+  /// A fabric message after its egress phase, parked until the destination
+  /// shard commits it. Committed in (raw, origin_lc, origin_seq) order —
+  /// origin_seq is a per-source-LC send counter, so the key is unique and
+  /// identical in both engines.
+  struct StagedMsg {
+    std::uint64_t raw = 0;
+    std::uint32_t origin_lc = 0;
+    std::uint64_t origin_seq = 0;
+    Event event{};
+  };
+  struct StagedAfter {
+    bool operator()(const StagedMsg& a, const StagedMsg& b) const {
+      if (a.raw != b.raw) return a.raw > b.raw;
+      if (a.origin_lc != b.origin_lc) return a.origin_lc > b.origin_lc;
+      return a.origin_seq > b.origin_seq;
+    }
+  };
+
   // Waiting lists are keyed by the exact (LC, address) pair — the hash
   // comes from Family::hash_bits but equality compares full addresses, so
   // 128-bit families cannot alias two lists.
@@ -383,25 +560,372 @@ class BasicRouterSim {
 
   using WaitMap = std::unordered_map<WaitKey, std::vector<Requester>, WaitKeyHash>;
 
+  /// Counters a handler may bump from any LC of its shard; summed (max for
+  /// makespan) into RouterResult after the run in shard-index order.
+  struct ShardCounters {
+    std::uint64_t makespan = 0;
+    std::uint64_t fe_lookups = 0;
+    std::uint64_t remote_requests = 0;
+    std::uint64_t remote_replies = 0;
+    std::uint64_t resolved_packets = 0;
+    std::uint64_t verify_mismatches = 0;
+    std::uint64_t updates_applied = 0;
+    std::uint64_t blocks_invalidated = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t duplicate_replies = 0;
+    std::uint64_t degraded_fallbacks = 0;
+    std::uint64_t degraded_lookups = 0;
+    std::uint64_t reclaimed_waiting_blocks = 0;
+    UpdateStats update;
+  };
+
+  /// One shard: a contiguous LC range, its event queue, the per-LC maps
+  /// that only its thread touches, and the cross-thread machinery (inbound
+  /// rings, published frontier, idle flag).
+  struct Shard {
+    int index = 0;
+    sim::AnyEventQueue<Event> queue;
+    std::vector<StagedMsg> staging;  // min-heap via StagedAfter
+    WaitMap waiting;
+    std::vector<typename WaitMap::node_type> wait_pool;
+    std::vector<Requester> wait_scratch;
+    std::unordered_map<std::uint64_t, PendingRequest> pending;
+    ShardCounters c;
+    /// inbound[s] carries messages from shard s (null for s == index and in
+    /// solo mode). Producer: shard s's thread; consumer: this shard.
+    std::vector<std::unique_ptr<sim::SpscRing<StagedMsg>>> inbound;
+    /// Lower bound (release-published) on this shard's future injections.
+    alignas(64) std::atomic<std::uint64_t> frontier{0};
+    /// Uncapped min(qnext, snext) — the shard's next local event time,
+    /// kNoTime when it has none. Read by peers' flux-consistent jumps.
+    std::atomic<std::uint64_t> local_next{0};
+    std::atomic<bool> idle{false};
+    std::uint64_t published = 0;  ///< owner's copy of frontier
+  };
+
+  int shard_of_lc(int lc) const {
+    return static_cast<int>(static_cast<std::int64_t>(lc) * shard_count_ /
+                            config_.num_lcs);
+  }
+  Shard& shard_for_lc(int lc) {
+    return *shards_[static_cast<std::size_t>(shard_of_lc(lc))];
+  }
+
+  // ----- Shard engine ------------------------------------------------------
+
+  void check_abort() const {
+    if (abort_ != nullptr && abort_->load(std::memory_order_relaxed)) {
+      throw sim::ShardAbort{};
+    }
+  }
+
+  void publish_frontier(Shard& sh, std::uint64_t value) {
+    if (value > sh.published) {
+      sh.published = value;
+      sh.frontier.store(value, std::memory_order_release);
+    }
+  }
+
+  /// min over peers of (frontier + lookahead), saturating; kNoTime with no
+  /// peers. Callers must read this BEFORE draining rings (see file comment).
+  std::uint64_t safe_horizon(const Shard& sh) const {
+    std::uint64_t horizon = kNoTime;
+    for (const auto& other : shards_) {
+      if (other->index == sh.index) continue;
+      horizon = std::min(horizon,
+                         other->frontier.load(std::memory_order_acquire));
+    }
+    if (horizon == kNoTime) return kNoTime;
+    const std::uint64_t safe = horizon + lookahead_;
+    return safe < horizon ? kNoTime : safe;
+  }
+
+  static void push_staged(Shard& sh, const StagedMsg& msg) {
+    sh.staging.push_back(msg);
+    std::push_heap(sh.staging.begin(), sh.staging.end(), StagedAfter{});
+  }
+
+  void drain_rings(Shard& sh) {
+    StagedMsg msg;
+    std::uint64_t drained = 0;
+    for (auto& ring : sh.inbound) {
+      if (!ring) continue;
+      while (ring->try_pop(msg)) {
+        push_staged(sh, msg);
+        ++drained;
+      }
+    }
+    if (drained != 0) {
+      // A drain can LOWER this shard's next event time. Publish the new
+      // minimum before acknowledging the drains: a flux-consistent scan
+      // that observes the drained count (acquire) then also observes the
+      // lowered local_next, so it can never jump past these messages.
+      const std::uint64_t qnext =
+          sh.queue.empty() ? kNoTime : sh.queue.next_time();
+      sh.local_next.store(std::min(qnext, sh.staging.front().raw),
+                          std::memory_order_release);
+      msgs_drained_.fetch_add(drained, std::memory_order_release);
+    }
+  }
+
+  /// Flux-consistent global-minimum jump (see the file comment). Returns a
+  /// safe horizon T + D when a consistent no-messages-in-flight snapshot
+  /// exists, 0 when it doesn't (messages in flight — fall back to the
+  /// frontier ratchet) or when the snapshot is globally empty (termination
+  /// is the gate's call, not ours).
+  std::uint64_t gvt_jump(const Shard& sh, std::uint64_t own_cand) const {
+    const std::uint64_t sent = msgs_sent_.load(std::memory_order_acquire);
+    if (msgs_drained_.load(std::memory_order_acquire) != sent) return 0;
+    std::uint64_t t = own_cand;
+    for (const auto& other : shards_) {
+      if (other->index == sh.index) continue;
+      t = std::min(t, other->local_next.load(std::memory_order_acquire));
+    }
+    if (msgs_sent_.load(std::memory_order_acquire) != sent) return 0;
+    if (t == kNoTime) return 0;
+    const std::uint64_t safe = t + lookahead_;
+    return safe < t ? kNoTime : safe;
+  }
+
+  /// Egress already ran at the source; park the message at the destination
+  /// shard. A full ring never deadlocks: while spinning the producer keeps
+  /// draining its own inbound rings, so two shards pushing to each other
+  /// both make progress.
+  void stage_message(Shard& sh, int src, std::uint64_t raw, const Event& event) {
+    const StagedMsg msg{raw, static_cast<std::uint32_t>(src),
+                        send_seq_[static_cast<std::size_t>(src)]++, event};
+    Shard& dst = shard_for_lc(event.lc);
+    if (&dst == &sh) {
+      push_staged(sh, msg);
+      return;
+    }
+    // Count the message in flight BEFORE it becomes poppable, so a
+    // flux-consistent scan can never observe the push without the count.
+    msgs_sent_.fetch_add(1, std::memory_order_acq_rel);
+    sim::SpscRing<StagedMsg>& ring =
+        *dst.inbound[static_cast<std::size_t>(sh.index)];
+    sim::SpinWaiter spin;
+    while (!ring.try_push(msg)) {
+      check_abort();
+      drain_rings(sh);
+      spin.wait();
+    }
+  }
+
+  void send_reliable(Shard& sh, int src, std::uint64_t inject,
+                     const Event& event) {
+    stage_message(sh, src, fabric_->egress(src, inject).raw_arrival, event);
+  }
+
+  bool send_lossy(Shard& sh, int src, int dst, std::uint64_t inject,
+                  const Event& event) {
+    const fabric::Egress out = fabric_->egress_lossy(src, dst, inject);
+    if (!out.delivered) return false;
+    stage_message(sh, src, out.raw_arrival, event);
+    return true;
+  }
+
+  /// Runs the destination-port ingress phase for the canonically-first
+  /// staged message and schedules its event.
+  void commit_front(Shard& sh) {
+    std::pop_heap(sh.staging.begin(), sh.staging.end(), StagedAfter{});
+    const StagedMsg msg = sh.staging.back();
+    sh.staging.pop_back();
+    sh.queue.schedule(fabric_->ingress_commit(msg.event.lc, msg.raw),
+                      msg.event);
+  }
+
+  /// Commits staged messages and dispatches events, all strictly below
+  /// `limit`, committing before popping on equal times (the canonical
+  /// order). With publish, the next pop time is released before each
+  /// dispatch so sends made during the handler are covered by the
+  /// published frontier.
+  void process_window(Shard& sh, std::uint64_t limit, bool publish) {
+    for (;;) {
+      const std::uint64_t qnext =
+          sh.queue.empty() ? kNoTime : sh.queue.next_time();
+      if (!sh.staging.empty()) {
+        const std::uint64_t snext = sh.staging.front().raw;
+        if (snext < limit && snext <= qnext) {
+          commit_front(sh);
+          continue;
+        }
+      }
+      if (qnext >= limit) return;
+      if (publish) publish_frontier(sh, qnext);
+      dispatch_one(sh);
+    }
+  }
+
+  void dispatch_one(Shard& sh) {
+    auto [now, event] = sh.queue.pop();
+    // A timer whose request already settled (reply accepted or degraded)
+    // is stale: skip it before it can stretch the measured makespan.
+    if (event.type == Event::Type::kTimeout &&
+        sh.pending.find(event.requester.seq) == sh.pending.end()) {
+      return;
+    }
+    // Periodic flush/invalidate touches every LC's cache, so it forces the
+    // solo engine (see planned_shards) and may keep using result_ directly.
+    if (config_.flush_interval_cycles != 0) maybe_update_table(now);
+    sh.c.makespan = std::max(sh.c.makespan, now);
+    switch (event.type) {
+      case Event::Type::kLookup: handle_lookup(sh, now, event); break;
+      case Event::Type::kFeComplete: handle_fe_complete(sh, now, event); break;
+      case Event::Type::kReply: handle_reply(sh, now, event); break;
+      case Event::Type::kTimeout: handle_timeout(sh, now, event); break;
+      case Event::Type::kDegraded: handle_degraded(sh, now, event); break;
+      case Event::Type::kUpdateInject: handle_update_inject(sh, now, event); break;
+      case Event::Type::kUpdateApply: handle_update_apply(sh, now, event); break;
+      case Event::Type::kInvalidate: handle_invalidate(sh, now, event); break;
+    }
+  }
+
+  /// Sequential engine: the same staged/canonical machinery on one all-LC
+  /// shard. With limit = kNoTime every staged message commits and every
+  /// event dispatches, and the loop ends only when both are empty.
+  void run_solo(Shard& sh) { process_window(sh, kNoTime, false); }
+
+  bool all_idle() const {
+    for (const auto& s : shards_) {
+      if (!s->idle.load(std::memory_order_acquire)) return false;
+    }
+    return true;
+  }
+
+  bool try_terminate(Shard& sh, sim::TerminationGate& gate,
+                     std::uint64_t& parity) {
+    return gate.round(
+        parity,
+        /*recheck=*/
+        [&] {
+          drain_rings(sh);
+          const bool busy = !sh.queue.empty() || !sh.staging.empty();
+          if (busy) sh.idle.store(false, std::memory_order_relaxed);
+          return busy;
+        },
+        /*poll=*/
+        [&] {
+          check_abort();
+          const std::uint64_t safe = safe_horizon(sh);
+          drain_rings(sh);
+          // Work that races in while parked here must be PROCESSED, not
+          // just held: a held event pins this shard's frontier, and a busy
+          // peer whose next event sits exactly at frontier + D then stalls
+          // forever — it never goes idle, never joins the barrier, and this
+          // shard never leaves it. Processing is termination-safe: any
+          // send from here means this shard's recheck vetoed (the work was
+          // in its queue/rings at recheck time), so the round cannot
+          // conclude "terminate" while messages are being created.
+          process_window(sh, safe, /*publish=*/true);
+          const std::uint64_t qnext =
+              sh.queue.empty() ? kNoTime : sh.queue.next_time();
+          const std::uint64_t snext =
+              sh.staging.empty() ? kNoTime : sh.staging.front().raw;
+          sh.local_next.store(std::min(qnext, snext),
+                              std::memory_order_release);
+          publish_frontier(sh, std::min(std::min(qnext, snext), safe));
+        });
+  }
+
+  /// One shard's worker loop. The per-iteration order is load-bearing:
+  /// read peer frontiers (acquire) FIRST, then drain rings, then compute
+  /// the local candidate, then publish — see the file comment.
+  void run_shard(Shard& sh, sim::TerminationGate& gate) {
+    sim::SpinWaiter spin;
+    std::uint64_t gate_parity = 0;
+    for (;;) {
+      check_abort();
+      std::uint64_t safe = safe_horizon(sh);
+      drain_rings(sh);
+      const std::uint64_t qnext =
+          sh.queue.empty() ? kNoTime : sh.queue.next_time();
+      const std::uint64_t snext =
+          sh.staging.empty() ? kNoTime : sh.staging.front().raw;
+      const std::uint64_t cand = std::min(qnext, snext);
+      sh.local_next.store(cand, std::memory_order_release);
+      // Idle shards publish the safe horizon itself (never "infinity"):
+      // peers' horizons then ratchet forward by the lookahead each round,
+      // which is what guarantees global progress.
+      publish_frontier(sh, std::min(cand, safe));
+      if (cand >= safe) {
+        // Stalled on peer frontiers. Before ratcheting D per round, try
+        // the flux-consistent jump: with no message in flight the global
+        // next-event minimum bounds every future arrival, letting this
+        // shard (and, via its republished frontier, its peers) leap a
+        // sparse-event gap in one round instead of O(gap/D).
+        const std::uint64_t jumped = gvt_jump(sh, cand);
+        if (jumped > safe) {
+          safe = jumped;
+          publish_frontier(sh, std::min(cand, safe));
+        }
+      }
+      if (cand == kNoTime) {
+        sh.idle.store(true, std::memory_order_release);
+        if (all_idle() && try_terminate(sh, gate, gate_parity)) return;
+        spin.wait();
+        continue;
+      }
+      sh.idle.store(false, std::memory_order_relaxed);
+      if (cand >= safe) {
+        spin.wait();
+        continue;
+      }
+      spin.reset();
+      process_window(sh, safe, /*publish=*/true);
+    }
+  }
+
+  void run_sharded() {
+    sim::TerminationGate gate(shard_count_);
+    std::atomic<bool> abort{false};
+    abort_ = &abort;
+    std::vector<std::exception_ptr> errors(
+        static_cast<std::size_t>(shard_count_));
+    auto body = [&](int index) {
+      try {
+        run_shard(*shards_[static_cast<std::size_t>(index)], gate);
+      } catch (const sim::ShardAbort&) {
+        // Another shard failed first; unwind quietly.
+      } catch (...) {
+        errors[static_cast<std::size_t>(index)] = std::current_exception();
+        abort.store(true, std::memory_order_relaxed);
+      }
+    };
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(shard_count_ - 1));
+    for (int s = 1; s < shard_count_; ++s) workers.emplace_back(body, s);
+    body(0);
+    for (std::thread& worker : workers) worker.join();
+    abort_ = nullptr;
+    // Rethrow the lowest shard index's failure (deterministic pick).
+    for (const std::exception_ptr& error : errors) {
+      if (error) std::rethrow_exception(error);
+    }
+  }
+
+  // ----- Waiting lists -----------------------------------------------------
+
   /// The waiting list for (lc, addr), creating it from the node free-list
   /// when possible so the hot miss path performs no allocation.
-  std::vector<Requester>& waiters(int lc, const Addr& addr) {
+  std::vector<Requester>& waiters(Shard& sh, int lc, const Addr& addr) {
     const WaitKey key = wait_key(lc, addr);
-    const auto it = waiting_.find(key);
-    if (it != waiting_.end()) return it->second;
-    if (!wait_pool_.empty()) {
-      auto node = std::move(wait_pool_.back());
-      wait_pool_.pop_back();
+    const auto it = sh.waiting.find(key);
+    if (it != sh.waiting.end()) return it->second;
+    if (!sh.wait_pool.empty()) {
+      auto node = std::move(sh.wait_pool.back());
+      sh.wait_pool.pop_back();
       node.key() = key;
-      return waiting_.insert(std::move(node)).position->second;
+      return sh.waiting.insert(std::move(node)).position->second;
     }
-    return waiting_[key];
+    return sh.waiting[key];
   }
 
   /// Parks a requester on the (lc, addr) waiting list, tracking the per-LC
   /// parked-requester high-water mark.
-  void park(int lc, const Addr& addr, const Requester& requester) {
-    waiters(lc, addr).push_back(requester);
+  void park(Shard& sh, int lc, const Addr& addr, const Requester& requester) {
+    waiters(sh, lc, addr).push_back(requester);
     auto& depth = waiting_depth_[static_cast<std::size_t>(lc)];
     ++depth;
     auto& lc_stats = result_.per_lc[static_cast<std::size_t>(lc)];
@@ -410,21 +934,24 @@ class BasicRouterSim {
 
   /// Moves the waiting list for (lc, addr) into a scratch buffer (empty if
   /// none) and recycles both the map node and the vector capacity. The
-  /// scratch is a member: callers drain it before the next take_waiters().
-  const std::vector<Requester>& take_waiters(int lc, const Addr& addr) {
-    wait_scratch_.clear();
-    const auto it = waiting_.find(wait_key(lc, addr));
-    if (it != waiting_.end()) {
+  /// scratch is per-shard: callers drain it before the next take_waiters().
+  const std::vector<Requester>& take_waiters(Shard& sh, int lc,
+                                             const Addr& addr) {
+    sh.wait_scratch.clear();
+    const auto it = sh.waiting.find(wait_key(lc, addr));
+    if (it != sh.waiting.end()) {
       // Swap (not move) so the extracted node inherits the scratch's old
       // capacity and carries it back through the pool.
-      wait_scratch_.swap(it->second);
-      wait_pool_.push_back(waiting_.extract(it));
-      waiting_depth_[static_cast<std::size_t>(lc)] -= wait_scratch_.size();
+      sh.wait_scratch.swap(it->second);
+      sh.wait_pool.push_back(sh.waiting.extract(it));
+      waiting_depth_[static_cast<std::size_t>(lc)] -= sh.wait_scratch.size();
     }
-    return wait_scratch_;
+    return sh.wait_scratch;
   }
 
-  void handle_lookup(std::uint64_t now, const Event& event) {
+  // ----- Lookup flow -------------------------------------------------------
+
+  void handle_lookup(Shard& sh, std::uint64_t now, const Event& event) {
     const int lc = event.lc;
     const Addr addr = event.addr;
     const Requester requester = event.requester;
@@ -432,7 +959,7 @@ class BasicRouterSim {
       // One probe per cycle per LR-cache (Sec. 5.1): contend for the port.
       auto& port_free = cache_port_free_[static_cast<std::size_t>(lc)];
       if (port_free > now) {
-        queue_.schedule(port_free, event);
+        sh.queue.schedule(port_free, event);
         return;
       }
       port_free = now + 1;
@@ -440,10 +967,10 @@ class BasicRouterSim {
       const cache::ProbeResult probe = cache.probe(addr, now);
       switch (probe.state) {
         case cache::ProbeState::kHit:
-          deliver_result(now + 1, lc, addr, probe.next_hop, requester);
+          deliver_result(sh, now + 1, lc, addr, probe.next_hop, requester);
           return;
         case cache::ProbeState::kWaiting:
-          park(lc, addr, requester);
+          park(sh, lc, addr, requester);
           return;
         case cache::ProbeState::kMiss:
           break;
@@ -455,25 +982,25 @@ class BasicRouterSim {
       if (!caches_.empty() && config_.early_reservation) {
         fill = caches_[static_cast<std::size_t>(lc)]->reserve(
             addr, cache::Origin::kLocal, now);
-        if (fill) park(lc, addr, requester);
+        if (fill) park(sh, lc, addr, requester);
       }
-      start_fe_job(now, lc, addr, fill, requester);
+      start_fe_job(sh, now, lc, addr, fill, requester);
     } else {
       Requester forwarded = requester;
       forwarded.fill_on_reply = false;
       if (!caches_.empty() && config_.early_reservation) {
         if (caches_[static_cast<std::size_t>(lc)]->reserve(
                 addr, cache::Origin::kRemote, now)) {
-          park(lc, addr, requester);
+          park(sh, lc, addr, requester);
           forwarded.fill_on_reply = true;
         }
       }
-      send_request(now, lc, home, addr, forwarded);
+      send_request(sh, now, lc, home, addr, forwarded);
     }
   }
 
-  void start_fe_job(std::uint64_t now, int lc, const Addr& addr, bool fill,
-                    Requester direct) {
+  void start_fe_job(Shard& sh, std::uint64_t now, int lc, const Addr& addr,
+                    bool fill, Requester direct) {
     // k-server deterministic queue: the job runs on the earliest-free engine.
     auto& servers = fe_free_[static_cast<std::size_t>(lc)];
     auto& fe_free = *std::min_element(servers.begin(), servers.end());
@@ -483,15 +1010,15 @@ class BasicRouterSim {
     fe_free = completion;
     fe_busy_[static_cast<std::size_t>(lc)] +=
         static_cast<std::uint64_t>(config_.fe_service_cycles);
-    ++result_.fe_lookups;
+    ++sh.c.fe_lookups;
     auto& lc_stats = result_.per_lc[static_cast<std::size_t>(lc)];
     ++lc_stats.fe_lookups;
     lc_stats.fe_queue_wait_cycles += start - now;
-    queue_.schedule(completion, Event{Event::Type::kFeComplete, lc, addr, direct,
-                                      fill, net::kNoRoute});
+    sh.queue.schedule(completion, Event{Event::Type::kFeComplete, lc, addr,
+                                        direct, fill, net::kNoRoute});
   }
 
-  void handle_fe_complete(std::uint64_t now, const Event& event) {
+  void handle_fe_complete(Shard& sh, std::uint64_t now, const Event& event) {
     const int lc = event.lc;
     const Addr addr = event.addr;
     const net::NextHop hop =
@@ -502,8 +1029,8 @@ class BasicRouterSim {
       }
       // Serve everything parked on the block: local packets resolve, remote
       // requesters receive replies over the fabric.
-      for (const Requester& r : take_waiters(lc, addr)) {
-        deliver_result(now, lc, addr, hop, r);
+      for (const Requester& r : take_waiters(sh, lc, addr)) {
+        deliver_result(sh, now, lc, addr, hop, r);
       }
     } else {
       // No reserved block (early recording disabled or the reservation
@@ -512,11 +1039,11 @@ class BasicRouterSim {
         caches_[static_cast<std::size_t>(lc)]->insert(addr, hop,
                                                       cache::Origin::kLocal, now);
       }
-      deliver_result(now, lc, addr, hop, event.requester);
+      deliver_result(sh, now, lc, addr, hop, event.requester);
     }
   }
 
-  void handle_reply(std::uint64_t now, const Event& event) {
+  void handle_reply(Shard& sh, std::uint64_t now, const Event& event) {
     const int lc = event.lc;
     const Addr addr = event.addr;
     if (faults_active()) {
@@ -524,12 +1051,12 @@ class BasicRouterSim {
       // already settled — an earlier attempt's reply was accepted or the
       // lookup fell back to the degraded path — so this one is a duplicate
       // and must not touch the cache or resolve anything twice.
-      const auto it = pending_.find(event.requester.seq);
-      if (it == pending_.end()) {
-        ++result_.fault.duplicate_replies;
+      const auto it = sh.pending.find(event.requester.seq);
+      if (it == sh.pending.end()) {
+        ++sh.c.duplicate_replies;
         return;
       }
-      pending_.erase(it);
+      sh.pending.erase(it);
     }
     if (!caches_.empty()) {
       if (event.requester.fill_on_reply) {
@@ -543,53 +1070,49 @@ class BasicRouterSim {
     // Drain local packets parked while this reply was in flight (the
     // carried requester is usually among them; resolve_packet guards
     // duplicates).
-    for (const Requester& r : take_waiters(lc, addr)) {
-      resolve_packet(now, r.packet, event.hop);
+    for (const Requester& r : take_waiters(sh, lc, addr)) {
+      resolve_packet(sh, now, r.packet, event.hop);
     }
-    resolve_packet(now, event.requester.packet, event.hop);
+    resolve_packet(sh, now, event.requester.packet, event.hop);
   }
 
-  void deliver_result(std::uint64_t now, int lc, const Addr& addr,
+  void deliver_result(Shard& sh, std::uint64_t now, int lc, const Addr& addr,
                       net::NextHop hop, const Requester& requester) {
     if (requester.lc == lc) {
-      resolve_packet(now, requester.packet, hop);
+      resolve_packet(sh, now, requester.packet, hop);
       return;
     }
-    ++result_.remote_replies;
+    ++sh.c.remote_replies;
+    const Event reply{Event::Type::kReply, requester.lc, addr, requester,
+                      false, hop};
     if (faults_active()) {
       // The reply can be lost too; the requester's timeout covers the whole
       // round trip, so a dropped reply is indistinguishable from a dropped
       // request and triggers the same retry/degraded recovery.
-      const fabric::Delivery delivery =
-          fabric_->try_deliver(lc, requester.lc, now);
-      if (delivery.delivered) {
-        queue_.schedule(delivery.arrival,
-                        Event{Event::Type::kReply, requester.lc, addr,
-                              requester, false, hop});
-      }
+      send_lossy(sh, lc, requester.lc, now, reply);
       return;
     }
-    const std::uint64_t arrival = fabric_->deliver(lc, requester.lc, now);
-    queue_.schedule(arrival, Event{Event::Type::kReply, requester.lc, addr,
-                                   requester, false, hop});
+    send_reliable(sh, lc, now, reply);
   }
 
   /// Marks a packet resolved; false when it already was (waiting-list
-  /// drains and the degraded path can race the same packet).
-  bool resolve_packet(std::uint64_t now, std::int64_t packet, net::NextHop hop) {
+  /// drains and the degraded path can race the same packet). Only the shard
+  /// owning the packet's arrival LC ever touches its resolved_ slot or its
+  /// per-LC latency histogram.
+  bool resolve_packet(Shard& sh, std::uint64_t now, std::int64_t packet,
+                      net::NextHop hop) {
     const auto index = static_cast<std::size_t>(packet);
     if (resolved_[index]) return false;
-    resolved_[index] = true;
-    ++result_.resolved_packets;
+    resolved_[index] = 1;
+    ++sh.c.resolved_packets;
     const std::uint64_t cycles = now - arrival_time_[index];
-    result_.latency.record(cycles);
     result_.per_lc_latency[static_cast<std::size_t>(arrival_lc_[index])]
         .record(cycles);
     if (verify_) {
       const net::NextHop expected =
           Family::oracle_lookup(*oracle_, destinations_[index]);
       if (expected != hop && !update_excuses(index, now)) {
-        ++result_.verify_mismatches;
+        ++sh.c.verify_mismatches;
       }
     }
     return true;
@@ -616,7 +1139,9 @@ class BasicRouterSim {
   bool faults_active() const { return config_.fault.enabled; }
 
   /// The full-table slow-path index for degraded mode (shared with verify
-  /// mode's oracle — both are LPM over the unpartitioned table).
+  /// mode's oracle — both are LPM over the unpartitioned table). run()
+  /// builds it eagerly whenever faults are enabled, so this lazy fallback
+  /// never triggers under the sharded engine.
   const typename Family::Oracle& degraded_index() {
     if (oracle_ == nullptr) {
       oracle_ = std::make_unique<typename Family::Oracle>(
@@ -625,23 +1150,31 @@ class BasicRouterSim {
     return *oracle_;
   }
 
-  void send_request(std::uint64_t now, int from_lc, int home, const Addr& addr,
-                    const Requester& requester) {
+  /// Hands out request seqs that are unique, nonzero, and independent of
+  /// the engine: each LC strides by num_lcs from its own offset.
+  std::uint64_t next_request_seq(int lc) {
+    return request_seq_[static_cast<std::size_t>(lc)]++ *
+               static_cast<std::uint64_t>(config_.num_lcs) +
+           static_cast<std::uint64_t>(lc) + 1;
+  }
+
+  void send_request(Shard& sh, std::uint64_t now, int from_lc, int home,
+                    const Addr& addr, const Requester& requester) {
     if (!faults_active()) {
-      count_request(from_lc, home);
-      const std::uint64_t arrival = fabric_->deliver(from_lc, home, now + 1);
-      queue_.schedule(arrival, Event{Event::Type::kLookup, home, addr,
-                                     requester, false, net::kNoRoute});
+      count_request(sh, from_lc, home);
+      send_reliable(sh, from_lc, now + 1,
+                    Event{Event::Type::kLookup, home, addr, requester, false,
+                          net::kNoRoute});
       return;
     }
     Requester tagged = requester;
-    tagged.seq = ++next_request_seq_;
-    pending_.emplace(tagged.seq, PendingRequest{addr, tagged, home, 0});
-    dispatch_request(now, home, addr, tagged, /*attempt=*/0);
+    tagged.seq = next_request_seq(from_lc);
+    sh.pending.emplace(tagged.seq, PendingRequest{addr, tagged, home, 0});
+    dispatch_request(sh, now, home, addr, tagged, /*attempt=*/0);
   }
 
-  void count_request(int from_lc, int home) {
-    ++result_.remote_requests;
+  void count_request(Shard& sh, int from_lc, int home) {
+    ++sh.c.remote_requests;
     ++result_.remote_fanout[static_cast<std::size_t>(from_lc) *
                                 static_cast<std::size_t>(config_.num_lcs) +
                             static_cast<std::size_t>(home)];
@@ -651,32 +1184,31 @@ class BasicRouterSim {
   /// arms its timeout. The fabric may lose the message (drop or outage);
   /// either way the timeout fires unless some attempt's reply settles the
   /// seq first, so a lost message can never strand the lookup.
-  void dispatch_request(std::uint64_t now, int home, const Addr& addr,
-                        const Requester& requester, int attempt) {
-    count_request(requester.lc, home);
-    const fabric::Delivery delivery =
-        fabric_->try_deliver(requester.lc, home, now + 1);
-    if (delivery.delivered) {
-      queue_.schedule(delivery.arrival, Event{Event::Type::kLookup, home, addr,
-                                              requester, false, net::kNoRoute});
-    }
+  void dispatch_request(Shard& sh, std::uint64_t now, int home,
+                        const Addr& addr, const Requester& requester,
+                        int attempt) {
+    count_request(sh, requester.lc, home);
+    send_lossy(sh, requester.lc, home, now + 1,
+               Event{Event::Type::kLookup, home, addr, requester, false,
+                     net::kNoRoute});
     // Exponential backoff: timeout_base_ << attempt (shift capped well
-    // below overflow; max_retries bounds attempt in practice).
+    // below overflow; max_retries bounds attempt in practice). The timer is
+    // a local event at the requesting LC — it never crosses shards.
     const std::uint64_t backoff = timeout_base_ << std::min(attempt, 20);
-    queue_.schedule(now + 1 + backoff,
-                    Event{Event::Type::kTimeout, requester.lc, addr, requester,
-                          false, net::kNoRoute});
+    sh.queue.schedule(now + 1 + backoff,
+                      Event{Event::Type::kTimeout, requester.lc, addr,
+                            requester, false, net::kNoRoute});
   }
 
-  void handle_timeout(std::uint64_t now, const Event& event) {
-    // Stale timers were filtered in the event loop: this seq is live.
-    const auto it = pending_.find(event.requester.seq);
+  void handle_timeout(Shard& sh, std::uint64_t now, const Event& event) {
+    // Stale timers were filtered in dispatch_one: this seq is live.
+    const auto it = sh.pending.find(event.requester.seq);
     PendingRequest& pending = it->second;
-    ++result_.fault.timeouts;
+    ++sh.c.timeouts;
     if (pending.attempt < config_.recovery.max_retries) {
       ++pending.attempt;
-      ++result_.fault.retransmits;
-      dispatch_request(now, pending.home, pending.addr, pending.requester,
+      ++sh.c.retransmits;
+      dispatch_request(sh, now, pending.home, pending.addr, pending.requester,
                        pending.attempt);
       return;
     }
@@ -684,30 +1216,30 @@ class BasicRouterSim {
     // reply would have filled (its quota must not leak for the rest of the
     // run), then resolve the requester and every packet parked behind it
     // with a local full-table lookup at the conventional-router cost.
-    ++result_.fault.degraded_fallbacks;
+    ++sh.c.degraded_fallbacks;
     const int lc = pending.requester.lc;
     const Addr addr = pending.addr;
     if (!caches_.empty() && pending.requester.fill_on_reply) {
       if (caches_[static_cast<std::size_t>(lc)]->cancel_waiting(addr)) {
-        ++result_.fault.reclaimed_waiting_blocks;
+        ++sh.c.reclaimed_waiting_blocks;
       }
     }
     const net::NextHop hop = Family::oracle_lookup(degraded_index(), addr);
     const std::uint64_t done =
         now + static_cast<std::uint64_t>(
                   std::max(1, config_.recovery.degraded_service_cycles));
-    for (const Requester& r : take_waiters(lc, addr)) {
-      queue_.schedule(done,
-                      Event{Event::Type::kDegraded, lc, addr, r, false, hop});
+    for (const Requester& r : take_waiters(sh, lc, addr)) {
+      sh.queue.schedule(done,
+                        Event{Event::Type::kDegraded, lc, addr, r, false, hop});
     }
-    queue_.schedule(done, Event{Event::Type::kDegraded, lc, addr,
-                                pending.requester, false, hop});
-    pending_.erase(it);
+    sh.queue.schedule(done, Event{Event::Type::kDegraded, lc, addr,
+                                  pending.requester, false, hop});
+    sh.pending.erase(it);
   }
 
-  void handle_degraded(std::uint64_t now, const Event& event) {
-    if (resolve_packet(now, event.requester.packet, event.hop)) {
-      ++result_.fault.degraded_lookups;
+  void handle_degraded(Shard& sh, std::uint64_t now, const Event& event) {
+    if (resolve_packet(sh, now, event.requester.packet, event.hop)) {
+      ++sh.c.degraded_lookups;
     }
   }
 
@@ -736,23 +1268,26 @@ class BasicRouterSim {
   /// Injection of update i at the control plane (modelled at LC 0's fabric
   /// port): the oracle advances immediately — it is the control plane's
   /// view — and one fabric message per home LC carries the update out.
-  void handle_update_inject(std::uint64_t now, const Event& event) {
+  void handle_update_inject(Shard& sh, std::uint64_t now, const Event& event) {
     const auto index = static_cast<std::size_t>(event.requester.packet);
     const auto& update = updates_[index];
-    ++result_.update.applied;
-    ++result_.updates_applied;
+    ++sh.c.update.applied;
+    ++sh.c.updates_applied;
     switch (update.kind) {
-      case net::UpdateKind::kAnnounce: ++result_.update.announces; break;
-      case net::UpdateKind::kWithdraw: ++result_.update.withdraws; break;
-      case net::UpdateKind::kHopChange: ++result_.update.hop_changes; break;
+      case net::UpdateKind::kAnnounce: ++sh.c.update.announces; break;
+      case net::UpdateKind::kWithdraw: ++sh.c.update.withdraws; break;
+      case net::UpdateKind::kHopChange: ++sh.c.update.hop_changes; break;
     }
     if (oracle_ != nullptr) {
+      // Under the sharded engine this only runs when nothing reads the
+      // oracle concurrently: verify/fault runs with live updates force the
+      // solo engine (planned_shards), so a mutating inject can only share a
+      // run with readers when there is a single shard.
       if (update.kind == net::UpdateKind::kWithdraw) {
         oracle_->remove(update.prefix);
       } else {
         oracle_->insert(update.prefix, update.next_hop);
       }
-      oracle_dirty_ = true;
     }
     // Route to every home LC whose fragment replicates the prefix. An
     // unpartitioned router keeps the full table in every LC, so all of
@@ -764,15 +1299,20 @@ class BasicRouterSim {
       homes.reserve(static_cast<std::size_t>(config_.num_lcs));
       for (int lc = 0; lc < config_.num_lcs; ++lc) homes.push_back(lc);
     }
-    update_outstanding_[index] += static_cast<std::uint32_t>(homes.size());
+    // Pre-count every apply before any message leaves: the outstanding
+    // counter can then never transiently hit zero while effects are still
+    // fanning out (each apply also adds its invalidations before its own
+    // decrement).
+    update_outstanding_[index].fetch_add(
+        static_cast<std::uint32_t>(homes.size()), std::memory_order_relaxed);
     for (const int home : homes) {
-      ++result_.update.update_messages;
-      // Control messages ride the fabric reliably (deliver, not
-      // try_deliver): BGP sessions run over TCP, losses are retransmitted
+      ++sh.c.update.update_messages;
+      // Control messages ride the fabric reliably (egress, not
+      // egress_lossy): BGP sessions run over TCP, losses are retransmitted
       // below the timescale this model resolves.
-      const std::uint64_t arrival = fabric_->deliver(0, home, now + 1);
-      queue_.schedule(arrival, Event{Event::Type::kUpdateApply, home, Addr{},
-                                     event.requester, false, net::kNoRoute});
+      send_reliable(sh, 0, now + 1,
+                    Event{Event::Type::kUpdateApply, home, Addr{},
+                          event.requester, false, net::kNoRoute});
     }
   }
 
@@ -783,7 +1323,7 @@ class BasicRouterSim {
   /// so per-(src,dst) fabric FIFO guarantees it overtakes no stale reply
   /// this home produced earlier — the invalidation is a barrier behind
   /// which no pre-update value survives in any cache.
-  void handle_update_apply(std::uint64_t now, const Event& event) {
+  void handle_update_apply(Shard& sh, std::uint64_t now, const Event& event) {
     const auto index = static_cast<std::size_t>(event.requester.packet);
     const auto& update = updates_[index];
     const int lc = event.lc;
@@ -791,47 +1331,45 @@ class BasicRouterSim {
     net::apply_update(fragment, update);
     auto& fe = fes_[static_cast<std::size_t>(lc)];
     std::uint64_t cost = 0;
-    ++result_.update.applications;
+    ++sh.c.update.applications;
     if (Family::fe_supports_update(fe)) {
       if (update.kind == net::UpdateKind::kWithdraw) {
         Family::fe_remove(fe, update.prefix);
       } else {
         Family::fe_insert(fe, update.prefix, update.next_hop);
       }
-      ++result_.update.fe_incremental;
+      ++sh.c.update.fe_incremental;
       cost = config_.update.incremental_cost_cycles;
     } else {
       fe = Family::build_fe(fragment, config_);
-      ++result_.update.fe_rebuilds;
+      ++sh.c.update.fe_rebuilds;
       cost = config_.update.rebuild_base_cycles +
              fragment.size() * config_.update.rebuild_millicycles_per_entry /
                  1000;
     }
-    fes_dirty_ = true;
     // The FE is unavailable while the update applies: every server stalls.
     for (auto& server : fe_free_[static_cast<std::size_t>(lc)]) {
       server = std::max(server, now) + cost;
     }
     fe_busy_[static_cast<std::size_t>(lc)] += cost;
-    result_.update.update_cost_cycles += cost;
+    sh.c.update.update_cost_cycles += cost;
     if (!caches_.empty()) {
-      invalidate_cache(lc, update);
+      invalidate_cache(sh, lc, update);
       for (int other = 0; other < config_.num_lcs; ++other) {
         if (other == lc) continue;
-        ++result_.update.invalidation_messages;
-        ++update_outstanding_[index];
-        const std::uint64_t arrival = fabric_->deliver(lc, other, now + 1);
-        queue_.schedule(arrival,
-                        Event{Event::Type::kInvalidate, other, Addr{},
-                              event.requester, false, net::kNoRoute});
+        ++sh.c.update.invalidation_messages;
+        update_outstanding_[index].fetch_add(1, std::memory_order_relaxed);
+        send_reliable(sh, lc, now + 1,
+                      Event{Event::Type::kInvalidate, other, Addr{},
+                            event.requester, false, net::kNoRoute});
       }
     }
     settle_update(index, now);
   }
 
-  void handle_invalidate(std::uint64_t now, const Event& event) {
+  void handle_invalidate(Shard& sh, std::uint64_t now, const Event& event) {
     const auto index = static_cast<std::size_t>(event.requester.packet);
-    invalidate_cache(event.lc, updates_[index]);
+    invalidate_cache(sh, event.lc, updates_[index]);
     settle_update(index, now);
   }
 
@@ -840,22 +1378,37 @@ class BasicRouterSim {
   /// any in-flight fill was either produced after the update applied
   /// (fresh), or was injected before this invalidation by the same home
   /// and therefore already landed (fabric FIFO) and been dropped here.
-  void invalidate_cache(int lc, const typename Family::Update& update) {
+  void invalidate_cache(Shard& sh, int lc, const typename Family::Update& update) {
     Cache& cache = *caches_[static_cast<std::size_t>(lc)];
     if (config_.update_policy == RouterConfig::UpdatePolicy::kSelectiveInvalidate) {
       const std::size_t dropped = cache.invalidate_matching(update.prefix);
-      result_.blocks_invalidated += dropped;
-      result_.update.blocks_invalidated += dropped;
+      sh.c.blocks_invalidated += dropped;
+      sh.c.update.blocks_invalidated += dropped;
     } else {
       cache.flush();
-      ++result_.update.cache_flushes;
+      ++sh.c.update.cache_flushes;
     }
   }
 
   /// One apply/invalidation event of update `index` completed; the last one
-  /// stamps the settle time (until then the update excuses mismatches).
+  /// stamps the settle time. Effects complete on different shards, so the
+  /// settle time is accumulated as a CAS-max and stamped by whichever shard
+  /// decrements the outstanding counter to zero — in a solo run event times
+  /// are non-decreasing, so the max equals the last decrementer's `now` and
+  /// the stamp is engine-independent. (Settle times feed only the verify
+  /// excuse window, and verify with churn runs solo anyway.)
   void settle_update(std::size_t index, std::uint64_t now) {
-    if (--update_outstanding_[index] == 0) update_settle_time_[index] = now;
+    std::atomic<std::uint64_t>& stamp = update_settle_max_[index];
+    std::uint64_t seen = stamp.load(std::memory_order_relaxed);
+    while (seen < now &&
+           !stamp.compare_exchange_weak(seen, now, std::memory_order_relaxed)) {
+    }
+    // acq_rel: the last decrementer's acquire sees every earlier effect's
+    // CAS-max through the RMW release sequence.
+    if (update_outstanding_[index].fetch_sub(1, std::memory_order_acq_rel) ==
+        1) {
+      update_settle_time_[index] = stamp.load(std::memory_order_relaxed);
+    }
   }
 
   static constexpr std::uint64_t kSettlePending = ~std::uint64_t{0};
@@ -866,26 +1419,37 @@ class BasicRouterSim {
   std::vector<typename Family::Fe> fes_;          // one per LC
   std::vector<std::unique_ptr<Cache>> caches_;    // one per LC (optional)
   std::unique_ptr<fabric::Fabric> fabric_;
-  std::unique_ptr<typename Family::Oracle> oracle_;  // verify mode
+  std::unique_ptr<typename Family::Oracle> oracle_;  // verify/degraded modes
 
-  // Run state (reset per run()).
-  sim::AnyEventQueue<Event> queue_;
+  // Run state (reset per run()). Ownership under the sharded engine: the
+  // Shard struct holds everything one worker thread touches exclusively;
+  // the per-LC vectors below are element-owned by the shard of that LC;
+  // the per-packet vectors are element-owned by the shard of the packet's
+  // arrival LC; everything else is either read-only during the run or
+  // explicitly atomic.
+  int shard_count_ = 1;
+  std::uint64_t lookahead_ = 0;                      // fabric min latency
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<bool>* abort_ = nullptr;               // set during run_sharded
+  // Message flux counters for the flux-consistent jump (gvt_jump): sent
+  // counts ring pushes (bumped before the push), drained counts ring pops
+  // (bumped after the pop is integrated into staging and local_next).
+  // Equal counts + an unchanged re-read of sent = no message in flight.
+  alignas(64) std::atomic<std::uint64_t> msgs_sent_{0};
+  alignas(64) std::atomic<std::uint64_t> msgs_drained_{0};
   std::vector<std::uint64_t> cache_port_free_;       // per LC
   std::vector<std::vector<std::uint64_t>> fe_free_;  // per LC, per FE server
   std::vector<std::uint64_t> fe_busy_;               // per LC, busy cycles
-  WaitMap waiting_;
-  std::vector<typename WaitMap::node_type> wait_pool_;  // recycled list nodes
-  std::vector<Requester> wait_scratch_;                 // take_waiters() buffer
-  // Fault-mode recovery state: outstanding remote requests by seq, the next
-  // seq to hand out, and the first-attempt timeout (doubles per retry).
-  std::unordered_map<std::uint64_t, PendingRequest> pending_;
-  std::uint64_t next_request_seq_ = 0;
+  std::vector<std::uint64_t> request_seq_;           // per LC, fault-mode seqs
+  std::vector<std::uint64_t> send_seq_;              // per LC, staging order
   std::uint64_t timeout_base_ = 0;
   std::vector<std::uint64_t> waiting_depth_;  // per LC, currently parked
   std::vector<std::uint64_t> arrival_time_;          // per packet
   std::vector<int> arrival_lc_;                      // per packet
   std::vector<Addr> destinations_;                   // per packet
-  std::vector<bool> resolved_;                       // per packet
+  // uint8_t, not vector<bool>: neighbouring packets can belong to different
+  // shards, and bit-packing would make their flags share a byte.
+  std::vector<std::uint8_t> resolved_;               // per packet
   std::uint64_t next_flush_ = 0;
   std::mt19937_64 update_rng_;
   // Live-update pipeline state. lc_tables_ are the mutable per-LC fragments
@@ -895,7 +1459,8 @@ class BasicRouterSim {
   std::vector<Table> lc_tables_;
   std::vector<std::uint64_t> update_inject_time_;   // per update
   std::vector<std::uint64_t> update_settle_time_;   // kSettlePending in flight
-  std::vector<std::uint32_t> update_outstanding_;   // undelivered effects
+  std::unique_ptr<std::atomic<std::uint32_t>[]> update_outstanding_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> update_settle_max_;
   bool fes_dirty_ = false;
   bool oracle_dirty_ = false;
   bool verify_ = false;

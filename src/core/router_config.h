@@ -34,6 +34,20 @@ struct RouterConfig {
   /// the default. kHeap remains for A/B measurement and as a reference.
   sim::EngineKind engine = sim::EngineKind::kCalendar;
 
+  /// How the event engine executes. kSequential runs every LC's events in
+  /// one global queue on the calling thread — the bit-identity oracle.
+  /// kSharded splits the LCs across worker threads, each owning its LCs'
+  /// queue, cache, FE, and trie fragment, exchanging fabric messages over
+  /// SPSC rings under a conservative-lookahead protocol; its
+  /// RouterResult::to_json() is byte-identical to kSequential.
+  /// Configurations the sharded engine cannot reproduce exactly (periodic
+  /// cache flushes, verify-under-churn) silently fall back to one shard.
+  enum class ExecutionMode : std::uint8_t { kSequential, kSharded };
+  ExecutionMode execution = ExecutionMode::kSequential;
+  /// Worker threads for kSharded: 0 = one per hardware thread, clamped to
+  /// [1, num_lcs]. Thread count never affects results, only wall-clock.
+  int threads = 0;
+
   bool partition = true;               ///< SPAL table fragmentation
   partition::PartitionConfig partition_config;
 

@@ -6,6 +6,15 @@
 
 namespace spal::fabric {
 
+namespace {
+/// Decorrelates the per-source-port RNG streams. Source port 0 keeps the
+/// bare seed, so single-source fault sequences match the pre-split fabric
+/// whose one global RNG was seeded with `faults.seed` directly.
+std::uint64_t port_seed(std::uint64_t seed, int src) {
+  return seed ^ (static_cast<std::uint64_t>(src) * 0x9e3779b97f4a7c15ULL);
+}
+}  // namespace
+
 int fabric_stages(int ports, int radix) {
   if (ports < 1 || radix < 2) throw std::invalid_argument("fabric_stages: bad sizes");
   if (ports <= radix) return 1;
@@ -57,22 +66,23 @@ Fabric::Fabric(const FabricConfig& config, const FaultConfig& faults)
     : config_(config),
       faults_(faults),
       latency_(fabric_latency_cycles(config)),
-      egress_free_(static_cast<std::size_t>(config.ports), 0),
-      ingress_free_(static_cast<std::size_t>(config.ports), 0),
-      fault_rng_(faults.seed) {
+      min_lookahead_(static_cast<std::uint64_t>(std::llround(latency_))),
+      egress_(static_cast<std::size_t>(config.ports)),
+      ingress_(static_cast<std::size_t>(config.ports)) {
   if (config.ports < 1) throw std::invalid_argument("Fabric: ports must be >= 1");
   faults_.validate(config.ports);
-  stats_.ports.resize(static_cast<std::size_t>(config.ports));
+  reset_ports();
 }
 
-void Fabric::reset() {
-  std::fill(egress_free_.begin(), egress_free_.end(), 0);
-  std::fill(ingress_free_.begin(), ingress_free_.end(), 0);
-  last_injection_ = 0;
-  stats_ = FabricStats{};
-  stats_.ports.resize(static_cast<std::size_t>(config_.ports));
-  fault_rng_.seed(faults_.seed);
+void Fabric::reset_ports() {
+  for (std::size_t src = 0; src < egress_.size(); ++src) {
+    egress_[src] = EgressPort{};
+    egress_[src].rng.seed(port_seed(faults_.seed, static_cast<int>(src)));
+  }
+  for (IngressPort& port : ingress_) port = IngressPort{};
 }
+
+void Fabric::reset() { reset_ports(); }
 
 void Fabric::reconfigure(const FabricConfig& config, const FaultConfig& faults) {
   // Validate before touching any member so a throwing reconfigure leaves
@@ -82,12 +92,10 @@ void Fabric::reconfigure(const FabricConfig& config, const FaultConfig& faults) 
   config_ = config;
   faults_ = faults;
   latency_ = latency;
-  egress_free_.assign(static_cast<std::size_t>(config.ports), 0);
-  ingress_free_.assign(static_cast<std::size_t>(config.ports), 0);
-  last_injection_ = 0;
-  stats_ = FabricStats{};
-  stats_.ports.resize(static_cast<std::size_t>(config.ports));
-  fault_rng_.seed(faults_.seed);
+  min_lookahead_ = static_cast<std::uint64_t>(std::llround(latency_));
+  egress_.resize(static_cast<std::size_t>(config.ports));
+  ingress_.resize(static_cast<std::size_t>(config.ports));
+  reset_ports();
 }
 
 bool Fabric::port_down(int port, std::uint64_t now) const {
@@ -100,67 +108,98 @@ bool Fabric::port_down(int port, std::uint64_t now) const {
   return false;
 }
 
-std::uint64_t Fabric::deliver(int src, int dst, std::uint64_t now) {
-  // The event loop hands out non-decreasing times and callers inject at
-  // `now` or `now + 1`, so legal injection times regress by at most one
-  // cycle. Anything further back is an out-of-order caller whose waits
-  // would silently inflate the queueing statistics — reject it.
-  if (now + 1 < last_injection_) {
+Egress Fabric::egress(int src, std::uint64_t now) {
+  EgressPort& port = egress_[static_cast<std::size_t>(src)];
+  // Each shard's event loop hands out non-decreasing times and callers
+  // inject at `now` or `now + 1`, so legal injection times regress by at
+  // most one cycle per source port. Anything further back is an
+  // out-of-order caller whose waits would silently inflate the queueing
+  // statistics — reject it.
+  if (now + 1 < port.last_injection) {
     throw std::logic_error(
-        "Fabric::deliver: injection time regressed (calls must be in "
-        "non-decreasing `now` order)");
+        "Fabric::egress: injection time regressed (per-port calls must be "
+        "in non-decreasing `now` order)");
   }
-  last_injection_ = std::max(last_injection_, now);
-  auto& egress = egress_free_[static_cast<std::size_t>(src)];
-  const std::uint64_t depart = std::max(now, egress);
-  egress = depart + 1;  // one message per cycle per source port
-  std::uint64_t raw_arrival =
-      depart + static_cast<std::uint64_t>(std::llround(latency_));
+  port.last_injection = std::max(port.last_injection, now);
+  const std::uint64_t depart = std::max(now, port.free);
+  port.free = depart + 1;  // one message per cycle per source port
+  std::uint64_t raw_arrival = depart + min_lookahead_;
   if (faults_.enabled && faults_.jitter_probability > 0.0) {
     std::uniform_real_distribution<double> uniform(0.0, 1.0);
-    if (uniform(fault_rng_) < faults_.jitter_probability) {
+    if (uniform(port.rng) < faults_.jitter_probability) {
       const std::uint64_t extra = std::uniform_int_distribution<std::uint64_t>(
-          1, faults_.max_jitter_cycles)(fault_rng_);
+          1, faults_.max_jitter_cycles)(port.rng);
       raw_arrival += extra;
-      ++stats_.jitter_events;
-      stats_.jitter_cycles += extra;
+      ++port.jitter_events;
+      port.jitter_cycles += extra;
     }
   }
-  auto& ingress = ingress_free_[static_cast<std::size_t>(dst)];
-  const std::uint64_t arrival = std::max(raw_arrival, ingress);
-  ingress = arrival + 1;  // one message per cycle per destination port
-  ++stats_.messages;
-  stats_.total_queueing_cycles += (depart - now) + (arrival - raw_arrival);
-  auto& out = stats_.ports[static_cast<std::size_t>(src)];
-  auto& in = stats_.ports[static_cast<std::size_t>(dst)];
-  ++out.sent;
-  ++in.received;
-  out.egress_queue_cycles += depart - now;
-  in.ingress_queue_cycles += arrival - raw_arrival;
-  return arrival;
+  ++port.sent;
+  port.queue_cycles += depart - now;
+  return Egress{true, raw_arrival};
 }
 
-Delivery Fabric::try_deliver(int src, int dst, std::uint64_t now) {
+Egress Fabric::egress_lossy(int src, int dst, std::uint64_t now) {
   if (faults_.enabled) {
+    EgressPort& port = egress_[static_cast<std::size_t>(src)];
     // A message injected while either endpoint is down vanishes: it never
     // occupies a port slot, so surviving traffic is timed exactly as if the
     // lost message had not been sent.
     if (port_down(src, now) || port_down(dst, now)) {
-      ++stats_.dropped;
-      ++stats_.outage_dropped;
-      ++stats_.ports[static_cast<std::size_t>(src)].dropped;
-      return Delivery{false, 0};
+      ++port.dropped;
+      ++port.outage_dropped;
+      return Egress{false, 0};
     }
     if (faults_.drop_probability > 0.0) {
       std::uniform_real_distribution<double> uniform(0.0, 1.0);
-      if (uniform(fault_rng_) < faults_.drop_probability) {
-        ++stats_.dropped;
-        ++stats_.ports[static_cast<std::size_t>(src)].dropped;
-        return Delivery{false, 0};
+      if (uniform(port.rng) < faults_.drop_probability) {
+        ++port.dropped;
+        return Egress{false, 0};
       }
     }
   }
-  return Delivery{true, deliver(src, dst, now)};
+  return egress(src, now);
+}
+
+std::uint64_t Fabric::ingress_commit(int dst, std::uint64_t raw_arrival) {
+  IngressPort& port = ingress_[static_cast<std::size_t>(dst)];
+  const std::uint64_t arrival = std::max(raw_arrival, port.free);
+  port.free = arrival + 1;  // one message per cycle per destination port
+  ++port.received;
+  port.queue_cycles += arrival - raw_arrival;
+  return arrival;
+}
+
+std::uint64_t Fabric::deliver(int src, int dst, std::uint64_t now) {
+  return ingress_commit(dst, egress(src, now).raw_arrival);
+}
+
+Delivery Fabric::try_deliver(int src, int dst, std::uint64_t now) {
+  const Egress out = egress_lossy(src, dst, now);
+  if (!out.delivered) return Delivery{false, 0};
+  return Delivery{true, ingress_commit(dst, out.raw_arrival)};
+}
+
+FabricStats Fabric::stats() const {
+  FabricStats stats;
+  stats.ports.resize(egress_.size());
+  for (std::size_t i = 0; i < egress_.size(); ++i) {
+    const EgressPort& out = egress_[i];
+    const IngressPort& in = ingress_[i];
+    FabricPortStats& port = stats.ports[i];
+    port.sent = out.sent;
+    port.received = in.received;
+    port.egress_queue_cycles = out.queue_cycles;
+    port.ingress_queue_cycles = in.queue_cycles;
+    port.dropped = out.dropped;
+    stats.messages += out.sent;
+    stats.total_queueing_cycles += out.queue_cycles + in.queue_cycles;
+    stats.dropped += out.dropped;
+    stats.outage_dropped += out.outage_dropped;
+    stats.jitter_events += out.jitter_events;
+    stats.jitter_cycles += out.jitter_cycles;
+  }
+  return stats;
 }
 
 }  // namespace spal::fabric

@@ -19,6 +19,19 @@
 // lookup is ever stranded (basic_router_sim.h). With faults disabled (the
 // default) the fault RNG is never consumed and try_deliver() is
 // bit-identical to deliver().
+//
+// Two-phase delivery and shard ownership: a message's timing decomposes
+// into a source half (egress serialization, traversal latency, the fault
+// draws) and a destination half (ingress serialization). egress() /
+// egress_lossy() touch only source-port state and ingress_commit() touches
+// only destination-port state, so the sharded router engine can run the
+// egress phase on the sending LC's thread and the ingress phase on the
+// receiving LC's thread with no locks: all mutable per-port state —
+// occupancy, statistics, the fault RNG (one per source port, so draw order
+// is a deterministic per-source stream independent of cross-port
+// interleaving) — lives in cache-line-aligned per-port structs owned by
+// exactly one shard. deliver()/try_deliver() remain as the sequential
+// composition of the two phases.
 #pragma once
 
 #include <cstdint>
@@ -95,17 +108,42 @@ struct Delivery {
   std::uint64_t arrival = 0;
 };
 
+/// Outcome of the source-side half of a delivery. `raw_arrival` is when the
+/// message reaches the destination port (traversal + any jitter), before
+/// ingress serialization; feed it to ingress_commit() to finish delivery.
+struct Egress {
+  bool delivered = true;
+  std::uint64_t raw_arrival = 0;
+};
+
 /// Stateful port-contention model: deliver() returns the arrival time of a
 /// message injected at `now`, accounting for egress/ingress serialization.
-/// Calls must be made in non-decreasing `now` order per port; the DES event
-/// loop guarantees global time order, and the router's request path injects
-/// at `now + 1`, so injection times may step back by at most one cycle
-/// between calls. deliver() enforces that bound explicitly (throws
+/// Per source port, calls must be made in non-decreasing `now` order; the
+/// DES event loop guarantees per-shard time order, and the router's request
+/// path injects at `now + 1`, so injection times may step back by at most
+/// one cycle between calls. egress() enforces that bound explicitly (throws
 /// std::logic_error) instead of silently folding a time regression into the
-/// queueing statistics.
+/// queueing statistics. Per destination port, ingress_commit() must see
+/// non-decreasing raw arrivals — the sharded engine guarantees this by
+/// committing staged messages in canonical arrival order.
 class Fabric {
  public:
   explicit Fabric(const FabricConfig& config, const FaultConfig& faults = {});
+
+  /// Source-side half: egress serialization at `src`, traversal latency,
+  /// and the jitter draw (from src's own RNG stream). Touches only
+  /// src-owned state; always delivers.
+  Egress egress(int src, std::uint64_t now);
+
+  /// egress() with the loss layer applied first: the message may vanish to
+  /// an outage window covering `now` at either endpoint or to a random drop
+  /// (charged to src). Touches only src-owned state — outage windows are
+  /// immutable config, so checking dst's window is thread-safe.
+  Egress egress_lossy(int src, int dst, std::uint64_t now);
+
+  /// Destination-side half: ingress serialization at `dst`. Returns the
+  /// final arrival cycle. Touches only dst-owned state.
+  std::uint64_t ingress_commit(int dst, std::uint64_t raw_arrival);
 
   /// Schedules a message src -> dst injected at cycle `now`; returns its
   /// arrival cycle at dst. Never drops — faults are ignored on this path
@@ -118,8 +156,8 @@ class Fabric {
   /// faults disabled this is exactly deliver().
   Delivery try_deliver(int src, int dst, std::uint64_t now);
 
-  /// Clears port occupancy, statistics, and the fault RNG (between
-  /// independent runs).
+  /// Clears port occupancy, statistics, and the per-port fault RNGs
+  /// (between independent runs).
   void reset();
 
   /// Rebuilds the fabric for a new configuration: revalidates, recomputes
@@ -130,22 +168,50 @@ class Fabric {
   void reconfigure(const FabricConfig& config, const FaultConfig& faults = {});
 
   double latency_cycles() const { return latency_; }
-  const FabricStats& stats() const { return stats_; }
+
+  /// Minimum cycles between a message's injection and its raw arrival —
+  /// the conservative lookahead window for the sharded engine (jitter and
+  /// queueing only push arrivals later).
+  std::uint64_t min_lookahead() const { return min_lookahead_; }
+
+  /// Aggregates the per-port counters into the legacy global view. Returns
+  /// by value; call only while no egress/ingress is concurrently in flight.
+  FabricStats stats() const;
+
   const FabricConfig& config() const { return config_; }
   const FaultConfig& faults() const { return faults_; }
   bool faults_enabled() const { return faults_.enabled; }
 
  private:
+  /// All mutable source-side state, one cache line group per port so
+  /// different shards never share a line.
+  struct alignas(64) EgressPort {
+    std::uint64_t free = 0;            ///< next free injection cycle
+    std::uint64_t last_injection = 0;  ///< monotonicity guard (slack 1)
+    std::uint64_t sent = 0;
+    std::uint64_t queue_cycles = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t outage_dropped = 0;
+    std::uint64_t jitter_events = 0;
+    std::uint64_t jitter_cycles = 0;
+    std::mt19937_64 rng;
+  };
+
+  struct alignas(64) IngressPort {
+    std::uint64_t free = 0;  ///< next free delivery cycle
+    std::uint64_t received = 0;
+    std::uint64_t queue_cycles = 0;
+  };
+
   bool port_down(int port, std::uint64_t now) const;
+  void reset_ports();
 
   FabricConfig config_;
   FaultConfig faults_;
   double latency_;
-  std::vector<std::uint64_t> egress_free_;   ///< next free cycle per source port
-  std::vector<std::uint64_t> ingress_free_;  ///< next free cycle per dest port
-  std::uint64_t last_injection_ = 0;         ///< monotonicity guard (slack 1)
-  FabricStats stats_;
-  std::mt19937_64 fault_rng_;
+  std::uint64_t min_lookahead_ = 0;
+  std::vector<EgressPort> egress_;
+  std::vector<IngressPort> ingress_;
 };
 
 }  // namespace spal::fabric

@@ -28,6 +28,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cassert>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -82,8 +83,12 @@ class CalendarQueue {
   bool empty() const { return size_ == 0; }
   std::size_t size() const { return size_; }
 
-  /// Earliest pending event time; callers must check empty() first.
+  /// Earliest pending event time; callers must check empty() first (the
+  /// same contract as EventQueue — asserted in debug builds; an empty-queue
+  /// call would otherwise return the kNoEvent sentinel here but index out
+  /// of bounds in pop()).
   std::uint64_t next_time() const {
+    assert(!empty() && "CalendarQueue::next_time() on empty queue");
     std::uint64_t t = kNoEvent;
     if (ready_pos_ < ready_.size()) t = ready_[ready_pos_].time;
     if (!heap_.empty()) t = std::min(t, heap_.front().time);
@@ -92,6 +97,7 @@ class CalendarQueue {
 
   /// Pops the earliest event ((time, seq) order); callers check empty().
   std::pair<std::uint64_t, Event> pop() {
+    assert(!empty() && "CalendarQueue::pop() on empty queue");
     const bool from_heap = [&] {
       if (heap_.empty()) return false;
       if (ready_pos_ >= ready_.size()) return true;

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -30,10 +31,18 @@ class EventQueue {
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
 
-  std::uint64_t next_time() const { return heap_.front().time; }
+  /// Time of the earliest event; callers must check empty() first (calling
+  /// on an empty queue is a contract violation, caught by the assert in
+  /// debug builds and undefined behavior on `heap_.front()` otherwise).
+  std::uint64_t next_time() const {
+    assert(!heap_.empty() && "EventQueue::next_time() on empty queue");
+    return heap_.front().time;
+  }
 
-  /// Pops the earliest event; callers must check empty() first.
+  /// Pops the earliest event; callers must check empty() first (same
+  /// contract as next_time()).
   std::pair<std::uint64_t, Event> pop() {
+    assert(!heap_.empty() && "EventQueue::pop() on empty queue");
     std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
     Entry top = std::move(heap_.back());
     heap_.pop_back();

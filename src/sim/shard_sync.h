@@ -1,0 +1,114 @@
+// Synchronization primitives for the sharded router engine.
+//
+// TerminationGate implements the veto-barrier protocol: when every shard's
+// local view says "nothing left to do", the shards rendezvous at a central
+// barrier, re-check their queues/rings after the barrier (messages may have
+// raced in), and either all agree the run is over or all loop back to work.
+// Two barriers per round separate the "declare busy/idle" phase from the
+// "read the verdict" phase; busy counters are parity-indexed so a round's
+// counter is never reset while a straggler from the previous round could
+// still read it.
+//
+// Both barrier waits accept a poll callback. Shards use it to keep draining
+// their inbound rings (so a producer spinning on a full ring can always make
+// progress), to PROCESS any raced-in work below their safe horizon (a held
+// event would pin the frontier and deadlock a busy peer gated on it), and to
+// keep republishing their frontier (so an active shard's safe horizon — the
+// min over peer frontiers — keeps advancing while its peers idle in the
+// gate). Without the poll, each of these situations deadlocks.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace spal::sim {
+
+/// Thrown out of shard spin loops when another shard has already failed,
+/// so all workers unwind promptly and the first exception is rethrown.
+struct ShardAbort {};
+
+/// Brief busy-wait pause; cheap on both real cores and oversubscribed hosts.
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/// Spin helper that stays polite on machines with fewer cores than shards:
+/// a short pause budget, then yield to the scheduler.
+class SpinWaiter {
+ public:
+  void wait() {
+    if (spins_ < kPauseBudget) {
+      ++spins_;
+      cpu_relax();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  void reset() { spins_ = 0; }
+
+ private:
+  static constexpr int kPauseBudget = 64;
+  int spins_ = 0;
+};
+
+class TerminationGate {
+ public:
+  explicit TerminationGate(int participants) : participants_(participants) {}
+
+  int participants() const { return participants_; }
+
+  /// One gate round. `parity` is the caller's own round counter (start it
+  /// at 0); the barriers keep all participants' parities in lockstep.
+  /// `recheck()` runs between the two barriers and returns true when the
+  /// caller still has work (its rings or queue turned out to be non-empty);
+  /// `poll()` runs while spinning inside either barrier.
+  /// Returns true when ALL participants had no work — i.e. terminate.
+  template <typename Recheck, typename Poll>
+  bool round(uint64_t& parity, Recheck&& recheck, Poll&& poll) {
+    const int r = static_cast<int>(parity & 1);
+    arrive(enter_, poll);
+    if (recheck()) busy_[r].fetch_add(1, std::memory_order_relaxed);
+    arrive(exit_, poll);
+    const bool done = busy_[r].load(std::memory_order_relaxed) == 0;
+    // Everyone is past the exit barrier and cannot touch the other parity's
+    // counter until after the *next* enter barrier, so resetting it here is
+    // race-free (concurrent identical stores at worst).
+    busy_[(r + 1) & 1].store(0, std::memory_order_relaxed);
+    ++parity;
+    return done;
+  }
+
+ private:
+  struct Phase {
+    std::atomic<int> count{0};
+    std::atomic<uint64_t> generation{0};
+  };
+
+  template <typename Poll>
+  void arrive(Phase& phase, Poll&& poll) {
+    const uint64_t gen = phase.generation.load(std::memory_order_acquire);
+    if (phase.count.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        participants_) {
+      phase.count.store(0, std::memory_order_relaxed);
+      phase.generation.store(gen + 1, std::memory_order_release);
+      return;
+    }
+    SpinWaiter spin;
+    while (phase.generation.load(std::memory_order_acquire) == gen) {
+      poll();
+      spin.wait();
+    }
+  }
+
+  const int participants_;
+  alignas(64) Phase enter_;
+  alignas(64) Phase exit_;
+  alignas(64) std::atomic<int> busy_[2] = {};
+};
+
+}  // namespace spal::sim

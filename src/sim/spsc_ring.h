@@ -1,0 +1,69 @@
+// Bounded single-producer / single-consumer ring buffer.
+//
+// The sharded router engine moves fabric messages between shard threads
+// through one SpscRing per (producer, consumer) pair, so every ring has
+// exactly one writer and one reader by construction and needs no locks:
+// the producer owns `tail_`, the consumer owns `head_`, and each side
+// caches the other's index to avoid touching the shared cache line on
+// every operation (it refreshes the cache only when the ring looks full /
+// empty). Capacity is a power of two; try_push/try_pop never block — the
+// shard engine layers its own drain-while-spinning policy on top so a
+// full ring can never deadlock two shards pushing to each other.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <vector>
+
+namespace spal::sim {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2).
+  explicit SpscRing(std::size_t capacity)
+      : slots_(std::bit_ceil(capacity < 2 ? std::size_t{2} : capacity)),
+        mask_(slots_.size() - 1) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Producer side only. False when the ring is full.
+  bool try_push(const T& value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ == slots_.size()) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ == slots_.size()) return false;
+    }
+    slots_[tail & mask_] = value;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side only. False when the ring is empty.
+  bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    out = slots_[head & mask_];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_;
+  // Producer-owned line: tail index + its cached view of head.
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  std::size_t cached_head_ = 0;
+  // Consumer-owned line: head index + its cached view of tail.
+  alignas(64) std::atomic<std::size_t> head_{0};
+  std::size_t cached_tail_ = 0;
+};
+
+}  // namespace spal::sim

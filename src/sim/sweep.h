@@ -15,8 +15,11 @@
 //     std::thread::hardware_concurrency().
 #pragma once
 
+#include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <deque>
 #include <exception>
@@ -31,15 +34,29 @@
 namespace spal::sim {
 
 /// Default worker count for parallel_sweep: the SPAL_SWEEP_THREADS
-/// environment variable if set to a positive integer, else the hardware
-/// concurrency (at least 1).
+/// environment variable if set to a positive integer (capped at 4096), else
+/// the hardware concurrency (at least 1). The variable must be a complete
+/// decimal integer — trailing garbage ("8abc"), overflow, an empty string,
+/// or a non-positive value is rejected with a warning on stderr and falls
+/// back to the hardware default, matching BenchArgs::parse strictness
+/// (strtol alone would silently read "8abc" as 8 and saturate overflow).
 inline int sweep_thread_count() {
-  if (const char* env = std::getenv("SPAL_SWEEP_THREADS")) {
-    const long parsed = std::strtol(env, nullptr, 10);
-    if (parsed >= 1) return static_cast<int>(std::min(parsed, 4096L));
-  }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(hw);
+  const int fallback = hw == 0 ? 1 : static_cast<int>(hw);
+  if (const char* env = std::getenv("SPAL_SWEEP_THREADS")) {
+    char* end = nullptr;
+    errno = 0;
+    const long parsed = std::strtol(env, &end, 10);
+    if (errno != 0 || end == env || *end != '\0' || parsed < 1) {
+      std::fprintf(stderr,
+                   "spal: ignoring SPAL_SWEEP_THREADS=\"%s\" (want a "
+                   "positive integer); using %d thread(s)\n",
+                   env, fallback);
+      return fallback;
+    }
+    return static_cast<int>(std::min(parsed, 4096L));
+  }
+  return fallback;
 }
 
 /// A small fixed-size worker pool. Tasks are run in submission order; wait()

@@ -67,6 +67,27 @@ class Tandem {
   std::uint64_t last_popped_ = 0;
 };
 
+#ifndef NDEBUG
+using EmptyQueueDeathTest = testing::Test;
+
+TEST(EmptyQueueDeathTest, NextTimeAndPopAssertOnEmptyQueues) {
+  // next_time()/pop() on an empty queue is a contract violation; in debug
+  // builds the assert guards must fire instead of returning garbage.
+  EXPECT_DEATH({ Heap q; (void)q.next_time(); }, "empty");
+  EXPECT_DEATH({ Heap q; (void)q.pop(); }, "empty");
+  EXPECT_DEATH({ Calendar q; (void)q.next_time(); }, "empty");
+  EXPECT_DEATH({ Calendar q; (void)q.pop(); }, "empty");
+  EXPECT_DEATH(
+      {
+        Heap q;
+        q.schedule(5, Payload{1});
+        (void)q.pop();
+        (void)q.pop();  // one past the end
+      },
+      "empty");
+}
+#endif  // NDEBUG
+
 TEST(CalendarQueueTest, FifoWithinOneCycle) {
   Tandem tandem;
   for (int i = 0; i < 100; ++i) tandem.schedule(7);

@@ -1,0 +1,190 @@
+// Differential tests for the sharded parallel event engine.
+//
+// The sequential engine is the oracle: for every supported configuration,
+// `execution = kSharded` must produce a RouterResult whose to_json() is
+// BYTE-identical to the sequential run — same latency histograms, per-LC
+// stats, fabric/fault/update ledgers, everything. The matrix crosses
+// ψ ∈ {1, 4, 16} with thread counts {1, 2, 8} over baseline, fault-injected,
+// and live-churn scenarios.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "core/router_sim.h"
+#include "core/router_sim6.h"
+#include "net/table_gen.h"
+
+namespace {
+
+using namespace spal;
+using core::RouterConfig;
+using core::RouterResult;
+using core::RouterSim;
+using core::RouterSim6;
+
+net::RouteTable small_table() {
+  net::TableGenConfig config;
+  config.size = 3'000;
+  config.seed = 701;
+  return net::generate_table(config);
+}
+
+trace::WorkloadProfile small_profile() {
+  trace::WorkloadProfile profile = trace::profile_d81();
+  profile.flows = 2'000;
+  return profile;
+}
+
+enum class Scenario { kBaseline, kFaults, kChurn };
+
+/// Baseline and fault runs verify against the oracle (supported under the
+/// sharded engine); churn runs don't (verify + churn forces the solo
+/// engine, which would make the comparison trivial).
+bool scenario_verifies(Scenario scenario) {
+  return scenario != Scenario::kChurn;
+}
+
+RouterConfig scenario_config(int psi, Scenario scenario) {
+  RouterConfig config = core::spal_default_config(psi);
+  config.packets_per_lc = 2'000;
+  config.cache.blocks = 512;
+  config.line_rate_gbps = 10.0;
+  switch (scenario) {
+    case Scenario::kBaseline:
+      break;
+    case Scenario::kFaults:
+      config.fault.enabled = true;
+      config.fault.drop_probability = 0.05;
+      // Port 0 exists at every ψ; a long outage exercises the degraded path.
+      config.fault.outages.push_back(
+          fabric::OutageWindow{/*port=*/0, /*start=*/5'000, /*end=*/50'000});
+      config.recovery.max_retries = 2;
+      break;
+    case Scenario::kChurn:
+      config.update.interval_cycles = 2'000;
+      config.update.count = 40;
+      config.update_policy = RouterConfig::UpdatePolicy::kSelectiveInvalidate;
+      break;
+  }
+  return config;
+}
+
+/// threads < 0 selects the sequential engine; otherwise kSharded with the
+/// given cap (0 = hardware concurrency).
+std::string run_json(int psi, Scenario scenario, int threads) {
+  RouterConfig config = scenario_config(psi, scenario);
+  if (threads >= 0) {
+    config.execution = RouterConfig::ExecutionMode::kSharded;
+    config.threads = threads;
+  }
+  RouterSim router(small_table(), config);
+  return router.run_workload(small_profile(), scenario_verifies(scenario))
+      .to_json();
+}
+
+void expect_matrix_identical(Scenario scenario) {
+  for (const int psi : {1, 4, 16}) {
+    SCOPED_TRACE("psi=" + std::to_string(psi));
+    const std::string oracle = run_json(psi, scenario, /*threads=*/-1);
+    for (const int threads : {1, 2, 8}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      EXPECT_EQ(run_json(psi, scenario, threads), oracle);
+    }
+  }
+}
+
+TEST(ShardedEngine, BaselineMatrixIsByteIdentical) {
+  expect_matrix_identical(Scenario::kBaseline);
+}
+
+TEST(ShardedEngine, FaultInjectedMatrixIsByteIdentical) {
+  expect_matrix_identical(Scenario::kFaults);
+}
+
+TEST(ShardedEngine, LiveChurnMatrixIsByteIdentical) {
+  expect_matrix_identical(Scenario::kChurn);
+}
+
+TEST(ShardedEngine, RepeatedShardedRunsAreDeterministic) {
+  // Thread interleavings must not leak into the result: the same sharded
+  // router re-run (including the post-churn FE/fragment rebuild path)
+  // reproduces the sequential oracle every time.
+  const std::string oracle = run_json(4, Scenario::kChurn, /*threads=*/-1);
+  RouterConfig config = scenario_config(4, Scenario::kChurn);
+  config.execution = RouterConfig::ExecutionMode::kSharded;
+  config.threads = 8;
+  RouterSim router(small_table(), config);
+  EXPECT_EQ(router.run_workload(small_profile()).to_json(), oracle);
+  EXPECT_EQ(router.run_workload(small_profile()).to_json(), oracle);
+}
+
+TEST(ShardedEngine, FaultShardedRunsAreRerunnable) {
+  // Per-LC request seqs and per-port fault RNGs reset per run; two sharded
+  // fault runs from one router object must match each other and the oracle.
+  const std::string oracle = run_json(4, Scenario::kFaults, /*threads=*/-1);
+  RouterConfig config = scenario_config(4, Scenario::kFaults);
+  config.execution = RouterConfig::ExecutionMode::kSharded;
+  config.threads = 8;
+  RouterSim router(small_table(), config);
+  EXPECT_EQ(router.run_workload(small_profile(), true).to_json(), oracle);
+  EXPECT_EQ(router.run_workload(small_profile(), true).to_json(), oracle);
+}
+
+TEST(ShardedEngine, Ipv6CoreIsByteIdenticalToo) {
+  // The engine lives in the family-generic core; exercise the 128-bit
+  // instantiation once.
+  net::TableGen6Config table_config;
+  table_config.size = 3'000;
+  table_config.seed = 702;
+  const net::RouteTable6 table = net::generate_table6(table_config);
+  RouterConfig sequential = scenario_config(4, Scenario::kBaseline);
+  RouterConfig sharded = sequential;
+  sharded.execution = RouterConfig::ExecutionMode::kSharded;
+  sharded.threads = 4;
+  RouterSim6 a(table, sequential);
+  RouterSim6 b(table, sharded);
+  EXPECT_EQ(b.run_workload(small_profile(), true).to_json(),
+            a.run_workload(small_profile(), true).to_json());
+}
+
+TEST(ShardedEngine, PlannedShardsHonorsThreadCapAndLcClamp) {
+  RouterConfig config = scenario_config(4, Scenario::kBaseline);
+  EXPECT_EQ(RouterSim(small_table(), config).planned_shards(), 1)
+      << "kSequential always runs solo";
+
+  config.execution = RouterConfig::ExecutionMode::kSharded;
+  config.threads = 2;
+  EXPECT_EQ(RouterSim(small_table(), config).planned_shards(), 2);
+  config.threads = 8;
+  EXPECT_EQ(RouterSim(small_table(), config).planned_shards(), 4)
+      << "clamped to num_lcs";
+  config.threads = 0;
+  EXPECT_GE(RouterSim(small_table(), config).planned_shards(), 1)
+      << "0 = hardware concurrency, at least one";
+}
+
+TEST(ShardedEngine, PlannedShardsFallsBackToSoloForUnsupportedConfigs) {
+  RouterConfig config = scenario_config(4, Scenario::kBaseline);
+  config.execution = RouterConfig::ExecutionMode::kSharded;
+  config.threads = 4;
+
+  // Periodic whole-router cache flushes touch every LC from one event.
+  RouterConfig flushing = config;
+  flushing.flush_interval_cycles = 10'000;
+  EXPECT_EQ(RouterSim(small_table(), flushing).planned_shards(), 1);
+
+  // Live churn is parallel-safe on its own...
+  RouterConfig churning = config;
+  churning.update.interval_cycles = 2'000;
+  churning.update.count = 10;
+  EXPECT_EQ(RouterSim(small_table(), churning).planned_shards(), 4);
+  // ...but not combined with verify (the oracle is read per packet while
+  // injects mutate it) or fault injection (the degraded path reads it).
+  EXPECT_EQ(RouterSim(small_table(), churning).planned_shards(/*verify=*/true),
+            1);
+  churning.fault.enabled = true;
+  EXPECT_EQ(RouterSim(small_table(), churning).planned_shards(), 1);
+}
+
+}  // namespace

@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <memory>
 #include <numeric>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -40,7 +41,7 @@ TEST(ParallelSweepTest, DeterministicAcrossThreadCounts) {
     EXPECT_EQ(reference[i], slow_mix(points[i])) << "result order broken at " << i;
   }
   const int hw = sim::sweep_thread_count();
-  for (const int threads : {2, hw}) {
+  for (const int threads : {2, 8, hw}) {
     const auto result = sim::parallel_sweep(points, slow_mix, threads);
     EXPECT_EQ(result, reference) << "threads=" << threads;
   }
@@ -100,13 +101,50 @@ TEST(ParallelSweepTest, MoveOnlyResults) {
   }
 }
 
+/// Saves and restores SPAL_SWEEP_THREADS so env tests can't leak into each
+/// other (or into a later parallel_sweep default) on failure.
+class SweepThreadsEnvGuard {
+ public:
+  SweepThreadsEnvGuard() {
+    if (const char* value = std::getenv("SPAL_SWEEP_THREADS")) saved_ = value;
+  }
+  ~SweepThreadsEnvGuard() {
+    if (saved_) {
+      setenv("SPAL_SWEEP_THREADS", saved_->c_str(), 1);
+    } else {
+      unsetenv("SPAL_SWEEP_THREADS");
+    }
+  }
+
+ private:
+  std::optional<std::string> saved_;
+};
+
 TEST(SweepThreadCountTest, EnvOverrideWins) {
+  SweepThreadsEnvGuard guard;
   ASSERT_EQ(setenv("SPAL_SWEEP_THREADS", "3", /*overwrite=*/1), 0);
   EXPECT_EQ(sim::sweep_thread_count(), 3);
-  ASSERT_EQ(setenv("SPAL_SWEEP_THREADS", "not-a-number", 1), 0);
-  EXPECT_GE(sim::sweep_thread_count(), 1);  // falls back to hardware
   ASSERT_EQ(unsetenv("SPAL_SWEEP_THREADS"), 0);
   EXPECT_GE(sim::sweep_thread_count(), 1);
+}
+
+TEST(SweepThreadCountTest, MalformedOverridesFallBackToHardware) {
+  SweepThreadsEnvGuard guard;
+  ASSERT_EQ(unsetenv("SPAL_SWEEP_THREADS"), 0);
+  const int fallback = sim::sweep_thread_count();
+  // Rejected values must not silently become strtol's partial/saturated
+  // reads ("8abc" is NOT 8 threads; an overflow is NOT LONG_MAX threads).
+  for (const char* bad : {"not-a-number", "8abc", "", " 3 ", "0", "-4",
+                          "99999999999999999999999"}) {
+    ASSERT_EQ(setenv("SPAL_SWEEP_THREADS", bad, 1), 0);
+    EXPECT_EQ(sim::sweep_thread_count(), fallback) << "value=\"" << bad << '"';
+  }
+}
+
+TEST(SweepThreadCountTest, HugeButValidOverrideIsCapped) {
+  SweepThreadsEnvGuard guard;
+  ASSERT_EQ(setenv("SPAL_SWEEP_THREADS", "100000", 1), 0);
+  EXPECT_EQ(sim::sweep_thread_count(), 4096);
 }
 
 TEST(ThreadPoolTest, WaitBlocksUntilAllTasksFinish) {
