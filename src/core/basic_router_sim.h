@@ -70,6 +70,10 @@
 //     horizon from the poll callback — merely holding it would pin their
 //     frontier and deadlock a busy peer whose next event sits at
 //     frontier + D (the peer then never idles, never joins the barrier).
+//     Poll-side processing before the shard's own recheck additionally
+//     vetoes the round via a raced_work flag: a handler can send
+//     cross-shard yet leave no local trace, so queue/staging emptiness at
+//     recheck time alone would let the gate drop the in-flight message.
 //   * The D-per-round ratchet alone is pathological when events are sparse
 //     (e.g. live updates spaced thousands of cycles apart on one shard):
 //     idle shards bound each other and creep toward the next event in
@@ -740,8 +744,11 @@ class BasicRouterSim {
   /// `limit`, committing before popping on equal times (the canonical
   /// order). With publish, the next pop time is released before each
   /// dispatch so sends made during the handler are covered by the
-  /// published frontier.
-  void process_window(Shard& sh, std::uint64_t limit, bool publish) {
+  /// published frontier. Returns true when anything was committed or
+  /// dispatched — the termination gate's poll uses this to veto a round
+  /// in which it processed raced-in work (see try_terminate).
+  bool process_window(Shard& sh, std::uint64_t limit, bool publish) {
+    bool did_work = false;
     for (;;) {
       const std::uint64_t qnext =
           sh.queue.empty() ? kNoTime : sh.queue.next_time();
@@ -749,12 +756,14 @@ class BasicRouterSim {
         const std::uint64_t snext = sh.staging.front().raw;
         if (snext < limit && snext <= qnext) {
           commit_front(sh);
+          did_work = true;
           continue;
         }
       }
-      if (qnext >= limit) return;
+      if (qnext >= limit) return did_work;
       if (publish) publish_frontier(sh, qnext);
       dispatch_one(sh);
+      did_work = true;
     }
   }
 
@@ -796,12 +805,21 @@ class BasicRouterSim {
 
   bool try_terminate(Shard& sh, sim::TerminationGate& gate,
                      std::uint64_t& parity) {
-    return gate.round(
+    // Set when a poll below processes raced-in work. Enter-barrier polls
+    // run BEFORE this shard's recheck, and a handler can leave no local
+    // trace (a remote kLookup that hits the home cache only sends a reply;
+    // kUpdateApply only broadcasts invalidations) — so empty queue/staging
+    // at recheck time does not prove this shard was quiet this round. The
+    // flag does, and the recheck vetoes on it.
+    bool raced_work = false;
+    const bool done = gate.round(
         parity,
         /*recheck=*/
         [&] {
           drain_rings(sh);
-          const bool busy = !sh.queue.empty() || !sh.staging.empty();
+          const bool busy =
+              raced_work || !sh.queue.empty() || !sh.staging.empty();
+          raced_work = false;
           if (busy) sh.idle.store(false, std::memory_order_relaxed);
           return busy;
         },
@@ -814,11 +832,21 @@ class BasicRouterSim {
           // just held: a held event pins this shard's frontier, and a busy
           // peer whose next event sits exactly at frontier + D then stalls
           // forever — it never goes idle, never joins the barrier, and this
-          // shard never leaves it. Processing is termination-safe: any
-          // send from here means this shard's recheck vetoed (the work was
-          // in its queue/rings at recheck time), so the round cannot
-          // conclude "terminate" while messages are being created.
-          process_window(sh, safe, /*publish=*/true);
+          // shard never leaves it. Processing is termination-safe because
+          // it is never invisible to the gate:
+          //   * Enter-barrier polls (before this shard's recheck) set
+          //     raced_work, so the recheck vetoes even when the handler
+          //     left queue and staging empty.
+          //   * Exit-barrier polls (after the recheck) can only see work
+          //     that was pushed DURING the round — every pre-round push
+          //     happens-before the enter barrier completes and is drained
+          //     by the receiver's recheck. An in-round push comes from some
+          //     shard's enter-poll processing (vetoed via its raced_work)
+          //     or, inductively, from exit-poll processing whose causal
+          //     chain bottoms out in such a veto. So any exit-poll work
+          //     implies the round is already lost, and busy counters are
+          //     final by the time the exit barrier completes.
+          if (process_window(sh, safe, /*publish=*/true)) raced_work = true;
           const std::uint64_t qnext =
               sh.queue.empty() ? kNoTime : sh.queue.next_time();
           const std::uint64_t snext =
@@ -827,6 +855,16 @@ class BasicRouterSim {
                               std::memory_order_release);
           publish_frontier(sh, std::min(std::min(qnext, snext), safe));
         });
+    if (!done) return false;
+    // Belt-and-braces: a clean round implies no in-flight ring messages
+    // (no shard vetoed => no shard sent this round, and every pre-round
+    // send was drained by a recheck that happens-before the exit barrier),
+    // so the flux counters must agree — and, being frozen since before the
+    // round, every shard reads the same values and the verdict stays
+    // unanimous. A mismatch would mean the invariant above is broken;
+    // loop another round rather than drop an event.
+    return msgs_drained_.load(std::memory_order_acquire) ==
+           msgs_sent_.load(std::memory_order_acquire);
   }
 
   /// One shard's worker loop. The per-iteration order is load-bearing:

@@ -16,6 +16,17 @@
 // keep republishing their frontier (so an active shard's safe horizon — the
 // min over peer frontiers — keeps advancing while its peers idle in the
 // gate). Without the poll, each of these situations deadlocks.
+//
+// CONTRACT for poll-side processing: polls run inside the ENTER barrier
+// too, i.e. before the caller's own recheck, and processing an event there
+// can emit cross-shard messages while leaving no local state behind. A
+// recheck that only inspects local queues would then under-report, and the
+// round could conclude "terminate" with a message still in flight. Callers
+// whose poll processes work MUST therefore record that fact and have their
+// recheck veto on it (see BasicRouterSim::try_terminate's raced_work flag);
+// exit-barrier processing needs no flag because any work visible there was
+// pushed during the round, which is only possible in an already-vetoed
+// round.
 #pragma once
 
 #include <atomic>

@@ -131,6 +131,38 @@ TEST(ShardedEngine, FaultShardedRunsAreRerunnable) {
   EXPECT_EQ(router.run_workload(small_profile(), true).to_json(), oracle);
 }
 
+TEST(ShardedEngine, TerminationGateStressOnTinyRuns) {
+  // Tiny workloads spend most of their wall-clock in termination-gate
+  // rounds: shards park in the barrier while stragglers are still sending,
+  // so raced-in messages keep hitting the gate's poll path. Regression for
+  // the race where an enter-barrier poll processed an event whose handler
+  // left no local state (a remote lookup answered from the home cache, an
+  // update apply that only broadcasts invalidations), the shard's recheck
+  // then saw empty queue/staging and did not veto, and the round concluded
+  // "terminate" with the handler's message still in flight — silently
+  // dropping it. Many repetitions widen the probabilistic window.
+  for (const Scenario scenario : {Scenario::kBaseline, Scenario::kChurn}) {
+    SCOPED_TRACE(scenario == Scenario::kBaseline ? "baseline" : "churn");
+    RouterConfig config = scenario_config(16, scenario);
+    config.packets_per_lc = 64;
+    if (scenario == Scenario::kChurn) {
+      config.update.interval_cycles = 500;
+      config.update.count = 8;
+    }
+    RouterSim sequential(small_table(), config);
+    const std::string oracle =
+        sequential.run_workload(small_profile()).to_json();
+    RouterConfig sharded_config = config;
+    sharded_config.execution = RouterConfig::ExecutionMode::kSharded;
+    sharded_config.threads = 8;
+    RouterSim sharded(small_table(), sharded_config);
+    for (int i = 0; i < 25; ++i) {
+      ASSERT_EQ(sharded.run_workload(small_profile()).to_json(), oracle)
+          << "iteration " << i;
+    }
+  }
+}
+
 TEST(ShardedEngine, Ipv6CoreIsByteIdenticalToo) {
   // The engine lives in the family-generic core; exercise the 128-bit
   // instantiation once.
