@@ -74,6 +74,12 @@ struct BenchArgs {
   /// warning, exactly like the env variable.
   trie::SimdMode simd = trie::SimdMode::kAuto;
   bool simd_set = false;
+  /// --table-size=N: target prefix count for the internet-scale bench
+  /// (bench_scale; 0 = the bench's default, the ~1M-route modern DFZ).
+  /// Lets the ctest smoke and the sanitizer jobs run the same binary at a
+  /// size they can afford.
+  std::size_t table_size = 0;
+  bool table_size_set = false;
 
   /// Parses the shared bench flags. Malformed values (--packets=0 or
   /// --batch=0, negative or non-numeric counts) and unknown flags are
@@ -134,6 +140,9 @@ struct BenchArgs {
         args.simd = *mode;
         args.simd_set = true;
         trie::set_simd_mode(*mode);
+      } else if (std::strncmp(arg, "--table-size=", 13) == 0) {
+        args.table_size = parse_count(arg + 13, "--table-size");
+        args.table_size_set = true;
       } else if (std::strcmp(arg, "--verify") == 0) {
         args.verify = true;
       } else if (std::strcmp(arg, "--engine=heap") == 0) {
@@ -176,6 +185,7 @@ struct BenchArgs {
                  "usage: [--full] [--packets=N] [--batch=N] "
                  "[--drop-rate=F] [--outage=N] [--max-retries=N] "
                  "[--update-rate=N] [--update-seed=N] [--trie=KIND] "
+                 "[--table-size=N] "
                  "[--simd=generic|sse42|avx2|auto] [--verify] "
                  "[--engine=heap|calendar|sharded] [--threads=N] "
                  "[--json[=path]]\n");

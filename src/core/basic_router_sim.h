@@ -19,6 +19,10 @@
 //     static void fe_lookup_batch(const Fe&, const Addr*, std::size_t n,
 //                                 net::NextHop*);  // bit-identical to scalar
 //     static std::size_t fe_storage(const Fe&);
+//     // Memory-tier cost model (core/memory_model.h):
+//     static std::vector<trie::ArenaSpan> fe_arenas(const Fe&);
+//     static net::NextHop fe_lookup_counted(const Fe&, const Addr&,
+//                                           trie::MemAccessCounter&);
 //     static Oracle build_oracle(const Table&);
 //     static net::NextHop oracle_lookup(const Oracle&, const Addr&);
 //     static std::uint64_t hash_bits(const Addr&);       // waiting-list key
@@ -154,6 +158,7 @@ class BasicRouterSim {
     fabric::FabricConfig fabric_config = config_.fabric;
     fabric_config.ports = config_.num_lcs;
     fabric_ = std::make_unique<fabric::Fabric>(fabric_config, config_.fault);
+    rebuild_fe_models();
   }
 
   /// Runs one simulation over per-LC destination streams. With `verify`,
@@ -243,6 +248,7 @@ class BasicRouterSim {
       }
       lc_tables_.clear();
       fes_dirty_ = false;
+      rebuild_fe_models();
     }
     if (oracle_dirty_) {
       oracle_.reset();
@@ -396,6 +402,41 @@ class BasicRouterSim {
       result_.update.invalidation_messages += c.update.invalidation_messages;
       result_.update.blocks_invalidated += c.update.blocks_invalidated;
       result_.update.cache_flushes += c.update.cache_flushes;
+    }
+    if (config_.memory.enabled) {
+      MemoryStats& mem = result_.memory;
+      mem.enabled = true;
+      mem.matching_overhead_cycles = config_.memory.matching_overhead_cycles;
+      mem.tiers.clear();
+      mem.tiers.reserve(config_.memory.tiers.size());
+      for (const MemoryTier& tier : config_.memory.tiers) {
+        MemoryTierStats stats;
+        stats.name = tier.name;
+        stats.capacity_bytes = tier.capacity_bytes;
+        stats.access_cycles = tier.access_cycles;
+        mem.tiers.push_back(std::move(stats));
+      }
+      for (const auto& shp : shards_) {
+        const MemoryCounters& c = shp->c.memory;
+        mem.lookups += c.lookups;
+        mem.charged_cycles += c.charged_cycles;
+        for (std::size_t t = 0; t < mem.tiers.size(); ++t) {
+          mem.tiers[t].accesses += c.tier_accesses[t];
+          mem.tiers[t].cycles += c.tier_cycles[t];
+        }
+      }
+      mem.matching_cycles =
+          mem.lookups *
+          static_cast<std::uint64_t>(mem.matching_overhead_cycles);
+      // Byte accounting reflects the end-of-run structures (identical to
+      // the built ones unless live updates mutated an FE mid-run).
+      for (const MemoryModel& model : fe_models_) {
+        mem.storage_bytes += model.placed_bytes();
+        for (const ArenaPlacement& placement : model.placements()) {
+          mem.tiers[placement.tier].placed_bytes += placement.bytes;
+          ++mem.tiers[placement.tier].placed_arenas;
+        }
+      }
     }
     // Per-LC latency merges are exact (identical bucket layout), so merging
     // in LC order reproduces the global histogram a direct record() per
@@ -582,6 +623,7 @@ class BasicRouterSim {
     std::uint64_t degraded_lookups = 0;
     std::uint64_t reclaimed_waiting_blocks = 0;
     UpdateStats update;
+    MemoryCounters memory;  ///< memory-tier pricing (all zero when off)
   };
 
   /// One shard: a contiguous LC range, its event queue, the per-LC maps
@@ -1043,11 +1085,21 @@ class BasicRouterSim {
     auto& servers = fe_free_[static_cast<std::size_t>(lc)];
     auto& fe_free = *std::min_element(servers.begin(), servers.end());
     const std::uint64_t start = std::max(now, fe_free);
-    const std::uint64_t completion =
-        start + static_cast<std::uint64_t>(config_.fe_service_cycles);
+    std::uint64_t service = static_cast<std::uint64_t>(config_.fe_service_cycles);
+    if (!fe_models_.empty()) {
+      // Memory-tier pricing: a counted lookup against the FE as built at
+      // admission time sets this job's service time (the result the packet
+      // receives is still computed at completion, so an update that lands
+      // in between changes the answer, not this job's price).
+      trie::MemAccessCounter counter;
+      Family::fe_lookup_counted(fes_[static_cast<std::size_t>(lc)], addr,
+                                counter);
+      service = fe_models_[static_cast<std::size_t>(lc)].charge(counter,
+                                                                sh.c.memory);
+    }
+    const std::uint64_t completion = start + service;
     fe_free = completion;
-    fe_busy_[static_cast<std::size_t>(lc)] +=
-        static_cast<std::uint64_t>(config_.fe_service_cycles);
+    fe_busy_[static_cast<std::size_t>(lc)] += service;
     ++sh.c.fe_lookups;
     auto& lc_stats = result_.per_lc[static_cast<std::size_t>(lc)];
     ++lc_stats.fe_lookups;
@@ -1385,6 +1437,10 @@ class BasicRouterSim {
              fragment.size() * config_.update.rebuild_millicycles_per_entry /
                  1000;
     }
+    // The applied update changed the FE's arena footprints; re-place them
+    // so subsequent jobs at this LC price against the current structure.
+    // The model is element-owned by this LC's shard, like the FE itself.
+    rebuild_fe_model(lc);
     // The FE is unavailable while the update applies: every server stalls.
     for (auto& server : fe_free_[static_cast<std::size_t>(lc)]) {
       server = std::max(server, now) + cost;
@@ -1449,12 +1505,33 @@ class BasicRouterSim {
     }
   }
 
+  // ----- Memory-tier cost model -------------------------------------------
+
+  /// Re-places every FE's arenas into the configured tiers. fe_models_ is
+  /// empty whenever the model is disabled, which is the hot path's cheap
+  /// "is it on" test.
+  void rebuild_fe_models() {
+    fe_models_.clear();
+    if (!config_.memory.enabled) return;
+    fe_models_.reserve(fes_.size());
+    for (const auto& fe : fes_) {
+      fe_models_.emplace_back(config_.memory, Family::fe_arenas(fe));
+    }
+  }
+
+  void rebuild_fe_model(int lc) {
+    if (fe_models_.empty()) return;
+    fe_models_[static_cast<std::size_t>(lc)] = MemoryModel(
+        config_.memory, Family::fe_arenas(fes_[static_cast<std::size_t>(lc)]));
+  }
+
   static constexpr std::uint64_t kSettlePending = ~std::uint64_t{0};
 
   RouterConfig config_;
   Table full_table_;
   std::unique_ptr<Partition> rot_;
   std::vector<typename Family::Fe> fes_;          // one per LC
+  std::vector<MemoryModel> fe_models_;  // one per LC; empty when model off
   std::vector<std::unique_ptr<Cache>> caches_;    // one per LC (optional)
   std::unique_ptr<fabric::Fabric> fabric_;
   std::unique_ptr<typename Family::Oracle> oracle_;  // verify/degraded modes

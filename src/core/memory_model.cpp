@@ -1,0 +1,86 @@
+#include "core/memory_model.h"
+
+#include <stdexcept>
+
+namespace spal::core {
+
+std::vector<MemoryTier> MemoryModelConfig::default_tiers() {
+  return {
+      {"sram", std::uint64_t{2} << 20, 2},
+      {"l2", std::uint64_t{8} << 20, 8},
+      {"llc", std::uint64_t{32} << 20, 20},
+      {"dram", 0, 70},
+  };
+}
+
+MemoryModel::MemoryModel(const MemoryModelConfig& config,
+                         const std::vector<trie::ArenaSpan>& arenas)
+    : matching_overhead_cycles_(config.matching_overhead_cycles),
+      tier_count_(config.tiers.size()) {
+  if (config.tiers.empty()) {
+    throw std::invalid_argument("MemoryModel: at least one tier required");
+  }
+  if (config.tiers.size() > kMaxMemoryTiers) {
+    throw std::invalid_argument("MemoryModel: too many tiers");
+  }
+  for (std::size_t t = 0; t < tier_count_; ++t) {
+    tier_access_cycles_[t] = config.tiers[t].access_cycles;
+  }
+  // Cumulative packing: arena end offsets are non-decreasing, so walking
+  // the tier boundary forward keeps the assignment monotone — once an
+  // arena spills past a boundary, every colder arena does too.
+  placements_.reserve(arenas.size());
+  std::uint64_t end = 0;
+  std::size_t tier = 0;
+  std::uint64_t boundary = config.tiers[0].capacity_bytes;
+  bool unbounded = config.tiers[0].capacity_bytes == 0;
+  for (std::size_t a = 0; a < arenas.size(); ++a) {
+    end += arenas[a].bytes;
+    while (!unbounded && end > boundary && tier + 1 < tier_count_) {
+      ++tier;
+      unbounded = config.tiers[tier].capacity_bytes == 0;
+      boundary += config.tiers[tier].capacity_bytes;
+    }
+    placements_.push_back(ArenaPlacement{std::string(arenas[a].name),
+                                         arenas[a].bytes, tier});
+    if (a < trie::kMaxArenas) {
+      arena_tier_[a] = static_cast<std::uint8_t>(tier);
+    }
+  }
+  // Accesses MemAccessCounter clamped into its last slot price like the
+  // coldest placed arena.
+  for (std::size_t a = arenas.size(); a < trie::kMaxArenas; ++a) {
+    arena_tier_[a] = static_cast<std::uint8_t>(tier);
+  }
+  placed_bytes_ = end;
+}
+
+std::uint64_t MemoryModel::lookup_cycles(
+    const trie::MemAccessCounter& counter) const {
+  std::uint64_t cycles = matching_overhead_cycles_;
+  for (std::size_t a = 0; a < trie::kMaxArenas; ++a) {
+    const std::uint64_t accesses = counter.arena_total(a);
+    if (accesses == 0) continue;
+    cycles += accesses * tier_access_cycles_[arena_tier_[a]];
+  }
+  return cycles;
+}
+
+std::uint64_t MemoryModel::charge(const trie::MemAccessCounter& counter,
+                                  MemoryCounters& out) const {
+  std::uint64_t cycles = matching_overhead_cycles_;
+  for (std::size_t a = 0; a < trie::kMaxArenas; ++a) {
+    const std::uint64_t accesses = counter.arena_total(a);
+    if (accesses == 0) continue;
+    const std::size_t tier = arena_tier_[a];
+    const std::uint64_t tier_cycles = accesses * tier_access_cycles_[tier];
+    out.tier_accesses[tier] += accesses;
+    out.tier_cycles[tier] += tier_cycles;
+    cycles += tier_cycles;
+  }
+  ++out.lookups;
+  out.charged_cycles += cycles;
+  return cycles;
+}
+
+}  // namespace spal::core

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "cache/lr_cache.h"
+#include "core/memory_model.h"
 #include "fabric/fabric.h"
 #include "partition/rot_partition.h"
 #include "sim/calendar_queue.h"
@@ -125,6 +126,14 @@ struct RouterConfig {
   };
   LiveUpdateConfig update;
 
+  /// CRAM-lens memory-tier cost model (core/memory_model.h). When enabled,
+  /// each FE's arenas are packed into the configured tiers by cumulative
+  /// footprint and every FE job is priced by a counted lookup instead of
+  /// the flat `fe_service_cycles`; RouterResult::memory then carries the
+  /// per-tier byte/access ledger. Off by default — a disabled model leaves
+  /// runs and reports byte-identical to builds without it.
+  MemoryModelConfig memory;
+
   std::uint64_t seed = 42;
 };
 
@@ -207,6 +216,10 @@ struct RouterResult {
   std::uint64_t updates_applied = 0;     ///< routing-table updates simulated
   std::uint64_t blocks_invalidated = 0;  ///< via selective invalidation
   UpdateStats update;                    ///< live update-pipeline counters
+  /// Memory-tier ledger; populated (and emitted in to_json) only when
+  /// `RouterConfig::memory.enabled` — absent otherwise so reports stay
+  /// byte-identical to builds without the model.
+  MemoryStats memory;
 
   double mean_lookup_cycles() const { return latency.mean_cycles(); }
   std::uint64_t worst_lookup_cycles() const { return latency.worst_cycles(); }

@@ -130,6 +130,32 @@ std::string RouterResult::to_json() const {
   append_u64(out, "blocks_invalidated", update.blocks_invalidated);
   append_u64(out, "cache_flushes", update.cache_flushes, /*comma=*/false);
   out += "},";
+  // Memory-tier ledger — emitted only when the model ran, so reports from
+  // default configurations stay byte-identical to builds without it.
+  if (memory.enabled) {
+    out += "\"memory\":{";
+    append_u64(out, "matching_overhead_cycles", memory.matching_overhead_cycles);
+    append_u64(out, "lookups", memory.lookups);
+    append_u64(out, "matching_cycles", memory.matching_cycles);
+    append_u64(out, "charged_cycles", memory.charged_cycles);
+    append_u64(out, "storage_bytes", memory.storage_bytes);
+    out += "\"tiers\":[";
+    for (std::size_t t = 0; t < memory.tiers.size(); ++t) {
+      const MemoryTierStats& tier = memory.tiers[t];
+      if (t > 0) out += ',';
+      out += "{\"name\":\"";
+      out += tier.name;  // tier names are identifiers, no escaping needed
+      out += "\",";
+      append_u64(out, "capacity_bytes", tier.capacity_bytes);
+      append_u64(out, "access_cycles", tier.access_cycles);
+      append_u64(out, "placed_bytes", tier.placed_bytes);
+      append_u64(out, "placed_arenas", tier.placed_arenas);
+      append_u64(out, "accesses", tier.accesses);
+      append_u64(out, "cycles", tier.cycles, /*comma=*/false);
+      out += '}';
+    }
+    out += "]},";
+  }
   out += "\"latency\":";
   append_latency(out, latency);
   out += "\"cache_total\":";

@@ -64,6 +64,15 @@ struct V4Family {
     fe->lookup_batch(keys, n, out);
   }
   static std::size_t fe_storage(const Fe& fe) { return fe->storage_bytes(); }
+  // Memory-tier cost model hooks: the arena list (hottest first) the model
+  // places, and the counted lookup it prices jobs with.
+  static std::vector<trie::ArenaSpan> fe_arenas(const Fe& fe) {
+    return fe->arenas();
+  }
+  static net::NextHop fe_lookup_counted(const Fe& fe, const Addr& addr,
+                                        trie::MemAccessCounter& counter) {
+    return fe->lookup_counted(addr, counter);
+  }
   static Oracle build_oracle(const Table& table) { return Oracle(table); }
   static net::NextHop oracle_lookup(const Oracle& oracle, const Addr& addr) {
     return oracle.lookup(addr);

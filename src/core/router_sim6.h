@@ -51,6 +51,14 @@ struct V6Family {
     for (std::size_t i = 0; i < n; ++i) out[i] = fe.lookup(keys[i]);
   }
   static std::size_t fe_storage(const Fe& fe) { return fe.storage_bytes(); }
+  // Memory-tier cost model hooks (see V4Family).
+  static std::vector<trie::ArenaSpan> fe_arenas(const Fe& fe) {
+    return fe.arenas();
+  }
+  static net::NextHop fe_lookup_counted(const Fe& fe, const Addr& addr,
+                                        trie::MemAccessCounter& counter) {
+    return fe.lookup_counted(addr, counter);
+  }
   static Oracle build_oracle(const Table& table) { return Oracle(table); }
   static net::NextHop oracle_lookup(const Oracle& oracle, const Addr& addr) {
     return oracle.lookup(addr);

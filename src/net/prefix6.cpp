@@ -211,6 +211,14 @@ RouteTable6 generate_table6(const TableGen6Config& config) {
   return RouteTable6(std::move(entries));
 }
 
+RouteTable6 make_rt6_internet(std::size_t size) {
+  TableGen6Config config;
+  config.size = size;
+  config.seed = 0x5eed'0011;
+  config.next_hops = 64;
+  return generate_table6(config);
+}
+
 Ipv6Addr random_address_in6(const Prefix6& prefix, std::mt19937_64& rng) {
   const int len = prefix.length();
   const std::uint64_t hi_mask =

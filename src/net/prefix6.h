@@ -136,6 +136,10 @@ struct TableGen6Config {
 
 RouteTable6 generate_table6(const TableGen6Config& config);
 
+/// Modern-internet stand-in: `size` prefixes (default the ~220k-route IPv6
+/// table of the mid-2020s BGP default-free zone).
+RouteTable6 make_rt6_internet(std::size_t size = 220'000);
+
 /// Uniformly random address inside `prefix` (host bits randomized).
 Ipv6Addr random_address_in6(const Prefix6& prefix, std::mt19937_64& rng);
 

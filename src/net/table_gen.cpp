@@ -36,10 +36,41 @@ std::array<double, Prefix::kMaxLength + 1> TableGenConfig::default_length_weight
   return w;
 }
 
+std::array<double, Prefix::kMaxLength + 1> effective_length_weights(
+    const TableGenConfig& config) {
+  // Distinct prefixes the non-nested path can produce at length len:
+  // one usable first octet (first_octet_weight > 0) times the remaining
+  // len - 8 free bits (lengths below 8 are bumped to 8 when drawn).
+  std::size_t usable_octets = 0;
+  for (int octet = 0; octet < 256; ++octet) {
+    if (first_octet_weight(octet) > 0.0) ++usable_octets;
+  }
+  double sum = 0.0;
+  for (const double w : config.length_weights) sum += w;
+  std::array<double, Prefix::kMaxLength + 1> weights = config.length_weights;
+  if (sum <= 0.0) return weights;
+  for (int len = 0; len <= Prefix::kMaxLength; ++len) {
+    const int free_bits = std::max(len, 8) - 8;
+    const double population =
+        static_cast<double>(usable_octets) *
+        static_cast<double>(std::uint64_t{1} << free_bits);
+    // Expected count at or below half the population keeps the duplicate
+    // rejection loop fast; weights below the cap are left untouched (not
+    // renormalized), so sub-cap configurations sample the exact same
+    // distribution as before.
+    const double cap =
+        0.5 * population / static_cast<double>(config.size) * sum;
+    if (weights[static_cast<std::size_t>(len)] > cap) {
+      weights[static_cast<std::size_t>(len)] = cap;
+    }
+  }
+  return weights;
+}
+
 RouteTable generate_table(const TableGenConfig& config) {
   std::mt19937_64 rng(config.seed);
-  std::discrete_distribution<int> length_dist(config.length_weights.begin(),
-                                              config.length_weights.end());
+  const auto weights = effective_length_weights(config);
+  std::discrete_distribution<int> length_dist(weights.begin(), weights.end());
   std::vector<double> octet_weights(256);
   for (int i = 0; i < 256; ++i) octet_weights[static_cast<std::size_t>(i)] = first_octet_weight(i);
   std::discrete_distribution<int> octet_dist(octet_weights.begin(), octet_weights.end());
@@ -100,6 +131,14 @@ RouteTable make_rt2() {
   TableGenConfig config;
   config.size = 140'838;
   config.seed = 0x5eed'0002;
+  return generate_table(config);
+}
+
+RouteTable make_rt_internet(std::size_t size) {
+  TableGenConfig config;
+  config.size = size;
+  config.seed = 0x5eed'0010;
+  config.next_hops = 64;  // a modern default-free zone peers widely
   return generate_table(config);
 }
 

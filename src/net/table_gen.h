@@ -39,13 +39,31 @@ struct TableGenConfig {
 
 /// Generates a synthetic routing table per `config`. Deterministic in
 /// (size, seed, next_hops, nested_fraction, length_weights).
+///
+/// At internet scale the per-length weights are capacity-capped (see
+/// effective_length_weights) so the rejection loop cannot stall on a length
+/// whose whole generatable population is smaller than its nominal share;
+/// the cap never engages at the paper's table sizes, so those tables are
+/// bit-identical to earlier versions.
 RouteTable generate_table(const TableGenConfig& config);
+
+/// The per-length weights generate_table actually samples from: the
+/// configured weights, with each length capped so its expected count stays
+/// at or below half its generatable population (usable first octets times
+/// 2^(len-8)). This is the histogram model large-N tests check against.
+std::array<double, Prefix::kMaxLength + 1> effective_length_weights(
+    const TableGenConfig& config);
 
 /// RT_1 stand-in: 41,709 prefixes (the FUNET table size the paper uses).
 RouteTable make_rt1();
 
 /// RT_2 stand-in: 140,838 prefixes (the AS1221 snapshot size the paper uses).
 RouteTable make_rt2();
+
+/// Modern-internet stand-in: `size` prefixes (default the ~1M-route IPv4
+/// table of the mid-2020s BGP default-free zone), same structural model as
+/// the paper-era tables with the weight caps active.
+RouteTable make_rt_internet(std::size_t size = 1'000'000);
 
 /// Uniformly random address inside `prefix` (host bits randomized).
 Ipv4Addr random_address_in(const Prefix& prefix, std::mt19937_64& rng);

@@ -70,6 +70,37 @@ std::vector<int> RotPartition::homes_of(const net::Prefix& prefix) const {
   return lcs;
 }
 
+FragmentSizing fragment_sizing(const RotPartition& partition,
+                               std::size_t input_prefixes) {
+  FragmentSizing sizing;
+  sizing.input_prefixes = input_prefixes;
+  const std::vector<std::size_t> sizes = partition.partition_sizes();
+  sizing.min_prefixes = sizes.empty() ? 0 : sizes.front();
+  for (const std::size_t s : sizes) {
+    sizing.total_prefixes += s;
+    sizing.min_prefixes = std::min(sizing.min_prefixes, s);
+    sizing.max_prefixes = std::max(sizing.max_prefixes, s);
+  }
+  if (input_prefixes > 0) {
+    sizing.replication = static_cast<double>(sizing.total_prefixes) /
+                         static_cast<double>(input_prefixes);
+  }
+  return sizing;
+}
+
+int min_lcs_for_budget(const net::RouteTable& table,
+                       std::size_t budget_bytes, double bytes_per_prefix,
+                       int max_lcs, const PartitionConfig& config) {
+  for (int psi = 1; psi <= max_lcs; ++psi) {
+    const RotPartition partition(table, psi, config);
+    const FragmentSizing sizing = fragment_sizing(partition, table.size());
+    const double worst =
+        static_cast<double>(sizing.max_prefixes) * bytes_per_prefix;
+    if (worst <= static_cast<double>(budget_bytes)) return psi;
+  }
+  return 0;
+}
+
 std::vector<net::RouteTable> partition_by_length(const net::RouteTable& table) {
   std::vector<std::vector<net::RouteEntry>> buckets(net::Prefix::kMaxLength + 1);
   for (const net::RouteEntry& e : table.entries()) {

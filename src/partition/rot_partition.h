@@ -76,6 +76,31 @@ class RotPartition {
   std::vector<net::RouteTable> tables_;    // size ψ
 };
 
+/// Fragment-sizing summary of a partition (what Sec. 4 reads off its
+/// partition-size tables): the per-LC fragment extremes plus the replication
+/// overhead that kStar control bits introduce by copying a prefix into every
+/// compatible group.
+struct FragmentSizing {
+  std::size_t input_prefixes = 0;  ///< prefixes in the unfragmented table
+  std::size_t total_prefixes = 0;  ///< Σ fragment sizes (replicas included)
+  std::size_t min_prefixes = 0;    ///< smallest fragment
+  std::size_t max_prefixes = 0;    ///< largest fragment (sizes the SRAM)
+  double replication = 1.0;        ///< total / input (>= 1)
+};
+
+FragmentSizing fragment_sizing(const RotPartition& partition,
+                               std::size_t input_prefixes);
+
+/// Smallest ψ in [1, max_lcs] whose *largest* fragment fits a per-LC memory
+/// budget, estimating a fragment's trie footprint as prefix count ×
+/// `bytes_per_prefix` (measure that ratio on the unfragmented table first).
+/// This is the provisioning question behind the paper's Fig. 3: how many
+/// line cards until each ROT-partition drops into on-chip SRAM. Returns 0
+/// when even ψ = max_lcs overflows the budget.
+int min_lcs_for_budget(const net::RouteTable& table,
+                       std::size_t budget_bytes, double bytes_per_prefix,
+                       int max_lcs = 64, const PartitionConfig& config = {});
+
 /// Baseline of Sec. 2.3 (Akhbarizadeh & Nourani [1]): group prefixes by
 /// *length*. Subset sizes vary wildly (≈50% of a backbone table is /24) and
 /// every LC keeps all subsets, so per-LC storage does not shrink with ψ.

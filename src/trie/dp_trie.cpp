@@ -6,90 +6,6 @@
 namespace spal::trie {
 namespace {
 
-/// Transient uncompressed binary-trie node used only during construction.
-struct BuildNode {
-  std::int32_t child[2] = {-1, -1};
-  bool has_prefix = false;
-  net::NextHop next_hop = net::kNoRoute;
-};
-
-}  // namespace
-
-DpTrie::DpTrie(const net::RouteTable& table) {
-  // Phase 1: uncompressed binary trie over all prefixes.
-  std::vector<BuildNode> build;
-  build.emplace_back();
-  for (const net::RouteEntry& e : table.entries()) {
-    std::int32_t node = 0;
-    for (int depth = 0; depth < e.prefix.length(); ++depth) {
-      const int bit = static_cast<int>(e.prefix.bit(depth));
-      std::int32_t child = build[static_cast<std::size_t>(node)].child[bit];
-      if (child < 0) {
-        child = static_cast<std::int32_t>(build.size());
-        build.emplace_back();
-        build[static_cast<std::size_t>(node)].child[bit] = child;
-      }
-      node = child;
-    }
-    build[static_cast<std::size_t>(node)].has_prefix = true;
-    build[static_cast<std::size_t>(node)].next_hop = e.next_hop;
-  }
-
-  // Phase 2: path compression. A node survives iff it is the root, stores a
-  // prefix, or branches (two children); chains of pass-through nodes are
-  // folded into the surviving child's key/index.
-  struct Frame {
-    std::int32_t build_node;
-    std::int32_t compressed_parent;
-    int parent_bit;          // which child slot of the parent we fill
-    std::uint32_t path_bits; // bits accumulated from the root
-    int depth;
-  };
-  nodes_.emplace_back();  // compressed root, depth 0
-  std::vector<Frame> stack;
-  const BuildNode& root = build[0];
-  nodes_[0].has_prefix = root.has_prefix;
-  nodes_[0].next_hop = root.next_hop;
-  for (int bit = 0; bit < 2; ++bit) {
-    if (root.child[bit] >= 0) {
-      stack.push_back(Frame{root.child[bit], 0, bit,
-                            bit ? (1u << 31) : 0u, 1});
-    }
-  }
-  while (!stack.empty()) {
-    Frame f = stack.back();
-    stack.pop_back();
-    // Slide down pass-through nodes.
-    const BuildNode* bn = &build[static_cast<std::size_t>(f.build_node)];
-    while (!bn->has_prefix &&
-           ((bn->child[0] >= 0) != (bn->child[1] >= 0))) {
-      const int bit = bn->child[0] >= 0 ? 0 : 1;
-      if (bit) f.path_bits |= (1u << (31 - f.depth));
-      f.depth++;
-      f.build_node = bn->child[bit];
-      bn = &build[static_cast<std::size_t>(f.build_node)];
-    }
-    const std::int32_t id = static_cast<std::int32_t>(nodes_.size());
-    Node node;
-    node.key = f.path_bits;
-    node.index = static_cast<std::uint8_t>(f.depth);
-    node.has_prefix = bn->has_prefix;
-    node.next_hop = bn->next_hop;
-    node.parent = f.compressed_parent;
-    nodes_.push_back(node);
-    nodes_[static_cast<std::size_t>(f.compressed_parent)].child[f.parent_bit] = id;
-    for (int bit = 0; bit < 2; ++bit) {
-      if (bn->child[bit] >= 0) {
-        std::uint32_t child_path = f.path_bits;
-        if (bit) child_path |= (1u << (31 - f.depth));
-        stack.push_back(Frame{bn->child[bit], id, bit, child_path, f.depth + 1});
-      }
-    }
-  }
-}
-
-namespace {
-
 /// Bit of an MSB-aligned 32-bit key at position `pos` (0 = MSB).
 inline int key_bit(std::uint32_t key, int pos) {
   return static_cast<int>((key >> (31 - pos)) & 1u);
@@ -111,6 +27,86 @@ inline int first_divergence(std::uint32_t a, std::uint32_t b, int from,
 }
 
 }  // namespace
+
+DpTrie::DpTrie(const net::RouteTable& table) {
+  // Sort-based single-pass bulk build. The compressed structure is
+  // canonical — its nodes are exactly the root, the stored prefixes, and
+  // the branching points between them — so one left-to-right pass over the
+  // sorted entries reconstructs the same trie per-entry insertion would,
+  // in O(N): the classic rightmost-spine construction. The spine stack
+  // holds the path from the root to the most recently added node (depths
+  // strictly increasing); each new entry pops the spine back to its
+  // divergence depth with the previous key and attaches there, inserting a
+  // pass-through branch node when the divergence falls inside a compressed
+  // edge. The arena is reserved to the 2N+1 structural bound up front
+  // (every entry is at most one prefix node, branch nodes are strictly
+  // fewer) so the pass never re-allocates.
+  const auto& entries = table.entries();
+  nodes_.emplace_back();  // root, depth 0
+  std::size_t lo = 0;
+  if (!entries.empty() && entries[0].prefix.length() == 0) {
+    nodes_[0].has_prefix = true;
+    nodes_[0].next_hop = entries[0].next_hop;
+    lo = 1;
+  }
+  if (lo == entries.size()) return;
+  nodes_.reserve(2 * (entries.size() - lo) + 1);
+
+  // Spine of node ids; a node's depth is its index field.
+  std::vector<std::int32_t> spine{0};
+  spine.reserve(64);
+  std::uint32_t prev_key = 0;
+  for (std::size_t i = lo; i < entries.size(); ++i) {
+    const std::uint32_t key = entries[i].prefix.bits();
+    const int len = entries[i].prefix.length();
+    // Depth where this key leaves the previous entry's path; the first
+    // entry attaches under the root (d = 0 pops nothing). When the keys are
+    // equal (same bits, longer length) nothing pops either and the entry
+    // chains under the previous node, exactly like a per-entry insert.
+    const int d = i == lo ? 0 : first_divergence(prev_key, key, 0, 32);
+    prev_key = key;
+
+    std::int32_t popped = -1;
+    while (nodes_[static_cast<std::size_t>(spine.back())].index > d) {
+      popped = spine.back();
+      spine.pop_back();
+    }
+    std::int32_t parent = spine.back();
+    const int parent_depth = nodes_[static_cast<std::size_t>(parent)].index;
+    if (popped >= 0 && parent_depth < d) {
+      // The divergence falls inside the compressed edge parent -> popped:
+      // insert the pass-through branch node there. The old subtree keeps
+      // bit 0 at depth d (keys ascend, so the new key has bit 1).
+      const std::int32_t branch = static_cast<std::int32_t>(nodes_.size());
+      nodes_.emplace_back();
+      Node& bn = nodes_.back();
+      bn.key = key_head(key, d);
+      bn.index = static_cast<std::uint8_t>(d);
+      bn.parent = parent;
+      bn.child[0] = popped;
+      nodes_[static_cast<std::size_t>(popped)].parent = branch;
+      nodes_[static_cast<std::size_t>(parent)]
+          .child[key_bit(key, parent_depth)] = branch;
+      spine.push_back(branch);
+      parent = branch;
+    }
+    // Attach the entry's prefix node: after a pop the edge bit at the
+    // attach depth is 1 by key order; with no pop the parent is the
+    // previous entry's node (an ancestor prefix of this key) and the edge
+    // bit is the key's bit at the parent's own depth.
+    const std::int32_t id = static_cast<std::int32_t>(nodes_.size());
+    nodes_.emplace_back();
+    Node& n = nodes_.back();
+    n.key = key_head(key, len);
+    n.index = static_cast<std::uint8_t>(len);
+    n.parent = parent;
+    n.has_prefix = true;
+    n.next_hop = entries[i].next_hop;
+    Node& p = nodes_[static_cast<std::size_t>(parent)];
+    p.child[key_bit(key, p.index)] = id;
+    spine.push_back(id);
+  }
+}
 
 std::int32_t DpTrie::alloc_node() {
   if (!free_.empty()) {

@@ -32,6 +32,12 @@ class DpTrie6 {
   std::size_t storage_bytes() const { return node_count() * 37; }
   std::size_t node_count() const { return nodes_.size() - free_.size(); }
 
+  /// Single node arena (counted lookups tag arena 0 implicitly), mirroring
+  /// LpmIndex::arenas() for the memory-tier cost model.
+  std::vector<ArenaSpan> arenas() const {
+    return {{"nodes", storage_bytes()}};
+  }
+
  private:
   struct Node {
     net::Ipv6Addr key;           ///< path bits down to this node

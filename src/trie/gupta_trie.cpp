@@ -1,7 +1,9 @@
 #include "trie/gupta_trie.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
+#include <unordered_set>
 
 namespace spal::trie {
 
@@ -9,15 +11,19 @@ std::uint32_t GuptaTrie::intern_next_hop(net::NextHop hop) {
   for (std::uint32_t i = 0; i < next_hop_table_.size(); ++i) {
     if (next_hop_table_[i] == hop) return i;
   }
-  if (next_hop_table_.size() >= kNoEntry) {
-    throw std::length_error("GuptaTrie: next-hop table exceeds 15-bit entries");
+  const std::uint64_t limit = wide_ ? kNoEntry32 : kNoEntry;
+  if (next_hop_table_.size() >= limit) {
+    throw std::length_error("GuptaTrie: next-hop table exceeds entry width");
   }
   next_hop_table_.push_back(hop);
   return static_cast<std::uint32_t>(next_hop_table_.size() - 1);
 }
 
-GuptaTrie::GuptaTrie(const net::RouteTable& table)
-    : level1_(std::size_t{1} << 24, kNoEntry) {
+template <typename Entry, Entry Flag, Entry NoEntry>
+void GuptaTrie::build_into(const net::RouteTable& table,
+                           std::vector<Entry>& level1,
+                           std::vector<std::array<Entry, 256>>& chunks) {
+  level1.assign(std::size_t{1} << 24, NoEntry);
   // Paint prefixes of length <= 24 shortest-first so longer ones override.
   std::vector<net::RouteEntry> short_prefixes, long_prefixes;
   for (const net::RouteEntry& e : table.entries()) {
@@ -30,8 +36,8 @@ GuptaTrie::GuptaTrie(const net::RouteTable& table)
   for (const net::RouteEntry& e : short_prefixes) {
     const std::uint32_t first = e.prefix.bits() >> 8;
     const std::uint32_t last = e.prefix.range_last().value() >> 8;
-    const auto hop = static_cast<std::uint16_t>(intern_next_hop(e.next_hop));
-    for (std::uint32_t s = first; s <= last; ++s) level1_[s] = hop;
+    const auto hop = static_cast<Entry>(intern_next_hop(e.next_hop));
+    for (std::uint32_t s = first; s <= last; ++s) level1[s] = hop;
   }
   // Prefixes longer than /24: one 256-entry chunk per distinct /24 slot,
   // defaulted with the level-1 value (leaf pushing) then painted
@@ -43,49 +49,86 @@ GuptaTrie::GuptaTrie(const net::RouteTable& table)
                    });
   for (std::size_t i = 0; i < long_prefixes.size();) {
     const std::uint32_t slot = long_prefixes[i].prefix.bits() >> 8;
-    std::array<std::uint16_t, 256> chunk;
-    chunk.fill(level1_[slot]);
+    std::array<Entry, 256> chunk;
+    chunk.fill(level1[slot]);
     while (i < long_prefixes.size() &&
            (long_prefixes[i].prefix.bits() >> 8) == slot) {
       const net::RouteEntry& e = long_prefixes[i];
       const std::uint32_t first = e.prefix.bits() & 0xffu;
       const std::uint32_t last = e.prefix.range_last().value() & 0xffu;
-      const auto hop = static_cast<std::uint16_t>(intern_next_hop(e.next_hop));
+      const auto hop = static_cast<Entry>(intern_next_hop(e.next_hop));
       for (std::uint32_t u = first; u <= last; ++u) chunk[u] = hop;
       ++i;
     }
-    if (chunks_.size() >= kNoEntry) {
-      throw std::length_error("GuptaTrie: more second-level chunks than 15-bit ids");
+    if (chunks.size() >= static_cast<std::size_t>(NoEntry)) {
+      throw std::length_error("GuptaTrie: more second-level chunks than entry ids");
     }
-    level1_[slot] =
-        static_cast<std::uint16_t>(kChunkFlag | static_cast<std::uint16_t>(chunks_.size()));
-    chunks_.push_back(chunk);
+    level1[slot] = static_cast<Entry>(Flag | static_cast<Entry>(chunks.size()));
+    chunks.push_back(chunk);
   }
 }
 
-net::NextHop GuptaTrie::lookup(net::Ipv4Addr addr) const {
-  std::uint16_t entry = level1_[addr.value() >> 8];
-  if (entry & kChunkFlag) {
-    entry = chunks_[entry & ~kChunkFlag][addr.value() & 0xffu];
+GuptaTrie::GuptaTrie(const net::RouteTable& table) {
+  // Pick the entry width up front (not by overflow-and-retry) so the
+  // narrow path builds exactly the structures it always has: count the
+  // distinct chunk slots and next hops the table needs.
+  std::unordered_set<std::uint32_t> chunk_slots;
+  std::unordered_set<net::NextHop> hops;
+  for (const net::RouteEntry& e : table.entries()) {
+    if (e.prefix.length() > 24) chunk_slots.insert(e.prefix.bits() >> 8);
+    hops.insert(e.next_hop);
   }
-  return entry == kNoEntry ? net::kNoRoute : next_hop_table_[entry];
+  wide_ = chunk_slots.size() >= kNoEntry || hops.size() >= kNoEntry;
+  if (wide_) {
+    build_into<std::uint32_t, kChunkFlag32, kNoEntry32>(table, level1w_,
+                                                        chunks32_);
+  } else {
+    build_into<std::uint16_t, kChunkFlag, kNoEntry>(table, level1_, chunks_);
+  }
+}
+
+template <typename Entry, Entry Flag, Entry NoEntry, bool kCounted>
+net::NextHop GuptaTrie::lookup_in(
+    const std::vector<Entry>& level1,
+    const std::vector<std::array<Entry, 256>>& chunks, net::Ipv4Addr addr,
+    MemAccessCounter* counter) const {
+  if constexpr (kCounted) counter->record();  // level-1 read
+  Entry entry = level1[addr.value() >> 8];
+  if (entry & Flag) {
+    if constexpr (kCounted) counter->record();  // chunk read
+    entry = chunks[entry & ~Flag][addr.value() & 0xffu];
+  }
+  return entry == NoEntry ? net::kNoRoute : next_hop_table_[entry];
+}
+
+net::NextHop GuptaTrie::lookup(net::Ipv4Addr addr) const {
+  if (wide_) {
+    return lookup_in<std::uint32_t, kChunkFlag32, kNoEntry32, false>(
+        level1w_, chunks32_, addr, nullptr);
+  }
+  return lookup_in<std::uint16_t, kChunkFlag, kNoEntry, false>(
+      level1_, chunks_, addr, nullptr);
 }
 
 net::NextHop GuptaTrie::lookup_counted(net::Ipv4Addr addr,
                                        MemAccessCounter& counter) const {
-  counter.record();  // level-1 read
-  std::uint16_t entry = level1_[addr.value() >> 8];
-  if (entry & kChunkFlag) {
-    counter.record();  // chunk read
-    entry = chunks_[entry & ~kChunkFlag][addr.value() & 0xffu];
+  if (wide_) {
+    return lookup_in<std::uint32_t, kChunkFlag32, kNoEntry32, true>(
+        level1w_, chunks32_, addr, &counter);
   }
-  return entry == kNoEntry ? net::kNoRoute : next_hop_table_[entry];
+  return lookup_in<std::uint16_t, kChunkFlag, kNoEntry, true>(
+      level1_, chunks_, addr, &counter);
 }
 
 std::size_t GuptaTrie::storage_bytes() const {
-  // 2-byte entries at both levels plus the next-hop table: the level-1
-  // table alone is the 32 MB the SPAL paper cites.
-  return level1_.size() * 2 + chunks_.size() * 256 * 2 + next_hop_table_.size() * 4;
+  // Entry-width bytes at both levels plus the next-hop table: the narrow
+  // level-1 table alone is the 32 MB the SPAL paper cites.
+  if (wide_) {
+    return level1w_.size() * 4 + chunks32_.size() * 256 * 4 +
+           next_hop_table_.size() * 4;
+  }
+  return level1_.size() * 2 + chunks_.size() * 256 * 2 +
+         next_hop_table_.size() * 4;
 }
 
 }  // namespace spal::trie

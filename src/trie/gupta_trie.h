@@ -8,6 +8,12 @@
 // one memory access for prefixes up to /24 and two otherwise — "IP lookups
 // at the speed of memory accesses" — at the price the SPAL paper calls out:
 // the level-1 table alone is 32 MB (2^24 × 2 bytes).
+//
+// Entry width is size-selected: the original 16-bit layout (top bit selects
+// next-hop vs chunk id, 15-bit payload) holds every paper-era table, and a
+// 32-bit layout engages automatically when an internet-scale table needs
+// more than 2^15 - 1 chunks or next-hop ids. Paper-sized tables always pick
+// the 16-bit layout, so their storage figures are unchanged.
 #pragma once
 
 #include <array>
@@ -29,17 +35,37 @@ class GuptaTrie final : public LpmIndex {
   std::size_t storage_bytes() const override;
   std::string_view name() const override { return "gupta"; }
 
-  std::size_t chunk_count() const { return chunks_.size(); }
+  std::size_t chunk_count() const {
+    return wide_ ? chunks32_.size() : chunks_.size();
+  }
+  /// True when the table overflowed the 15-bit ids and the 32-bit entry
+  /// layout was selected.
+  bool wide_layout() const { return wide_; }
 
  private:
   // 16-bit entries as in the original: top bit selects next-hop vs chunk id.
   static constexpr std::uint16_t kChunkFlag = 0x8000;
   static constexpr std::uint16_t kNoEntry = 0x7fff;  ///< next-hop index "none"
+  // 32-bit layout for internet-scale tables, same bit discipline.
+  static constexpr std::uint32_t kChunkFlag32 = 0x8000'0000u;
+  static constexpr std::uint32_t kNoEntry32 = 0x7fff'ffffu;
 
   std::uint32_t intern_next_hop(net::NextHop hop);
 
-  std::vector<std::uint16_t> level1_;              // 2^24 entries
+  template <typename Entry, Entry Flag, Entry NoEntry>
+  void build_into(const net::RouteTable& table, std::vector<Entry>& level1,
+                  std::vector<std::array<Entry, 256>>& chunks);
+
+  template <typename Entry, Entry Flag, Entry NoEntry, bool kCounted>
+  net::NextHop lookup_in(const std::vector<Entry>& level1,
+                         const std::vector<std::array<Entry, 256>>& chunks,
+                         net::Ipv4Addr addr, MemAccessCounter* counter) const;
+
+  bool wide_ = false;
+  std::vector<std::uint16_t> level1_;              // 2^24 entries (narrow)
   std::vector<std::array<std::uint16_t, 256>> chunks_;
+  std::vector<std::uint32_t> level1w_;             // 2^24 entries (wide)
+  std::vector<std::array<std::uint32_t, 256>> chunks32_;
   std::vector<net::NextHop> next_hop_table_;
 };
 

@@ -4,6 +4,7 @@
 #include <bit>
 #include <stdexcept>
 
+#include "sim/sweep.h"
 #include "trie/simd_dispatch.h"
 
 namespace spal::trie {
@@ -18,9 +19,20 @@ inline std::uint32_t extract(int pos, int count, std::uint32_t word) {
 
 inline void prefetch(const void* address) { __builtin_prefetch(address, 0, 3); }
 
+/// Below this many base entries the bulk build runs its per-pattern subtree
+/// pass inline: small builds (including shard-thread epoch rebuilds, which
+/// must not spawn nested pools) gain nothing from the sweep pool.
+constexpr std::size_t kParallelBuildMin = 65536;
+
+/// Root patterns handled per sweep task; 256 keeps task count well above
+/// thread count at the default 16-bit root without per-task overhead
+/// dominating.
+constexpr std::size_t kPatternBatch = 256;
+
 }  // namespace
 
-LcTrie::LcTrie(const net::RouteTable& table, double fill_factor, int max_root_branch)
+LcTrie::LcTrie(const net::RouteTable& table, double fill_factor,
+               int max_root_branch, std::size_t packed_limit)
     : fill_factor_(fill_factor), max_root_branch_(max_root_branch) {
   // Split into base vector (non-covering prefixes) and internal prefix
   // vector. Entries arrive sorted by (bits, length), so a prefix is internal
@@ -50,11 +62,20 @@ LcTrie::LcTrie(const net::RouteTable& table, double fill_factor, int max_root_br
     }
   }
   if (base_.empty()) return;
-  if (base_.size() > Node::kAdrMask) {
-    throw std::length_error("LcTrie: base vector exceeds the packed 20-bit adr");
+  std::vector<WideNode> staging;
+  build_nodes(staging);
+  // Size-select the lookup layout: the packed 4-byte node iff every adr the
+  // structure stores — child starts (< node count) and base-vector indexes —
+  // fits the packed field (and the caller's test ceiling).
+  const std::size_t limit = std::min<std::size_t>(packed_limit, Node::kAdrMask);
+  if (staging.size() <= limit + 1 && base_.size() <= limit) {
+    nodes_.reserve(staging.size());
+    for (const WideNode& w : staging) {
+      nodes_.push_back(Node::make(w.branch(), w.skip(), w.adr()));
+    }
+  } else {
+    wide_nodes_ = std::move(staging);
   }
-  nodes_.resize(1);
-  build(0, base_.size(), 0, 0);
 }
 
 int LcTrie::compute_branch(std::size_t first, std::size_t n, int pos,
@@ -101,22 +122,19 @@ int LcTrie::compute_branch(std::size_t first, std::size_t n, int pos,
   return branch;
 }
 
-void LcTrie::build(std::size_t first, std::size_t n, int pos,
-                   std::size_t node_index) {
+void LcTrie::build_at(std::vector<WideNode>& out, std::size_t node_index,
+                      std::size_t first, std::size_t n, int pos) const {
   if (n == 1) {
-    nodes_[node_index] = Node::make(0, 0, static_cast<std::uint32_t>(first));
+    out[node_index] = WideNode::make(0, 0, static_cast<std::uint32_t>(first));
     return;
   }
   int skip = 0;
   const int branch = compute_branch(first, n, pos, &skip);
-  const std::size_t adr = nodes_.size();
-  if (adr + (std::size_t{1} << branch) > Node::kAdrMask + 1) {
-    throw std::length_error("LcTrie: node count exceeds the packed 20-bit adr");
-  }
-  nodes_.resize(adr + (std::size_t{1} << branch));
-  nodes_[node_index] = Node::make(static_cast<std::uint32_t>(branch),
-                                  static_cast<std::uint32_t>(skip),
-                                  static_cast<std::uint32_t>(adr));
+  const std::size_t adr = out.size();
+  out.resize(adr + (std::size_t{1} << branch));
+  out[node_index] = WideNode::make(static_cast<std::uint32_t>(branch),
+                                   static_cast<std::uint32_t>(skip),
+                                   static_cast<std::uint32_t>(adr));
   const int child_pos = pos + skip + branch;
   std::size_t p = first;
   for (std::uint32_t pattern = 0; pattern < (1u << branch); ++pattern) {
@@ -147,30 +165,139 @@ void LcTrie::build(std::size_t first, std::size_t n, int pos,
         };
         neighbour = lcp(base_[p - 1].bits) >= lcp(base_[p].bits) ? p - 1 : p;
       }
-      build(neighbour, 1, child_pos, adr + pattern);
+      build_at(out, adr + pattern, neighbour, 1, child_pos);
     } else {
-      build(p, k, child_pos, adr + pattern);
+      build_at(out, adr + pattern, p, k, child_pos);
       p += k;
     }
   }
 }
 
-template <bool kCounted>
-net::NextHop LcTrie::lookup_impl(net::Ipv4Addr addr,
+void LcTrie::build_nodes(std::vector<WideNode>& out) const {
+  out.clear();
+  const std::size_t n = base_.size();
+  if (n == 1) {
+    out.push_back(WideNode::make(0, 0, 0));
+    return;
+  }
+  // The sequential recursion lays the array out as [root][child slots
+  // 0..2^branch) [descendants of child 0][descendants of child 1]... because
+  // each root child's recursive call appends its entire subtree before the
+  // next child's begins. Each child subtree touches only its own base-vector
+  // subrange, so the subtrees build independently (in parallel for large
+  // tables) into task-local arrays and splice back in child order with a
+  // pure adr rebase — bit-for-bit the sequential array.
+  int skip = 0;
+  const int branch = compute_branch(0, n, 0, &skip);
+  const std::size_t fan = std::size_t{1} << branch;
+  const int child_pos = skip + branch;
+  // Per-child base-vector subranges, plus the seed-identical neighbour
+  // substitution for empty children (count == 0 => first is the neighbour).
+  struct Task {
+    std::size_t first = 0;
+    std::size_t count = 0;
+  };
+  std::vector<Task> tasks(fan);
+  std::size_t p = 0;
+  for (std::uint32_t pattern = 0; pattern < fan; ++pattern) {
+    std::size_t k = 0;
+    while (p + k < n && extract(skip, branch, base_[p + k].bits) == pattern) {
+      ++k;
+    }
+    if (k == 0) {
+      const std::uint32_t slot_path =
+          (skip == 0 ? 0
+                     : (base_[0].bits & (~std::uint32_t{0} << (32 - skip)))) |
+          (pattern << (32 - child_pos));
+      std::size_t neighbour;
+      if (p == 0) {
+        neighbour = p;
+      } else if (p == n) {
+        neighbour = p - 1;
+      } else {
+        const auto lcp = [slot_path](std::uint32_t bits) {
+          const std::uint32_t diff = bits ^ slot_path;
+          return diff == 0 ? 32 : std::countl_zero(diff);
+        };
+        neighbour = lcp(base_[p - 1].bits) >= lcp(base_[p].bits) ? p - 1 : p;
+      }
+      tasks[pattern] = Task{neighbour, 0};
+    } else {
+      tasks[pattern] = Task{p, k};
+      p += k;
+    }
+  }
+  // Build each child subtree into a task-group-local array. Group results
+  // keep per-child start offsets so the splice can rebase each subtree.
+  struct GroupNodes {
+    std::vector<WideNode> nodes;
+    std::vector<std::size_t> start;
+  };
+  const std::size_t group_count = (fan + kPatternBatch - 1) / kPatternBatch;
+  std::vector<std::size_t> group_ids(group_count);
+  for (std::size_t g = 0; g < group_count; ++g) group_ids[g] = g;
+  const int threads = n >= kParallelBuildMin ? 0 : 1;
+  const auto groups = sim::parallel_sweep(
+      group_ids,
+      [&](std::size_t gi) {
+        GroupNodes g;
+        const std::size_t begin = gi * kPatternBatch;
+        const std::size_t end = std::min(begin + kPatternBatch, fan);
+        g.start.reserve(end - begin);
+        for (std::size_t q = begin; q < end; ++q) {
+          const std::size_t self = g.nodes.size();
+          g.start.push_back(self);
+          g.nodes.emplace_back();
+          const std::size_t count = std::max<std::size_t>(tasks[q].count, 1);
+          build_at(g.nodes, self, tasks[q].first, count, child_pos);
+        }
+        return g;
+      },
+      threads);
+  // Exact final size: root + child slots + every subtree's descendants.
+  std::size_t total = 1 + fan;
+  for (const GroupNodes& g : groups) total += g.nodes.size() - g.start.size();
+  out.reserve(total);
+  out.resize(1 + fan);
+  out[0] = WideNode::make(static_cast<std::uint32_t>(branch),
+                          static_cast<std::uint32_t>(skip), 1);
+  std::size_t pattern = 0;
+  for (const GroupNodes& g : groups) {
+    for (std::size_t q = 0; q < g.start.size(); ++q, ++pattern) {
+      const std::size_t s = g.start[q];
+      const std::size_t e =
+          q + 1 < g.start.size() ? g.start[q + 1] : g.nodes.size();
+      // Descendants of this child begin where the array currently ends;
+      // local adr a (pointing past the local subtree root at s) lands at
+      // desc_base + (a - s - 1).
+      const std::size_t desc_base = out.size();
+      const auto rebase = [&](WideNode w) {
+        if (w.branch() != 0) {
+          w.adr_ = static_cast<std::uint32_t>(desc_base + (w.adr() - s - 1));
+        }
+        return w;
+      };
+      out[1 + pattern] = rebase(g.nodes[s]);
+      for (std::size_t a = s + 1; a < e; ++a) out.push_back(rebase(g.nodes[a]));
+    }
+  }
+}
+
+template <bool kCounted, typename NodeT>
+net::NextHop LcTrie::lookup_impl(const NodeT* nodes, net::Ipv4Addr addr,
                                  MemAccessCounter* counter) const {
-  if (nodes_.empty()) return net::kNoRoute;
   const std::uint32_t s = addr.value();
-  if constexpr (kCounted) counter->record();  // root node read
-  Node node = nodes_[0];
+  if constexpr (kCounted) counter->record_arena(lc_detail::kArenaNodes);
+  NodeT node = nodes[0];
   int pos = static_cast<int>(node.skip());
   while (node.branch() != 0) {
-    if constexpr (kCounted) counter->record();  // child node read
+    if constexpr (kCounted) counter->record_arena(lc_detail::kArenaNodes);
     const int parent_branch = static_cast<int>(node.branch());
-    node = nodes_[node.adr() + extract(pos, parent_branch, s)];
+    node = nodes[node.adr() + extract(pos, parent_branch, s)];
     // Consume the parent's branch bits plus the child's skipped bits.
     pos += parent_branch + static_cast<int>(node.skip());
   }
-  if constexpr (kCounted) counter->record();  // base-vector entry read
+  if constexpr (kCounted) counter->record_arena(lc_detail::kArenaBase);
   const BaseEntry& base = base_[node.adr()];
   const std::uint32_t diff = base.bits ^ s;
   if (extract(0, base.len, diff) == 0) return base.next_hop;
@@ -178,7 +305,7 @@ net::NextHop LcTrie::lookup_impl(net::Ipv4Addr addr,
   // prefixes (longest first).
   std::int32_t pre = base.pre;
   while (pre >= 0) {
-    if constexpr (kCounted) counter->record();  // prefix-vector entry read
+    if constexpr (kCounted) counter->record_arena(lc_detail::kArenaPre);
     const PreEntry& entry = pre_[static_cast<std::size_t>(pre)];
     if (extract(0, entry.len, diff) == 0) return entry.next_hop;
     pre = entry.pre;
@@ -188,24 +315,45 @@ net::NextHop LcTrie::lookup_impl(net::Ipv4Addr addr,
 
 net::NextHop LcTrie::lookup(net::Ipv4Addr addr) const {
   MemAccessCounter unused;
-  return lookup_impl<false>(addr, &unused);
+  if (!wide_nodes_.empty()) {
+    return lookup_impl<false>(wide_nodes_.data(), addr, &unused);
+  }
+  if (nodes_.empty()) return net::kNoRoute;
+  return lookup_impl<false>(nodes_.data(), addr, &unused);
 }
 
 void LcTrie::lookup_batch(const net::Ipv4Addr* keys, std::size_t n,
                           net::NextHop* out) const {
-  if (nodes_.empty() || n < kMinWaveWidth) {
+  if ((nodes_.empty() && wide_nodes_.empty()) || n < kMinWaveWidth) {
     for (std::size_t i = 0; i < n; ++i) out[i] = lookup(keys[i]);
+    return;
+  }
+  // The AVX2 kernel gathers the packed 4-byte layout; the wide layout always
+  // takes the generic pipeline.
+  if (!wide_nodes_.empty()) {
+    lookup_batch_pipeline(wide_nodes_.data(), keys, n, out);
     return;
   }
   if (resolved_simd_level() == SimdLevel::kAvx2) {
     lookup_batch_avx2(keys, n, out);
     return;
   }
-  lookup_batch_generic(keys, n, out);
+  lookup_batch_pipeline(nodes_.data(), keys, n, out);
 }
 
 void LcTrie::lookup_batch_generic(const net::Ipv4Addr* keys, std::size_t n,
                                   net::NextHop* out) const {
+  if (!wide_nodes_.empty()) {
+    lookup_batch_pipeline(wide_nodes_.data(), keys, n, out);
+  } else {
+    lookup_batch_pipeline(nodes_.data(), keys, n, out);
+  }
+}
+
+template <typename NodeT>
+void LcTrie::lookup_batch_pipeline(const NodeT* nodes,
+                                   const net::Ipv4Addr* keys, std::size_t n,
+                                   net::NextHop* out) const {
   // Stage-synchronous pipeline (see LuleaTrie::lookup_batch for the model):
   // groups of G keys walk the trie in lockstep waves — every wave performs
   // one node read per still-walking lane, so the reads of a wave are
@@ -249,16 +397,15 @@ void LcTrie::lookup_batch_generic(const net::Ipv4Addr* keys, std::size_t n,
       std::size_t nw = 0;
       for (std::size_t c = 0; c < wn; ++c) {
         const std::size_t k = walk[c];
-        const Node node = nodes_[idx[k]];
+        const NodeT node = nodes[idx[k]];
         const int branch = static_cast<int>(node.branch());
         const int p = pos[k] + static_cast<int>(node.skip());
         idx[k] = node.adr() + bits_at(s[k], p, branch);
         pos[k] = p + branch;
         next_walk[nw] = static_cast<std::uint8_t>(k);
         nw += branch != 0 ? 1 : 0;
-        prefetch(branch != 0
-                     ? static_cast<const void*>(nodes_.data() + idx[k])
-                     : static_cast<const void*>(base_.data() + idx[k]));
+        prefetch(branch != 0 ? static_cast<const void*>(nodes + idx[k])
+                             : static_cast<const void*>(base_.data() + idx[k]));
       }
       std::swap(walk, next_walk);
       wn = nw;
@@ -300,14 +447,29 @@ void LcTrie::lookup_batch_generic(const net::Ipv4Addr* keys, std::size_t n,
 
 net::NextHop LcTrie::lookup_counted(net::Ipv4Addr addr,
                                     MemAccessCounter& counter) const {
-  return lookup_impl<true>(addr, &counter);
+  if (!wide_nodes_.empty()) {
+    return lookup_impl<true>(wide_nodes_.data(), addr, &counter);
+  }
+  if (nodes_.empty()) return net::kNoRoute;
+  return lookup_impl<true>(nodes_.data(), addr, &counter);
 }
 
 std::size_t LcTrie::storage_bytes() const {
-  // Packed 4-byte trie nodes (5-bit branch, 7-bit skip, 20-bit adr), 12-byte
-  // base entries (address, length, next hop, chain pointer) and 8-byte
-  // internal-prefix entries, following the JSAC paper's layout.
-  return nodes_.size() * 4 + base_.size() * 12 + pre_.size() * 8;
+  // Packed 4-byte trie nodes (5-bit branch, 7-bit skip, 20-bit adr) — or
+  // 8-byte wide nodes past the 20-bit adr ceiling — 12-byte base entries
+  // (address, length, next hop, chain pointer) and 8-byte internal-prefix
+  // entries, following the JSAC paper's layout.
+  const std::size_t node_bytes =
+      wide_nodes_.empty() ? nodes_.size() * 4 : wide_nodes_.size() * 8;
+  return node_bytes + base_.size() * 12 + pre_.size() * 8;
+}
+
+std::vector<ArenaSpan> LcTrie::arenas() const {
+  const std::size_t node_bytes =
+      wide_nodes_.empty() ? nodes_.size() * 4 : wide_nodes_.size() * 8;
+  return {{"nodes", node_bytes},
+          {"base", base_.size() * 12},
+          {"pre", pre_.size() * 8}};
 }
 
 }  // namespace spal::trie

@@ -30,8 +30,9 @@ namespace lc_detail {
 /// Packed 4-byte LC-trie node: branch in the top 5 bits, skip in the next
 /// 7, adr (children start, or base-vector index for leaves) in the low 20.
 /// branch == 0 marks a leaf. The reachable value ranges fit: branch <= 31
-/// (bounded by the address width minus one consumed bit), skip <= 127, and
-/// builds exceeding 2^20 nodes (~500k base prefixes) throw length_error.
+/// (bounded by the address width minus one consumed bit), skip <= 127.
+/// Structures outgrowing the 20-bit adr (~1.05M nodes or base entries, i.e.
+/// internet-scale tables) are size-selected onto WideNode instead.
 struct PackedNode {
   static constexpr std::uint32_t kAdrBits = 20;
   static constexpr std::uint32_t kAdrMask = (1u << kAdrBits) - 1;
@@ -49,12 +50,43 @@ struct PackedNode {
   std::uint32_t adr() const { return word & kAdrMask; }
 };
 
+/// 8-byte node with a full 32-bit adr: the build-time staging type, and the
+/// lookup layout when the structure exceeds PackedNode's 20-bit adr. Same
+/// accessor surface as PackedNode so the walk code is shared by template.
+struct WideNode {
+  std::uint32_t adr_ = 0;
+  std::uint8_t branch_ = 0;
+  std::uint8_t skip_ = 0;
+
+  static WideNode make(std::uint32_t branch, std::uint32_t skip,
+                       std::uint32_t adr) {
+    return WideNode{adr, static_cast<std::uint8_t>(branch),
+                    static_cast<std::uint8_t>(skip)};
+  }
+  std::uint32_t branch() const { return branch_; }
+  std::uint32_t skip() const { return skip_; }
+  std::uint32_t adr() const { return adr_; }
+};
+
+/// Arena indexes for counted-lookup attribution; must match the order the
+/// LC tries' arenas() list their spans.
+enum LcArena : std::size_t {
+  kArenaNodes = 0,
+  kArenaBase = 1,
+  kArenaPre = 2,
+};
+
 }  // namespace lc_detail
 
 class LcTrie final : public LpmIndex {
  public:
+  /// `packed_limit` is the largest adr value the packed 4-byte layout may
+  /// hold; structures whose node or base count exceeds it keep the 8-byte
+  /// wide layout instead. The default is the format's real 20-bit ceiling —
+  /// tests lower it to exercise the wide path without million-node builds.
   explicit LcTrie(const net::RouteTable& table, double fill_factor = 0.25,
-                  int max_root_branch = 16);
+                  int max_root_branch = 16,
+                  std::size_t packed_limit = lc_detail::PackedNode::kAdrMask);
 
   // LpmIndex:
   net::NextHop lookup(net::Ipv4Addr addr) const override;
@@ -63,14 +95,21 @@ class LcTrie final : public LpmIndex {
   net::NextHop lookup_counted(net::Ipv4Addr addr,
                               MemAccessCounter& counter) const override;
   std::size_t storage_bytes() const override;
+  std::vector<ArenaSpan> arenas() const override;
   std::string_view name() const override { return "lc"; }
 
-  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t node_count() const {
+    return wide_nodes_.empty() ? nodes_.size() : wide_nodes_.size();
+  }
   std::size_t base_count() const { return base_.size(); }
   std::size_t internal_count() const { return pre_.size(); }
+  /// True when the structure outgrew the packed 20-bit adr and uses the
+  /// 8-byte wide node layout.
+  bool wide_layout() const { return !wide_nodes_.empty(); }
 
  private:
   using Node = lc_detail::PackedNode;
+  using WideNode = lc_detail::WideNode;
   struct BaseEntry {
     std::uint32_t bits = 0;
     std::uint8_t len = 0;
@@ -83,7 +122,17 @@ class LcTrie final : public LpmIndex {
     std::int32_t pre = -1;
   };
 
-  void build(std::size_t first, std::size_t n, int prefix_pos, std::size_t node_index);
+  /// Builds the trie into wide staging nodes: the root's children are
+  /// partitioned into per-pattern subtrees built independently (over the
+  /// sweep pool for large tables), then spliced into one exactly pre-sized
+  /// array in DFS order — bit-for-bit the array the sequential recursion
+  /// produces, because the recursion appends each child's whole subtree
+  /// before its next sibling's.
+  void build_nodes(std::vector<WideNode>& out) const;
+  /// Appends the subtree over base_[first, first+n) with its root at
+  /// out[node_index] (sequential recursion, shared by every build path).
+  void build_at(std::vector<WideNode>& out, std::size_t node_index,
+                std::size_t first, std::size_t n, int pos) const;
   int compute_branch(std::size_t first, std::size_t n, int pos, int* skip_out) const;
 
   /// Below this many keys lookup_batch uses the plain scalar loop (pipeline
@@ -94,18 +143,24 @@ class LcTrie final : public LpmIndex {
   // the LC walk has no rank computation for POPCNT to accelerate, so the
   // sse42 level runs the generic pipeline. The AVX2 kernel (lc_trie_simd.cpp;
   // generic-calling stub off x86) runs the node walk and base comparison as
-  // 8-lane gather waves.
+  // 8-lane gather waves over the packed layout; the wide layout always takes
+  // the generic pipeline.
   void lookup_batch_generic(const net::Ipv4Addr* keys, std::size_t n,
                             net::NextHop* out) const;
+  template <typename NodeT>
+  void lookup_batch_pipeline(const NodeT* nodes, const net::Ipv4Addr* keys,
+                             std::size_t n, net::NextHop* out) const;
   void lookup_batch_avx2(const net::Ipv4Addr* keys, std::size_t n,
                          net::NextHop* out) const;
 
-  template <bool kCounted>
-  net::NextHop lookup_impl(net::Ipv4Addr addr, MemAccessCounter* counter) const;
+  template <bool kCounted, typename NodeT>
+  net::NextHop lookup_impl(const NodeT* nodes, net::Ipv4Addr addr,
+                           MemAccessCounter* counter) const;
 
   double fill_factor_;
   int max_root_branch_;
-  std::vector<Node> nodes_;
+  std::vector<Node> nodes_;           // packed layout (empty when wide)
+  std::vector<WideNode> wide_nodes_;  // wide layout (empty when packed)
   std::vector<BaseEntry> base_;
   std::vector<PreEntry> pre_;
 };

@@ -3,10 +3,18 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "sim/sweep.h"
 #include "trie/simd_dispatch.h"
 
 namespace spal::trie {
 namespace {
+
+/// Below this many base entries the bulk build runs its per-pattern subtree
+/// pass inline (see lc_trie.cpp).
+constexpr std::size_t kParallelBuildMin = 65536;
+
+/// Root patterns handled per sweep task.
+constexpr std::size_t kPatternBatch = 256;
 
 net::Ipv6Addr set_bit(const net::Ipv6Addr& addr, int pos) {
   if (pos < 64) {
@@ -67,8 +75,15 @@ LcTrie6::LcTrie6(const net::RouteTable6& table, double fill_factor, int max_bran
   if (base_.size() > Node::kAdrMask) {
     throw std::length_error("LcTrie6: base vector exceeds the packed 20-bit adr");
   }
-  nodes_.resize(1);
-  build(0, base_.size(), 0, 0);
+  std::vector<WideNode> staging;
+  build_nodes(staging);
+  if (staging.size() > Node::kAdrMask + 1) {
+    throw std::length_error("LcTrie6: node count exceeds the packed 20-bit adr");
+  }
+  nodes_.reserve(staging.size());
+  for (const WideNode& w : staging) {
+    nodes_.push_back(Node::make(w.branch(), w.skip(), w.adr()));
+  }
 }
 
 int LcTrie6::compute_branch(std::size_t first, std::size_t n, int pos,
@@ -104,22 +119,19 @@ int LcTrie6::compute_branch(std::size_t first, std::size_t n, int pos,
   return branch;
 }
 
-void LcTrie6::build(std::size_t first, std::size_t n, int pos,
-                    std::size_t node_index) {
+void LcTrie6::build_at(std::vector<WideNode>& out, std::size_t node_index,
+                       std::size_t first, std::size_t n, int pos) const {
   if (n == 1) {
-    nodes_[node_index] = Node::make(0, 0, static_cast<std::uint32_t>(first));
+    out[node_index] = WideNode::make(0, 0, static_cast<std::uint32_t>(first));
     return;
   }
   int skip = 0;
   const int branch = compute_branch(first, n, pos, &skip);
-  const std::size_t adr = nodes_.size();
-  if (adr + (std::size_t{1} << branch) > Node::kAdrMask + 1) {
-    throw std::length_error("LcTrie6: node count exceeds the packed 20-bit adr");
-  }
-  nodes_.resize(adr + (std::size_t{1} << branch));
-  nodes_[node_index] = Node::make(static_cast<std::uint32_t>(branch),
-                                  static_cast<std::uint32_t>(skip),
-                                  static_cast<std::uint32_t>(adr));
+  const std::size_t adr = out.size();
+  out.resize(adr + (std::size_t{1} << branch));
+  out[node_index] = WideNode::make(static_cast<std::uint32_t>(branch),
+                                   static_cast<std::uint32_t>(skip),
+                                   static_cast<std::uint32_t>(adr));
   const int child_pos = pos + skip + branch;
   std::size_t p = first;
   for (std::uint32_t pattern = 0; pattern < (1u << branch); ++pattern) {
@@ -144,10 +156,104 @@ void LcTrie6::build(std::size_t first, std::size_t n, int pos,
                         ? p - 1
                         : p;
       }
-      build(neighbour, 1, child_pos, adr + pattern);
+      build_at(out, adr + pattern, neighbour, 1, child_pos);
     } else {
-      build(p, k, child_pos, adr + pattern);
+      build_at(out, adr + pattern, p, k, child_pos);
       p += k;
+    }
+  }
+}
+
+void LcTrie6::build_nodes(std::vector<WideNode>& out) const {
+  // Same per-root-pattern decomposition as LcTrie::build_nodes: the
+  // sequential recursion lays the array out as [root][child slots][child 0's
+  // descendants][child 1's descendants]..., each child subtree touches only
+  // its own base-vector subrange, so subtrees build independently and splice
+  // back with a pure adr rebase — bit-for-bit the sequential array.
+  out.clear();
+  const std::size_t n = base_.size();
+  if (n == 1) {
+    out.push_back(WideNode::make(0, 0, 0));
+    return;
+  }
+  int skip = 0;
+  const int branch = compute_branch(0, n, 0, &skip);
+  const std::size_t fan = std::size_t{1} << branch;
+  const int child_pos = skip + branch;
+  struct Task {
+    std::size_t first = 0;
+    std::size_t count = 0;  ///< 0 => `first` is an empty slot's neighbour
+  };
+  std::vector<Task> tasks(fan);
+  std::size_t p = 0;
+  for (std::uint32_t pattern = 0; pattern < fan; ++pattern) {
+    std::size_t k = 0;
+    while (p + k < n && base_[p + k].bits.bits(skip, branch) == pattern) ++k;
+    if (k == 0) {
+      const net::Ipv6Addr path = slot_path(base_[0].bits, skip, pattern, branch);
+      std::size_t neighbour;
+      if (p == 0) {
+        neighbour = p;
+      } else if (p == n) {
+        neighbour = p - 1;
+      } else {
+        neighbour = net::common_prefix_bits(base_[p - 1].bits, path) >=
+                            net::common_prefix_bits(base_[p].bits, path)
+                        ? p - 1
+                        : p;
+      }
+      tasks[pattern] = Task{neighbour, 0};
+    } else {
+      tasks[pattern] = Task{p, k};
+      p += k;
+    }
+  }
+  struct GroupNodes {
+    std::vector<WideNode> nodes;
+    std::vector<std::size_t> start;
+  };
+  const std::size_t group_count = (fan + kPatternBatch - 1) / kPatternBatch;
+  std::vector<std::size_t> group_ids(group_count);
+  for (std::size_t g = 0; g < group_count; ++g) group_ids[g] = g;
+  const int threads = n >= kParallelBuildMin ? 0 : 1;
+  const auto groups = sim::parallel_sweep(
+      group_ids,
+      [&](std::size_t gi) {
+        GroupNodes g;
+        const std::size_t begin = gi * kPatternBatch;
+        const std::size_t end = std::min(begin + kPatternBatch, fan);
+        g.start.reserve(end - begin);
+        for (std::size_t q = begin; q < end; ++q) {
+          const std::size_t self = g.nodes.size();
+          g.start.push_back(self);
+          g.nodes.emplace_back();
+          const std::size_t count = std::max<std::size_t>(tasks[q].count, 1);
+          build_at(g.nodes, self, tasks[q].first, count, child_pos);
+        }
+        return g;
+      },
+      threads);
+  std::size_t total = 1 + fan;
+  for (const GroupNodes& g : groups) total += g.nodes.size() - g.start.size();
+  out.reserve(total);
+  out.resize(1 + fan);
+  out[0] = WideNode::make(static_cast<std::uint32_t>(branch),
+                          static_cast<std::uint32_t>(skip), 1);
+  std::size_t pattern = 0;
+  for (const GroupNodes& g : groups) {
+    for (std::size_t q = 0; q < g.start.size(); ++q, ++pattern) {
+      const std::size_t s = g.start[q];
+      const std::size_t e =
+          q + 1 < g.start.size() ? g.start[q + 1] : g.nodes.size();
+      const std::size_t desc_base = out.size();
+      const auto rebase = [&](WideNode w) {
+        if (w.branch() != 0) {
+          w.adr_ = static_cast<std::uint32_t>(desc_base + (w.adr() - s - 1));
+        }
+        return w;
+      };
+      out[1 + pattern] = rebase(g.nodes[s]);
+      for (std::size_t a = s + 1; a < e; ++a) out.push_back(rebase(g.nodes[a]));
     }
   }
 }
@@ -156,21 +262,25 @@ template <bool kCounted>
 net::NextHop LcTrie6::lookup_impl(const net::Ipv6Addr& addr,
                                   MemAccessCounter* counter) const {
   if (nodes_.empty()) return net::kNoRoute;
-  if constexpr (kCounted) counter->record();  // root node read
+  // root node read
+  if constexpr (kCounted) counter->record_arena(lc_detail::kArenaNodes);
   Node node = nodes_[0];
   int pos = static_cast<int>(node.skip());
   while (node.branch() != 0) {
-    if constexpr (kCounted) counter->record();  // child node read
+    // child node read
+    if constexpr (kCounted) counter->record_arena(lc_detail::kArenaNodes);
     const int parent_branch = static_cast<int>(node.branch());
     node = nodes_[node.adr() + addr.bits(pos, parent_branch)];
     pos += parent_branch + static_cast<int>(node.skip());
   }
-  if constexpr (kCounted) counter->record();  // base-vector entry read
+  // base-vector entry read
+  if constexpr (kCounted) counter->record_arena(lc_detail::kArenaBase);
   const BaseEntry& base = base_[node.adr()];
   if (net::equal_prefix_bits(addr, base.bits, base.len)) return base.next_hop;
   std::int32_t pre = base.pre;
   while (pre >= 0) {
-    if constexpr (kCounted) counter->record();  // prefix-vector entry read
+    // prefix-vector entry read
+    if constexpr (kCounted) counter->record_arena(lc_detail::kArenaPre);
     const PreEntry& entry = pre_[static_cast<std::size_t>(pre)];
     if (net::equal_prefix_bits(addr, base.bits, entry.len)) return entry.next_hop;
     pre = entry.pre;

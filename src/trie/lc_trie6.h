@@ -39,6 +39,13 @@ class LcTrie6 {
   std::size_t storage_bytes() const {
     return nodes_.size() * 4 + base_.size() * 24 + pre_.size() * 8;
   }
+  /// Flat storage arenas, hottest first, mirroring LpmIndex::arenas(); the
+  /// arena indexes counted lookups attribute are lc_detail::LcArena.
+  std::vector<ArenaSpan> arenas() const {
+    return {{"nodes", nodes_.size() * 4},
+            {"base", base_.size() * 24},
+            {"pre", pre_.size() * 8}};
+  }
   std::size_t node_count() const { return nodes_.size(); }
   std::size_t base_count() const { return base_.size(); }
   std::size_t internal_count() const { return pre_.size(); }
@@ -71,7 +78,17 @@ class LcTrie6 {
   void lookup_batch_avx2(const net::Ipv6Addr* keys, std::size_t n,
                          net::NextHop* out) const;
 
-  void build(std::size_t first, std::size_t n, int pos, std::size_t node_index);
+  using WideNode = lc_detail::WideNode;
+
+  /// Builds the trie into wide staging nodes (per-root-pattern subtrees over
+  /// the sweep pool for large tables, spliced in DFS order — bit-for-bit the
+  /// sequential recursion's array; see LcTrie::build_nodes). The caller
+  /// packs the staging nodes into the 4-byte layout.
+  void build_nodes(std::vector<WideNode>& out) const;
+  /// Appends the subtree over base_[first, first+n) with its root at
+  /// out[node_index] (sequential recursion, shared by every build path).
+  void build_at(std::vector<WideNode>& out, std::size_t node_index,
+                std::size_t first, std::size_t n, int pos) const;
   int compute_branch(std::size_t first, std::size_t n, int pos, int* skip_out) const;
 
   template <bool kCounted>

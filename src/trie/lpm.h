@@ -9,6 +9,7 @@
 //     forwarding engine's service time (≈40 cycles Lulea, ≈62 cycles DP).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -19,17 +20,46 @@
 
 namespace spal::trie {
 
+/// One contiguous storage arena of a built LPM structure. arenas() lists
+/// them hottest-first (the order the lookup path dereferences them); the
+/// memory-tier cost model (src/core/memory_model.h) packs the spans into
+/// SRAM/L2/LLC/DRAM tiers by cumulative footprint in exactly that order.
+struct ArenaSpan {
+  std::string_view name;   ///< stable identifier ("codewords", "nodes", ...)
+  std::size_t bytes = 0;   ///< arena footprint; spans sum to storage_bytes()
+};
+
+/// Upper bound on the number of arenas any one structure reports. Per-arena
+/// access counters are a fixed-size array so the counted path never
+/// allocates.
+inline constexpr std::size_t kMaxArenas = 8;
+
 /// Counts memory accesses performed by an LPM lookup. An "access" is one
 /// dependent read of a trie node / array element, i.e. the unit the paper
-/// charges 12 ns for.
+/// charges 12 ns for. Accesses may additionally be attributed to the arena
+/// (index into the structure's arenas() order) they touch, which is what the
+/// memory-tier cost model prices.
 class MemAccessCounter {
  public:
-  void record(std::uint64_t accesses = 1) { total_ += accesses; }
+  /// Untagged accesses land in arena 0 — exact for every single-arena
+  /// structure (their one arenas() span is index 0).
+  void record(std::uint64_t accesses = 1) { record_arena(0, accesses); }
+  void record_arena(std::size_t arena, std::uint64_t accesses = 1) {
+    total_ += accesses;
+    per_arena_[arena < kMaxArenas ? arena : kMaxArenas - 1] += accesses;
+  }
   std::uint64_t total() const { return total_; }
-  void reset() { total_ = 0; }
+  std::uint64_t arena_total(std::size_t arena) const {
+    return arena < kMaxArenas ? per_arena_[arena] : 0;
+  }
+  void reset() {
+    total_ = 0;
+    per_arena_ = {};
+  }
 
  private:
   std::uint64_t total_ = 0;
+  std::array<std::uint64_t, kMaxArenas> per_arena_{};
 };
 
 /// In-flight keys the batched lookup pipelines interleave (G in DESIGN.md,
@@ -66,6 +96,14 @@ class LpmIndex {
   /// SRAM bytes required to hold the structure, per the paper's per-trie
   /// storage model.
   virtual std::size_t storage_bytes() const = 0;
+
+  /// The flat storage arenas that compose storage_bytes(), hottest first.
+  /// Arena i here is the arena counted lookups attribute via
+  /// MemAccessCounter::record_arena(i, ...). The spans always sum to exactly
+  /// storage_bytes(). Default: one arena named after the structure.
+  virtual std::vector<ArenaSpan> arenas() const {
+    return {{name(), storage_bytes()}};
+  }
 
   /// Human-readable algorithm name ("binary", "dp", "lulea", "lc").
   virtual std::string_view name() const = 0;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <map>
+#include <stdexcept>
 
+#include "sim/sweep.h"
 #include "trie/simd_dispatch.h"
 
 namespace spal::trie {
@@ -33,10 +35,21 @@ using lulea_detail::Codeword;
 using lulea_detail::DenseRef;
 using lulea_detail::Pointer;
 
-lulea_detail::DenseRef LuleaTrie::append_compressed(
-    const std::vector<std::uint32_t>& dense) {
-  DenseRef ref{static_cast<std::uint32_t>(codewords_.size()),
-               static_cast<std::uint32_t>(pointers_.size())};
+namespace {
+
+/// Shared core of append_compressed: run-compresses `dense` into the given
+/// arena vectors. `intern(mask)` supplies the codeword's maptable row — the
+/// member path interns into the trie's maptable immediately, the bulk
+/// builder's piece-local path records the raw mask for interning at splice
+/// time (so maptable row ids are still assigned in global chunk order).
+template <typename InternFn>
+DenseRef append_compressed_into(std::vector<Codeword>& codewords,
+                                std::vector<std::uint32_t>& bases,
+                                std::vector<Pointer>& pointers,
+                                InternFn&& intern,
+                                const std::vector<std::uint32_t>& dense) {
+  DenseRef ref{static_cast<std::uint32_t>(codewords.size()),
+               static_cast<std::uint32_t>(pointers.size())};
   const std::size_t n = dense.size();
   const std::size_t num_masks = (n + 15) / 16;
   std::uint32_t total_heads = 0;
@@ -44,7 +57,7 @@ lulea_detail::DenseRef LuleaTrie::append_compressed(
   for (std::size_t m = 0; m < num_masks; ++m) {
     if (m % 4 == 0) {
       group_base = total_heads;
-      bases_.push_back(group_base);
+      bases.push_back(group_base);
     }
     std::uint16_t mask = 0;
     const std::uint32_t group_offset = total_heads - group_base;
@@ -53,43 +66,67 @@ lulea_detail::DenseRef LuleaTrie::append_compressed(
       const bool head = pos == 0 || dense[pos] != dense[pos - 1];
       if (head) {
         mask |= static_cast<std::uint16_t>(1u << j);
-        pointers_.push_back(Pointer{dense[pos]});
+        pointers.push_back(Pointer{dense[pos]});
         ++total_heads;
       }
     }
-    codewords_.push_back(Codeword{maptable_.intern(mask),
-                                  static_cast<std::uint8_t>(group_offset)});
+    codewords.push_back(
+        Codeword{intern(mask), static_cast<std::uint8_t>(group_offset)});
   }
   return ref;
 }
 
-lulea_detail::ChunkRef LuleaTrie::append_chunk(
-    const std::vector<std::uint32_t>& dense) {
+/// Shared core of append_chunk; see append_compressed_into for InternFn.
+template <typename InternFn>
+ChunkRef append_chunk_into(std::vector<Codeword>& codewords,
+                           std::vector<std::uint32_t>& bases,
+                           std::vector<Pointer>& pointers,
+                           std::vector<std::uint64_t>& sparse_heads,
+                           InternFn&& intern, std::size_t sparse_limit,
+                           const std::vector<std::uint32_t>& dense) {
   std::size_t heads = 0;
   for (std::size_t i = 0; i < dense.size(); ++i) {
     if (i == 0 || dense[i] != dense[i - 1]) ++heads;
   }
-  if (heads > kSparseLimit) {
-    const DenseRef ref = append_compressed(dense);
+  if (heads > sparse_limit) {
+    const DenseRef ref = append_compressed_into(
+        codewords, bases, pointers, std::forward<InternFn>(intern), dense);
     return ChunkRef{ref.cw_base, ref.ptr_base};
   }
   // Sparse form: the ascending head offsets packed into one 8-byte block
   // (byte i = offset of head i), searched in a single read.
   ChunkRef ref{ChunkRef::kSparseFlag |
                    (static_cast<std::uint32_t>(heads - 1) << 27) |
-                   static_cast<std::uint32_t>(sparse_heads_.size()),
-               static_cast<std::uint32_t>(pointers_.size())};
+                   static_cast<std::uint32_t>(sparse_heads.size()),
+               static_cast<std::uint32_t>(pointers.size())};
   std::uint64_t block = 0;
   std::size_t slot = 0;
   for (std::size_t i = 0; i < dense.size(); ++i) {
     if (i == 0 || dense[i] != dense[i - 1]) {
       block |= static_cast<std::uint64_t>(i) << (8 * slot);
       ++slot;
-      pointers_.push_back(Pointer{dense[i]});
+      pointers.push_back(Pointer{dense[i]});
     }
   }
-  sparse_heads_.push_back(block);
+  sparse_heads.push_back(block);
   return ref;
+}
+
+}  // namespace
+
+lulea_detail::DenseRef LuleaTrie::append_compressed(
+    const std::vector<std::uint32_t>& dense) {
+  return append_compressed_into(
+      codewords_, bases_, pointers_,
+      [this](std::uint16_t mask) { return maptable_.intern(mask); }, dense);
+}
+
+lulea_detail::ChunkRef LuleaTrie::append_chunk(
+    const std::vector<std::uint32_t>& dense) {
+  return append_chunk_into(
+      codewords_, bases_, pointers_, sparse_heads_,
+      [this](std::uint16_t mask) { return maptable_.intern(mask); },
+      kSparseLimit, dense);
 }
 
 template <bool kCounted>
@@ -97,19 +134,27 @@ Pointer LuleaTrie::dense_lookup(const DenseRef& ref, std::uint32_t pos,
                                 MemAccessCounter* counter) const {
   const std::uint32_t m = pos >> 4;
   const int low = static_cast<int>(pos & 15u);
-  if constexpr (kCounted) counter->record();  // codeword read
+  if constexpr (kCounted) {
+    counter->record_arena(lulea_detail::kArenaCodewords);  // codeword read
+  }
   const Codeword cw = codewords_[ref.cw_base + m];
-  if constexpr (kCounted) counter->record();  // base-index read
+  if constexpr (kCounted) {
+    counter->record_arena(lulea_detail::kArenaBases);  // base-index read
+  }
   // Every structure appends codewords in multiples of four masks, so its
   // base block always starts at cw_base / 4.
   const std::uint32_t base = bases_[(ref.cw_base >> 2) + (m >> 2)];
-  if constexpr (kCounted) counter->record();  // maptable row read
+  if constexpr (kCounted) {
+    counter->record_arena(lulea_detail::kArenaMaptable);  // maptable row read
+  }
   // Inclusive rank of `pos`; every position is governed by some head, so
   // the rank is always >= 1.
   const std::uint32_t rank =
       base + cw.offset +
       static_cast<std::uint32_t>(maptable_.rank_inclusive(cw.row, low));
-  if constexpr (kCounted) counter->record();  // pointer read
+  if constexpr (kCounted) {
+    counter->record_arena(lulea_detail::kArenaPointers);  // pointer read
+  }
   return pointers_[ref.ptr_base + rank - 1];
 }
 
@@ -123,15 +168,27 @@ Pointer LuleaTrie::chunk_lookup(const ChunkRef& chunk, std::uint32_t pos,
   }
   // Sparse form: the whole head block is one 8-byte read, the governing
   // pointer a second read.
-  if constexpr (kCounted) counter->record();  // head block read
+  if constexpr (kCounted) {
+    counter->record_arena(lulea_detail::kArenaSparseHeads);  // head block read
+  }
   const std::uint64_t block = sparse_heads_[chunk.meta & ChunkRef::kHeadsMask];
   std::uint32_t index = (chunk.meta >> 27) & 7u;  // head_count - 1
   while (index > 0 && ((block >> (8 * index)) & 0xFF) > pos) --index;
-  if constexpr (kCounted) counter->record();  // pointer read
+  if constexpr (kCounted) {
+    counter->record_arena(lulea_detail::kArenaPointers);  // pointer read
+  }
   return pointers_[chunk.ptr_base + index];
 }
 
-LuleaTrie::LuleaTrie(const net::RouteTable& table) {
+LuleaTrie::LuleaTrie(const net::RouteTable& table, LuleaBuildMode mode) {
+  if (mode == LuleaBuildMode::kBulk) {
+    build_bulk(table);
+  } else {
+    build_reference(table);
+  }
+}
+
+void LuleaTrie::build_reference(const net::RouteTable& table) {
   intern_next_hop(net::kNoRoute);  // index 0 = no route
 
   // Bucket prefixes by level.
@@ -210,6 +267,276 @@ LuleaTrie::LuleaTrie(const net::RouteTable& table) {
     dense1[slot] = Pointer::chunk(l2_id).raw;
   }
 
+  level1_ = append_compressed(dense1);
+}
+
+void LuleaTrie::build_bulk(const net::RouteTable& table) {
+  // Below this many entries the sweep-pool fan-out costs more than it buys
+  // (and epoch rebuilds of small per-LC fragments must not spawn a pool from
+  // inside a shard worker); the same code runs inline on one thread.
+  constexpr std::size_t kBulkParallelMin = 65536;
+  constexpr std::size_t kSlotBatch = 256;  // slots per worker task
+
+  intern_next_hop(net::kNoRoute);  // index 0 = no route
+
+  // One classifying pass. entries() is sorted by (bits, length), so the mids
+  // arrive already grouped by ascending top-16 slot and the longs by
+  // ascending top-24 group — within each group in exactly the order the
+  // reference builder's per-slot std::map vectors held them.
+  std::vector<net::RouteEntry> shorts, mids, longs;
+  for (const net::RouteEntry& e : table.entries()) {
+    if (e.prefix.length() <= 16) {
+      shorts.push_back(e);
+    } else if (e.prefix.length() <= 24) {
+      mids.push_back(e);
+    } else {
+      longs.push_back(e);
+    }
+  }
+  auto by_length = [](const net::RouteEntry& a, const net::RouteEntry& b) {
+    return a.prefix.length() < b.prefix.length();
+  };
+  std::stable_sort(shorts.begin(), shorts.end(), by_length);
+
+  // Level-1 dense map, painted shortest-first. Hop interning order is part
+  // of the byte-identity contract with build_reference: kNoRoute, then the
+  // shorts in paint order, then (below) the mid/long entries in ascending
+  // slot order.
+  std::vector<std::uint32_t> dense1(1u << 16, Pointer::next_hop(0).raw);
+  for (const net::RouteEntry& e : shorts) {
+    const std::uint32_t first = e.prefix.bits() >> 16;
+    const std::uint32_t last = e.prefix.range_last().value() >> 16;
+    const std::uint32_t hop = intern_next_hop(e.next_hop);
+    for (std::uint32_t s = first; s <= last; ++s) {
+      dense1[s] = Pointer::next_hop(hop).raw;
+    }
+  }
+
+  // Slot directory: every 16-bit slot owning a longer prefix, with its mid
+  // range in `mids` and its long groups (one per distinct top-24) in
+  // `longs`. Built with one merge scan over the two sorted sequences.
+  struct LongGroup {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+  struct Slot {
+    std::uint32_t slot = 0;
+    std::size_t mid_begin = 0, mid_end = 0;
+    std::size_t lg_begin = 0, lg_end = 0;  // range in long_groups
+    std::uint32_t l3_base = 0;             // global id of first level-3 chunk
+  };
+  std::vector<LongGroup> long_groups;
+  std::vector<Slot> slots;
+  {
+    std::size_t mi = 0, li = 0;
+    while (mi < mids.size() || li < longs.size()) {
+      std::uint32_t cur = 0xFFFFFFFFu;
+      if (mi < mids.size()) cur = std::min(cur, mids[mi].prefix.bits() >> 16);
+      if (li < longs.size()) cur = std::min(cur, longs[li].prefix.bits() >> 16);
+      Slot s;
+      s.slot = cur;
+      s.mid_begin = mi;
+      while (mi < mids.size() && (mids[mi].prefix.bits() >> 16) == cur) ++mi;
+      s.mid_end = mi;
+      s.lg_begin = long_groups.size();
+      while (li < longs.size() && (longs[li].prefix.bits() >> 16) == cur) {
+        const std::uint32_t top24 = longs[li].prefix.bits() >> 8;
+        LongGroup g;
+        g.begin = li;
+        while (li < longs.size() && (longs[li].prefix.bits() >> 8) == top24) ++li;
+        g.end = li;
+        long_groups.push_back(g);
+      }
+      s.lg_end = long_groups.size();
+      slots.push_back(s);
+    }
+  }
+  std::uint32_t l3_total = 0;
+  for (Slot& s : slots) {
+    s.l3_base = l3_total;
+    l3_total += static_cast<std::uint32_t>(s.lg_end - s.lg_begin);
+  }
+
+  const int threads = table.entries().size() >= kBulkParallelMin ? 0 : 1;
+  std::vector<std::size_t> batches((slots.size() + kSlotBatch - 1) / kSlotBatch);
+  for (std::size_t i = 0; i < batches.size(); ++i) batches[i] = i;
+
+  // Parallel pass 1: the per-group stable length sorts (disjoint ranges).
+  sim::parallel_sweep(
+      batches,
+      [&](std::size_t b) {
+        const std::size_t lo = b * kSlotBatch;
+        const std::size_t hi = std::min(lo + kSlotBatch, slots.size());
+        for (std::size_t i = lo; i < hi; ++i) {
+          const Slot& s = slots[i];
+          std::stable_sort(mids.begin() + static_cast<std::ptrdiff_t>(s.mid_begin),
+                           mids.begin() + static_cast<std::ptrdiff_t>(s.mid_end),
+                           by_length);
+          for (std::size_t g = s.lg_begin; g < s.lg_end; ++g) {
+            std::stable_sort(
+                longs.begin() + static_cast<std::ptrdiff_t>(long_groups[g].begin),
+                longs.begin() + static_cast<std::ptrdiff_t>(long_groups[g].end),
+                by_length);
+          }
+        }
+        return 0;
+      },
+      threads);
+
+  // Sequential hop-interning pre-pass in the reference paint order, so the
+  // parallel painters below can resolve hop ids with read-only map lookups.
+  for (const Slot& s : slots) {
+    for (std::size_t i = s.mid_begin; i < s.mid_end; ++i) {
+      intern_next_hop(mids[i].next_hop);
+    }
+    for (std::size_t g = s.lg_begin; g < s.lg_end; ++g) {
+      for (std::size_t i = long_groups[g].begin; i < long_groups[g].end; ++i) {
+        intern_next_hop(longs[i].next_hop);
+      }
+    }
+  }
+
+  // Parallel pass 2: per-slot chunk construction into piece-local arenas.
+  // Chunk pointers are already global (the l3_base prefix sums); codeword
+  // rows stay raw masks until the splice interns them in global chunk order.
+  struct SlotPiece {
+    std::vector<Codeword> codewords;
+    std::vector<std::uint16_t> raw_masks;  // parallel to codewords
+    std::vector<std::uint32_t> bases;
+    std::vector<Pointer> pointers;
+    std::vector<std::uint64_t> sparse_heads;
+    std::vector<ChunkRef> chunks;  // piece-local offsets; last = level-2 chunk
+  };
+  auto hop_id = [this](net::NextHop hop) {
+    return next_hop_index_.find(hop)->second;  // pre-interned above
+  };
+  const auto piece_batches = sim::parallel_sweep(
+      batches,
+      [&](std::size_t b) {
+        std::vector<SlotPiece> out;
+        const std::size_t lo = b * kSlotBatch;
+        const std::size_t hi = std::min(lo + kSlotBatch, slots.size());
+        out.reserve(hi - lo);
+        for (std::size_t i = lo; i < hi; ++i) {
+          const Slot& s = slots[i];
+          SlotPiece piece;
+          auto record_mask = [&piece](std::uint16_t mask) {
+            piece.raw_masks.push_back(mask);
+            return static_cast<std::uint16_t>(0);
+          };
+          std::vector<std::uint32_t> dense2(256, dense1[s.slot]);
+          for (std::size_t m = s.mid_begin; m < s.mid_end; ++m) {
+            const net::RouteEntry& e = mids[m];
+            const std::uint32_t first = (e.prefix.bits() >> 8) & 0xffu;
+            const std::uint32_t last =
+                (e.prefix.range_last().value() >> 8) & 0xffu;
+            const std::uint32_t hop = hop_id(e.next_hop);
+            for (std::uint32_t t = first; t <= last; ++t) {
+              dense2[t] = Pointer::next_hop(hop).raw;
+            }
+          }
+          std::uint32_t l3 = 0;
+          for (std::size_t g = s.lg_begin; g < s.lg_end; ++g) {
+            const std::uint32_t t =
+                (longs[long_groups[g].begin].prefix.bits() >> 8) & 0xffu;
+            std::vector<std::uint32_t> dense3(256, dense2[t]);
+            for (std::size_t j = long_groups[g].begin; j < long_groups[g].end;
+                 ++j) {
+              const net::RouteEntry& e = longs[j];
+              const std::uint32_t first = e.prefix.bits() & 0xffu;
+              const std::uint32_t last = e.prefix.range_last().value() & 0xffu;
+              const std::uint32_t hop = hop_id(e.next_hop);
+              for (std::uint32_t u = first; u <= last; ++u) {
+                dense3[u] = Pointer::next_hop(hop).raw;
+              }
+            }
+            piece.chunks.push_back(append_chunk_into(
+                piece.codewords, piece.bases, piece.pointers,
+                piece.sparse_heads, record_mask, kSparseLimit, dense3));
+            dense2[t] = Pointer::chunk(s.l3_base + l3).raw;
+            ++l3;
+          }
+          piece.chunks.push_back(append_chunk_into(
+              piece.codewords, piece.bases, piece.pointers, piece.sparse_heads,
+              record_mask, kSparseLimit, dense2));
+          out.push_back(std::move(piece));
+        }
+        return out;
+      },
+      threads);
+
+  // Counting pass totals -> exact arena pre-sizing, then the sequential
+  // splice. Pieces land in ascending slot order, which is exactly the
+  // reference append order, so offsets, maptable row ids and chunk ids all
+  // come out identical.
+  std::size_t cw_total = 0, base_total = 0, ptr_total = 0, sp_total = 0;
+  for (const auto& batch : piece_batches) {
+    for (const SlotPiece& piece : batch) {
+      cw_total += piece.codewords.size();
+      base_total += piece.bases.size();
+      ptr_total += piece.pointers.size();
+      sp_total += piece.sparse_heads.size();
+    }
+  }
+  for (std::size_t r = 0; r < slots.size(); ++r) {
+    dense1[slots[r].slot] = Pointer::chunk(static_cast<std::uint32_t>(r)).raw;
+  }
+  std::size_t l1_heads = 0;
+  for (std::size_t p = 0; p < dense1.size(); ++p) {
+    if (p == 0 || dense1[p] != dense1[p - 1]) ++l1_heads;
+  }
+  // Descriptor-width guards (the 32-bit overflow satellite): the dense meta
+  // field must keep the sparse flag clear, sparse indexes fit 27 bits, and
+  // chunk ids fit the 31-bit pointer payload. All are ~2^27+ chunks — far
+  // beyond a 1M-prefix table — but silent wraparound would be a correctness
+  // bug, so they fail loudly.
+  if (sp_total > ChunkRef::kHeadsMask) {
+    throw std::length_error("LuleaTrie: sparse-head arena exceeds the 27-bit index");
+  }
+  if (cw_total + (dense1.size() + 15) / 16 >= ChunkRef::kSparseFlag) {
+    throw std::length_error("LuleaTrie: codeword arena exceeds the 31-bit base");
+  }
+  if (l3_total >= Pointer::kChunkFlag || slots.size() >= Pointer::kChunkFlag) {
+    throw std::length_error("LuleaTrie: chunk count exceeds the 31-bit pointer payload");
+  }
+  codewords_.reserve(cw_total + (dense1.size() + 15) / 16);
+  bases_.reserve(base_total + (dense1.size() + 63) / 64);
+  pointers_.reserve(ptr_total + l1_heads);
+  sparse_heads_.reserve(sp_total);
+  level2_.reserve(slots.size());
+  level3_.reserve(l3_total);
+
+  for (const auto& batch : piece_batches) {
+    for (const SlotPiece& piece : batch) {
+      const auto cw_off = static_cast<std::uint32_t>(codewords_.size());
+      const auto ptr_off = static_cast<std::uint32_t>(pointers_.size());
+      const auto sp_off = static_cast<std::uint32_t>(sparse_heads_.size());
+      for (std::size_t i = 0; i < piece.codewords.size(); ++i) {
+        codewords_.push_back(Codeword{maptable_.intern(piece.raw_masks[i]),
+                                      piece.codewords[i].offset});
+      }
+      bases_.insert(bases_.end(), piece.bases.begin(), piece.bases.end());
+      pointers_.insert(pointers_.end(), piece.pointers.begin(),
+                       piece.pointers.end());
+      sparse_heads_.insert(sparse_heads_.end(), piece.sparse_heads.begin(),
+                           piece.sparse_heads.end());
+      for (std::size_t c = 0; c < piece.chunks.size(); ++c) {
+        ChunkRef ch = piece.chunks[c];
+        if (ch.is_sparse()) {
+          ch.meta = (ch.meta & ~ChunkRef::kHeadsMask) |
+                    ((ch.meta & ChunkRef::kHeadsMask) + sp_off);
+        } else {
+          ch.meta += cw_off;
+        }
+        ch.ptr_base += ptr_off;
+        if (c + 1 == piece.chunks.size()) {
+          level2_.push_back(ch);
+        } else {
+          level3_.push_back(ch);
+        }
+      }
+    }
+  }
   level1_ = append_compressed(dense1);
 }
 
@@ -454,6 +781,19 @@ std::size_t LuleaTrie::storage_bytes() const {
   return maptable_.storage_bytes() + codewords_.size() * 2 + bases_.size() * 4 +
          pointers_.size() * 2 + sparse_heads_.size() * 8 +
          next_hop_table_.size() * 4;
+}
+
+std::vector<ArenaSpan> LuleaTrie::arenas() const {
+  // Hottest first (the dense_lookup read order); indexes match the
+  // lulea_detail::LuleaArena constants the counted path records against.
+  // The hop table is never charged an access by the paper's count, but its
+  // bytes still occupy whatever tier they land in.
+  return {{"codewords", codewords_.size() * 2},
+          {"bases", bases_.size() * 4},
+          {"maptable", maptable_.storage_bytes()},
+          {"pointers", pointers_.size() * 2},
+          {"sparse_heads", sparse_heads_.size() * 8},
+          {"next_hops", next_hop_table_.size() * 4}};
 }
 
 std::size_t LuleaTrie::sparse_chunk_count() const {

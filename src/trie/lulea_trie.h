@@ -121,11 +121,30 @@ struct ChunkRef {
   bool is_sparse() const { return meta & kSparseFlag; }
 };
 
+/// Arena indexes for counted-lookup attribution; must match the order
+/// LuleaTrie::arenas() lists its spans.
+enum LuleaArena : std::size_t {
+  kArenaCodewords = 0,
+  kArenaBases = 1,
+  kArenaMaptable = 2,
+  kArenaPointers = 3,
+  kArenaSparseHeads = 4,
+  kArenaNextHops = 5,
+};
+
 }  // namespace lulea_detail
+
+/// Build-path selector. kBulk is the sort-based single-pass builder
+/// (parallel per-slot chunk construction, exact arena pre-sizing) and the
+/// default; kReference is the original per-slot std::map builder kept as the
+/// byte-identity oracle for tests and as the bench_scale build-time
+/// comparator. Both produce bit-identical structures.
+enum class LuleaBuildMode { kBulk, kReference };
 
 class LuleaTrie final : public LpmIndex {
  public:
-  explicit LuleaTrie(const net::RouteTable& table);
+  explicit LuleaTrie(const net::RouteTable& table,
+                     LuleaBuildMode mode = LuleaBuildMode::kBulk);
 
   // LpmIndex:
   net::NextHop lookup(net::Ipv4Addr addr) const override;
@@ -134,6 +153,7 @@ class LuleaTrie final : public LpmIndex {
   net::NextHop lookup_counted(net::Ipv4Addr addr,
                               MemAccessCounter& counter) const override;
   std::size_t storage_bytes() const override;
+  std::vector<ArenaSpan> arenas() const override;
   std::string_view name() const override { return "lulea"; }
 
   std::size_t level2_chunk_count() const { return level2_.size(); }
@@ -193,6 +213,17 @@ class LuleaTrie final : public LpmIndex {
   lulea_detail::ChunkRef append_chunk(const std::vector<std::uint32_t>& dense);
 
   std::uint32_t intern_next_hop(net::NextHop hop);
+
+  /// The original builder: per-slot std::map bucketing, per-chunk arena
+  /// appends. Kept as the bit-identity oracle for the bulk path.
+  void build_reference(const net::RouteTable& table);
+
+  /// Sort-based single-pass builder: one classifying scan over the (already
+  /// sorted) table, a sequential next-hop interning pre-pass that replicates
+  /// the reference paint order, per-slot chunk construction parallelized
+  /// over the sweep pool into piece-local arenas, then a sequential splice
+  /// into exactly pre-sized shared arenas. Bit-identical to build_reference.
+  void build_bulk(const net::RouteTable& table);
 
   static constexpr std::size_t kSparseLimit = 8;
 

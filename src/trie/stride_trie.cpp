@@ -1,12 +1,23 @@
 #include "trie/stride_trie.h"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 
 namespace spal::trie {
 
 std::int32_t StrideTrie::new_node(int level) {
+  // Node.base and Slot.child are 32-bit; at internet scale the slot arena
+  // can reach hundreds of millions of entries, so fail loudly instead of
+  // silently truncating the offset.
+  if (slots_.size() > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::length_error("StrideTrie: slot arena exceeds 32-bit offsets");
+  }
+  if (nodes_.size() >
+      static_cast<std::size_t>(std::numeric_limits<std::int32_t>::max())) {
+    throw std::length_error("StrideTrie: node count exceeds 31-bit ids");
+  }
   const auto id = static_cast<std::int32_t>(nodes_.size());
   nodes_.push_back(Node{static_cast<std::uint32_t>(slots_.size())});
   slots_.resize(slots_.size() + (std::size_t{1} << strides_[static_cast<std::size_t>(level)]));

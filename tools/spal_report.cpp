@@ -21,6 +21,14 @@
 //       require threads/shards >= 1, positive wall_ms and speedup, and
 //       `identical == true` — a sharded run that diverged from the
 //       sequential oracle fails the report even if its timings look fine.
+//       bench_scale points carry their own kinds: `"kind": "scale_build"`
+//       (positive table_size/build_ms/storage, speedup == baseline/build)
+//       and `"kind": "tier_curve"` (per-LC byte bounds ordered, mean
+//       cycles >= matching overhead, tier placed_bytes summing to
+//       storage_bytes). Router points that carry a `memory` object get the
+//       memory-tier ledger checked too: lookups == fe_lookups, charged ==
+//       matching + per-tier cycles, placed bytes == storage bytes, and FE
+//       busy cycles == charged + update cycles.
 //
 //   spal_report base.json new.json [--tolerance=PCT]
 //       Diff two reports point-by-point (matched by label): flags points
@@ -476,7 +484,7 @@ void check_result(CheckContext& ctx, const JsonValue& result) {
     ctx.fail("missing per_lc array");
     return;
   }
-  double lc_latency = 0.0, lc_fe = 0.0;
+  double lc_latency = 0.0, lc_fe = 0.0, lc_busy = 0.0;
   for (const JsonValue& lc : per_lc->array) {
     if (const JsonValue* latency = lc.find("latency")) {
       if (const JsonValue* count = latency->find("count")) {
@@ -486,6 +494,9 @@ void check_result(CheckContext& ctx, const JsonValue& result) {
     if (const JsonValue* fe = lc.find("fe")) {
       if (const JsonValue* lookups = fe->find("lookups")) {
         lc_fe += lookups->number;
+      }
+      if (const JsonValue* busy = fe->find("busy_cycles")) {
+        lc_busy += busy->number;
       }
     }
   }
@@ -506,6 +517,61 @@ void check_result(CheckContext& ctx, const JsonValue& result) {
                   counter, counter);
     expect_eq(ctx, what, per_lc_cache_sum(*per_lc, counter),
               require(ctx, result, {"cache_total", counter}));
+  }
+
+  // Memory-tier ledger — present only when the run priced FE jobs with the
+  // CRAM-lens model. Every FE job is a priced counted lookup, the charged
+  // cycles decompose exactly into matching overhead plus per-tier access
+  // cycles, the placed bytes cover the FEs' whole storage, and all FE busy
+  // time is either priced lookups or update applications.
+  if (const JsonValue* memory = result.find("memory")) {
+    const double m_lookups = require(ctx, *memory, {"lookups"});
+    const double m_overhead =
+        require(ctx, *memory, {"matching_overhead_cycles"});
+    const double m_matching = require(ctx, *memory, {"matching_cycles"});
+    const double m_charged = require(ctx, *memory, {"charged_cycles"});
+    const double m_storage = require(ctx, *memory, {"storage_bytes"});
+    expect_eq(ctx, "memory.lookups vs fe_lookups", m_lookups,
+              require(ctx, result, {"fe_lookups"}));
+    expect_eq(ctx, "memory.matching_cycles vs lookups*overhead", m_matching,
+              m_lookups * m_overhead);
+    const JsonValue* tiers = memory->find("tiers");
+    if (tiers == nullptr || tiers->kind != JsonValue::Kind::kArray ||
+        tiers->array.empty()) {
+      ctx.fail("missing memory.tiers array");
+    } else {
+      double placed = 0.0, tier_cycles = 0.0;
+      for (const JsonValue& tier : tiers->array) {
+        if (const JsonValue* v = tier.find("placed_bytes")) placed += v->number;
+        if (const JsonValue* v = tier.find("cycles")) tier_cycles += v->number;
+      }
+      expect_eq(ctx, "sum(memory.tiers.placed_bytes) vs memory.storage_bytes",
+                placed, m_storage);
+      expect_eq(ctx, "memory.charged_cycles vs matching+tier cycles",
+                m_charged, m_matching + tier_cycles);
+      // Cumulative capacity: the packing never overfills a bounded tier
+      // prefix (the last, unbounded tier absorbs any spill). Capacities are
+      // per LC, so the budget scales with ψ.
+      double capacity_prefix = 0.0, placed_prefix = 0.0;
+      bool bounded = true;
+      for (std::size_t t = 0; t + 1 < tiers->array.size() && bounded; ++t) {
+        const JsonValue& tier = tiers->array[t];
+        const double capacity = require(ctx, tier, {"capacity_bytes"});
+        if (capacity <= 0.0) {
+          bounded = false;
+          break;
+        }
+        capacity_prefix += capacity;
+        placed_prefix += require(ctx, tier, {"placed_bytes"});
+        char what[96];
+        std::snprintf(what, sizeof what,
+                      "memory tier prefix 0..%zu placed vs psi*capacity", t);
+        expect_le(ctx, what, placed_prefix, psi * capacity_prefix);
+      }
+    }
+    expect_eq(ctx, "sum(per_lc.fe.busy_cycles) vs memory+update cycles",
+              lc_busy,
+              m_charged + require(ctx, result, {"update", "update_cost_cycles"}));
   }
 }
 
@@ -557,6 +623,65 @@ void check_lpm_result(CheckContext& ctx, const JsonValue& result) {
       simd->string.empty()) {
     ctx.fail("missing string 'simd' (batch-lookup dispatch level)");
   }
+}
+
+/// bench_scale build point ("kind": "scale_build"): bulk-build timing for
+/// one trie kind at one table size, with the per-entry baseline and its
+/// speedup when that kind has a per-entry path (baseline_ms == 0 otherwise).
+void check_scale_build(CheckContext& ctx, const JsonValue& result) {
+  const double table_size = require(ctx, result, {"table_size"});
+  const double build_ms = require(ctx, result, {"build_ms"});
+  const double baseline_ms = require(ctx, result, {"baseline_ms"});
+  const double speedup = require(ctx, result, {"speedup"});
+  const double storage = require(ctx, result, {"storage_bytes"});
+  if (table_size <= 0) ctx.fail("table_size: %.0f not positive", table_size);
+  if (build_ms <= 0.0) ctx.fail("build_ms: %g not positive", build_ms);
+  if (storage <= 0) ctx.fail("storage_bytes: %.0f not positive", storage);
+  if (baseline_ms > 0.0) {
+    expect_close(ctx, "speedup vs baseline_ms/build_ms", speedup,
+                 baseline_ms / build_ms, 0.01);
+  } else {
+    expect_eq(ctx, "speedup (no per-entry baseline)", speedup, 0.0);
+  }
+  const JsonValue* trie = result.find("trie");
+  if (trie == nullptr || trie->kind != JsonValue::Kind::kString ||
+      trie->string.empty()) {
+    ctx.fail("missing string 'trie'");
+  }
+}
+
+/// bench_scale SRAM-budget point ("kind": "tier_curve"): arena placement of
+/// the per-LC fragments under one SRAM budget, plus the mean priced lookup.
+/// The placed bytes must cover the fragments' whole storage and the mean
+/// cycles can never dip below the fixed matching overhead.
+void check_tier_curve(CheckContext& ctx, const JsonValue& result) {
+  const double table_size = require(ctx, result, {"table_size"});
+  const double psi = require(ctx, result, {"psi"});
+  const double budget = require(ctx, result, {"sram_budget_bytes"});
+  const double storage = require(ctx, result, {"storage_bytes"});
+  const double per_lc_min = require(ctx, result, {"per_lc_bytes_min"});
+  const double per_lc_max = require(ctx, result, {"per_lc_bytes_max"});
+  const double overhead = require(ctx, result, {"matching_overhead_cycles"});
+  const double mean_cycles = require(ctx, result, {"mean_lookup_cycles"});
+  if (table_size <= 0) ctx.fail("table_size: %.0f not positive", table_size);
+  if (psi < 1) ctx.fail("psi: %.0f below 1", psi);
+  if (budget <= 0) ctx.fail("sram_budget_bytes: %.0f not positive", budget);
+  expect_le(ctx, "per_lc_bytes_min vs per_lc_bytes_max", per_lc_min,
+            per_lc_max);
+  expect_le(ctx, "per_lc_bytes_max vs storage_bytes", per_lc_max, storage);
+  expect_le(ctx, "matching overhead vs mean_lookup_cycles", overhead,
+            mean_cycles);
+  const JsonValue* tiers = result.find("tiers");
+  if (tiers == nullptr || tiers->kind != JsonValue::Kind::kArray ||
+      tiers->array.empty()) {
+    ctx.fail("missing tiers array");
+    return;
+  }
+  double placed = 0.0;
+  for (const JsonValue& tier : tiers->array) {
+    placed += require(ctx, tier, {"placed_bytes"});
+  }
+  expect_eq(ctx, "sum(tiers.placed_bytes) vs storage_bytes", placed, storage);
 }
 
 /// bench_parallel point: engine/threads/shards/wall_ms/speedup/identical live
@@ -631,6 +756,10 @@ int run_check(const char* path) {
     const JsonValue* kind = result->find("kind");
     if (kind != nullptr && kind->string == "lpm_batch") {
       check_lpm_result(ctx, *result);
+    } else if (kind != nullptr && kind->string == "scale_build") {
+      check_scale_build(ctx, *result);
+    } else if (kind != nullptr && kind->string == "tier_curve") {
+      check_tier_curve(ctx, *result);
     } else {
       check_result(ctx, *result);
     }
