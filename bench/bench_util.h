@@ -80,6 +80,18 @@ struct BenchArgs {
   /// size they can afford.
   std::size_t table_size = 0;
   bool table_size_set = false;
+  /// Failover knobs (bench_failover): --replicas=N homes each fragment on
+  /// its primary plus N ring-placed replica LCs, --suspect-after=N sets the
+  /// health tracker's alive->suspect timeout streak (down follows at 2N),
+  /// --migrate=FROM:TO schedules one live fragment migration mid-run. All
+  /// validated strictly; malformed values exit 2.
+  int replicas = 0;
+  bool replicas_set = false;
+  int suspect_after = 2;
+  bool suspect_after_set = false;
+  int migrate_from = -1;
+  int migrate_to = -1;
+  bool migrate_set = false;
 
   /// Parses the shared bench flags. Malformed values (--packets=0 or
   /// --batch=0, negative or non-numeric counts) and unknown flags are
@@ -143,6 +155,27 @@ struct BenchArgs {
       } else if (std::strncmp(arg, "--table-size=", 13) == 0) {
         args.table_size = parse_count(arg + 13, "--table-size");
         args.table_size_set = true;
+      } else if (std::strncmp(arg, "--replicas=", 11) == 0) {
+        const std::uint64_t replicas = parse_nonnegative(arg + 11, "--replicas");
+        if (replicas > 64) {
+          std::fprintf(stderr, "--replicas expects at most 64, got %llu\n",
+                       static_cast<unsigned long long>(replicas));
+          usage_error(nullptr);
+        }
+        args.replicas = static_cast<int>(replicas);
+        args.replicas_set = true;
+      } else if (std::strncmp(arg, "--suspect-after=", 16) == 0) {
+        const std::size_t streak = parse_count(arg + 16, "--suspect-after");
+        if (streak > 1024) {
+          std::fprintf(stderr, "--suspect-after expects at most 1024, got "
+                       "'%s'\n", arg + 16);
+          usage_error(nullptr);
+        }
+        args.suspect_after = static_cast<int>(streak);
+        args.suspect_after_set = true;
+      } else if (std::strncmp(arg, "--migrate=", 10) == 0) {
+        parse_migrate(arg + 10, args);
+        args.migrate_set = true;
       } else if (std::strcmp(arg, "--verify") == 0) {
         args.verify = true;
       } else if (std::strcmp(arg, "--engine=heap") == 0) {
@@ -185,7 +218,8 @@ struct BenchArgs {
                  "usage: [--full] [--packets=N] [--batch=N] "
                  "[--drop-rate=F] [--outage=N] [--max-retries=N] "
                  "[--update-rate=N] [--update-seed=N] [--trie=KIND] "
-                 "[--table-size=N] "
+                 "[--table-size=N] [--replicas=N] [--suspect-after=N] "
+                 "[--migrate=FROM:TO] "
                  "[--simd=generic|sse42|avx2|auto] [--verify] "
                  "[--engine=heap|calendar|sharded] [--threads=N] "
                  "[--json[=path]]\n");
@@ -218,6 +252,29 @@ struct BenchArgs {
       usage_error(nullptr);
     }
     return static_cast<std::uint64_t>(value);
+  }
+
+  /// FROM:TO pair of distinct LC indices ("1:3"). The bench validates the
+  /// indices against its ψ; this only enforces shape and distinctness.
+  static void parse_migrate(const char* text, BenchArgs& args) {
+    errno = 0;
+    char* end = nullptr;
+    const long from = std::strtol(text, &end, 10);
+    if (end == text || *end != ':' || errno != 0 || from < 0) {
+      std::fprintf(stderr, "--migrate expects FROM:TO, got '%s'\n", text);
+      usage_error(nullptr);
+    }
+    const char* to_text = end + 1;
+    const long to = std::strtol(to_text, &end, 10);
+    if (end == to_text || *end != '\0' || errno != 0 || to < 0 || to == from) {
+      std::fprintf(stderr,
+                   "--migrate expects distinct non-negative FROM:TO, got "
+                   "'%s'\n",
+                   text);
+      usage_error(nullptr);
+    }
+    args.migrate_from = static_cast<int>(from);
+    args.migrate_to = static_cast<int>(to);
   }
 
   /// Probability in [0, 1]; rejects non-numeric text and out-of-range values.

@@ -244,6 +244,25 @@ class BasicLrCache {
     return invalidated;
   }
 
+  /// Predicate invalidation: drops every completed block whose *address*
+  /// satisfies `pred` (victim cache included); waiting blocks are left for
+  /// their fill. The migration cutover uses this to shed all blocks homed
+  /// on a re-homed fragment — a set no single prefix covers.
+  template <typename Pred>
+  std::size_t invalidate_if(Pred&& pred) {
+    std::size_t invalidated = 0;
+    const auto drop = [&](Block& block) {
+      if (block.valid && !block.waiting && pred(block.addr)) {
+        block.valid = false;
+        ++invalidated;
+      }
+    };
+    for (Block& block : blocks_) drop(block);
+    for (Block& block : victim_) drop(block);
+    stats_.invalidated_blocks += invalidated;
+    return invalidated;
+  }
+
   const LrCacheStats& stats() const { return stats_; }
   const LrCacheConfig& config() const { return config_; }
   std::size_t set_count() const { return sets_; }

@@ -106,17 +106,22 @@
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <random>
 #include <stdexcept>
 #include <thread>
+#include <type_traits>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cache/basic_lr_cache.h"
+#include "core/health_tracker.h"
 #include "core/router_config.h"
 #include "fabric/fabric.h"
 #include "net/update_stream.h"
+#include "partition/rot_partition.h"
 #include "sim/calendar_queue.h"
 #include "sim/engine.h"
 #include "sim/packet_source.h"
@@ -159,6 +164,7 @@ class BasicRouterSim {
     fabric_config.ports = config_.num_lcs;
     fabric_ = std::make_unique<fabric::Fabric>(fabric_config, config_.fault);
     rebuild_fe_models();
+    rebuild_copies();
   }
 
   /// Runs one simulation over per-LC destination streams. With `verify`,
@@ -221,6 +227,65 @@ class BasicRouterSim {
                             static_cast<std::uint64_t>(std::max(
                                 1, config_.fe_service_cycles)));
     }
+    probe_interval_ = config_.replication.probe_interval_cycles != 0
+                          ? config_.replication.probe_interval_cycles
+                          : timeout_base_;
+    if (config_.migration.enabled) {
+      if (!config_.partition || config_.num_lcs < 2) {
+        throw std::invalid_argument(
+            "RouterSim: migration requires a partitioned router with >= 2 LCs");
+      }
+      if (config_.migration.from < 0 ||
+          config_.migration.from >= config_.num_lcs ||
+          config_.migration.to < 0 || config_.migration.to >= config_.num_lcs ||
+          config_.migration.from == config_.migration.to) {
+        throw std::invalid_argument(
+            "RouterSim: migration from/to must be distinct valid LCs");
+      }
+    }
+    // Failover run state: health views, re-home map, resync queues, and the
+    // in-flight migration are all per-run (the built replica copies persist
+    // across runs like the FEs and are rebuilt when updates dirtied them).
+    health_ = HealthTracker(config_.num_lcs, config_.replication.suspect_after,
+                            config_.replication.down_after);
+    home_remap_.assign(static_cast<std::size_t>(config_.num_lcs), 0);
+    for (int lc = 0; lc < config_.num_lcs; ++lc) {
+      home_remap_[static_cast<std::size_t>(lc)] = lc;
+    }
+    stale_.assign(static_cast<std::size_t>(config_.num_lcs), 0);
+    resyncing_.assign(static_cast<std::size_t>(config_.num_lcs), 0);
+    resync_sending_.assign(static_cast<std::size_t>(config_.num_lcs), 0);
+    missed_updates_.assign(static_cast<std::size_t>(config_.num_lcs), {});
+    resync_sent_.assign(static_cast<std::size_t>(config_.num_lcs), 0);
+    resync_head_.assign(static_cast<std::size_t>(config_.num_lcs), 0);
+    migration_ = MigrationState{};
+    track_outage_ = config_.track_outage_latency && config_.fault.enabled &&
+                    !config_.fault.outages.empty();
+    outage_spans_.clear();
+    if (track_outage_) {
+      // Union of every port's outage windows, merged and sorted: the
+      // mid-outage latency histogram keys on the packet's arrival time
+      // falling inside any of them.
+      for (const auto& outage : config_.fault.outages) {
+        if (outage.end_cycle <= outage.start_cycle) continue;
+        outage_spans_.emplace_back(outage.start_cycle, outage.end_cycle);
+      }
+      std::sort(outage_spans_.begin(), outage_spans_.end());
+      std::size_t merged = 0;
+      for (const auto& span : outage_spans_) {
+        if (merged != 0 && span.first <= outage_spans_[merged - 1].second) {
+          outage_spans_[merged - 1].second =
+              std::max(outage_spans_[merged - 1].second, span.second);
+        } else {
+          outage_spans_[merged++] = span;
+        }
+      }
+      outage_spans_.resize(merged);
+      track_outage_ = !outage_spans_.empty();
+    }
+    per_lc_outage_latency_.assign(
+        track_outage_ ? static_cast<std::size_t>(config_.num_lcs) : 0,
+        sim::LatencyStats{});
     result_.fault.per_lc_outage_cycles.assign(
         static_cast<std::size_t>(config_.num_lcs), 0);
     for (int lc = 0; lc < config_.num_lcs; ++lc) {
@@ -249,6 +314,12 @@ class BasicRouterSim {
       lc_tables_.clear();
       fes_dirty_ = false;
       rebuild_fe_models();
+    }
+    if (copies_dirty_) {
+      // A prior run's updates mutated the replica copies too; re-derive
+      // them from the (freshly rebuilt) fragments.
+      rebuild_copies();
+      copies_dirty_ = false;
     }
     if (oracle_dirty_) {
       oracle_.reset();
@@ -294,6 +365,7 @@ class BasicRouterSim {
     // applied) and the oracle if present; flag them for the next run now so
     // the handlers never touch the flags from worker threads.
     fes_dirty_ = !updates_.empty();
+    copies_dirty_ = !updates_.empty() && replication_active();
     oracle_dirty_ = !updates_.empty() && oracle_ != nullptr;
 
     // Assign global packet ids.
@@ -347,6 +419,16 @@ class BasicRouterSim {
           at, Event{Event::Type::kUpdateInject, 0, Addr{},
                     Requester{0, static_cast<std::int64_t>(i), false}, false,
                     net::kNoRoute});
+    }
+    if (config_.migration.enabled) {
+      // Local management-plane event at `from` (forces the solo engine, so
+      // shard_for_lc is the only shard): snapshot and start streaming.
+      shard_for_lc(config_.migration.from)
+          .queue.schedule(config_.migration.start_cycle,
+                          Event{Event::Type::kMigrateStart,
+                                config_.migration.from, Addr{},
+                                Requester{config_.migration.from, -1, false},
+                                false, net::kNoRoute});
     }
     std::int64_t packet_id = 0;
     for (int lc = 0; lc < config_.num_lcs; ++lc) {
@@ -402,7 +484,34 @@ class BasicRouterSim {
       result_.update.invalidation_messages += c.update.invalidation_messages;
       result_.update.blocks_invalidated += c.update.blocks_invalidated;
       result_.update.cache_flushes += c.update.cache_flushes;
+      FailoverStats& fo = result_.failover;
+      fo.rerouted_requests += c.fo.rerouted_requests;
+      fo.replica_lookups += c.fo.replica_lookups;
+      fo.local_replica_serves += c.fo.local_replica_serves;
+      fo.probes_sent += c.fo.probes_sent;
+      fo.probe_replies_sent += c.fo.probe_replies_sent;
+      fo.probe_replies += c.fo.probe_replies;
+      fo.suspect_transitions += c.fo.suspect_transitions;
+      fo.down_transitions += c.fo.down_transitions;
+      fo.recoveries += c.fo.recoveries;
+      fo.rejoins += c.fo.rejoins;
+      fo.missed_updates += c.fo.missed_updates;
+      fo.replica_update_applications += c.fo.replica_update_applications;
+      fo.acting_primary_applications += c.fo.acting_primary_applications;
+      fo.resync_fetches += c.fo.resync_fetches;
+      fo.resync_chunks += c.fo.resync_chunks;
+      fo.resync_entries += c.fo.resync_entries;
+      fo.resync_cutovers += c.fo.resync_cutovers;
+      fo.migrations += c.fo.migrations;
+      fo.migration_chunks += c.fo.migration_chunks;
+      fo.snapshot_prefixes += c.fo.snapshot_prefixes;
+      fo.double_delivered_updates += c.fo.double_delivered_updates;
+      fo.cutover_messages += c.fo.cutover_messages;
+      fo.migration_invalidated_blocks += c.fo.migration_invalidated_blocks;
+      fo.cutovers += c.fo.cutovers;
+      fo.control_messages += c.fo.control_messages;
     }
+    result_.failover.enabled = failover_enabled();
     if (config_.memory.enabled) {
       MemoryStats& mem = result_.memory;
       mem.enabled = true;
@@ -437,12 +546,37 @@ class BasicRouterSim {
           ++mem.tiers[placement.tier].placed_arenas;
         }
       }
+      // Replica copies (and a cut-over migrated structure) occupy their
+      // host LC's hierarchy too, packed after the bytes already resident.
+      for (const auto& lc_models : copy_models_) {
+        for (const MemoryModel& model : lc_models) {
+          mem.storage_bytes += model.placed_bytes();
+          for (const ArenaPlacement& placement : model.placements()) {
+            mem.tiers[placement.tier].placed_bytes += placement.bytes;
+            ++mem.tiers[placement.tier].placed_arenas;
+          }
+        }
+      }
+      if (migration_.staged_model != nullptr) {
+        const MemoryModel& model = *migration_.staged_model;
+        mem.storage_bytes += model.placed_bytes();
+        for (const ArenaPlacement& placement : model.placements()) {
+          mem.tiers[placement.tier].placed_bytes += placement.bytes;
+          ++mem.tiers[placement.tier].placed_arenas;
+        }
+      }
     }
     // Per-LC latency merges are exact (identical bucket layout), so merging
     // in LC order reproduces the global histogram a direct record() per
     // packet would have produced — and does so engine-independently.
     for (const sim::LatencyStats& lc_latency : result_.per_lc_latency) {
       result_.latency.merge(lc_latency);
+    }
+    if (track_outage_) {
+      result_.outage_latency_tracked = true;
+      for (const sim::LatencyStats& lc_latency : per_lc_outage_latency_) {
+        result_.outage_latency.merge(lc_latency);
+      }
     }
     for (std::size_t lc = 0; lc < caches_.size(); ++lc) {
       result_.per_lc[lc].cache = caches_[lc]->stats();
@@ -478,12 +612,16 @@ class BasicRouterSim {
   /// kSequential always runs one shard. kSharded silently falls back to one
   /// shard for configurations the parallel engine does not support:
   /// periodic cache flushes (flush_interval_cycles touches every LC's cache
-  /// from one event), live updates combined with verify or fault injection
-  /// (both read the oracle concurrently with inject-time mutation), and a
-  /// fabric with zero minimum latency (no lookahead, no parallelism).
+  /// from one event), live fragment migration (router-global re-home map),
+  /// live updates combined with verify or fault injection (both read the
+  /// oracle concurrently with inject-time mutation), and a fabric with zero
+  /// minimum latency (no lookahead, no parallelism).
   int planned_shards(bool verify = false) const {
     if (config_.execution != RouterConfig::ExecutionMode::kSharded) return 1;
     if (config_.flush_interval_cycles != 0) return 1;
+    // Live migration mutates router-global state (the re-home map and the
+    // staged structure) from management-plane events: solo only.
+    if (config_.migration.enabled) return 1;
     const bool live_updates = config_.update.interval_cycles != 0;
     if (live_updates && (verify || config_.fault.enabled)) return 1;
     if (fabric_->min_lookahead() < 1) return 1;
@@ -548,6 +686,24 @@ class BasicRouterSim {
       kUpdateInject,  ///< control plane emits update i to its home LCs
       kUpdateApply,   ///< update i reaches home LC `lc`: apply to its FE
       kInvalidate,    ///< invalidation for update i reaches LC `lc`'s cache
+      // Failover subsystem (replication/migration; never scheduled when
+      // both are off):
+      kCopyLookup,    ///< re-routed request served from a replica copy;
+                      ///< aux carries the fragment id
+      kProbe,         ///< health probe at `lc`; requester.lc = the observer
+      kProbeReply,    ///< probe response back at the observer
+      kResyncFetch,   ///< rejoining LC asks the acting replica for its
+                      ///< missed updates; aux = the stale LC
+      kResyncSend,    ///< local pacing tick at the streaming replica
+      kResyncChunk,   ///< batch of missed updates at the rejoining LC;
+                      ///< aux = entry count
+      kMigrateStart,  ///< local event at `from`: snapshot + begin streaming
+      kMigrateSend,   ///< local pacing tick at `from`
+      kMigrateChunk,  ///< snapshot chunk at `to`; fill flags the final chunk
+      kMigrateDelta,  ///< double-delivered in-copy update at `to`
+      kMigrateBuilt,  ///< local event at `to`: staged FE build finished
+      kMigrateReady,  ///< `to` is ready; at `from`, triggers the cutover
+      kCutover,       ///< cutover notice at `lc`: drop re-homed cache blocks
     };
     Type type;
     int lc;
@@ -555,6 +711,12 @@ class BasicRouterSim {
     Requester requester;
     bool fill = false;
     net::NextHop hop = net::kNoRoute;
+    /// Failover side-channel: which structure/fragment the event concerns.
+    /// -1 = the LC's own fragment (the only value pre-failover events use);
+    /// >= 0 = a fragment id (kCopyLookup, kUpdateApply at a replica holder,
+    /// kResyncFetch target) or a batch size (kResyncChunk); kMigratedAux =
+    /// the migrated structure a post-cutover host serves.
+    std::int32_t aux = -1;
   };
 
   /// One outstanding remote request (fault mode), keyed by its seq. Retries
@@ -563,8 +725,39 @@ class BasicRouterSim {
   struct PendingRequest {
     Addr addr;
     Requester requester;  ///< carries the seq and fill_on_reply flag
-    int home;
+    int home;             ///< the address's fragment id (pre-remap)
+    int target;           ///< LC the current attempt was sent to
     int attempt = 0;      ///< retransmits so far
+  };
+
+  /// One failover replica copy resident at a holder LC: a mutable clone of
+  /// the fragment (updates keep it fresh) plus its own built FE.
+  struct ReplicaCopy {
+    int fragment;
+    Table table;
+    typename Family::Fe fe;
+  };
+
+  using TableEntry =
+      std::decay_t<decltype(std::declval<const Table&>().entries()[0])>;
+
+  /// State of the (single, operator-initiated) live fragment migration.
+  /// Solo-engine only, so plain members suffice.
+  struct MigrationState {
+    bool copying = false;     ///< snapshot streaming + double-delivery window
+    bool fe_ready = false;    ///< staged table + FE built at the target
+    bool cut_over = false;
+    bool final_sent = false;  ///< last snapshot chunk left the source
+    std::vector<TableEntry> snapshot;    ///< at the source, taken at start
+    std::size_t cursor = 0;              ///< next snapshot entry to chunk
+    /// In-flight chunk payloads; FIFO with the kMigrateChunk events (one
+    /// source port, reliable, non-decreasing inject times).
+    std::deque<std::vector<TableEntry>> chunk_queue;
+    std::vector<TableEntry> staged_entries;   ///< received at the target
+    std::vector<std::size_t> buffered_deltas; ///< double-deliveries pre-build
+    std::unique_ptr<Table> staged_table;
+    std::unique_ptr<typename Family::Fe> staged_fe;
+    std::unique_ptr<MemoryModel> staged_model;
   };
 
   /// A fabric message after its egress phase, parked until the destination
@@ -624,6 +817,7 @@ class BasicRouterSim {
     std::uint64_t reclaimed_waiting_blocks = 0;
     UpdateStats update;
     MemoryCounters memory;  ///< memory-tier pricing (all zero when off)
+    FailoverStats fo;       ///< failover ledger (all zero when off)
   };
 
   /// One shard: a contiguous LC range, its event queue, the per-LC maps
@@ -830,6 +1024,19 @@ class BasicRouterSim {
       case Event::Type::kUpdateInject: handle_update_inject(sh, now, event); break;
       case Event::Type::kUpdateApply: handle_update_apply(sh, now, event); break;
       case Event::Type::kInvalidate: handle_invalidate(sh, now, event); break;
+      case Event::Type::kCopyLookup: handle_copy_lookup(sh, now, event); break;
+      case Event::Type::kProbe: handle_probe(sh, now, event); break;
+      case Event::Type::kProbeReply: handle_probe_reply(sh, now, event); break;
+      case Event::Type::kResyncFetch: handle_resync_fetch(sh, now, event); break;
+      case Event::Type::kResyncSend: handle_resync_send(sh, now, event); break;
+      case Event::Type::kResyncChunk: handle_resync_chunk(sh, now, event); break;
+      case Event::Type::kMigrateStart: handle_migrate_start(sh, now, event); break;
+      case Event::Type::kMigrateSend: handle_migrate_send(sh, now, event); break;
+      case Event::Type::kMigrateChunk: handle_migrate_chunk(sh, now, event); break;
+      case Event::Type::kMigrateDelta: handle_migrate_delta(sh, now, event); break;
+      case Event::Type::kMigrateBuilt: handle_migrate_built(sh, now, event); break;
+      case Event::Type::kMigrateReady: handle_migrate_ready(sh, now, event); break;
+      case Event::Type::kCutover: handle_cutover(sh, now, event); break;
     }
   }
 
@@ -1056,7 +1263,8 @@ class BasicRouterSim {
           break;
       }
     }
-    const int home = config_.partition ? rot_->home_of(addr) : lc;
+    const int frag = config_.partition ? rot_->home_of(addr) : lc;
+    const int home = serving_lc(frag);
     if (home == lc) {
       bool fill = false;
       if (!caches_.empty() && config_.early_reservation) {
@@ -1064,8 +1272,46 @@ class BasicRouterSim {
             addr, cache::Origin::kLocal, now);
         if (fill) park(sh, lc, addr, requester);
       }
-      start_fe_job(sh, now, lc, addr, fill, requester);
+      // frag != lc only after a cutover re-homed the fragment here: the
+      // job then runs on the migrated structure, not this LC's own FE.
+      start_fe_job(sh, now, lc, addr, fill, requester,
+                   frag == lc ? -1 : kMigratedAux);
     } else {
+      // Failover: steer around a non-alive primary before committing the
+      // request (choose_target is the identity while everyone looks alive,
+      // so R = 0 and fault-free runs take the exact pre-failover path).
+      int target = home;
+      if (replication_active() && faults_active()) {
+        target = choose_target(sh, lc, frag, now);
+      }
+      if (target == lc) {
+        // This LC holds a live copy of the fragment: serve the miss from
+        // its own resident replica instead of crossing the fabric.
+        ++sh.c.fo.local_replica_serves;
+        bool fill = false;
+        if (!caches_.empty() && config_.early_reservation) {
+          fill = caches_[static_cast<std::size_t>(lc)]->reserve(
+              addr, cache::Origin::kRemote, now);
+          if (fill) park(sh, lc, addr, requester);
+        }
+        start_fe_job(sh, now, lc, addr, fill, requester, copy_index(lc, frag));
+        return;
+      }
+      if (requester.lc != lc) {
+        // A remote request that raced a migration cutover to this LC (it
+        // was the fragment's home when sent): relay it onward under the
+        // original requester and seq — the requester's own timeout still
+        // covers the round trip, and its pending entry matches the reply.
+        count_request(sh, lc, target);
+        const Event relay{Event::Type::kLookup, target, addr, requester,
+                          false, net::kNoRoute, frag};
+        if (faults_active()) {
+          send_lossy(sh, lc, target, now + 1, relay);
+        } else {
+          send_reliable(sh, lc, now + 1, relay);
+        }
+        return;
+      }
       Requester forwarded = requester;
       forwarded.fill_on_reply = false;
       if (!caches_.empty() && config_.early_reservation) {
@@ -1075,12 +1321,12 @@ class BasicRouterSim {
           forwarded.fill_on_reply = true;
         }
       }
-      send_request(sh, now, lc, home, addr, forwarded);
+      send_request(sh, now, lc, frag, target, addr, forwarded);
     }
   }
 
   void start_fe_job(Shard& sh, std::uint64_t now, int lc, const Addr& addr,
-                    bool fill, Requester direct) {
+                    bool fill, Requester direct, std::int32_t aux = -1) {
     // k-server deterministic queue: the job runs on the earliest-free engine.
     auto& servers = fe_free_[static_cast<std::size_t>(lc)];
     auto& fe_free = *std::min_element(servers.begin(), servers.end());
@@ -1090,29 +1336,29 @@ class BasicRouterSim {
       // Memory-tier pricing: a counted lookup against the FE as built at
       // admission time sets this job's service time (the result the packet
       // receives is still computed at completion, so an update that lands
-      // in between changes the answer, not this job's price).
+      // in between changes the answer, not this job's price). Copy and
+      // migrated-structure jobs price against their own placement (packed
+      // after the bytes already resident at this LC).
       trie::MemAccessCounter counter;
-      Family::fe_lookup_counted(fes_[static_cast<std::size_t>(lc)], addr,
-                                counter);
-      service = fe_models_[static_cast<std::size_t>(lc)].charge(counter,
-                                                                sh.c.memory);
+      Family::fe_lookup_counted(fe_for(lc, aux), addr, counter);
+      service = model_for(lc, aux).charge(counter, sh.c.memory);
     }
     const std::uint64_t completion = start + service;
     fe_free = completion;
     fe_busy_[static_cast<std::size_t>(lc)] += service;
     ++sh.c.fe_lookups;
+    if (aux >= 0) ++sh.c.fo.replica_lookups;
     auto& lc_stats = result_.per_lc[static_cast<std::size_t>(lc)];
     ++lc_stats.fe_lookups;
     lc_stats.fe_queue_wait_cycles += start - now;
     sh.queue.schedule(completion, Event{Event::Type::kFeComplete, lc, addr,
-                                        direct, fill, net::kNoRoute});
+                                        direct, fill, net::kNoRoute, aux});
   }
 
   void handle_fe_complete(Shard& sh, std::uint64_t now, const Event& event) {
     const int lc = event.lc;
     const Addr addr = event.addr;
-    const net::NextHop hop =
-        Family::fe_lookup(fes_[static_cast<std::size_t>(lc)], addr);
+    const net::NextHop hop = Family::fe_lookup(fe_for(lc, event.aux), addr);
     if (event.fill) {
       if (!caches_.empty()) {
         caches_[static_cast<std::size_t>(lc)]->fill(addr, hop, now);
@@ -1125,9 +1371,17 @@ class BasicRouterSim {
     } else {
       // No reserved block (early recording disabled or the reservation
       // failed): cache the result late so subsequent packets still hit.
-      if (!caches_.empty()) {
-        caches_[static_cast<std::size_t>(lc)]->insert(addr, hop,
-                                                      cache::Origin::kLocal, now);
+      // A copy job serving a re-routed remote requester is pure pass-
+      // through: the result belongs in the requester's cache (via the
+      // reply), not in the holder's.
+      const bool pass_through = event.aux >= 0 && event.requester.lc != lc;
+      if (!caches_.empty() && !pass_through) {
+        // A copy-served result at the arrival LC is remote-homed data and
+        // keeps the remote quota; everything else is the pre-failover path.
+        caches_[static_cast<std::size_t>(lc)]->insert(
+            addr, hop,
+            event.aux >= 0 ? cache::Origin::kRemote : cache::Origin::kLocal,
+            now);
       }
       deliver_result(sh, now, lc, addr, hop, event.requester);
     }
@@ -1145,6 +1399,10 @@ class BasicRouterSim {
       if (it == sh.pending.end()) {
         ++sh.c.duplicate_replies;
         return;
+      }
+      if (replication_active()) {
+        // Evidence of life from the LC that answered this attempt.
+        note_alive(sh, lc, it->second.target, /*via_probe=*/false);
       }
       sh.pending.erase(it);
     }
@@ -1198,6 +1456,17 @@ class BasicRouterSim {
     const std::uint64_t cycles = now - arrival_time_[index];
     result_.per_lc_latency[static_cast<std::size_t>(arrival_lc_[index])]
         .record(cycles);
+    if (track_outage_ && arrived_in_outage(arrival_time_[index]) &&
+        !config_.fault.port_down(arrival_lc_[index], arrival_time_[index])) {
+      // Packets arriving at a surviving LC while some port is down: the
+      // population failover protects. Arrivals at the dead LC itself are
+      // excluded — with its own fabric port down, every remote-homed packet
+      // there is doomed to the retry/degraded path regardless of how many
+      // replicas the rest of the fabric holds (degraded_lookups counts
+      // them).
+      per_lc_outage_latency_[static_cast<std::size_t>(arrival_lc_[index])]
+          .record(cycles);
+    }
     if (verify_) {
       const net::NextHop expected =
           Family::oracle_lookup(*oracle_, destinations_[index]);
@@ -1248,19 +1517,20 @@ class BasicRouterSim {
            static_cast<std::uint64_t>(lc) + 1;
   }
 
-  void send_request(Shard& sh, std::uint64_t now, int from_lc, int home,
-                    const Addr& addr, const Requester& requester) {
+  void send_request(Shard& sh, std::uint64_t now, int from_lc, int frag,
+                    int target, const Addr& addr, const Requester& requester) {
     if (!faults_active()) {
-      count_request(sh, from_lc, home);
+      count_request(sh, from_lc, target);
       send_reliable(sh, from_lc, now + 1,
-                    Event{Event::Type::kLookup, home, addr, requester, false,
+                    Event{Event::Type::kLookup, target, addr, requester, false,
                           net::kNoRoute});
       return;
     }
     Requester tagged = requester;
     tagged.seq = next_request_seq(from_lc);
-    sh.pending.emplace(tagged.seq, PendingRequest{addr, tagged, home, 0});
-    dispatch_request(sh, now, home, addr, tagged, /*attempt=*/0);
+    sh.pending.emplace(tagged.seq,
+                       PendingRequest{addr, tagged, frag, target, 0});
+    dispatch_request(sh, now, frag, target, addr, tagged, /*attempt=*/0);
   }
 
   void count_request(Shard& sh, int from_lc, int home) {
@@ -1273,18 +1543,27 @@ class BasicRouterSim {
   /// Injects one (re)transmission of a pending request into the fabric and
   /// arms its timeout. The fabric may lose the message (drop or outage);
   /// either way the timeout fires unless some attempt's reply settles the
-  /// seq first, so a lost message can never strand the lookup.
-  void dispatch_request(Shard& sh, std::uint64_t now, int home,
+  /// seq first, so a lost message can never strand the lookup. A re-routed
+  /// attempt (target != the fragment's serving LC) rides a kCopyLookup so
+  /// the replica holder serves it from its resident copy.
+  void dispatch_request(Shard& sh, std::uint64_t now, int frag, int target,
                         const Addr& addr, const Requester& requester,
                         int attempt) {
-    count_request(sh, requester.lc, home);
-    send_lossy(sh, requester.lc, home, now + 1,
-               Event{Event::Type::kLookup, home, addr, requester, false,
-                     net::kNoRoute});
-    // Exponential backoff: timeout_base_ << attempt (shift capped well
-    // below overflow; max_retries bounds attempt in practice). The timer is
-    // a local event at the requesting LC — it never crosses shards.
-    const std::uint64_t backoff = timeout_base_ << std::min(attempt, 20);
+    count_request(sh, requester.lc, target);
+    // A kCopyLookup is only meaningful at an LC that actually holds a copy;
+    // a target that stopped being the serving LC mid-flight (migration
+    // cutover) without holding one gets a plain kLookup, which the arrival
+    // LC forwards to the fragment's current home like any other request.
+    const bool rerouted =
+        target != serving_lc(frag) && copy_slot(target, frag) >= 0;
+    if (rerouted) ++sh.c.fo.rerouted_requests;
+    send_lossy(sh, requester.lc, target, now + 1,
+               Event{rerouted ? Event::Type::kCopyLookup : Event::Type::kLookup,
+                     target, addr, requester, false, net::kNoRoute, frag});
+    // Exponential backoff with the shift clamped (backoff_cycles) so a huge
+    // configured timeout or retry budget can never wrap the timer. The
+    // timer is a local event at the requesting LC — it never crosses shards.
+    const std::uint64_t backoff = backoff_cycles(timeout_base_, attempt);
     sh.queue.schedule(now + 1 + backoff,
                       Event{Event::Type::kTimeout, requester.lc, addr,
                             requester, false, net::kNoRoute});
@@ -1295,11 +1574,44 @@ class BasicRouterSim {
     const auto it = sh.pending.find(event.requester.seq);
     PendingRequest& pending = it->second;
     ++sh.c.timeouts;
+    if (replication_active()) {
+      // The silence is evidence against whichever LC this attempt targeted.
+      note_timeout(sh, pending.requester.lc, pending.target);
+    }
     if (pending.attempt < config_.recovery.max_retries) {
       ++pending.attempt;
       ++sh.c.retransmits;
-      dispatch_request(sh, now, pending.home, pending.addr, pending.requester,
-                       pending.attempt);
+      if (replication_active()) {
+        const int target =
+            choose_target(sh, pending.requester.lc, pending.home, now);
+        if (target == pending.requester.lc) {
+          // Best live holder is this LC itself: settle the request from the
+          // local copy. The FE completion fills the reserved block (if any)
+          // and drains the waiters; any straggler reply for this seq is
+          // suppressed as a duplicate. When a migration cutover re-homed the
+          // fragment onto this very LC while the request was in flight, the
+          // job runs on the migrated structure, not a replica copy.
+          const PendingRequest settled = pending;
+          sh.pending.erase(it);
+          const bool rehomed =
+              serving_lc(settled.home) == settled.requester.lc;
+          if (!rehomed) ++sh.c.fo.local_replica_serves;
+          start_fe_job(sh, now, settled.requester.lc, settled.addr,
+                       settled.requester.fill_on_reply, settled.requester,
+                       rehomed ? kMigratedAux
+                               : copy_index(settled.requester.lc,
+                                            settled.home));
+          return;
+        }
+        pending.target = target;
+      } else if (config_.migration.enabled) {
+        // No replicas to steer through, but the fragment's home can still
+        // move under a retry: chase the current serving LC instead of
+        // hammering the frozen source.
+        pending.target = serving_lc(pending.home);
+      }
+      dispatch_request(sh, now, pending.home, pending.target, pending.addr,
+                       pending.requester, pending.attempt);
       return;
     }
     // Retries exhausted: degraded mode. Release the W=1 block the lost
@@ -1392,17 +1704,58 @@ class BasicRouterSim {
     // Pre-count every apply before any message leaves: the outstanding
     // counter can then never transiently hit zero while effects are still
     // fanning out (each apply also adds its invalidations before its own
-    // decrement).
-    update_outstanding_[index].fetch_add(
-        static_cast<std::uint32_t>(homes.size()), std::memory_order_relaxed);
+    // decrement). A deferred primary apply holds one token too — it is
+    // settled only when the resync re-applies the update at the rejoined
+    // LC, which keeps the verify excuse window open for exactly as long as
+    // a stale structure can still answer.
+    const bool steer = replication_active() && faults_active();
+    std::uint32_t tokens = 0;
     for (const int home : homes) {
-      ++sh.c.update.update_messages;
-      // Control messages ride the fabric reliably (egress, not
-      // egress_lossy): BGP sessions run over TCP, losses are retransmitted
-      // below the timescale this model resolves.
-      send_reliable(sh, 0, now + 1,
-                    Event{Event::Type::kUpdateApply, home, Addr{},
-                          event.requester, false, net::kNoRoute});
+      tokens += 1 + static_cast<std::uint32_t>(
+                        replica_plan_[static_cast<std::size_t>(home)].size());
+    }
+    update_outstanding_[index].fetch_add(tokens, std::memory_order_relaxed);
+    for (const int home : homes) {
+      const int primary = serving_lc(home);
+      const auto& holders = replica_plan_[static_cast<std::size_t>(home)];
+      // Defer the primary apply when the primary cannot take it (its port
+      // is inside an outage window) or is already stale: the update joins
+      // its missed queue and an acting replica broadcasts the invalidations
+      // on its behalf. Pure config (FaultConfig::port_down draws no RNG).
+      int acting = -1;
+      if (steer && !holders.empty() &&
+          (stale_[static_cast<std::size_t>(primary)] != 0 ||
+           config_.fault.port_down(primary, now + 1))) {
+        for (const int r : holders) {
+          if (stale_[static_cast<std::size_t>(r)] == 0 &&
+              !config_.fault.port_down(r, now + 1)) {
+            acting = r;
+            break;
+          }
+        }
+      }
+      if (acting >= 0) {
+        ++sh.c.fo.missed_updates;
+        stale_[static_cast<std::size_t>(primary)] = 1;
+        missed_updates_[static_cast<std::size_t>(primary)].push_back(index);
+      } else {
+        ++sh.c.update.update_messages;
+        // Control messages ride the fabric reliably (egress, not
+        // egress_lossy): BGP sessions run over TCP, losses are
+        // retransmitted below the timescale this model resolves.
+        send_reliable(sh, 0, now + 1,
+                      Event{Event::Type::kUpdateApply, primary, Addr{},
+                            event.requester, false, net::kNoRoute, home});
+      }
+      // Every replica copy stays fresh regardless of the primary's fate;
+      // the acting holder's event carries the broadcast flag (fill).
+      for (const int r : holders) {
+        ++sh.c.update.update_messages;
+        send_reliable(sh, 0, now + 1,
+                      Event{Event::Type::kUpdateApply, r, Addr{},
+                            event.requester, /*fill=*/r == acting,
+                            net::kNoRoute, home});
+      }
     }
   }
 
@@ -1417,6 +1770,18 @@ class BasicRouterSim {
     const auto index = static_cast<std::size_t>(event.requester.packet);
     const auto& update = updates_[index];
     const int lc = event.lc;
+    const int frag = event.aux < 0 ? lc : event.aux;
+    if (frag != lc) {
+      // Not this LC's own fragment: either the migrated structure this LC
+      // now serves as primary, or one of its failover replica copies.
+      if (migration_.cut_over && lc == config_.migration.to &&
+          frag == config_.migration.from) {
+        apply_update_migrated(sh, now, event, index);
+      } else {
+        apply_update_copy(sh, now, event, index);
+      }
+      return;
+    }
     Table& fragment = lc_tables_[static_cast<std::size_t>(lc)];
     net::apply_update(fragment, update);
     auto& fe = fes_[static_cast<std::size_t>(lc)];
@@ -1438,9 +1803,11 @@ class BasicRouterSim {
                  1000;
     }
     // The applied update changed the FE's arena footprints; re-place them
-    // so subsequent jobs at this LC price against the current structure.
+    // so subsequent jobs at this LC price against the current structure
+    // (any replica copies resident here shift behind the new size too).
     // The model is element-owned by this LC's shard, like the FE itself.
     rebuild_fe_model(lc);
+    rebuild_copy_models_at(lc);
     // The FE is unavailable while the update applies: every server stalls.
     for (auto& server : fe_free_[static_cast<std::size_t>(lc)]) {
       server = std::max(server, now) + cost;
@@ -1448,6 +1815,115 @@ class BasicRouterSim {
     fe_busy_[static_cast<std::size_t>(lc)] += cost;
     sh.c.update.update_cost_cycles += cost;
     if (!caches_.empty()) {
+      invalidate_cache(sh, lc, update);
+      for (int other = 0; other < config_.num_lcs; ++other) {
+        if (other == lc) continue;
+        ++sh.c.update.invalidation_messages;
+        update_outstanding_[index].fetch_add(1, std::memory_order_relaxed);
+        send_reliable(sh, lc, now + 1,
+                      Event{Event::Type::kInvalidate, other, Addr{},
+                            event.requester, false, net::kNoRoute});
+      }
+    }
+    if (migration_.copying && !migration_.cut_over &&
+        lc == config_.migration.from) {
+      // Copy phase: double-deliver the delta to the target. Its token keeps
+      // the update unsettled until the target has absorbed it, so the
+      // staged structure can never be resolved-against stale.
+      ++sh.c.fo.double_delivered_updates;
+      ++sh.c.fo.control_messages;
+      update_outstanding_[index].fetch_add(1, std::memory_order_relaxed);
+      send_reliable(sh, lc, now + 1,
+                    Event{Event::Type::kMigrateDelta, config_.migration.to,
+                          Addr{}, event.requester, false, net::kNoRoute});
+    }
+    settle_update(index, now);
+  }
+
+  /// Post-cutover primary apply at the migration target: identical to an
+  /// own-fragment apply, but against the staged structure.
+  void apply_update_migrated(Shard& sh, std::uint64_t now, const Event& event,
+                             std::size_t index) {
+    const auto& update = updates_[index];
+    const int lc = event.lc;
+    Table& fragment = *migration_.staged_table;
+    net::apply_update(fragment, update);
+    auto& fe = *migration_.staged_fe;
+    std::uint64_t cost = 0;
+    ++sh.c.update.applications;
+    if (Family::fe_supports_update(fe)) {
+      if (update.kind == net::UpdateKind::kWithdraw) {
+        Family::fe_remove(fe, update.prefix);
+      } else {
+        Family::fe_insert(fe, update.prefix, update.next_hop);
+      }
+      ++sh.c.update.fe_incremental;
+      cost = config_.update.incremental_cost_cycles;
+    } else {
+      fe = Family::build_fe(fragment, config_);
+      ++sh.c.update.fe_rebuilds;
+      cost = config_.update.rebuild_base_cycles +
+             fragment.size() * config_.update.rebuild_millicycles_per_entry /
+                 1000;
+    }
+    rebuild_staged_model();
+    for (auto& server : fe_free_[static_cast<std::size_t>(lc)]) {
+      server = std::max(server, now) + cost;
+    }
+    fe_busy_[static_cast<std::size_t>(lc)] += cost;
+    sh.c.update.update_cost_cycles += cost;
+    if (!caches_.empty()) {
+      invalidate_cache(sh, lc, update);
+      for (int other = 0; other < config_.num_lcs; ++other) {
+        if (other == lc) continue;
+        ++sh.c.update.invalidation_messages;
+        update_outstanding_[index].fetch_add(1, std::memory_order_relaxed);
+        send_reliable(sh, lc, now + 1,
+                      Event{Event::Type::kInvalidate, other, Addr{},
+                            event.requester, false, net::kNoRoute});
+      }
+    }
+    settle_update(index, now);
+  }
+
+  /// Apply at a replica holder: keep the copy's table and FE fresh. When
+  /// the event carries the acting-broadcast flag (event.fill) the holder
+  /// also invalidates on behalf of a primary whose apply was deferred, so
+  /// the invalidation barrier exists even while the primary is dark.
+  void apply_update_copy(Shard& sh, std::uint64_t now, const Event& event,
+                         std::size_t index) {
+    const auto& update = updates_[index];
+    const int lc = event.lc;
+    const int idx = copy_index(lc, event.aux);
+    ReplicaCopy& copy = copies_[static_cast<std::size_t>(lc)]
+                               [static_cast<std::size_t>(idx)];
+    net::apply_update(copy.table, update);
+    std::uint64_t cost = 0;
+    ++sh.c.update.applications;
+    ++sh.c.fo.replica_update_applications;
+    if (Family::fe_supports_update(copy.fe)) {
+      if (update.kind == net::UpdateKind::kWithdraw) {
+        Family::fe_remove(copy.fe, update.prefix);
+      } else {
+        Family::fe_insert(copy.fe, update.prefix, update.next_hop);
+      }
+      ++sh.c.update.fe_incremental;
+      cost = config_.update.incremental_cost_cycles;
+    } else {
+      copy.fe = Family::build_fe(copy.table, config_);
+      ++sh.c.update.fe_rebuilds;
+      cost = config_.update.rebuild_base_cycles +
+             copy.table.size() *
+                 config_.update.rebuild_millicycles_per_entry / 1000;
+    }
+    rebuild_copy_models_at(lc);
+    for (auto& server : fe_free_[static_cast<std::size_t>(lc)]) {
+      server = std::max(server, now) + cost;
+    }
+    fe_busy_[static_cast<std::size_t>(lc)] += cost;
+    sh.c.update.update_cost_cycles += cost;
+    if (event.fill && !caches_.empty()) {
+      ++sh.c.fo.acting_primary_applications;
       invalidate_cache(sh, lc, update);
       for (int other = 0; other < config_.num_lcs; ++other) {
         if (other == lc) continue;
@@ -1503,6 +1979,494 @@ class BasicRouterSim {
         1) {
       update_settle_time_[index] = stamp.load(std::memory_order_relaxed);
     }
+  }
+
+  // ----- Failover: replication, health, resync, migration ------------------
+
+  /// aux value marking a job against the migrated structure a post-cutover
+  /// host serves (>= 0 values index the host's replica copies).
+  static constexpr std::int32_t kMigratedAux = -2;
+
+  bool replication_active() const {
+    return config_.replication.replicas > 0 && config_.partition &&
+           config_.num_lcs > 1;
+  }
+  bool failover_enabled() const {
+    return replication_active() || config_.migration.enabled;
+  }
+
+  /// The LC currently serving fragment `frag` (identity unless a migration
+  /// cutover re-homed it).
+  int serving_lc(int frag) const {
+    return config_.migration.enabled
+               ? home_remap_[static_cast<std::size_t>(frag)]
+               : frag;
+  }
+
+  /// Slot of `frag`'s copy at `lc`, or -1 when the LC holds none (also when
+  /// replication is off and no copies exist at all).
+  int copy_slot(int lc, int frag) const {
+    if (copy_index_.empty()) return -1;
+    return copy_index_[static_cast<std::size_t>(lc) *
+                           static_cast<std::size_t>(config_.num_lcs) +
+                       static_cast<std::size_t>(frag)];
+  }
+
+  int copy_index(int lc, int frag) const {
+    const int idx = copy_slot(lc, frag);
+    if (idx < 0) {
+      throw std::logic_error("RouterSim: lookup routed to an LC that holds "
+                             "no copy of the fragment");
+    }
+    return idx;
+  }
+
+  const typename Family::Fe& fe_for(int lc, std::int32_t aux) const {
+    if (aux == kMigratedAux) return *migration_.staged_fe;
+    if (aux >= 0) {
+      return copies_[static_cast<std::size_t>(lc)]
+                    [static_cast<std::size_t>(aux)].fe;
+    }
+    return fes_[static_cast<std::size_t>(lc)];
+  }
+  const MemoryModel& model_for(int lc, std::int32_t aux) const {
+    if (aux == kMigratedAux) return *migration_.staged_model;
+    if (aux >= 0) {
+      return copy_models_[static_cast<std::size_t>(lc)]
+                         [static_cast<std::size_t>(aux)];
+    }
+    return fe_models_[static_cast<std::size_t>(lc)];
+  }
+
+  /// Best target for a remote lookup on `frag` as seen by `observer`: the
+  /// primary while it looks alive, else the first live replica holder (the
+  /// observer itself, if it holds one — served locally). Non-alive LCs
+  /// encountered on the way are probed, paced per (observer, target).
+  int choose_target(Shard& sh, int observer, int frag, std::uint64_t now) {
+    const int primary = serving_lc(frag);
+    if (health_.alive(observer, primary)) return primary;
+    maybe_probe(sh, observer, primary, now);
+    for (const int r : replica_plan_[static_cast<std::size_t>(frag)]) {
+      if (r == observer) return observer;
+      if (health_.alive(observer, r)) return r;
+      maybe_probe(sh, observer, r, now);
+    }
+    // Nobody looks alive: keep hammering the primary; the retry/degraded
+    // machinery remains the backstop of last resort.
+    return primary;
+  }
+
+  void maybe_probe(Shard& sh, int observer, int target, std::uint64_t now) {
+    if (!health_.probe_due(observer, target, now)) return;
+    health_.probe_sent(observer, target, now, probe_interval_);
+    ++sh.c.fo.probes_sent;
+    ++sh.c.fo.control_messages;
+    send_lossy(sh, observer, target, now + 1,
+               Event{Event::Type::kProbe, target, Addr{},
+                     Requester{observer, -1, false}, false, net::kNoRoute});
+  }
+
+  void note_timeout(Shard& sh, int observer, int target) {
+    switch (health_.note_timeout(observer, target)) {
+      case HealthTracker::Transition::kSuspect:
+        ++sh.c.fo.suspect_transitions;
+        break;
+      case HealthTracker::Transition::kDown:
+        ++sh.c.fo.down_transitions;
+        break;
+      case HealthTracker::Transition::kNone:
+        break;
+    }
+  }
+
+  void note_alive(Shard& sh, int observer, int target, bool via_probe) {
+    if (observer == target) return;
+    if (health_.note_alive(observer, target)) {
+      ++sh.c.fo.recoveries;
+      if (via_probe) ++sh.c.fo.rejoins;
+    }
+  }
+
+  /// Re-routed request at a replica holder: serve straight from the
+  /// resident copy (no cache interaction here — the result belongs in the
+  /// requester's cache, carried back by the reply).
+  void handle_copy_lookup(Shard& sh, std::uint64_t now, const Event& event) {
+    start_fe_job(sh, now, event.lc, event.addr, false, event.requester,
+                 copy_index(event.lc, event.aux));
+  }
+
+  void handle_probe(Shard& sh, std::uint64_t now, const Event& event) {
+    const int lc = event.lc;
+    if (stale_[static_cast<std::size_t>(lc)] != 0) {
+      // A stale rejoiner withholds probe replies until it has caught up —
+      // observers keep steering to the replicas — but uses the contact to
+      // start fetching its missed updates.
+      maybe_start_resync(sh, lc, now);
+      return;
+    }
+    ++sh.c.fo.probe_replies_sent;
+    ++sh.c.fo.control_messages;
+    send_lossy(sh, lc, event.requester.lc, now + 1,
+               Event{Event::Type::kProbeReply, event.requester.lc, Addr{},
+                     Requester{lc, -1, false}, false, net::kNoRoute});
+  }
+
+  void handle_probe_reply(Shard& sh, std::uint64_t /*now*/,
+                          const Event& event) {
+    ++sh.c.fo.probe_replies;
+    note_alive(sh, event.lc, event.requester.lc, /*via_probe=*/true);
+  }
+
+  // --- Resync: stream a rejoining LC's missed updates from a live holder.
+
+  void maybe_start_resync(Shard& sh, int lc, std::uint64_t now) {
+    if (resyncing_[static_cast<std::size_t>(lc)] != 0) return;
+    // The acting source is the first live holder — the same preference
+    // order the deferral used, so it has every missed update applied.
+    int src = -1;
+    for (const int r : replica_plan_[static_cast<std::size_t>(lc)]) {
+      if (stale_[static_cast<std::size_t>(r)] == 0 &&
+          !config_.fault.port_down(r, now + 1)) {
+        src = r;
+        break;
+      }
+    }
+    if (src < 0) return;  // retry on the next probe contact
+    resyncing_[static_cast<std::size_t>(lc)] = 1;
+    ++sh.c.fo.resync_fetches;
+    ++sh.c.fo.control_messages;
+    send_reliable(sh, lc, now + 1,
+                  Event{Event::Type::kResyncFetch, src, Addr{},
+                        Requester{lc, -1, false}, false, net::kNoRoute, lc});
+  }
+
+  void handle_resync_fetch(Shard& sh, std::uint64_t now, const Event& event) {
+    const int target = event.aux;
+    if (resync_sending_[static_cast<std::size_t>(target)] != 0) return;
+    resync_sending_[static_cast<std::size_t>(target)] = 1;
+    sh.queue.schedule(now + 1,
+                      Event{Event::Type::kResyncSend, event.lc, Addr{},
+                            Requester{event.lc, -1, false}, false,
+                            net::kNoRoute, target});
+  }
+
+  /// Local pacing tick at the streaming holder: emit the next batch of the
+  /// target's missed-update queue, then re-arm. The chain stays alive while
+  /// entries are chunked-but-unapplied so deferrals that land during the
+  /// transfer are streamed too.
+  void handle_resync_send(Shard& sh, std::uint64_t now, const Event& event) {
+    const int target = event.aux;
+    const auto t = static_cast<std::size_t>(target);
+    const auto& queue = missed_updates_[t];
+    if (resync_sent_[t] >= queue.size()) {
+      if (resync_head_[t] < resync_sent_[t]) {
+        sh.queue.schedule(now + chunk_interval(), event);
+      } else {
+        resync_sending_[t] = 0;
+      }
+      return;
+    }
+    const std::size_t batch =
+        std::min(chunk_prefixes(), queue.size() - resync_sent_[t]);
+    resync_sent_[t] += batch;
+    ++sh.c.fo.resync_chunks;
+    ++sh.c.fo.control_messages;
+    send_reliable(sh, event.lc, now + 1,
+                  Event{Event::Type::kResyncChunk, target, Addr{},
+                        Requester{event.lc, -1, false}, false, net::kNoRoute,
+                        static_cast<std::int32_t>(batch)});
+    sh.queue.schedule(now + chunk_interval(), event);
+  }
+
+  void handle_resync_chunk(Shard& sh, std::uint64_t now, const Event& event) {
+    const int lc = event.lc;
+    const auto l = static_cast<std::size_t>(lc);
+    auto& queue = missed_updates_[l];
+    for (std::size_t n = static_cast<std::size_t>(event.aux);
+         n > 0 && resync_head_[l] < queue.size(); --n) {
+      const std::size_t index = queue[resync_head_[l]++];
+      ++sh.c.fo.resync_entries;
+      apply_resync_entry(sh, lc, now, index);
+    }
+    if (resync_head_[l] >= queue.size()) {
+      // Caught up: the cutover back to normal service. From here the LC
+      // answers probes again and fresh updates apply directly.
+      queue.clear();
+      resync_head_[l] = 0;
+      resync_sent_[l] = 0;
+      stale_[l] = 0;
+      resyncing_[l] = 0;
+      ++sh.c.fo.resync_cutovers;
+      ++sh.c.fo.cutovers;
+    }
+  }
+
+  /// Re-apply one deferred update at the rejoined primary: same FE/table
+  /// machinery as a live apply, but invalidation is local-only (the acting
+  /// holder broadcast the barrier when the update was deferred) and the
+  /// settle releases the token the deferral held — closing the verify
+  /// excuse window the stale structure was serving under.
+  void apply_resync_entry(Shard& sh, int lc, std::uint64_t now,
+                          std::size_t index) {
+    const auto& update = updates_[index];
+    Table& fragment = lc_tables_[static_cast<std::size_t>(lc)];
+    net::apply_update(fragment, update);
+    auto& fe = fes_[static_cast<std::size_t>(lc)];
+    std::uint64_t cost = 0;
+    ++sh.c.update.applications;
+    if (Family::fe_supports_update(fe)) {
+      if (update.kind == net::UpdateKind::kWithdraw) {
+        Family::fe_remove(fe, update.prefix);
+      } else {
+        Family::fe_insert(fe, update.prefix, update.next_hop);
+      }
+      ++sh.c.update.fe_incremental;
+      cost = config_.update.incremental_cost_cycles;
+    } else {
+      fe = Family::build_fe(fragment, config_);
+      ++sh.c.update.fe_rebuilds;
+      cost = config_.update.rebuild_base_cycles +
+             fragment.size() * config_.update.rebuild_millicycles_per_entry /
+                 1000;
+    }
+    rebuild_fe_model(lc);
+    rebuild_copy_models_at(lc);
+    for (auto& server : fe_free_[static_cast<std::size_t>(lc)]) {
+      server = std::max(server, now) + cost;
+    }
+    fe_busy_[static_cast<std::size_t>(lc)] += cost;
+    sh.c.update.update_cost_cycles += cost;
+    if (!caches_.empty()) invalidate_cache(sh, lc, update);
+    settle_update(index, now);
+  }
+
+  // --- Live migration: copy-then-cutover fragment transfer.
+
+  const Table& migration_source_table() const {
+    return lc_tables_.empty()
+               ? rot_->table_of(config_.migration.from)
+               : lc_tables_[static_cast<std::size_t>(config_.migration.from)];
+  }
+
+  std::size_t chunk_prefixes() const {
+    return std::max<std::size_t>(std::size_t{1},
+                                 config_.migration.chunk_prefixes);
+  }
+  std::uint64_t chunk_interval() const {
+    return std::max<std::uint64_t>(1, config_.migration.chunk_interval_cycles);
+  }
+
+  void handle_migrate_start(Shard& sh, std::uint64_t now, const Event& event) {
+    migration_.copying = true;
+    const auto entries = migration_source_table().entries();
+    migration_.snapshot.assign(entries.begin(), entries.end());
+    sh.queue.schedule(now + 1,
+                      Event{Event::Type::kMigrateSend, event.lc, Addr{},
+                            event.requester, false, net::kNoRoute});
+  }
+
+  void handle_migrate_send(Shard& sh, std::uint64_t now, const Event& event) {
+    if (migration_.final_sent) return;
+    const std::size_t remaining =
+        migration_.snapshot.size() - migration_.cursor;
+    const std::size_t batch = std::min(chunk_prefixes(), remaining);
+    const bool last = batch == remaining;
+    migration_.chunk_queue.emplace_back(
+        migration_.snapshot.begin() +
+            static_cast<std::ptrdiff_t>(migration_.cursor),
+        migration_.snapshot.begin() +
+            static_cast<std::ptrdiff_t>(migration_.cursor + batch));
+    migration_.cursor += batch;
+    ++sh.c.fo.migration_chunks;
+    ++sh.c.fo.control_messages;
+    sh.c.fo.snapshot_prefixes += batch;
+    send_reliable(sh, event.lc, now + 1,
+                  Event{Event::Type::kMigrateChunk, config_.migration.to,
+                        Addr{}, event.requester, last, net::kNoRoute,
+                        static_cast<std::int32_t>(batch)});
+    if (last) {
+      migration_.final_sent = true;
+    } else {
+      sh.queue.schedule(now + chunk_interval(), event);
+    }
+  }
+
+  /// Snapshot chunk at the target. Chunks from one source port arrive in
+  /// send order (non-decreasing raw arrivals, origin_seq tie-break), so the
+  /// payload deque pairs up FIFO with the chunk events.
+  void handle_migrate_chunk(Shard& sh, std::uint64_t now, const Event& event) {
+    auto chunk = std::move(migration_.chunk_queue.front());
+    migration_.chunk_queue.pop_front();
+    migration_.staged_entries.insert(migration_.staged_entries.end(),
+                                     chunk.begin(), chunk.end());
+    if (!event.fill) return;
+    // Final chunk: build the staged table, then replay the deltas buffered
+    // during the transfer IN ORDER — a buffered withdraw must land after
+    // the snapshot entries it withdraws, never be resurrected by them.
+    migration_.staged_table =
+        std::make_unique<Table>(std::move(migration_.staged_entries));
+    migration_.staged_entries = {};
+    for (const std::size_t index : migration_.buffered_deltas) {
+      net::apply_update(*migration_.staged_table, updates_[index]);
+    }
+    migration_.buffered_deltas.clear();
+    migration_.staged_fe = std::make_unique<typename Family::Fe>(
+        Family::build_fe(*migration_.staged_table, config_));
+    migration_.fe_ready = true;
+    rebuild_staged_model();
+    // The staged build is management-plane work: it delays the cutover,
+    // not the serving FE servers. Price it like an epoch rebuild.
+    const std::uint64_t build =
+        config_.update.rebuild_base_cycles +
+        migration_.staged_table->size() *
+            config_.update.rebuild_millicycles_per_entry / 1000;
+    sh.queue.schedule(now + 1 + build,
+                      Event{Event::Type::kMigrateBuilt, event.lc, Addr{},
+                            Requester{event.lc, -1, false}, false,
+                            net::kNoRoute});
+  }
+
+  /// Double-delivered update at the target (requester.packet carries the
+  /// update index). Before the staged table exists the delta is buffered;
+  /// after, it applies directly. Either way its token settles here.
+  void handle_migrate_delta(Shard& /*sh*/, std::uint64_t now,
+                            const Event& event) {
+    const auto index = static_cast<std::size_t>(event.requester.packet);
+    if (!migration_.fe_ready) {
+      migration_.buffered_deltas.push_back(index);
+    } else {
+      const auto& update = updates_[index];
+      net::apply_update(*migration_.staged_table, update);
+      auto& fe = *migration_.staged_fe;
+      if (Family::fe_supports_update(fe)) {
+        if (update.kind == net::UpdateKind::kWithdraw) {
+          Family::fe_remove(fe, update.prefix);
+        } else {
+          Family::fe_insert(fe, update.prefix, update.next_hop);
+        }
+      } else {
+        fe = Family::build_fe(*migration_.staged_table, config_);
+      }
+      rebuild_staged_model();
+    }
+    settle_update(index, now);
+  }
+
+  void handle_migrate_built(Shard& sh, std::uint64_t now, const Event& event) {
+    ++sh.c.fo.cutover_messages;
+    ++sh.c.fo.control_messages;
+    send_reliable(sh, event.lc, now + 1,
+                  Event{Event::Type::kMigrateReady, config_.migration.from,
+                        Addr{}, Requester{event.lc, -1, false}, false,
+                        net::kNoRoute});
+  }
+
+  /// Cutover, at the source: flip the re-home map, drop this LC's blocks
+  /// homed on the fragment, and broadcast the cutover barrier. Requests
+  /// still in flight toward this LC are forwarded to the new home by the
+  /// ordinary lookup path (serving_lc no longer names this LC), so no
+  /// lookup is lost or answered from the now-frozen source structure.
+  void handle_migrate_ready(Shard& sh, std::uint64_t now, const Event& event) {
+    const int from = event.lc;
+    migration_.copying = false;
+    migration_.cut_over = true;
+    home_remap_[static_cast<std::size_t>(from)] = config_.migration.to;
+    ++sh.c.fo.migrations;
+    ++sh.c.fo.cutovers;
+    invalidate_for_migration(sh, from);
+    for (int other = 0; other < config_.num_lcs; ++other) {
+      if (other == from) continue;
+      ++sh.c.fo.cutover_messages;
+      ++sh.c.fo.control_messages;
+      send_reliable(sh, from, now + 1,
+                    Event{Event::Type::kCutover, other, Addr{},
+                          Requester{from, -1, false}, false, net::kNoRoute});
+    }
+  }
+
+  void handle_cutover(Shard& sh, std::uint64_t /*now*/, const Event& event) {
+    invalidate_for_migration(sh, event.lc);
+  }
+
+  /// Selective invalidation on re-home: drop every cached block whose
+  /// address is homed on the migrated fragment (its serving LC changed, so
+  /// LOC/REM quota classes and staleness guarantees both moved).
+  void invalidate_for_migration(Shard& sh, int lc) {
+    if (caches_.empty()) return;
+    const int frag = config_.migration.from;
+    const std::size_t dropped =
+        caches_[static_cast<std::size_t>(lc)]->invalidate_if(
+            [&](const Addr& addr) { return rot_->home_of(addr) == frag; });
+    sh.c.blocks_invalidated += dropped;
+    sh.c.fo.migration_invalidated_blocks += dropped;
+  }
+
+  bool arrived_in_outage(std::uint64_t at) const {
+    for (const auto& span : outage_spans_) {
+      if (at < span.first) return false;
+      if (at < span.second) return true;
+    }
+    return false;
+  }
+
+  /// (Re)derives the replica plan, the copies it homes, and their memory
+  /// placements from the current fragments.
+  void rebuild_copies() {
+    const auto n = static_cast<std::size_t>(config_.num_lcs);
+    copies_.clear();
+    copies_.resize(n);
+    copy_index_.assign(n * n, -1);
+    replica_plan_ = partition::assign_replicas(
+        config_.num_lcs,
+        replication_active() ? config_.replication.replicas : 0);
+    for (int frag = 0; frag < config_.num_lcs; ++frag) {
+      for (const int holder : replica_plan_[static_cast<std::size_t>(frag)]) {
+        const auto h = static_cast<std::size_t>(holder);
+        copy_index_[h * n + static_cast<std::size_t>(frag)] =
+            static_cast<int>(copies_[h].size());
+        Table table = rot_->table_of(frag);
+        auto fe = Family::build_fe(table, config_);
+        copies_[h].push_back(
+            ReplicaCopy{frag, std::move(table), std::move(fe)});
+      }
+    }
+    rebuild_copy_models();
+  }
+
+  void rebuild_copy_models() {
+    copy_models_.assign(copies_.size(), {});
+    if (!config_.memory.enabled) return;
+    for (int lc = 0; lc < config_.num_lcs; ++lc) rebuild_copy_models_at(lc);
+  }
+
+  /// Re-places one holder's copies behind its own FE's bytes (which may
+  /// have just changed size under an update).
+  void rebuild_copy_models_at(int lc) {
+    if (!config_.memory.enabled) return;
+    auto& models = copy_models_[static_cast<std::size_t>(lc)];
+    models.clear();
+    std::uint64_t base =
+        fe_models_[static_cast<std::size_t>(lc)].placed_bytes();
+    for (const ReplicaCopy& copy : copies_[static_cast<std::size_t>(lc)]) {
+      models.emplace_back(config_.memory, Family::fe_arenas(copy.fe), base);
+      base += models.back().placed_bytes();
+    }
+  }
+
+  /// The staged (migrated) structure packs behind everything already
+  /// resident at the target LC.
+  void rebuild_staged_model() {
+    if (!config_.memory.enabled || migration_.staged_fe == nullptr) {
+      migration_.staged_model.reset();
+      return;
+    }
+    const auto to = static_cast<std::size_t>(config_.migration.to);
+    std::uint64_t base = fe_models_[to].placed_bytes();
+    for (const MemoryModel& model : copy_models_[to]) {
+      base += model.placed_bytes();
+    }
+    migration_.staged_model = std::make_unique<MemoryModel>(
+        config_.memory, Family::fe_arenas(*migration_.staged_fe), base);
   }
 
   // ----- Memory-tier cost model -------------------------------------------
@@ -1579,6 +2543,30 @@ class BasicRouterSim {
   bool fes_dirty_ = false;
   bool oracle_dirty_ = false;
   bool verify_ = false;
+  // Failover subsystem. The replica plan and copies persist across runs
+  // like the FEs (copies_dirty_ makes run() rebuild what updates mutated);
+  // everything below them is per-run. Sharded-engine ownership: health
+  // rows are observer-owned, copies/copy models are holder-owned, and the
+  // resync/migration state is only ever touched by solo-engine handlers.
+  std::vector<std::vector<int>> replica_plan_;    // fragment -> holder LCs
+  std::vector<std::vector<ReplicaCopy>> copies_;  // per holder LC
+  std::vector<std::vector<MemoryModel>> copy_models_;  // parallel to copies_
+  std::vector<int> copy_index_;  // (lc * num_lcs + frag) -> copy slot or -1
+  bool copies_dirty_ = false;
+  HealthTracker health_;
+  std::uint64_t probe_interval_ = 0;
+  std::vector<int> home_remap_;               // fragment -> serving LC
+  std::vector<std::uint8_t> stale_;           // per LC: has missed updates
+  std::vector<std::uint8_t> resyncing_;       // per LC: fetch in flight
+  std::vector<std::uint8_t> resync_sending_;  // per target LC: chain armed
+  std::vector<std::vector<std::size_t>> missed_updates_;  // per LC, in order
+  std::vector<std::size_t> resync_sent_;      // per LC: entries chunked
+  std::vector<std::size_t> resync_head_;      // per LC: entries applied
+  MigrationState migration_;
+  bool track_outage_ = false;
+  /// Merged, sorted union of every configured outage window.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> outage_spans_;
+  std::vector<sim::LatencyStats> per_lc_outage_latency_;  // per arrival LC
   RouterResult result_;
 };
 

@@ -14,7 +14,8 @@ std::vector<MemoryTier> MemoryModelConfig::default_tiers() {
 }
 
 MemoryModel::MemoryModel(const MemoryModelConfig& config,
-                         const std::vector<trie::ArenaSpan>& arenas)
+                         const std::vector<trie::ArenaSpan>& arenas,
+                         std::uint64_t base_offset_bytes)
     : matching_overhead_cycles_(config.matching_overhead_cycles),
       tier_count_(config.tiers.size()) {
   if (config.tiers.empty()) {
@@ -28,9 +29,11 @@ MemoryModel::MemoryModel(const MemoryModelConfig& config,
   }
   // Cumulative packing: arena end offsets are non-decreasing, so walking
   // the tier boundary forward keeps the assignment monotone — once an
-  // arena spills past a boundary, every colder arena does too.
+  // arena spills past a boundary, every colder arena does too. A nonzero
+  // base offset models bytes already resident (the host LC's own FE and any
+  // hotter replica copies); packing simply resumes past them.
   placements_.reserve(arenas.size());
-  std::uint64_t end = 0;
+  std::uint64_t end = base_offset_bytes;
   std::size_t tier = 0;
   std::uint64_t boundary = config.tiers[0].capacity_bytes;
   bool unbounded = config.tiers[0].capacity_bytes == 0;
@@ -52,7 +55,7 @@ MemoryModel::MemoryModel(const MemoryModelConfig& config,
   for (std::size_t a = arenas.size(); a < trie::kMaxArenas; ++a) {
     arena_tier_[a] = static_cast<std::uint8_t>(tier);
   }
-  placed_bytes_ = end;
+  placed_bytes_ = end - base_offset_bytes;
 }
 
 std::uint64_t MemoryModel::lookup_cycles(

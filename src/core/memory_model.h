@@ -82,8 +82,14 @@ class MemoryModel {
   MemoryModel() = default;
 
   /// Throws std::invalid_argument on an empty or oversized tier list.
+  /// `base_offset_bytes` shifts the cumulative packing start: an LC that
+  /// hosts failover replica copies packs its own FE first (offset 0) and
+  /// each copy after the bytes already resident, so a copy's arenas land in
+  /// the tiers left over once the primary structure has claimed the fast
+  /// ones.
   MemoryModel(const MemoryModelConfig& config,
-              const std::vector<trie::ArenaSpan>& arenas);
+              const std::vector<trie::ArenaSpan>& arenas,
+              std::uint64_t base_offset_bytes = 0);
 
   const std::vector<ArenaPlacement>& placements() const { return placements_; }
 

@@ -80,6 +80,48 @@ struct RouterConfig {
   };
   RecoveryConfig recovery;
 
+  /// Fragment replication for LC failover. With R > 0 every fragment keeps
+  /// R live copies on the next R LCs around the ring
+  /// (partition::assign_replicas), a per-observer health state machine
+  /// tracks remote LCs (alive → suspect after `suspect_after` consecutive
+  /// request timeouts → down after `down_after`, probe-based rejoin), and
+  /// remote lookups re-route to the best live copy instead of retrying a
+  /// dead primary into the degraded fallback. replicas == 0 (default)
+  /// leaves every run and report byte-identical to a build without the
+  /// subsystem.
+  struct ReplicationConfig {
+    int replicas = 0;      ///< R failover copies per fragment; 0 = off
+    int suspect_after = 2; ///< timeout streak that starts re-routing
+    int down_after = 4;    ///< timeout streak that marks the LC down
+    /// Minimum cycles between probes an observer sends a non-alive LC.
+    /// 0 = auto: the resolved request timeout base.
+    std::uint64_t probe_interval_cycles = 0;
+  };
+  ReplicationConfig replication;
+
+  /// Operator-initiated live fragment migration: at `start_cycle`, LC
+  /// `from` snapshots its fragment and streams it to LC `to` in chunks of
+  /// `chunk_prefixes` entries every `chunk_interval_cycles`; route updates
+  /// applied at `from` during the copy are double-delivered to `to`; once
+  /// `to` has built the staged FE the fragment is cut over (home lookups
+  /// re-map to `to`, every LR-cache drops blocks homed on the fragment).
+  /// The same copy-then-cutover machinery resyncs a rejoining LC that
+  /// missed updates during an outage. Forces the sequential engine.
+  struct MigrationConfig {
+    bool enabled = false;
+    int from = -1;
+    int to = -1;
+    std::uint64_t start_cycle = 0;
+    std::size_t chunk_prefixes = 512;
+    std::uint64_t chunk_interval_cycles = 8;
+  };
+  MigrationConfig migration;
+
+  /// Record a second latency histogram restricted to packets that arrived
+  /// while any configured outage window was open (the mid-outage latency
+  /// timeline bench_failover plots). Off by default: no extra JSON.
+  bool track_outage_latency = false;
+
   /// Early cache-block recording on a miss (the W-bit mechanism). Disabled
   /// only by the ablation bench: without it, every packet of a burst that
   /// misses goes to the FE / fabric individually.
@@ -137,6 +179,23 @@ struct RouterConfig {
   std::uint64_t seed = 42;
 };
 
+/// Exponential retry backoff with a clamped shift: `base << attempt`, the
+/// doubling capped at kBackoffMaxShift doublings and the result saturated
+/// at kBackoffCeilingCycles so `now + 1 + backoff` can never wrap the
+/// 64-bit cycle clock no matter how large `timeout_cycles` × `max_retries`
+/// is configured. Bit-identical to the historical `base << min(attempt,20)`
+/// whenever that expression did not overflow.
+inline constexpr int kBackoffMaxShift = 20;
+inline constexpr std::uint64_t kBackoffCeilingCycles = std::uint64_t{1} << 62;
+
+inline std::uint64_t backoff_cycles(std::uint64_t base, int attempt) {
+  if (base == 0) return 0;
+  const int shift =
+      attempt < 0 ? 0 : (attempt < kBackoffMaxShift ? attempt : kBackoffMaxShift);
+  if (base >= (kBackoffCeilingCycles >> shift)) return kBackoffCeilingCycles;
+  return base << shift;
+}
+
 /// Fault-and-recovery counters for one run: the fabric-level losses plus
 /// the router-level protocol activity they triggered. All zero when the
 /// fault layer is disabled. Conservation (checked by `spal_report --check`):
@@ -179,6 +238,60 @@ struct UpdateStats {
   std::uint64_t cache_flushes = 0;       ///< full flushes under kFlushAll
 };
 
+/// Failover / replication / migration ledger for one run. All zero (and
+/// absent from the JSON report) unless replication or migration is
+/// configured. Conservation rules (checked by `spal_report --check`):
+/// control_messages == probes_sent + probe_replies_sent + resync_fetches +
+/// resync_chunks + migration_chunks + double_delivered_updates +
+/// cutover_messages; probe_replies <= probe_replies_sent <= probes_sent;
+/// rejoins <= probe_replies; recoveries >= rejoins;
+/// down_transitions <= suspect_transitions; cutovers == migrations +
+/// resync_cutovers; resync_entries <= missed_updates;
+/// local_replica_serves + rerouted served lookups <= replica_lookups.
+/// With failover present the update ledger generalizes to
+/// update_messages == applications - resync_entries and
+/// invalidation_messages == (applications - replica_update_applications -
+/// resync_entries + acting_primary_applications) × (ψ - 1), and the fault
+/// rule to drops <= retransmits + degraded_fallbacks + probes_sent +
+/// probe_replies_sent (probes are fire-and-forget and may be lost).
+struct FailoverStats {
+  bool enabled = false;  ///< replication or migration configured
+  // Re-routing.
+  std::uint64_t rerouted_requests = 0;  ///< requests sent to a non-primary LC
+  std::uint64_t replica_lookups = 0;    ///< FE jobs run on a copy (not the
+                                        ///< holder's own fragment)
+  std::uint64_t local_replica_serves = 0;  ///< misses served from the arrival
+                                           ///< LC's own resident copy
+  // Health state machine (per-observer view of remote LCs).
+  std::uint64_t probes_sent = 0;
+  std::uint64_t probe_replies_sent = 0;
+  std::uint64_t probe_replies = 0;         ///< received back at the observer
+  std::uint64_t suspect_transitions = 0;
+  std::uint64_t down_transitions = 0;
+  std::uint64_t recoveries = 0;  ///< suspect/down -> alive, any evidence
+  std::uint64_t rejoins = 0;     ///< subset of recoveries: via a probe reply
+  // Update handling under failover + resync of rejoining LCs.
+  std::uint64_t missed_updates = 0;  ///< per-home applications deferred while
+                                     ///< the home was down or stale
+  std::uint64_t replica_update_applications = 0;  ///< applications to copies
+  std::uint64_t acting_primary_applications = 0;  ///< subset of copy
+      ///< applications that also broadcast invalidations for a dead primary
+  std::uint64_t resync_fetches = 0;
+  std::uint64_t resync_chunks = 0;
+  std::uint64_t resync_entries = 0;  ///< deferred updates re-applied at the
+                                     ///< rejoined primary
+  std::uint64_t resync_cutovers = 0;
+  // Operator-initiated fragment migration.
+  std::uint64_t migrations = 0;
+  std::uint64_t migration_chunks = 0;
+  std::uint64_t snapshot_prefixes = 0;
+  std::uint64_t double_delivered_updates = 0;
+  std::uint64_t cutover_messages = 0;  ///< ready + cutover broadcast msgs
+  std::uint64_t migration_invalidated_blocks = 0;
+  std::uint64_t cutovers = 0;          ///< migrations + resync cutovers
+  std::uint64_t control_messages = 0;  ///< every failover fabric send
+};
+
 /// Per-LC structured counters (index = arrival/home LC). The latency
 /// breakdown for the same LC lives in RouterResult::per_lc_latency.
 struct LcStats {
@@ -216,6 +329,15 @@ struct RouterResult {
   std::uint64_t updates_applied = 0;     ///< routing-table updates simulated
   std::uint64_t blocks_invalidated = 0;  ///< via selective invalidation
   UpdateStats update;                    ///< live update-pipeline counters
+  /// Failover/replication/migration ledger; emitted in to_json only when
+  /// `failover.enabled` — absent otherwise so R = 0 reports stay
+  /// byte-identical to builds without the subsystem.
+  FailoverStats failover;
+  /// Latency of packets that arrived inside an outage window; populated
+  /// (and emitted) only when `RouterConfig::track_outage_latency` and an
+  /// outage is configured.
+  bool outage_latency_tracked = false;
+  sim::LatencyStats outage_latency;
   /// Memory-tier ledger; populated (and emitted in to_json) only when
   /// `RouterConfig::memory.enabled` — absent otherwise so reports stay
   /// byte-identical to builds without the model.

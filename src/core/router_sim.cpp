@@ -198,6 +198,49 @@ std::string RouterResult::to_json() const {
     out += std::to_string(fault.per_lc_outage_cycles[lc]);
   }
   out += "]},";
+  // Failover ledger — emitted only when replication or migration was
+  // configured, so reports from default configurations stay byte-identical
+  // to builds without the failover subsystem.
+  if (failover.enabled) {
+    out += "\"failover\":{";
+    append_u64(out, "rerouted_requests", failover.rerouted_requests);
+    append_u64(out, "replica_lookups", failover.replica_lookups);
+    append_u64(out, "local_replica_serves", failover.local_replica_serves);
+    append_u64(out, "probes_sent", failover.probes_sent);
+    append_u64(out, "probe_replies_sent", failover.probe_replies_sent);
+    append_u64(out, "probe_replies", failover.probe_replies);
+    append_u64(out, "suspect_transitions", failover.suspect_transitions);
+    append_u64(out, "down_transitions", failover.down_transitions);
+    append_u64(out, "recoveries", failover.recoveries);
+    append_u64(out, "rejoins", failover.rejoins);
+    append_u64(out, "missed_updates", failover.missed_updates);
+    append_u64(out, "replica_update_applications",
+               failover.replica_update_applications);
+    append_u64(out, "acting_primary_applications",
+               failover.acting_primary_applications);
+    append_u64(out, "resync_fetches", failover.resync_fetches);
+    append_u64(out, "resync_chunks", failover.resync_chunks);
+    append_u64(out, "resync_entries", failover.resync_entries);
+    append_u64(out, "resync_cutovers", failover.resync_cutovers);
+    append_u64(out, "migrations", failover.migrations);
+    append_u64(out, "migration_chunks", failover.migration_chunks);
+    append_u64(out, "snapshot_prefixes", failover.snapshot_prefixes);
+    append_u64(out, "double_delivered_updates",
+               failover.double_delivered_updates);
+    append_u64(out, "cutover_messages", failover.cutover_messages);
+    append_u64(out, "migration_invalidated_blocks",
+               failover.migration_invalidated_blocks);
+    append_u64(out, "cutovers", failover.cutovers);
+    append_u64(out, "control_messages", failover.control_messages,
+               /*comma=*/false);
+    out += "},";
+  }
+  // Lookup latency restricted to arrivals that landed inside an outage
+  // window — only priced when the run asked for it.
+  if (outage_latency_tracked) {
+    out += "\"outage_latency\":";
+    append_latency(out, outage_latency);
+  }
   out += "\"per_lc\":[";
   for (std::size_t lc = 0; lc < per_lc.size(); ++lc) {
     const LcStats& stats = per_lc[lc];

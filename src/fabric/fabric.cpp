@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace spal::fabric {
 
@@ -55,11 +56,40 @@ void FaultConfig::validate(int ports) const {
 }
 
 std::uint64_t FaultConfig::outage_cycles(int port) const {
-  std::uint64_t total = 0;
+  // Measure of the union of this port's windows: overlapping, nested, and
+  // abutting spans collapse into one before summing, so a cycle covered by
+  // two windows is counted once.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> spans;
   for (const OutageWindow& window : outages) {
-    if (window.port == port) total += window.end_cycle - window.start_cycle;
+    if (window.port == port) spans.emplace_back(window.start_cycle, window.end_cycle);
   }
+  std::sort(spans.begin(), spans.end());
+  std::uint64_t total = 0;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  bool open = false;
+  for (const auto& [start, stop] : spans) {
+    if (open && start <= end) {
+      end = std::max(end, stop);
+    } else {
+      if (open) total += end - begin;
+      begin = start;
+      end = stop;
+      open = true;
+    }
+  }
+  if (open) total += end - begin;
   return total;
+}
+
+bool FaultConfig::port_down(int port, std::uint64_t now) const {
+  for (const OutageWindow& window : outages) {
+    if (window.port == port && now >= window.start_cycle &&
+        now < window.end_cycle) {
+      return true;
+    }
+  }
+  return false;
 }
 
 Fabric::Fabric(const FabricConfig& config, const FaultConfig& faults)
@@ -96,16 +126,6 @@ void Fabric::reconfigure(const FabricConfig& config, const FaultConfig& faults) 
   egress_.resize(static_cast<std::size_t>(config.ports));
   ingress_.resize(static_cast<std::size_t>(config.ports));
   reset_ports();
-}
-
-bool Fabric::port_down(int port, std::uint64_t now) const {
-  for (const OutageWindow& window : faults_.outages) {
-    if (window.port == port && now >= window.start_cycle &&
-        now < window.end_cycle) {
-      return true;
-    }
-  }
-  return false;
 }
 
 Egress Fabric::egress(int src, std::uint64_t now) {

@@ -70,9 +70,15 @@ struct FaultConfig {
   /// config with max_jitter_cycles == 0, or an outage with end <= start.
   void validate(int ports) const;
 
-  /// Total configured outage cycles for `port` (overlaps not merged — the
-  /// router benches schedule disjoint windows).
+  /// Total configured outage cycles for `port`. Overlapping, nested, and
+  /// abutting windows are merged first, so the result is the measure of the
+  /// union of the port's windows — a window covered twice is counted once.
   std::uint64_t outage_cycles(int port) const;
+
+  /// True when `now` falls inside any outage window scheduled for `port`.
+  /// Pure config (no RNG), so the router core can consult it to steer
+  /// traffic away from dead LCs without perturbing the fault stream.
+  bool port_down(int port, std::uint64_t now) const;
 };
 
 /// Number of crossbar stages needed to connect `ports` endpoints with
@@ -203,7 +209,9 @@ class Fabric {
     std::uint64_t queue_cycles = 0;
   };
 
-  bool port_down(int port, std::uint64_t now) const;
+  bool port_down(int port, std::uint64_t now) const {
+    return faults_.port_down(port, now);
+  }
   void reset_ports();
 
   FabricConfig config_;

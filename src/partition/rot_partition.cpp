@@ -71,7 +71,7 @@ std::vector<int> RotPartition::homes_of(const net::Prefix& prefix) const {
 }
 
 FragmentSizing fragment_sizing(const RotPartition& partition,
-                               std::size_t input_prefixes) {
+                               std::size_t input_prefixes, int replicas) {
   FragmentSizing sizing;
   sizing.input_prefixes = input_prefixes;
   const std::vector<std::size_t> sizes = partition.partition_sizes();
@@ -85,7 +85,38 @@ FragmentSizing fragment_sizing(const RotPartition& partition,
     sizing.replication = static_cast<double>(sizing.total_prefixes) /
                          static_cast<double>(input_prefixes);
   }
+  // Price the failover copies: each LC additionally hosts the fragments
+  // whose replica rotation lands on it, so its residency is its own
+  // fragment plus the R fragments preceding it on the ring.
+  const auto plan = assign_replicas(partition.num_lcs(), replicas);
+  sizing.replicas = plan.empty() ? 0 : static_cast<int>(plan.front().size());
+  std::vector<std::size_t> resident(sizes);
+  for (std::size_t frag = 0; frag < plan.size(); ++frag) {
+    for (const int lc : plan[frag]) {
+      sizing.replica_prefixes += sizes[frag];
+      resident[static_cast<std::size_t>(lc)] += sizes[frag];
+    }
+  }
+  for (const std::size_t r : resident) {
+    sizing.max_prefixes_with_replicas =
+        std::max(sizing.max_prefixes_with_replicas, r);
+  }
   return sizing;
+}
+
+std::vector<std::vector<int>> assign_replicas(int num_lcs, int replicas) {
+  std::vector<std::vector<int>> plan(
+      static_cast<std::size_t>(std::max(num_lcs, 0)));
+  if (num_lcs <= 1 || replicas <= 0) return plan;
+  const int copies = std::min(replicas, num_lcs - 1);
+  for (int frag = 0; frag < num_lcs; ++frag) {
+    plan[static_cast<std::size_t>(frag)].reserve(
+        static_cast<std::size_t>(copies));
+    for (int k = 1; k <= copies; ++k) {
+      plan[static_cast<std::size_t>(frag)].push_back((frag + k) % num_lcs);
+    }
+  }
+  return plan;
 }
 
 int min_lcs_for_budget(const net::RouteTable& table,

@@ -86,10 +86,22 @@ struct FragmentSizing {
   std::size_t min_prefixes = 0;    ///< smallest fragment
   std::size_t max_prefixes = 0;    ///< largest fragment (sizes the SRAM)
   double replication = 1.0;        ///< total / input (>= 1)
+  // Failover replication (assign_replicas) footprint — zeros when R = 0.
+  int replicas = 0;                      ///< R replica copies per fragment
+  std::size_t replica_prefixes = 0;      ///< Σ prefixes held as failover copies
+  std::size_t max_prefixes_with_replicas = 0;  ///< worst per-LC residency
 };
 
 FragmentSizing fragment_sizing(const RotPartition& partition,
-                               std::size_t input_prefixes);
+                               std::size_t input_prefixes, int replicas = 0);
+
+/// Failover replica placement: fragment f's primary stays on LC f and its
+/// R copies live on LCs (f + 1) .. (f + R) mod ψ — a rotation, so every LC
+/// hosts exactly R foreign copies and losing any single LC leaves R live
+/// copies of its fragment elsewhere. R is clamped to ψ - 1 (more copies than
+/// other LCs is meaningless). Returns, per fragment, the ordered replica LC
+/// list (primaries excluded); all lists empty when R <= 0 or ψ <= 1.
+std::vector<std::vector<int>> assign_replicas(int num_lcs, int replicas);
 
 /// Smallest ψ in [1, max_lcs] whose *largest* fragment fits a per-LC memory
 /// budget, estimating a fragment's trie footprint as prefix count ×

@@ -404,4 +404,32 @@ TEST(BoundedQueue, FrontThrowsWhenEmpty) {
   EXPECT_EQ(queue.front(), 5);
 }
 
+TEST(FaultConfigOutage, OutageCyclesMergesOverlappingWindows) {
+  // Regression: outage_cycles must report the measure of the UNION of a
+  // port's windows. Overlapping, nested, and abutting spans collapse first;
+  // a cycle covered twice is counted once, and other ports don't leak in.
+  fabric::FaultConfig faults;
+  faults.outages.push_back(fabric::OutageWindow{0, 100, 200});
+  faults.outages.push_back(fabric::OutageWindow{0, 150, 250});  // overlaps
+  faults.outages.push_back(fabric::OutageWindow{0, 160, 180});  // nested
+  faults.outages.push_back(fabric::OutageWindow{0, 250, 300});  // abuts
+  faults.outages.push_back(fabric::OutageWindow{0, 400, 450});  // disjoint
+  faults.outages.push_back(fabric::OutageWindow{1, 0, 1'000});  // other port
+  EXPECT_EQ(faults.outage_cycles(0), (300u - 100u) + (450u - 400u));
+  EXPECT_EQ(faults.outage_cycles(1), 1'000u);
+  EXPECT_EQ(faults.outage_cycles(2), 0u);
+}
+
+TEST(FaultConfigOutage, PortDownTracksEveryWindowHalfOpen) {
+  fabric::FaultConfig faults;
+  faults.outages.push_back(fabric::OutageWindow{0, 100, 200});
+  faults.outages.push_back(fabric::OutageWindow{0, 400, 450});
+  EXPECT_FALSE(faults.port_down(0, 99));
+  EXPECT_TRUE(faults.port_down(0, 100));   // start inclusive
+  EXPECT_TRUE(faults.port_down(0, 199));
+  EXPECT_FALSE(faults.port_down(0, 200));  // end exclusive
+  EXPECT_TRUE(faults.port_down(0, 425));
+  EXPECT_FALSE(faults.port_down(1, 150));
+}
+
 }  // namespace

@@ -192,6 +192,42 @@ TEST(FaultRecovery, InvalidFaultConfigIsRejectedAtConstruction) {
   EXPECT_THROW(RouterSim(small_table(), config), std::invalid_argument);
 }
 
+TEST(FaultRecovery, BackoffCyclesDoublesClampsAndSaturates) {
+  // Property sweep for the retry backoff: bit-identical to the historical
+  // `base << min(attempt, 20)` wherever that did not overflow, monotone
+  // non-decreasing in the attempt, and saturated at the ceiling so
+  // `now + 1 + backoff` can never wrap the 64-bit clock.
+  using core::backoff_cycles;
+  using core::kBackoffCeilingCycles;
+  using core::kBackoffMaxShift;
+  for (const std::uint64_t base :
+       {std::uint64_t{1}, std::uint64_t{7}, std::uint64_t{640},
+        std::uint64_t{1} << 40, kBackoffCeilingCycles - 1,
+        kBackoffCeilingCycles, ~std::uint64_t{0}}) {
+    std::uint64_t previous = 0;
+    for (int attempt = 0; attempt <= 128; ++attempt) {
+      const std::uint64_t backoff = backoff_cycles(base, attempt);
+      const int shift = attempt < kBackoffMaxShift ? attempt : kBackoffMaxShift;
+      if (base < (kBackoffCeilingCycles >> shift)) {
+        EXPECT_EQ(backoff, base << shift) << "base=" << base
+                                          << " attempt=" << attempt;
+      } else {
+        EXPECT_EQ(backoff, kBackoffCeilingCycles);
+      }
+      EXPECT_GE(backoff, previous);
+      EXPECT_LE(backoff, kBackoffCeilingCycles);  // now + 1 + backoff is safe
+      previous = backoff;
+    }
+  }
+  // Degenerate inputs: a zero base never backs off; a negative attempt is
+  // treated as the first.
+  EXPECT_EQ(backoff_cycles(0, 5), 0u);
+  EXPECT_EQ(backoff_cycles(640, -3), 640u);
+  // Beyond the clamp the doubling stops dead.
+  EXPECT_EQ(backoff_cycles(1, kBackoffMaxShift),
+            backoff_cycles(1, kBackoffMaxShift + 17));
+}
+
 TEST(FaultRecovery6, Ipv6RouterSurvivesDropsAndOutage) {
   // The recovery protocol lives in the shared core: the IPv6 router must
   // show the same conservation under combined loss and a dead LC.

@@ -180,6 +180,42 @@ TEST(ShardedEngine, Ipv6CoreIsByteIdenticalToo) {
             a.run_workload(small_profile(), true).to_json());
 }
 
+TEST(ShardedEngine, EpochSpanningFullOutageIsByteIdentical) {
+  // A full-run outage of one LC (its port never comes back) crosses every
+  // lookahead epoch boundary, so the sharded engine keeps dropping that
+  // port's traffic epoch after epoch while the other shards race ahead.
+  // With replicas in place the survivors steer around the dead LC; the
+  // result must still be byte-identical to the sequential oracle for both
+  // address families.
+  RouterConfig config = scenario_config(4, Scenario::kBaseline);
+  config.fault.enabled = true;
+  config.fault.outages.push_back(
+      fabric::OutageWindow{/*port=*/1, /*start=*/0,
+                           /*end=*/std::uint64_t{1} << 40});
+  config.recovery.max_retries = 2;
+  config.replication.replicas = 1;
+  RouterConfig sharded = config;
+  sharded.execution = RouterConfig::ExecutionMode::kSharded;
+  sharded.threads = 8;
+  {
+    RouterSim a(small_table(), config);
+    RouterSim b(small_table(), sharded);
+    const std::string oracle = a.run_workload(small_profile(), true).to_json();
+    EXPECT_EQ(b.run_workload(small_profile(), true).to_json(), oracle);
+    EXPECT_NE(oracle.find("\"failover\""), std::string::npos);
+  }
+  {
+    net::TableGen6Config table_config;
+    table_config.size = 3'000;
+    table_config.seed = 703;
+    const net::RouteTable6 table = net::generate_table6(table_config);
+    RouterSim6 a(table, config);
+    RouterSim6 b(table, sharded);
+    EXPECT_EQ(b.run_workload(small_profile(), true).to_json(),
+              a.run_workload(small_profile(), true).to_json());
+  }
+}
+
 TEST(ShardedEngine, PlannedShardsHonorsThreadCapAndLcClamp) {
   RouterConfig config = scenario_config(4, Scenario::kBaseline);
   EXPECT_EQ(RouterSim(small_table(), config).planned_shards(), 1)

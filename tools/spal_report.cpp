@@ -28,7 +28,13 @@
 //       storage_bytes). Router points that carry a `memory` object get the
 //       memory-tier ledger checked too: lookups == fe_lookups, charged ==
 //       matching + per-tier cycles, placed bytes == storage bytes, and FE
-//       busy cycles == charged + update cycles.
+//       busy cycles == charged + update cycles. Points that carry a
+//       `failover` object (replication/migration runs) get the failover
+//       ledger checked too: control messages decompose into the protocol's
+//       message kinds, cutovers == migrations + resync cutovers, the probe
+//       and rejoin orderings hold, and the generalized update conservation
+//       rules (update messages == applications - resync entries, the
+//       acting-primary invalidation fan-out) balance.
 //
 //   spal_report base.json new.json [--tolerance=PCT]
 //       Diff two reports point-by-point (matched by label): flags points
@@ -363,12 +369,28 @@ void check_result(CheckContext& ctx, const JsonValue& result) {
   const double update_messages = require(ctx, result, {"update", "update_messages"});
   const double invalidation_messages =
       require(ctx, result, {"update", "invalidation_messages"});
+  // Failover ledger (optional block: present when replication or migration
+  // was configured). Its control traffic rides the same fabric, and its
+  // deferral/resync machinery generalizes the update conservation rules;
+  // with the block absent every failover term below is zero and the rules
+  // reduce to their pre-failover forms.
+  const JsonValue* failover = result.find("failover");
+  double fo_control = 0.0, fo_resync_entries = 0.0, fo_replica_apps = 0.0,
+         fo_acting = 0.0, fo_probes_sent = 0.0, fo_probe_replies_sent = 0.0;
+  if (failover != nullptr) {
+    fo_control = require(ctx, *failover, {"control_messages"});
+    fo_resync_entries = require(ctx, *failover, {"resync_entries"});
+    fo_replica_apps = require(ctx, *failover, {"replica_update_applications"});
+    fo_acting = require(ctx, *failover, {"acting_primary_applications"});
+    fo_probes_sent = require(ctx, *failover, {"probes_sent"});
+    fo_probe_replies_sent = require(ctx, *failover, {"probe_replies_sent"});
+  }
   expect_eq(ctx,
-            "fabric.messages+dropped vs "
-            "remote_requests+remote_replies+update_messages+invalidation_messages",
+            "fabric.messages+dropped vs remote_requests+remote_replies"
+            "+update_messages+invalidation_messages+control_messages",
             messages + dropped,
             remote_requests + remote_replies + update_messages +
-                invalidation_messages);
+                invalidation_messages + fo_control);
 
   // Live route-update ledger. All zero with the pipeline off, so these
   // hold for every router point.
@@ -389,14 +411,24 @@ void check_result(CheckContext& ctx, const JsonValue& result) {
   // each update applies at one or more home LCs.
   expect_le(ctx, "update.applied vs update.applications", u_applied,
             u_applications);
-  expect_eq(ctx, "update.update_messages vs update.applications",
-            update_messages, u_applications);
-  // Every application invalidates on the other ψ−1 LCs (when caches exist).
+  // Resync re-applies arrive bundled inside resync chunks (control
+  // messages), not as per-application update messages.
+  expect_eq(ctx, "update.update_messages vs applications-resync_entries",
+            update_messages, u_applications - fo_resync_entries);
+  // Every application invalidates on the other ψ−1 LCs (when caches exist)
+  // — except replica-copy applications (the primary's own broadcast already
+  // covers the router) and resync re-applies (local invalidate only), while
+  // an acting replica standing in for a dead primary broadcasts for it.
   const double psi = static_cast<double>(
       result.find("per_lc") != nullptr ? result.find("per_lc")->array.size() : 0);
   if (probes > 0 && psi > 0) {
-    expect_eq(ctx, "update.invalidation_messages vs applications*(psi-1)",
-              invalidation_messages, u_applications * (psi - 1));
+    expect_eq(ctx,
+              "update.invalidation_messages vs (applications-replica-resync"
+              "+acting)*(psi-1)",
+              invalidation_messages,
+              (u_applications - fo_replica_apps - fo_resync_entries +
+               fo_acting) *
+                  (psi - 1));
   } else {
     expect_eq(ctx, "update.invalidation_messages (no caches)",
               invalidation_messages, 0.0);
@@ -447,9 +479,14 @@ void check_result(CheckContext& ctx, const JsonValue& result) {
   expect_eq(ctx, "fault.timeouts vs retransmits+degraded_fallbacks", timeouts,
             retransmits + fallbacks);
   // Every dropped message belongs to some attempt of some request, and a
-  // lost attempt always times out into a retransmit or a fallback.
-  expect_le(ctx, "fault.drops vs retransmits+degraded_fallbacks", f_drops,
-            retransmits + fallbacks);
+  // lost attempt always times out into a retransmit or a fallback — except
+  // probes and probe replies, which are fire-and-forget and may be lost
+  // without any recovery action (their terms are zero without failover).
+  expect_le(ctx,
+            "fault.drops vs retransmits+degraded_fallbacks+probes"
+            "+probe_replies_sent",
+            f_drops,
+            retransmits + fallbacks + fo_probes_sent + fo_probe_replies_sent);
   // Each fallback resolves at least the request's own packet (plus any
   // packets parked behind its block).
   expect_le(ctx, "fault.degraded_fallbacks vs degraded_lookups", fallbacks,
@@ -463,6 +500,72 @@ void check_result(CheckContext& ctx, const JsonValue& result) {
             require(ctx, result, {"cache_total", "cancelled_reservations"}));
   expect_le(ctx, "fault.reclaimed_waiting_blocks vs degraded_fallbacks",
             reclaimed, fallbacks);
+
+  // Failover-internal conservation: control messages decompose exactly into
+  // the protocol's message kinds, every cutover is a migration or a resync
+  // completing, probe replies can't outnumber probes, a rejoin needs both a
+  // probe reply and a recovery, reaching down passes through suspect, and
+  // re-applied entries never exceed the deferrals that produced them.
+  if (failover != nullptr) {
+    const double probe_replies = require(ctx, *failover, {"probe_replies"});
+    const double suspects = require(ctx, *failover, {"suspect_transitions"});
+    const double downs = require(ctx, *failover, {"down_transitions"});
+    const double recoveries = require(ctx, *failover, {"recoveries"});
+    const double rejoins = require(ctx, *failover, {"rejoins"});
+    const double missed = require(ctx, *failover, {"missed_updates"});
+    const double resync_fetches = require(ctx, *failover, {"resync_fetches"});
+    const double resync_chunks = require(ctx, *failover, {"resync_chunks"});
+    const double resync_cutovers =
+        require(ctx, *failover, {"resync_cutovers"});
+    const double migrations = require(ctx, *failover, {"migrations"});
+    const double migration_chunks =
+        require(ctx, *failover, {"migration_chunks"});
+    const double doubled =
+        require(ctx, *failover, {"double_delivered_updates"});
+    const double cutover_msgs = require(ctx, *failover, {"cutover_messages"});
+    const double cutovers = require(ctx, *failover, {"cutovers"});
+    const double rerouted = require(ctx, *failover, {"rerouted_requests"});
+    const double replica_lookups =
+        require(ctx, *failover, {"replica_lookups"});
+    const double local_serves =
+        require(ctx, *failover, {"local_replica_serves"});
+    expect_eq(ctx,
+              "failover.control_messages vs probes+probe_replies_sent"
+              "+resync_fetches+resync_chunks+migration_chunks"
+              "+double_delivered+cutover_messages",
+              fo_control,
+              fo_probes_sent + fo_probe_replies_sent + resync_fetches +
+                  resync_chunks + migration_chunks + doubled + cutover_msgs);
+    expect_eq(ctx, "failover.cutovers vs migrations+resync_cutovers",
+              cutovers, migrations + resync_cutovers);
+    expect_le(ctx, "failover.probe_replies vs probe_replies_sent",
+              probe_replies, fo_probe_replies_sent);
+    expect_le(ctx, "failover.probe_replies_sent vs probes_sent",
+              fo_probe_replies_sent, fo_probes_sent);
+    expect_le(ctx, "failover.rejoins vs probe_replies", rejoins,
+              probe_replies);
+    expect_le(ctx, "failover.rejoins vs recoveries", rejoins, recoveries);
+    expect_le(ctx, "failover.down_transitions vs suspect_transitions", downs,
+              suspects);
+    expect_le(ctx, "failover.resync_entries vs missed_updates",
+              fo_resync_entries, missed);
+    // A fetch only starts with deferred entries queued, so its chain always
+    // ships at least one chunk.
+    expect_le(ctx, "failover.resync_fetches vs resync_chunks", resync_fetches,
+              resync_chunks);
+    expect_le(ctx, "failover.rerouted_requests vs remote_requests", rerouted,
+              remote_requests);
+    expect_le(ctx, "failover.local_replica_serves vs replica_lookups",
+              local_serves, replica_lookups);
+    expect_le(ctx, "failover.acting_primary_applications vs replica applies",
+              fo_acting, fo_replica_apps);
+  }
+
+  // Outage-window latency is a restriction of the full latency histogram.
+  if (const JsonValue* outage_latency = result.find("outage_latency")) {
+    expect_le(ctx, "outage_latency.count vs latency.count",
+              require(ctx, *outage_latency, {"count"}), latency_count);
+  }
 
   // Fan-out matrix: one cell increment per remote request.
   if (const JsonValue* fanout = result.find("remote_fanout")) {
