@@ -92,6 +92,17 @@ struct BenchArgs {
   int migrate_from = -1;
   int migrate_to = -1;
   bool migrate_set = false;
+  /// Load-balance knobs (bench_loadbalance): --balance=<count|traffic> pins
+  /// the partitioning policy axis (count-balanced vs traffic-weighted),
+  /// --rebalance-window=N sets the online rebalancer's sampling window in
+  /// cycles (positive), and --inject-staleness arms the rebalancer's
+  /// staleness fault hook so the verify sweep must exit nonzero (the
+  /// WILL_FAIL CI leg). All validated strictly; malformed values exit 2.
+  bool balance_traffic = false;
+  bool balance_set = false;
+  std::uint64_t rebalance_window = 0;
+  bool rebalance_window_set = false;
+  bool inject_staleness = false;
 
   /// Parses the shared bench flags. Malformed values (--packets=0 or
   /// --batch=0, negative or non-numeric counts) and unknown flags are
@@ -176,6 +187,24 @@ struct BenchArgs {
       } else if (std::strncmp(arg, "--migrate=", 10) == 0) {
         parse_migrate(arg + 10, args);
         args.migrate_set = true;
+      } else if (std::strncmp(arg, "--balance=", 10) == 0) {
+        const char* policy = arg + 10;
+        if (std::strcmp(policy, "count") == 0) {
+          args.balance_traffic = false;
+        } else if (std::strcmp(policy, "traffic") == 0) {
+          args.balance_traffic = true;
+        } else {
+          std::fprintf(stderr, "--balance expects count or traffic, got '%s'\n",
+                       policy);
+          usage_error(nullptr);
+        }
+        args.balance_set = true;
+      } else if (std::strncmp(arg, "--rebalance-window=", 19) == 0) {
+        args.rebalance_window =
+            parse_count(arg + 19, "--rebalance-window");
+        args.rebalance_window_set = true;
+      } else if (std::strcmp(arg, "--inject-staleness") == 0) {
+        args.inject_staleness = true;
       } else if (std::strcmp(arg, "--verify") == 0) {
         args.verify = true;
       } else if (std::strcmp(arg, "--engine=heap") == 0) {
@@ -220,6 +249,8 @@ struct BenchArgs {
                  "[--update-rate=N] [--update-seed=N] [--trie=KIND] "
                  "[--table-size=N] [--replicas=N] [--suspect-after=N] "
                  "[--migrate=FROM:TO] "
+                 "[--balance=count|traffic] [--rebalance-window=N] "
+                 "[--inject-staleness] "
                  "[--simd=generic|sse42|avx2|auto] [--verify] "
                  "[--engine=heap|calendar|sharded] [--threads=N] "
                  "[--json[=path]]\n");

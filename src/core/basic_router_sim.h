@@ -242,6 +242,23 @@ class BasicRouterSim {
         throw std::invalid_argument(
             "RouterSim: migration from/to must be distinct valid LCs");
       }
+      if (config_.rebalancer.enabled) {
+        // Both subsystems drive the same MigrationState machine; an
+        // operator transfer racing an autonomous one is undefined.
+        throw std::invalid_argument(
+            "RouterSim: migration and rebalancer are mutually exclusive");
+      }
+    }
+    if (config_.rebalancer.enabled) {
+      if (!config_.partition || config_.num_lcs < 2) {
+        throw std::invalid_argument(
+            "RouterSim: rebalancer requires a partitioned router with >= 2 "
+            "LCs");
+      }
+      if (config_.rebalancer.window_cycles == 0) {
+        throw std::invalid_argument(
+            "RouterSim: rebalancer window_cycles must be nonzero");
+      }
     }
     // Failover run state: health views, re-home map, resync queues, and the
     // in-flight migration are all per-run (the built replica copies persist
@@ -259,6 +276,9 @@ class BasicRouterSim {
     resync_sent_.assign(static_cast<std::size_t>(config_.num_lcs), 0);
     resync_head_.assign(static_cast<std::size_t>(config_.num_lcs), 0);
     migration_ = MigrationState{};
+    hosted_.clear();
+    hosted_.resize(static_cast<std::size_t>(config_.num_lcs));
+    window_frag_counts_.clear();
     track_outage_ = config_.track_outage_latency && config_.fault.enabled &&
                     !config_.fault.outages.empty();
     outage_spans_.clear();
@@ -446,6 +466,32 @@ class BasicRouterSim {
         ++packet_id;
       }
     }
+    if (config_.rebalancer.enabled) {
+      // Per-window offered load per fragment, precomputed from the arrival
+      // schedule (the home mapping is static; which LC *serves* a fragment
+      // is applied at tick time). Counting here instead of in handle_lookup
+      // keeps the hot path untouched and immune to the cache-port gate's
+      // event reschedules double-counting an arrival.
+      const std::uint64_t win = config_.rebalancer.window_cycles;
+      const std::size_t windows =
+          static_cast<std::size_t>(arrival_horizon / win) + 1;
+      window_frag_counts_.assign(
+          windows, std::vector<std::uint64_t>(
+                       static_cast<std::size_t>(config_.num_lcs), 0));
+      for (std::size_t p = 0; p < destinations_.size(); ++p) {
+        const std::size_t w = static_cast<std::size_t>(arrival_time_[p] / win);
+        const int frag = rot_->home_of(destinations_[p]);
+        ++window_frag_counts_[w][static_cast<std::size_t>(frag)];
+      }
+      // Finite tick schedule (one per window, management plane at LC 0):
+      // a self-rescheduling tick would never let the event queue drain.
+      for (std::size_t w = 0; w < windows; ++w) {
+        shard_for_lc(0).queue.schedule(
+            (static_cast<std::uint64_t>(w) + 1) * win,
+            Event{Event::Type::kRebalanceTick, 0, Addr{},
+                  Requester{0, -1, false}, false, net::kNoRoute});
+      }
+    }
 
     if (shard_count_ == 1) {
       run_solo(*shards_.front());
@@ -510,8 +556,18 @@ class BasicRouterSim {
       fo.migration_invalidated_blocks += c.fo.migration_invalidated_blocks;
       fo.cutovers += c.fo.cutovers;
       fo.control_messages += c.fo.control_messages;
+      RebalancerStats& rb = result_.rebalancer;
+      rb.windows += c.rb.windows;
+      rb.skew_detections += c.rb.skew_detections;
+      rb.migrations_triggered += c.rb.migrations_triggered;
+      rb.skipped_in_flight += c.rb.skipped_in_flight;
+      rb.skipped_no_target += c.rb.skipped_no_target;
+      rb.skipped_budget += c.rb.skipped_budget;
+      rb.completed_migrations += c.rb.completed_migrations;
+      rb.aborted_migrations += c.rb.aborted_migrations;
     }
     result_.failover.enabled = failover_enabled();
+    result_.rebalancer.enabled = config_.rebalancer.enabled;
     if (config_.memory.enabled) {
       MemoryStats& mem = result_.memory;
       mem.enabled = true;
@@ -550,6 +606,19 @@ class BasicRouterSim {
       // host LC's hierarchy too, packed after the bytes already resident.
       for (const auto& lc_models : copy_models_) {
         for (const MemoryModel& model : lc_models) {
+          mem.storage_bytes += model.placed_bytes();
+          for (const ArenaPlacement& placement : model.placements()) {
+            mem.tiers[placement.tier].placed_bytes += placement.bytes;
+            ++mem.tiers[placement.tier].placed_arenas;
+          }
+        }
+      }
+      // Cut-over rebalancer fragments live in their host LC's hierarchy
+      // exactly like an operator-migrated structure does.
+      for (const auto& lc_hosted : hosted_) {
+        for (const HostedFragment& hosted : lc_hosted) {
+          if (hosted.model == nullptr) continue;
+          const MemoryModel& model = *hosted.model;
           mem.storage_bytes += model.placed_bytes();
           for (const ArenaPlacement& placement : model.placements()) {
             mem.tiers[placement.tier].placed_bytes += placement.bytes;
@@ -620,8 +689,9 @@ class BasicRouterSim {
     if (config_.execution != RouterConfig::ExecutionMode::kSharded) return 1;
     if (config_.flush_interval_cycles != 0) return 1;
     // Live migration mutates router-global state (the re-home map and the
-    // staged structure) from management-plane events: solo only.
-    if (config_.migration.enabled) return 1;
+    // staged structure) from management-plane events: solo only. The
+    // rebalancer drives the same machinery autonomously.
+    if (config_.migration.enabled || config_.rebalancer.enabled) return 1;
     const bool live_updates = config_.update.interval_cycles != 0;
     if (live_updates && (verify || config_.fault.enabled)) return 1;
     if (fabric_->min_lookahead() < 1) return 1;
@@ -704,6 +774,7 @@ class BasicRouterSim {
       kMigrateBuilt,  ///< local event at `to`: staged FE build finished
       kMigrateReady,  ///< `to` is ready; at `from`, triggers the cutover
       kCutover,       ///< cutover notice at `lc`: drop re-homed cache blocks
+      kRebalanceTick, ///< rebalancer window boundary (management, LC 0)
     };
     Type type;
     int lc;
@@ -741,9 +812,17 @@ class BasicRouterSim {
   using TableEntry =
       std::decay_t<decltype(std::declval<const Table&>().entries()[0])>;
 
-  /// State of the (single, operator-initiated) live fragment migration.
-  /// Solo-engine only, so plain members suffice.
+  /// State of the (single) in-flight live fragment migration — operator-
+  /// initiated (config_.migration, fixed endpoints, state persists after the
+  /// cutover) or rebalancer-triggered (endpoints chosen per trigger; the
+  /// staged structure moves into hosted_ at cutover and the state resets for
+  /// the next trigger). Solo-engine only, so plain members suffice.
   struct MigrationState {
+    bool active = false;      ///< a transfer has been started
+    int frag = -1;            ///< fragment being moved
+    int src = -1;             ///< LC currently serving it
+    int dst = -1;             ///< LC it is moving to
+    bool aborted = false;     ///< target died mid-copy; discarding in flight
     bool copying = false;     ///< snapshot streaming + double-delivery window
     bool fe_ready = false;    ///< staged table + FE built at the target
     bool cut_over = false;
@@ -758,6 +837,19 @@ class BasicRouterSim {
     std::unique_ptr<Table> staged_table;
     std::unique_ptr<typename Family::Fe> staged_fe;
     std::unique_ptr<MemoryModel> staged_model;
+  };
+
+  /// A fragment a rebalancer migration re-homed onto this LC: the staged
+  /// structures move here at cutover so the MigrationState can be reused
+  /// for the next trigger. Entries are append-only for the run — a
+  /// fragment that moves on leaves its frozen structure resident (like the
+  /// operator migration's source FE), and hosted_slot returns the latest
+  /// entry for a fragment.
+  struct HostedFragment {
+    int fragment = -1;
+    std::unique_ptr<Table> table;
+    std::unique_ptr<typename Family::Fe> fe;
+    std::unique_ptr<MemoryModel> model;
   };
 
   /// A fabric message after its egress phase, parked until the destination
@@ -818,6 +910,7 @@ class BasicRouterSim {
     UpdateStats update;
     MemoryCounters memory;  ///< memory-tier pricing (all zero when off)
     FailoverStats fo;       ///< failover ledger (all zero when off)
+    RebalancerStats rb;     ///< rebalancer ledger (all zero when off)
   };
 
   /// One shard: a contiguous LC range, its event queue, the per-LC maps
@@ -1037,6 +1130,9 @@ class BasicRouterSim {
       case Event::Type::kMigrateBuilt: handle_migrate_built(sh, now, event); break;
       case Event::Type::kMigrateReady: handle_migrate_ready(sh, now, event); break;
       case Event::Type::kCutover: handle_cutover(sh, now, event); break;
+      case Event::Type::kRebalanceTick:
+        handle_rebalance_tick(sh, now, event);
+        break;
     }
   }
 
@@ -1273,9 +1369,9 @@ class BasicRouterSim {
         if (fill) park(sh, lc, addr, requester);
       }
       // frag != lc only after a cutover re-homed the fragment here: the
-      // job then runs on the migrated structure, not this LC's own FE.
+      // job then runs on the migrated/hosted structure, not this LC's FE.
       start_fe_job(sh, now, lc, addr, fill, requester,
-                   frag == lc ? -1 : kMigratedAux);
+                   frag == lc ? -1 : foreign_aux(frag));
     } else {
       // Failover: steer around a non-alive primary before committing the
       // request (choose_target is the identity while everyone looks alive,
@@ -1415,11 +1511,16 @@ class BasicRouterSim {
             addr, event.hop, cache::Origin::kRemote, now);
       }
     }
-    // Drain local packets parked while this reply was in flight (the
-    // carried requester is usually among them; resolve_packet guards
-    // duplicates).
+    // Drain the packets parked while this reply was in flight (the carried
+    // requester is usually among them; resolve_packet guards duplicates).
+    // A parked requester is not always local: a remote request that raced a
+    // migration cutover to this LC can hit the waiting block this LC's own
+    // re-request reserved and park behind it. deliver_result sends such a
+    // requester its reply — resolving it here would strand the packets
+    // parked behind it at its own LC, with no timeout to recover them on
+    // the fault-free path.
     for (const Requester& r : take_waiters(sh, lc, addr)) {
-      resolve_packet(sh, now, r.packet, event.hop);
+      deliver_result(sh, now, lc, addr, event.hop, r);
     }
     resolve_packet(sh, now, event.requester.packet, event.hop);
   }
@@ -1598,13 +1699,13 @@ class BasicRouterSim {
           if (!rehomed) ++sh.c.fo.local_replica_serves;
           start_fe_job(sh, now, settled.requester.lc, settled.addr,
                        settled.requester.fill_on_reply, settled.requester,
-                       rehomed ? kMigratedAux
+                       rehomed ? foreign_aux(settled.home)
                                : copy_index(settled.requester.lc,
                                             settled.home));
           return;
         }
         pending.target = target;
-      } else if (config_.migration.enabled) {
+      } else if (config_.migration.enabled || config_.rebalancer.enabled) {
         // No replicas to steer through, but the fragment's home can still
         // move under a retry: chase the current serving LC instead of
         // hammering the frozen source.
@@ -1772,11 +1873,16 @@ class BasicRouterSim {
     const int lc = event.lc;
     const int frag = event.aux < 0 ? lc : event.aux;
     if (frag != lc) {
-      // Not this LC's own fragment: either the migrated structure this LC
-      // now serves as primary, or one of its failover replica copies.
-      if (migration_.cut_over && lc == config_.migration.to &&
-          frag == config_.migration.from) {
+      // Not this LC's own fragment: the migrated structure this LC now
+      // serves as primary (operator path: still staged in migration_;
+      // rebalancer path: moved into hosted_ at cutover), or one of its
+      // failover replica copies.
+      if (config_.migration.enabled && migration_.cut_over &&
+          lc == migration_.dst && frag == migration_.frag) {
         apply_update_migrated(sh, now, event, index);
+      } else if (config_.rebalancer.enabled && serving_lc(frag) == lc &&
+                 hosted_slot(lc, frag) >= 0) {
+        apply_update_hosted(sh, now, event, index);
       } else {
         apply_update_copy(sh, now, event, index);
       }
@@ -1825,19 +1931,27 @@ class BasicRouterSim {
                             event.requester, false, net::kNoRoute});
       }
     }
-    if (migration_.copying && !migration_.cut_over &&
-        lc == config_.migration.from) {
-      // Copy phase: double-deliver the delta to the target. Its token keeps
-      // the update unsettled until the target has absorbed it, so the
-      // staged structure can never be resolved-against stale.
-      ++sh.c.fo.double_delivered_updates;
-      ++sh.c.fo.control_messages;
-      update_outstanding_[index].fetch_add(1, std::memory_order_relaxed);
-      send_reliable(sh, lc, now + 1,
-                    Event{Event::Type::kMigrateDelta, config_.migration.to,
-                          Addr{}, event.requester, false, net::kNoRoute});
-    }
+    maybe_double_deliver(sh, now, event, lc, frag, index);
     settle_update(index, now);
+  }
+
+  /// Copy phase: double-deliver a primary-applied delta for the in-copy
+  /// fragment to the migration target. Its token keeps the update unsettled
+  /// until the target has absorbed it, so the staged structure can never be
+  /// resolved-against stale. The delta event carries the fragment in aux so
+  /// a straggler can still find its (cut-over, hosted) structure.
+  void maybe_double_deliver(Shard& sh, std::uint64_t now, const Event& event,
+                            int lc, int frag, std::size_t index) {
+    if (!(migration_.copying && !migration_.cut_over && !migration_.aborted &&
+          lc == migration_.src && frag == migration_.frag)) {
+      return;
+    }
+    ++sh.c.fo.double_delivered_updates;
+    ++sh.c.fo.control_messages;
+    update_outstanding_[index].fetch_add(1, std::memory_order_relaxed);
+    send_reliable(sh, lc, now + 1,
+                  Event{Event::Type::kMigrateDelta, migration_.dst, Addr{},
+                        event.requester, false, net::kNoRoute, frag});
   }
 
   /// Post-cutover primary apply at the migration target: identical to an
@@ -1883,6 +1997,56 @@ class BasicRouterSim {
                             event.requester, false, net::kNoRoute});
       }
     }
+    settle_update(index, now);
+  }
+
+  /// Primary apply at an LC a rebalancer cutover re-homed the fragment
+  /// onto: identical to an own-fragment apply, but against the hosted
+  /// structure. Double-delivers like an own-fragment apply when the hosted
+  /// fragment is itself mid-move to yet another LC.
+  void apply_update_hosted(Shard& sh, std::uint64_t now, const Event& event,
+                           std::size_t index) {
+    const auto& update = updates_[index];
+    const int lc = event.lc;
+    const int frag = event.aux;
+    HostedFragment& hosted = hosted_at(lc, frag);
+    net::apply_update(*hosted.table, update);
+    auto& fe = *hosted.fe;
+    std::uint64_t cost = 0;
+    ++sh.c.update.applications;
+    if (Family::fe_supports_update(fe)) {
+      if (update.kind == net::UpdateKind::kWithdraw) {
+        Family::fe_remove(fe, update.prefix);
+      } else {
+        Family::fe_insert(fe, update.prefix, update.next_hop);
+      }
+      ++sh.c.update.fe_incremental;
+      cost = config_.update.incremental_cost_cycles;
+    } else {
+      fe = Family::build_fe(*hosted.table, config_);
+      ++sh.c.update.fe_rebuilds;
+      cost = config_.update.rebuild_base_cycles +
+             hosted.table->size() *
+                 config_.update.rebuild_millicycles_per_entry / 1000;
+    }
+    rebuild_hosted_models_at(lc);
+    for (auto& server : fe_free_[static_cast<std::size_t>(lc)]) {
+      server = std::max(server, now) + cost;
+    }
+    fe_busy_[static_cast<std::size_t>(lc)] += cost;
+    sh.c.update.update_cost_cycles += cost;
+    if (!caches_.empty()) {
+      invalidate_cache(sh, lc, update);
+      for (int other = 0; other < config_.num_lcs; ++other) {
+        if (other == lc) continue;
+        ++sh.c.update.invalidation_messages;
+        update_outstanding_[index].fetch_add(1, std::memory_order_relaxed);
+        send_reliable(sh, lc, now + 1,
+                      Event{Event::Type::kInvalidate, other, Addr{},
+                            event.requester, false, net::kNoRoute});
+      }
+    }
+    maybe_double_deliver(sh, now, event, lc, frag, index);
     settle_update(index, now);
   }
 
@@ -1986,19 +2150,57 @@ class BasicRouterSim {
   /// aux value marking a job against the migrated structure a post-cutover
   /// host serves (>= 0 values index the host's replica copies).
   static constexpr std::int32_t kMigratedAux = -2;
+  /// aux values <= this encode a rebalancer-hosted fragment: aux =
+  /// kHostedAuxBase - frag, so the fragment id decodes as
+  /// kHostedAuxBase - aux without colliding with -1 or kMigratedAux.
+  static constexpr std::int32_t kHostedAuxBase = -3;
+
+  /// aux for a job on fragment `frag` served away from its original LC.
+  /// Migration and the rebalancer are mutually exclusive, so the encoding
+  /// is unambiguous: the operator path keeps the structure staged in
+  /// migration_, the rebalancer path moves it into hosted_.
+  std::int32_t foreign_aux(int frag) const {
+    if (config_.migration.enabled) return kMigratedAux;
+    return kHostedAuxBase - frag;
+  }
+
+  /// Latest hosted entry for `frag` at `lc`, or -1. Scans from the back so
+  /// a fragment that moved here twice resolves to the live structure.
+  int hosted_slot(int lc, int frag) const {
+    const auto& hosted = hosted_[static_cast<std::size_t>(lc)];
+    for (auto it = hosted.rbegin(); it != hosted.rend(); ++it) {
+      if (it->fragment == frag) {
+        return static_cast<int>(std::distance(it, hosted.rend())) - 1;
+      }
+    }
+    return -1;
+  }
+
+  HostedFragment& hosted_at(int lc, int frag) {
+    const int slot = hosted_slot(lc, frag);
+    if (slot < 0) {
+      throw std::logic_error(
+          "RouterSim: job routed to an LC that hosts no such fragment");
+    }
+    return hosted_[static_cast<std::size_t>(lc)][static_cast<std::size_t>(slot)];
+  }
+  const HostedFragment& hosted_at(int lc, int frag) const {
+    return const_cast<BasicRouterSim*>(this)->hosted_at(lc, frag);
+  }
 
   bool replication_active() const {
     return config_.replication.replicas > 0 && config_.partition &&
            config_.num_lcs > 1;
   }
   bool failover_enabled() const {
-    return replication_active() || config_.migration.enabled;
+    return replication_active() || config_.migration.enabled ||
+           config_.rebalancer.enabled;
   }
 
   /// The LC currently serving fragment `frag` (identity unless a migration
-  /// cutover re-homed it).
+  /// or rebalancer cutover re-homed it).
   int serving_lc(int frag) const {
-    return config_.migration.enabled
+    return config_.migration.enabled || config_.rebalancer.enabled
                ? home_remap_[static_cast<std::size_t>(frag)]
                : frag;
   }
@@ -2023,6 +2225,7 @@ class BasicRouterSim {
 
   const typename Family::Fe& fe_for(int lc, std::int32_t aux) const {
     if (aux == kMigratedAux) return *migration_.staged_fe;
+    if (aux <= kHostedAuxBase) return *hosted_at(lc, kHostedAuxBase - aux).fe;
     if (aux >= 0) {
       return copies_[static_cast<std::size_t>(lc)]
                     [static_cast<std::size_t>(aux)].fe;
@@ -2031,6 +2234,9 @@ class BasicRouterSim {
   }
   const MemoryModel& model_for(int lc, std::int32_t aux) const {
     if (aux == kMigratedAux) return *migration_.staged_model;
+    if (aux <= kHostedAuxBase) {
+      return *hosted_at(lc, kHostedAuxBase - aux).model;
+    }
     if (aux >= 0) {
       return copy_models_[static_cast<std::size_t>(lc)]
                          [static_cast<std::size_t>(aux)];
@@ -2243,9 +2449,15 @@ class BasicRouterSim {
   // --- Live migration: copy-then-cutover fragment transfer.
 
   const Table& migration_source_table() const {
+    // A rebalancer re-move streams from the hosted structure at the current
+    // serving LC; a first move streams from the fragment's own (live,
+    // update-mutated when the pipeline is on) table.
+    if (migration_.src != migration_.frag) {
+      return *hosted_at(migration_.src, migration_.frag).table;
+    }
     return lc_tables_.empty()
-               ? rot_->table_of(config_.migration.from)
-               : lc_tables_[static_cast<std::size_t>(config_.migration.from)];
+               ? rot_->table_of(migration_.frag)
+               : lc_tables_[static_cast<std::size_t>(migration_.frag)];
   }
 
   std::size_t chunk_prefixes() const {
@@ -2257,6 +2469,14 @@ class BasicRouterSim {
   }
 
   void handle_migrate_start(Shard& sh, std::uint64_t now, const Event& event) {
+    if (!migration_.active) {
+      // Operator-initiated transfer: endpoints come from the config. (A
+      // rebalancer trigger filled them in before scheduling this event.)
+      migration_.active = true;
+      migration_.frag = config_.migration.from;
+      migration_.src = config_.migration.from;
+      migration_.dst = config_.migration.to;
+    }
     migration_.copying = true;
     const auto entries = migration_source_table().entries();
     migration_.snapshot.assign(entries.begin(), entries.end());
@@ -2266,7 +2486,15 @@ class BasicRouterSim {
   }
 
   void handle_migrate_send(Shard& sh, std::uint64_t now, const Event& event) {
-    if (migration_.final_sent) return;
+    if (migration_.final_sent || !migration_.active) return;
+    if (config_.rebalancer.enabled &&
+        config_.fault.port_down(migration_.dst, now)) {
+      // The target died mid-copy: abort instead of streaming into a dead
+      // port. Chunks already in flight drain and are discarded; the source
+      // keeps serving, so no lookup is lost.
+      abort_migration(sh);
+      return;
+    }
     const std::size_t remaining =
         migration_.snapshot.size() - migration_.cursor;
     const std::size_t batch = std::min(chunk_prefixes(), remaining);
@@ -2281,7 +2509,7 @@ class BasicRouterSim {
     ++sh.c.fo.control_messages;
     sh.c.fo.snapshot_prefixes += batch;
     send_reliable(sh, event.lc, now + 1,
-                  Event{Event::Type::kMigrateChunk, config_.migration.to,
+                  Event{Event::Type::kMigrateChunk, migration_.dst,
                         Addr{}, event.requester, last, net::kNoRoute,
                         static_cast<std::int32_t>(batch)});
     if (last) {
@@ -2291,23 +2519,46 @@ class BasicRouterSim {
     }
   }
 
+  /// Give up on the in-flight rebalancer migration (target died). The
+  /// double-delivery window closes (copying = false) and the state resets —
+  /// immediately when nothing is in flight, else when the last in-flight
+  /// chunk drains in handle_migrate_chunk.
+  void abort_migration(Shard& sh) {
+    migration_.aborted = true;
+    migration_.copying = false;
+    migration_.final_sent = true;
+    ++sh.c.rb.aborted_migrations;
+    if (migration_.chunk_queue.empty()) migration_ = MigrationState{};
+  }
+
   /// Snapshot chunk at the target. Chunks from one source port arrive in
   /// send order (non-decreasing raw arrivals, origin_seq tie-break), so the
   /// payload deque pairs up FIFO with the chunk events.
   void handle_migrate_chunk(Shard& sh, std::uint64_t now, const Event& event) {
     auto chunk = std::move(migration_.chunk_queue.front());
     migration_.chunk_queue.pop_front();
+    if (migration_.aborted) {
+      // Aborted transfer: drain and discard. The last in-flight chunk
+      // resets the state so the rebalancer can trigger again.
+      if (migration_.chunk_queue.empty()) migration_ = MigrationState{};
+      return;
+    }
     migration_.staged_entries.insert(migration_.staged_entries.end(),
                                      chunk.begin(), chunk.end());
     if (!event.fill) return;
     // Final chunk: build the staged table, then replay the deltas buffered
     // during the transfer IN ORDER — a buffered withdraw must land after
     // the snapshot entries it withdraws, never be resurrected by them.
+    // (inject_stale is the verify-mode fault hook: dropping the replay
+    // makes the staged structure genuinely stale, which the differential
+    // harness must catch as nonzero verify_mismatches.)
     migration_.staged_table =
         std::make_unique<Table>(std::move(migration_.staged_entries));
     migration_.staged_entries = {};
-    for (const std::size_t index : migration_.buffered_deltas) {
-      net::apply_update(*migration_.staged_table, updates_[index]);
+    if (!config_.rebalancer.inject_stale) {
+      for (const std::size_t index : migration_.buffered_deltas) {
+        net::apply_update(*migration_.staged_table, updates_[index]);
+      }
     }
     migration_.buffered_deltas.clear();
     migration_.staged_fe = std::make_unique<typename Family::Fe>(
@@ -2327,17 +2578,41 @@ class BasicRouterSim {
   }
 
   /// Double-delivered update at the target (requester.packet carries the
-  /// update index). Before the staged table exists the delta is buffered;
-  /// after, it applies directly. Either way its token settles here.
+  /// update index, aux the fragment). Before the staged table exists the
+  /// delta is buffered; after, it applies directly. A straggler that
+  /// arrives after a rebalancer cutover (state already reset, structure
+  /// moved into hosted_) or after an abort is applied to the hosted
+  /// structure or dropped respectively. Every path settles the token.
   void handle_migrate_delta(Shard& /*sh*/, std::uint64_t now,
                             const Event& event) {
     const auto index = static_cast<std::size_t>(event.requester.packet);
-    if (!migration_.fe_ready) {
-      migration_.buffered_deltas.push_back(index);
-    } else {
+    const int frag = event.aux;
+    if (migration_.active && !migration_.aborted &&
+        frag == migration_.frag) {
+      if (!migration_.fe_ready) {
+        migration_.buffered_deltas.push_back(index);
+      } else if (!config_.rebalancer.inject_stale) {
+        const auto& update = updates_[index];
+        net::apply_update(*migration_.staged_table, update);
+        auto& fe = *migration_.staged_fe;
+        if (Family::fe_supports_update(fe)) {
+          if (update.kind == net::UpdateKind::kWithdraw) {
+            Family::fe_remove(fe, update.prefix);
+          } else {
+            Family::fe_insert(fe, update.prefix, update.next_hop);
+          }
+        } else {
+          fe = Family::build_fe(*migration_.staged_table, config_);
+        }
+        rebuild_staged_model();
+      }
+    } else if (frag >= 0 && config_.rebalancer.enabled &&
+               !config_.rebalancer.inject_stale &&
+               serving_lc(frag) == event.lc && hosted_slot(event.lc, frag) >= 0) {
       const auto& update = updates_[index];
-      net::apply_update(*migration_.staged_table, update);
-      auto& fe = *migration_.staged_fe;
+      HostedFragment& hosted = hosted_at(event.lc, frag);
+      net::apply_update(*hosted.table, update);
+      auto& fe = *hosted.fe;
       if (Family::fe_supports_update(fe)) {
         if (update.kind == net::UpdateKind::kWithdraw) {
           Family::fe_remove(fe, update.prefix);
@@ -2345,9 +2620,9 @@ class BasicRouterSim {
           Family::fe_insert(fe, update.prefix, update.next_hop);
         }
       } else {
-        fe = Family::build_fe(*migration_.staged_table, config_);
+        fe = Family::build_fe(*hosted.table, config_);
       }
-      rebuild_staged_model();
+      rebuild_hosted_models_at(event.lc);
     }
     settle_update(index, now);
   }
@@ -2356,7 +2631,7 @@ class BasicRouterSim {
     ++sh.c.fo.cutover_messages;
     ++sh.c.fo.control_messages;
     send_reliable(sh, event.lc, now + 1,
-                  Event{Event::Type::kMigrateReady, config_.migration.from,
+                  Event{Event::Type::kMigrateReady, migration_.src,
                         Addr{}, Requester{event.lc, -1, false}, false,
                         net::kNoRoute});
   }
@@ -2368,37 +2643,148 @@ class BasicRouterSim {
   /// lookup is lost or answered from the now-frozen source structure.
   void handle_migrate_ready(Shard& sh, std::uint64_t now, const Event& event) {
     const int from = event.lc;
+    const int frag = migration_.frag;
     migration_.copying = false;
     migration_.cut_over = true;
-    home_remap_[static_cast<std::size_t>(from)] = config_.migration.to;
+    home_remap_[static_cast<std::size_t>(frag)] = migration_.dst;
     ++sh.c.fo.migrations;
     ++sh.c.fo.cutovers;
-    invalidate_for_migration(sh, from);
+    invalidate_for_migration(sh, from, frag);
     for (int other = 0; other < config_.num_lcs; ++other) {
       if (other == from) continue;
       ++sh.c.fo.cutover_messages;
       ++sh.c.fo.control_messages;
       send_reliable(sh, from, now + 1,
                     Event{Event::Type::kCutover, other, Addr{},
-                          Requester{from, -1, false}, false, net::kNoRoute});
+                          Requester{from, -1, false}, false, net::kNoRoute,
+                          frag});
+    }
+    if (config_.rebalancer.enabled) {
+      // The staged structure becomes a hosted fragment at the target and
+      // the migration machinery is ready for the next trigger. Straggler
+      // deltas find the structure through hosted_slot (kMigrateDelta
+      // carries the fragment in aux).
+      hosted_[static_cast<std::size_t>(migration_.dst)].push_back(
+          HostedFragment{frag, std::move(migration_.staged_table),
+                         std::move(migration_.staged_fe),
+                         std::move(migration_.staged_model)});
+      ++sh.c.rb.completed_migrations;
+      migration_ = MigrationState{};
     }
   }
 
   void handle_cutover(Shard& sh, std::uint64_t /*now*/, const Event& event) {
-    invalidate_for_migration(sh, event.lc);
+    invalidate_for_migration(sh, event.lc, event.aux);
   }
 
   /// Selective invalidation on re-home: drop every cached block whose
   /// address is homed on the migrated fragment (its serving LC changed, so
   /// LOC/REM quota classes and staleness guarantees both moved).
-  void invalidate_for_migration(Shard& sh, int lc) {
+  void invalidate_for_migration(Shard& sh, int lc, int frag) {
     if (caches_.empty()) return;
-    const int frag = config_.migration.from;
     const std::size_t dropped =
         caches_[static_cast<std::size_t>(lc)]->invalidate_if(
             [&](const Addr& addr) { return rot_->home_of(addr) == frag; });
     sh.c.blocks_invalidated += dropped;
     sh.c.fo.migration_invalidated_blocks += dropped;
+  }
+
+  // --- Online load rebalancer: skew detection + autonomous migration.
+
+  /// Window boundary (management plane, LC 0). Evaluates the offered load
+  /// each LC served over the closed window from the precomputed per-window
+  /// fragment counts, and when the max/mean skew crosses the threshold,
+  /// moves the hottest fragment of the most-loaded LC to the least-loaded
+  /// healthy LC through the ordinary migration machinery. Ledger: every
+  /// detection is either acted on (migrations_triggered) or accounted to
+  /// exactly one skipped_* counter, so
+  /// skew_detections == triggered + skipped_in_flight + skipped_no_target
+  ///                    + skipped_budget.
+  void handle_rebalance_tick(Shard& sh, std::uint64_t now,
+                             const Event& /*event*/) {
+    RebalancerStats& rb = sh.c.rb;
+    ++rb.windows;
+    const std::size_t w =
+        static_cast<std::size_t>(now / config_.rebalancer.window_cycles) - 1;
+    if (w >= window_frag_counts_.size()) return;
+    const std::vector<std::uint64_t>& counts = window_frag_counts_[w];
+    const auto n = static_cast<std::size_t>(config_.num_lcs);
+    std::vector<std::uint64_t> load(n, 0);
+    std::uint64_t total = 0;
+    for (int frag = 0; frag < config_.num_lcs; ++frag) {
+      const std::uint64_t c = counts[static_cast<std::size_t>(frag)];
+      load[static_cast<std::size_t>(serving_lc(frag))] += c;
+      total += c;
+    }
+    if (total == 0) return;
+    int src = 0;
+    for (int lc = 1; lc < config_.num_lcs; ++lc) {
+      if (load[static_cast<std::size_t>(lc)] >
+          load[static_cast<std::size_t>(src)]) {
+        src = lc;
+      }
+    }
+    const double mean =
+        static_cast<double>(total) / static_cast<double>(config_.num_lcs);
+    if (static_cast<double>(load[static_cast<std::size_t>(src)]) <
+        config_.rebalancer.skew_threshold * mean) {
+      return;
+    }
+    ++rb.skew_detections;
+    if (migration_.active) {
+      ++rb.skipped_in_flight;
+      return;
+    }
+    if (rb.migrations_triggered >=
+        static_cast<std::uint64_t>(config_.rebalancer.max_migrations)) {
+      ++rb.skipped_budget;
+      return;
+    }
+    // Hottest fragment currently served by the overloaded LC.
+    int frag = -1;
+    for (int f = 0; f < config_.num_lcs; ++f) {
+      if (serving_lc(f) != src) continue;
+      if (frag < 0 || counts[static_cast<std::size_t>(f)] >
+                          counts[static_cast<std::size_t>(frag)]) {
+        frag = f;
+      }
+    }
+    // Least-loaded destination that is safe to receive it: never the
+    // source, never the fragment's original LC (its resident structure is
+    // frozen-stale once the fragment moved away), never a port currently in
+    // outage, never an LC that missed updates, never one any observer holds
+    // suspect/down — and only if strictly less loaded than the source.
+    int dst = -1;
+    for (int lc = 0; lc < config_.num_lcs; ++lc) {
+      if (lc == src || lc == frag) continue;
+      if (stale_[static_cast<std::size_t>(lc)] != 0) continue;
+      if (config_.fault.port_down(lc, now)) continue;
+      bool healthy = true;
+      for (int obs = 0; obs < config_.num_lcs && healthy; ++obs) {
+        if (obs != lc && !health_.alive(obs, lc)) healthy = false;
+      }
+      if (!healthy) continue;
+      if (load[static_cast<std::size_t>(lc)] >=
+          load[static_cast<std::size_t>(src)]) {
+        continue;
+      }
+      if (dst < 0 || load[static_cast<std::size_t>(lc)] <
+                         load[static_cast<std::size_t>(dst)]) {
+        dst = lc;
+      }
+    }
+    if (frag < 0 || dst < 0) {
+      ++rb.skipped_no_target;
+      return;
+    }
+    ++rb.migrations_triggered;
+    migration_.active = true;
+    migration_.frag = frag;
+    migration_.src = src;
+    migration_.dst = dst;
+    sh.queue.schedule(now + 1,
+                      Event{Event::Type::kMigrateStart, src, Addr{},
+                            Requester{src, -1, false}, false, net::kNoRoute});
   }
 
   bool arrived_in_outage(std::uint64_t at) const {
@@ -2451,6 +2837,8 @@ class BasicRouterSim {
       models.emplace_back(config_.memory, Family::fe_arenas(copy.fe), base);
       base += models.back().placed_bytes();
     }
+    // Hosted fragments pack behind the copies; their base just moved.
+    rebuild_hosted_models_at(lc);
   }
 
   /// The staged (migrated) structure packs behind everything already
@@ -2460,13 +2848,36 @@ class BasicRouterSim {
       migration_.staged_model.reset();
       return;
     }
-    const auto to = static_cast<std::size_t>(config_.migration.to);
+    const auto to = static_cast<std::size_t>(migration_.dst);
     std::uint64_t base = fe_models_[to].placed_bytes();
     for (const MemoryModel& model : copy_models_[to]) {
       base += model.placed_bytes();
     }
+    for (const HostedFragment& hosted : hosted_[to]) {
+      if (hosted.model != nullptr) base += hosted.model->placed_bytes();
+    }
     migration_.staged_model = std::make_unique<MemoryModel>(
         config_.memory, Family::fe_arenas(*migration_.staged_fe), base);
+  }
+
+  /// Re-places one LC's hosted fragments behind its own FE's and replica
+  /// copies' bytes (their base shifts when either changes size).
+  void rebuild_hosted_models_at(int lc) {
+    if (!config_.memory.enabled || hosted_.empty()) return;
+    auto& hosted = hosted_[static_cast<std::size_t>(lc)];
+    if (hosted.empty()) return;
+    std::uint64_t base =
+        fe_models_[static_cast<std::size_t>(lc)].placed_bytes();
+    for (const MemoryModel& model :
+         copy_models_[static_cast<std::size_t>(lc)]) {
+      base += model.placed_bytes();
+    }
+    for (HostedFragment& h : hosted) {
+      if (h.fe == nullptr) continue;
+      h.model = std::make_unique<MemoryModel>(config_.memory,
+                                              Family::fe_arenas(*h.fe), base);
+      base += h.model->placed_bytes();
+    }
   }
 
   // ----- Memory-tier cost model -------------------------------------------
@@ -2563,6 +2974,12 @@ class BasicRouterSim {
   std::vector<std::size_t> resync_sent_;      // per LC: entries chunked
   std::vector<std::size_t> resync_head_;      // per LC: entries applied
   MigrationState migration_;
+  /// Fragments re-homed here by rebalancer cutovers (per host LC). Solo-
+  /// engine state, like the migration machinery that fills it.
+  std::vector<std::vector<HostedFragment>> hosted_;
+  /// Rebalancer: offered lookups per [window][fragment], precomputed in
+  /// run() from the arrival schedule and the static home mapping.
+  std::vector<std::vector<std::uint64_t>> window_frag_counts_;
   bool track_outage_ = false;
   /// Merged, sorted union of every configured outage window.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> outage_spans_;

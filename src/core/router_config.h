@@ -9,6 +9,7 @@
 #include "cache/lr_cache.h"
 #include "core/memory_model.h"
 #include "fabric/fabric.h"
+#include "partition/partition6.h"
 #include "partition/rot_partition.h"
 #include "sim/calendar_queue.h"
 #include "sim/metrics.h"
@@ -51,6 +52,9 @@ struct RouterConfig {
 
   bool partition = true;               ///< SPAL table fragmentation
   partition::PartitionConfig partition_config;
+  /// IPv6 partition knobs (RouterSim6); mirrors partition_config, including
+  /// the traffic-aware `weights` vector.
+  partition::Partition6Config partition6_config;
 
   bool use_lr_cache = true;
   cache::LrCacheConfig cache;          ///< per-LC LR-cache (β, γ, ...)
@@ -116,6 +120,30 @@ struct RouterConfig {
     std::uint64_t chunk_interval_cycles = 8;
   };
   MigrationConfig migration;
+
+  /// Online load rebalancer: samples per-fragment lookup-arrival counters
+  /// over fixed windows, and when the per-LC offered load skews past
+  /// `skew_threshold` (max / mean), drives the copy-then-cutover migration
+  /// machinery to move the hottest fragment off the most-loaded LC onto the
+  /// least-loaded *healthy* LC (never one whose port is down, that is
+  /// stale, or that any observer's health row marks suspect/down). At most
+  /// one migration is in flight at a time and at most `max_migrations` per
+  /// run; every decision is ledgered in RebalancerStats (skew_detections ==
+  /// migrations_triggered + every skip, audited by `spal_report --check`).
+  /// Mutually exclusive with `migration` (operator-initiated). Forces the
+  /// sequential engine. Disabled (default) leaves every run and report
+  /// byte-identical to builds without the subsystem.
+  struct RebalancerConfig {
+    bool enabled = false;
+    std::uint64_t window_cycles = 50'000;  ///< sampling window length
+    double skew_threshold = 1.5;           ///< trigger at max/mean >= this
+    int max_migrations = 4;                ///< migration budget per run
+    /// Test hook (WILL_FAIL CI leg): drop the deltas buffered during the
+    /// copy phase instead of replaying them into the staged table, making
+    /// the migrated structure genuinely stale so verify mode must fail.
+    bool inject_stale = false;
+  };
+  RebalancerConfig rebalancer;
 
   /// Record a second latency histogram restricted to packets that arrived
   /// while any configured outage window was open (the mid-outage latency
@@ -292,6 +320,28 @@ struct FailoverStats {
   std::uint64_t control_messages = 0;  ///< every failover fabric send
 };
 
+/// Online-rebalancer ledger for one run. All zero (and absent from the
+/// JSON report) unless the rebalancer is enabled. Conservation rules
+/// (checked by `spal_report --check`):
+/// skew_detections == migrations_triggered + skipped_in_flight +
+/// skipped_no_target + skipped_budget (every detection is acted on or has
+/// a ledgered reason it was not); skew_detections <= windows;
+/// completed_migrations + aborted_migrations <= migrations_triggered (a
+/// migration still copying at run end is neither); and — the rebalancer
+/// being the only migration driver when enabled —
+/// failover.migrations == completed_migrations.
+struct RebalancerStats {
+  bool enabled = false;
+  std::uint64_t windows = 0;              ///< sampling windows evaluated
+  std::uint64_t skew_detections = 0;      ///< windows with max/mean >= threshold
+  std::uint64_t migrations_triggered = 0; ///< kMigrateStart scheduled
+  std::uint64_t skipped_in_flight = 0;    ///< a migration was already running
+  std::uint64_t skipped_no_target = 0;    ///< no healthy, less-loaded target
+  std::uint64_t skipped_budget = 0;       ///< max_migrations exhausted
+  std::uint64_t completed_migrations = 0; ///< cutovers reached
+  std::uint64_t aborted_migrations = 0;   ///< target died mid-copy; rolled back
+};
+
 /// Per-LC structured counters (index = arrival/home LC). The latency
 /// breakdown for the same LC lives in RouterResult::per_lc_latency.
 struct LcStats {
@@ -333,6 +383,10 @@ struct RouterResult {
   /// `failover.enabled` — absent otherwise so R = 0 reports stay
   /// byte-identical to builds without the subsystem.
   FailoverStats failover;
+  /// Online-rebalancer ledger; emitted in to_json only when
+  /// `rebalancer.enabled` — absent otherwise so disabled-rebalancer reports
+  /// stay byte-identical to builds without the subsystem.
+  RebalancerStats rebalancer;
   /// Latency of packets that arrived inside an outage window; populated
   /// (and emitted) only when `RouterConfig::track_outage_latency` and an
   /// outage is configured.

@@ -235,6 +235,25 @@ std::string RouterResult::to_json() const {
                /*comma=*/false);
     out += "},";
   }
+  // Rebalancer ledger — emitted only when the online rebalancer ran, so
+  // every other report stays byte-identical. Conservation (checked by
+  // spal_report --check): skew_detections == migrations_triggered +
+  // skipped_in_flight + skipped_no_target + skipped_budget;
+  // skew_detections <= windows; completed + aborted <= triggered; and
+  // failover.migrations == completed_migrations.
+  if (rebalancer.enabled) {
+    out += "\"rebalancer\":{";
+    append_u64(out, "windows", rebalancer.windows);
+    append_u64(out, "skew_detections", rebalancer.skew_detections);
+    append_u64(out, "migrations_triggered", rebalancer.migrations_triggered);
+    append_u64(out, "skipped_in_flight", rebalancer.skipped_in_flight);
+    append_u64(out, "skipped_no_target", rebalancer.skipped_no_target);
+    append_u64(out, "skipped_budget", rebalancer.skipped_budget);
+    append_u64(out, "completed_migrations", rebalancer.completed_migrations);
+    append_u64(out, "aborted_migrations", rebalancer.aborted_migrations,
+               /*comma=*/false);
+    out += "},";
+  }
   // Lookup latency restricted to arrivals that landed inside an outage
   // window — only priced when the run asked for it.
   if (outage_latency_tracked) {

@@ -34,8 +34,7 @@ struct V6Family {
 
   static Partition make_partition(const Table& table, int num_lcs,
                                   const RouterConfig& config) {
-    (void)config;  // v6 control bits come from the selector (see header)
-    return Partition(table, num_lcs);
+    return Partition(table, num_lcs, config.partition6_config);
   }
   static Fe build_fe(const Table& table, const RouterConfig& config) {
     (void)config;

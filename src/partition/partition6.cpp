@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <bit>
+#include <stdexcept>
 
 #include "partition/generic.h"
+#include "partition/weighted.h"
 
 namespace spal::partition {
 namespace {
@@ -26,16 +28,69 @@ std::vector<int> select_control_bits6(const net::RouteTable6& table, int count,
 RotPartition6::RotPartition6(const net::RouteTable6& table, int num_lcs,
                              const Partition6Config& config) {
   const int eta = ceil_log2(num_lcs);
+  const bool weighted = eta > 0 && !uniform_weights(config.weights);
   control_bits_ = config.control_bits;
-  if (control_bits_.empty() && eta > 0) {
-    control_bits_ = select_control_bits6(table, eta, config.selector);
+  if (!weighted) {
+    if (control_bits_.empty() && eta > 0) {
+      control_bits_ = select_control_bits6(table, eta, config.selector);
+    }
+    auto lc_entries = generic::assign_groups(
+        table.entries(), std::span<const int>(control_bits_), num_lcs,
+        group_to_lc_);
+    tables_.reserve(static_cast<std::size_t>(num_lcs));
+    for (auto& entries : lc_entries) {
+      tables_.emplace_back(std::move(entries));
+    }
+    return;
   }
-  auto lc_entries = generic::assign_groups(table.entries(),
-                                           std::span<const int>(control_bits_),
-                                           num_lcs, group_to_lc_);
-  tables_.reserve(static_cast<std::size_t>(num_lcs));
-  for (auto& entries : lc_entries) {
-    tables_.emplace_back(std::move(entries));
+  if (config.weights.size() != table.size()) {
+    throw std::invalid_argument(
+        "RotPartition6: weights must parallel table entries");
+  }
+  const std::span<const double> weights(config.weights);
+  // Same candidate comparison as RotPartition: traffic-aware bit sets (η
+  // and, for the ψ == 2^η bijection case, η+1 bits) are kept only when they
+  // strictly lower the max per-LC expected load.
+  std::vector<std::vector<int>> candidates;
+  if (control_bits_.empty()) {
+    candidates.push_back(select_control_bits6(table, eta, config.selector));
+    for (const int bits : {eta, eta + 1}) {
+      auto traffic =
+          select_control_bits_weighted6(table, weights, bits, config.selector);
+      if (std::find(candidates.begin(), candidates.end(), traffic) ==
+          candidates.end()) {
+        candidates.push_back(std::move(traffic));
+      }
+    }
+  } else {
+    candidates.push_back(control_bits_);
+  }
+  double best_max = 0.0;
+  bool have_best = false;
+  for (auto& bits : candidates) {
+    std::vector<int> group_to_lc;
+    auto lc_entries = generic::assign_groups_weighted(
+        table.entries(), weights, std::span<const int>(bits), num_lcs,
+        group_to_lc);
+    const std::vector<double> per_group = generic::group_loads(
+        table.entries(), weights, std::span<const int>(bits));
+    std::vector<double> lc_loads(static_cast<std::size_t>(num_lcs), 0.0);
+    for (std::size_t g = 0; g < per_group.size(); ++g) {
+      lc_loads[static_cast<std::size_t>(group_to_lc[g])] += per_group[g];
+    }
+    const double max_load =
+        *std::max_element(lc_loads.begin(), lc_loads.end());
+    if (!have_best || max_load < best_max) {
+      have_best = true;
+      best_max = max_load;
+      control_bits_ = std::move(bits);
+      group_to_lc_ = std::move(group_to_lc);
+      tables_.clear();
+      tables_.reserve(static_cast<std::size_t>(num_lcs));
+      for (auto& entries : lc_entries) {
+        tables_.emplace_back(std::move(entries));
+      }
+    }
   }
 }
 

@@ -26,6 +26,10 @@ std::vector<int> select_control_bits6(const net::RouteTable6& table, int count,
 struct Partition6Config {
   std::vector<int> control_bits;  ///< explicit; selected when empty
   BitSelector6Config selector;
+  /// Per-prefix popularity weights, parallel to the input table's entries;
+  /// empty or uniform weights take the count-balanced path exactly (see
+  /// PartitionConfig::weights).
+  std::vector<double> weights;
 };
 
 /// Fragmented IPv6 routing table: one forwarding table per LC plus the

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <bit>
+#include <stdexcept>
 
 #include "partition/generic.h"
+#include "partition/weighted.h"
 
 namespace spal::partition {
 namespace {
@@ -17,18 +19,76 @@ int ceil_log2(int value) {
 RotPartition::RotPartition(const net::RouteTable& table, int num_lcs,
                            const PartitionConfig& config) {
   const int eta = ceil_log2(num_lcs);
+  const bool weighted = eta > 0 && !uniform_weights(config.weights);
   control_bits_ = config.control_bits;
-  if (control_bits_.empty() && eta > 0) {
-    control_bits_ = select_control_bits(table, eta, config.selector);
+  if (!weighted) {
+    if (control_bits_.empty() && eta > 0) {
+      control_bits_ = select_control_bits(table, eta, config.selector);
+    }
+    auto lc_entries = generic::assign_groups(
+        table.entries(), std::span<const int>(control_bits_), num_lcs,
+        group_to_lc_);
+    tables_.reserve(static_cast<std::size_t>(num_lcs));
+    for (auto& entries : lc_entries) {
+      // A group merge may duplicate an entry that was replicated into two
+      // groups packed onto the same LC; RouteTable normalization de-dups.
+      tables_.emplace_back(std::move(entries));
+    }
+    return;
   }
-  auto lc_entries = generic::assign_groups(table.entries(),
-                                           std::span<const int>(control_bits_),
-                                           num_lcs, group_to_lc_);
-  tables_.reserve(static_cast<std::size_t>(num_lcs));
-  for (auto& entries : lc_entries) {
-    // A group merge may duplicate an entry that was replicated into two
-    // groups packed onto the same LC; RouteTable normalization de-dups.
-    tables_.emplace_back(std::move(entries));
+  if (config.weights.size() != table.size()) {
+    throw std::invalid_argument(
+        "RotPartition: weights must parallel table entries");
+  }
+  const std::span<const double> weights(config.weights);
+  // Candidate bit sets: count-balanced first, then traffic-aware with η
+  // bits, then traffic-aware with η+1 bits. A weighted candidate is kept
+  // only when it strictly lowers the max per-LC expected load, so the
+  // weighted path can never do worse than the count-balanced one
+  // (tests/test_weighted_partition.cpp property (c)). The η+1 variant
+  // matters when ψ == 2^η: there the group→LC map is a bijection and no
+  // placement can unpin a hot group, but 2^(η+1) finer groups give the LPT
+  // packing real freedom to pair hot groups with cold ones.
+  std::vector<std::vector<int>> candidates;
+  if (control_bits_.empty()) {
+    candidates.push_back(select_control_bits(table, eta, config.selector));
+    for (const int bits : {eta, eta + 1}) {
+      auto traffic =
+          select_control_bits_weighted(table, weights, bits, config.selector);
+      if (std::find(candidates.begin(), candidates.end(), traffic) ==
+          candidates.end()) {
+        candidates.push_back(std::move(traffic));
+      }
+    }
+  } else {
+    candidates.push_back(control_bits_);
+  }
+  double best_max = 0.0;
+  bool have_best = false;
+  for (auto& bits : candidates) {
+    std::vector<int> group_to_lc;
+    auto lc_entries = generic::assign_groups_weighted(
+        table.entries(), weights, std::span<const int>(bits), num_lcs,
+        group_to_lc);
+    const std::vector<double> per_group = generic::group_loads(
+        table.entries(), weights, std::span<const int>(bits));
+    std::vector<double> lc_loads(static_cast<std::size_t>(num_lcs), 0.0);
+    for (std::size_t g = 0; g < per_group.size(); ++g) {
+      lc_loads[static_cast<std::size_t>(group_to_lc[g])] += per_group[g];
+    }
+    const double max_load =
+        *std::max_element(lc_loads.begin(), lc_loads.end());
+    if (!have_best || max_load < best_max) {
+      have_best = true;
+      best_max = max_load;
+      control_bits_ = std::move(bits);
+      group_to_lc_ = std::move(group_to_lc);
+      tables_.clear();
+      tables_.reserve(static_cast<std::size_t>(num_lcs));
+      for (auto& entries : lc_entries) {
+        tables_.emplace_back(std::move(entries));
+      }
+    }
   }
 }
 

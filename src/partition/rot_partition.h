@@ -23,6 +23,12 @@ struct PartitionConfig {
   /// select_control_bits() per the paper's two criteria.
   std::vector<int> control_bits;
   BitSelectorConfig selector;
+  /// Per-prefix popularity weights, parallel to the input table's entries
+  /// (e.g. TraceGenerator::prefix_weights()). Empty or uniform weights take
+  /// the count-balanced path exactly; otherwise control-bit selection and
+  /// group→LC placement minimize max per-LC *expected load* (weighted.h),
+  /// never exceeding the count-balanced assignment's max load.
+  std::vector<double> weights;
 };
 
 /// A fragmented routing table: one forwarding table per LC plus the mapping

@@ -29,18 +29,40 @@ std::vector<WorkloadProfile> all_profiles() {
           profile_bell_labs()};
 }
 
+WorkloadProfile profile_uniform() {
+  WorkloadProfile p{"uniform", 30'000, 0.0, 2.0, 0xfa1'0001};
+  return p;
+}
+WorkloadProfile profile_zipf1() {
+  WorkloadProfile p{"zipf-1.0", 30'000, 1.0, 3.0, 0xfa1'0002};
+  return p;
+}
+WorkloadProfile profile_flash_crowd() {
+  WorkloadProfile p{"flash-crowd", 30'000, 1.0, 3.0, 0xfa1'0003};
+  p.shape = StreamShape::kFlashCrowd;
+  return p;
+}
+WorkloadProfile profile_scan() {
+  WorkloadProfile p{"scan", 30'000, 0.0, 1.0, 0xfa1'0004};
+  p.shape = StreamShape::kScan;
+  return p;
+}
+
 TraceGenerator::TraceGenerator(const WorkloadProfile& profile,
                                const net::RouteTable& table)
-    : profile_(profile) {
+    : profile_(profile), table_size_(table.size()) {
   std::mt19937_64 rng(profile.seed);
   // Flow population: destinations drawn from the table's own prefixes so
   // every packet exercises a real LPM path.
   flow_addresses_.reserve(profile.flows);
+  flow_entries_.reserve(profile.flows);
   if (!table.empty()) {
     std::uniform_int_distribution<std::size_t> pick(0, table.size() - 1);
     for (std::size_t i = 0; i < profile.flows; ++i) {
-      const net::Prefix& prefix = table.entries()[pick(rng)].prefix;
+      const std::size_t entry = pick(rng);
+      const net::Prefix& prefix = table.entries()[entry].prefix;
       flow_addresses_.push_back(net::random_address_in(prefix, rng));
+      flow_entries_.push_back(entry);
     }
   }
   // Zipf CDF over popularity ranks: weight of rank r is 1 / r^alpha.
@@ -58,26 +80,63 @@ std::vector<net::Ipv4Addr> TraceGenerator::generate(int lc,
   std::vector<net::Ipv4Addr> destinations;
   destinations.reserve(count);
   if (flow_addresses_.empty()) return destinations;
+  if (profile_.shape == StreamShape::kScan) {
+    // Deterministic sweep over the flow population, each LC starting at its
+    // own offset: no reuse at all, so every packet is a cold LPM.
+    const std::size_t start =
+        (static_cast<std::size_t>(lc) * 7919) % flow_addresses_.size();
+    for (std::size_t i = 0; i < count; ++i) {
+      destinations.push_back(
+          flow_addresses_[(start + i) % flow_addresses_.size()]);
+    }
+    return destinations;
+  }
   // Distinct per-LC stream over the shared flow population.
   std::mt19937_64 rng(profile_.seed ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(lc + 1)));
   std::uniform_real_distribution<double> unit(0.0, 1.0);
   const double p_new = profile_.burst_mean <= 1.0 ? 1.0 : 1.0 / profile_.burst_mean;
+  const bool flash = profile_.shape == StreamShape::kFlashCrowd;
+  const std::size_t onset =
+      flash ? static_cast<std::size_t>(profile_.flash_start *
+                                       static_cast<double>(count))
+            : count;
+  const std::size_t hot_set =
+      std::max<std::size_t>(1, std::min(profile_.flash_flows,
+                                        flow_addresses_.size()));
   net::Ipv4Addr current = flow_addresses_.front();
   bool have_current = false;
   for (std::size_t i = 0; i < count; ++i) {
     if (!have_current || unit(rng) < p_new) {
-      const double u = unit(rng);
-      const auto it = std::lower_bound(popularity_cdf_.begin(),
-                                       popularity_cdf_.end(), u);
-      const std::size_t rank = std::min(
-          static_cast<std::size_t>(it - popularity_cdf_.begin()),
-          flow_addresses_.size() - 1);
+      std::size_t rank;
+      if (flash && i >= onset && unit(rng) < profile_.flash_share) {
+        // Flash crowd: the hot set is the head of the rank order, so its
+        // traffic concentrates on whichever LCs home those prefixes.
+        rank = std::min(static_cast<std::size_t>(
+                            unit(rng) * static_cast<double>(hot_set)),
+                        hot_set - 1);
+      } else {
+        const double u = unit(rng);
+        const auto it = std::lower_bound(popularity_cdf_.begin(),
+                                         popularity_cdf_.end(), u);
+        rank = std::min(static_cast<std::size_t>(it - popularity_cdf_.begin()),
+                        flow_addresses_.size() - 1);
+      }
       current = flow_addresses_[rank];
       have_current = true;
     }
     destinations.push_back(current);
   }
   return destinations;
+}
+
+std::vector<double> TraceGenerator::prefix_weights() const {
+  std::vector<double> weights(table_size_, 0.0);
+  for (std::size_t r = 0; r < flow_entries_.size(); ++r) {
+    const double mass =
+        popularity_cdf_[r] - (r == 0 ? 0.0 : popularity_cdf_[r - 1]);
+    weights[flow_entries_[r]] += mass;
+  }
+  return weights;
 }
 
 TraceStats analyze_trace(const std::vector<net::Ipv4Addr>& destinations) {

@@ -31,12 +31,24 @@
 
 namespace spal::trace {
 
+/// Temporal shape of the destination stream. kStationary is the paper's
+/// model (fixed Zipf popularity, geometric trains). The other two model the
+/// skew transients the load rebalancer reacts to: a flash crowd
+/// concentrates traffic onto a few hot flows partway through the stream,
+/// and a scan sweeps the flow population with no reuse at all (worst case
+/// for the LR-cache, flat offered load).
+enum class StreamShape { kStationary, kFlashCrowd, kScan };
+
 struct WorkloadProfile {
   std::string name;
   std::size_t flows = 100'000;  ///< distinct destination addresses
   double zipf_alpha = 1.0;      ///< popularity skew (larger = hotter head)
   double burst_mean = 3.0;      ///< mean packet-train length (geometric)
   std::uint64_t seed = 1;
+  StreamShape shape = StreamShape::kStationary;
+  double flash_start = 0.5;      ///< kFlashCrowd: stream fraction before onset
+  double flash_share = 0.6;      ///< kFlashCrowd: post-onset hot-set traffic share
+  std::size_t flash_flows = 4;   ///< kFlashCrowd: flows in the hot set
 };
 
 /// WorldCup98 July 9, 1998 stand-in: web-server clients, hot head.
@@ -52,6 +64,15 @@ WorkloadProfile profile_bell_labs();
 /// All five, in the order the paper's figures plot them.
 std::vector<WorkloadProfile> all_profiles();
 
+/// Load-balance sweep workloads (bench_loadbalance): flat popularity …
+WorkloadProfile profile_uniform();
+/// … the canonical Zipf(1.0) skew the acceptance sweeps use …
+WorkloadProfile profile_zipf1();
+/// … a mid-stream flash crowd onto a handful of flows …
+WorkloadProfile profile_flash_crowd();
+/// … and an address-space scan with no reuse.
+WorkloadProfile profile_scan();
+
 /// Generates per-LC destination streams for one workload over one table.
 class TraceGenerator {
  public:
@@ -65,9 +86,18 @@ class TraceGenerator {
   const WorkloadProfile& profile() const { return profile_; }
   std::size_t flow_count() const { return flow_addresses_.size(); }
 
+  /// Per-prefix popularity weights, parallel to the source table's entries:
+  /// each flow's Zipf probability mass accumulates onto the table entry its
+  /// destination was drawn from, so Σ weights == 1 (0 for a table whose
+  /// entries attracted no flow). This is the weight vector
+  /// PartitionConfig::weights expects for traffic-aware partitioning.
+  std::vector<double> prefix_weights() const;
+
  private:
   WorkloadProfile profile_;
+  std::size_t table_size_ = 0;
   std::vector<net::Ipv4Addr> flow_addresses_;  ///< rank-ordered (hottest first)
+  std::vector<std::size_t> flow_entries_;      ///< source table entry per flow
   std::vector<double> popularity_cdf_;         ///< Zipf CDF over ranks
 };
 

@@ -365,6 +365,69 @@ TEST(Migration, FullStackOutageChurnAndMigrationConserve) {
   EXPECT_GT(result.failover.rerouted_requests, 0u);
 }
 
+// ----- Rebalancer × health: never migrate toward a dead LC -----------------
+
+/// Rebalancer sampling every 10k cycles with the skew threshold floored,
+/// on the standard failover fabric (faults armed, uncongested).
+RouterConfig rebalancer_failover_config(int num_lcs) {
+  RouterConfig config = failover_config(num_lcs);
+  config.rebalancer.enabled = true;
+  config.rebalancer.window_cycles = 10'000;
+  config.rebalancer.skew_threshold = 1.0;
+  config.rebalancer.max_migrations = 4;
+  return config;
+}
+
+TEST(Failover, RebalancerNeverMigratesToDownLc) {
+  // Every candidate target port is in outage at every sampling instant, so
+  // each skew detection must be ledgered as skipped_no_target — the
+  // rebalancer must never hand a fragment to an LC it can see is down.
+  RouterConfig config = rebalancer_failover_config(4);
+  for (std::uint64_t tick = 10'000; tick <= 200'000; tick += 10'000) {
+    for (int port = 0; port < 4; ++port) {
+      config.fault.outages.push_back(
+          fabric::OutageWindow{port, tick - 2, tick + 3});
+    }
+  }
+  RouterSim router(small_table(), config);
+  const RouterResult result =
+      router.run_workload(small_profile(), /*verify=*/true);
+  EXPECT_EQ(result.resolved_packets, 4 * config.packets_per_lc);
+  EXPECT_EQ(result.verify_mismatches, 0u);
+  const auto& rb = result.rebalancer;
+  EXPECT_GT(rb.skew_detections, 0u);
+  EXPECT_EQ(rb.migrations_triggered, 0u);
+  EXPECT_EQ(rb.skipped_no_target, rb.skew_detections);
+  EXPECT_EQ(result.failover.migrations, 0u);
+}
+
+TEST(Failover, RebalancerAbortsWhenTargetDiesMidCopy) {
+  // The target is healthy when chosen (tick at 10'000) but every port goes
+  // dark just before the first copy chunk would be sent: the in-flight
+  // migration must roll back cleanly — ledgered as aborted, with the
+  // source still serving the fragment and every resolution oracle-exact.
+  RouterConfig config = rebalancer_failover_config(4);
+  for (int port = 0; port < 4; ++port) {
+    config.fault.outages.push_back(
+        fabric::OutageWindow{port, 10'002, 13'000});
+  }
+  RouterSim router(small_table(), config);
+  const RouterResult result =
+      router.run_workload(small_profile(), /*verify=*/true);
+  EXPECT_EQ(result.resolved_packets, 4 * config.packets_per_lc);
+  EXPECT_EQ(result.verify_mismatches, 0u);
+  const auto& rb = result.rebalancer;
+  EXPECT_GE(rb.migrations_triggered, 1u);
+  EXPECT_GE(rb.aborted_migrations, 1u);
+  EXPECT_LE(rb.completed_migrations + rb.aborted_migrations,
+            rb.migrations_triggered);
+  EXPECT_EQ(rb.skew_detections,
+            rb.migrations_triggered + rb.skipped_in_flight +
+                rb.skipped_no_target + rb.skipped_budget);
+  // Only completed migrations reach the failover cutover ledger.
+  EXPECT_EQ(result.failover.migrations, rb.completed_migrations);
+}
+
 TEST(Migration, Ipv6FamilySupportsTheFullStackToo) {
   // The failover machinery lives in the family-generic core; exercise the
   // 128-bit instantiation end to end.

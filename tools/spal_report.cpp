@@ -35,6 +35,15 @@
 //       and rejoin orderings hold, and the generalized update conservation
 //       rules (update messages == applications - resync entries, the
 //       acting-primary invalidation fan-out) balance.
+//       bench_loadbalance points carrying `"kind": "partition_balance"`
+//       check the traffic-aware partitioning conservation rule instead:
+//       the per-LC expected loads sum to the total trace weight and the
+//       Jain/max-share fairness metrics match their inputs. Router points
+//       that carry a `rebalancer` object get the online-rebalancer ledger
+//       checked: every skew detection is acted on or accounted to exactly
+//       one skipped_* counter, completed + aborted migrations never exceed
+//       the triggered count, and the failover block's migration count
+//       equals completed_migrations.
 //
 //   spal_report base.json new.json [--tolerance=PCT]
 //       Diff two reports point-by-point (matched by label): flags points
@@ -561,6 +570,38 @@ void check_result(CheckContext& ctx, const JsonValue& result) {
               fo_acting, fo_replica_apps);
   }
 
+  // Online-rebalancer ledger (optional block: present when the rebalancer
+  // was enabled). Every skew detection is acted on or accounted to exactly
+  // one skipped_* counter; a migration that finished (or rolled back) was
+  // first triggered; and — the rebalancer being the only migration driver
+  // when enabled — the failover block's migration count must agree.
+  if (const JsonValue* rebalancer = result.find("rebalancer")) {
+    const double windows = require(ctx, *rebalancer, {"windows"});
+    const double detections = require(ctx, *rebalancer, {"skew_detections"});
+    const double triggered =
+        require(ctx, *rebalancer, {"migrations_triggered"});
+    const double in_flight = require(ctx, *rebalancer, {"skipped_in_flight"});
+    const double no_target = require(ctx, *rebalancer, {"skipped_no_target"});
+    const double budget = require(ctx, *rebalancer, {"skipped_budget"});
+    const double completed =
+        require(ctx, *rebalancer, {"completed_migrations"});
+    const double aborted = require(ctx, *rebalancer, {"aborted_migrations"});
+    expect_le(ctx, "rebalancer.skew_detections vs windows", detections,
+              windows);
+    expect_eq(ctx,
+              "rebalancer.skew_detections vs triggered+skipped_in_flight"
+              "+skipped_no_target+skipped_budget",
+              detections, triggered + in_flight + no_target + budget);
+    expect_le(ctx, "rebalancer.completed+aborted vs migrations_triggered",
+              completed + aborted, triggered);
+    if (failover != nullptr) {
+      expect_eq(ctx, "failover.migrations vs rebalancer.completed_migrations",
+                require(ctx, *failover, {"migrations"}), completed);
+    } else {
+      ctx.fail("rebalancer block without a failover block");
+    }
+  }
+
   // Outage-window latency is a restriction of the full latency histogram.
   if (const JsonValue* outage_latency = result.find("outage_latency")) {
     expect_le(ctx, "outage_latency.count vs latency.count",
@@ -787,6 +828,58 @@ void check_tier_curve(CheckContext& ctx, const JsonValue& result) {
   expect_eq(ctx, "sum(tiers.placed_bytes) vs storage_bytes", placed, storage);
 }
 
+/// bench_loadbalance partition point ("kind": "partition_balance"): the
+/// per-LC expected loads of one partitioning policy under one workload's
+/// traffic weights. Conservation: the loads sum to the total trace weight
+/// (a prefix replicated by star control bits splits its traffic, never
+/// duplicates it), and the derived fairness metrics match their inputs.
+void check_partition_balance(CheckContext& ctx, const JsonValue& result) {
+  const double psi = require(ctx, result, {"psi"});
+  const double total = require(ctx, result, {"total_weight"});
+  const double jain = require(ctx, result, {"jain_fairness"});
+  const double max_share = require(ctx, result, {"max_share"});
+  if (psi < 1) ctx.fail("psi: %.0f below 1", psi);
+  if (total <= 0.0) ctx.fail("total_weight: %g not positive", total);
+  const JsonValue* loads = result.find("per_lc_loads");
+  if (loads == nullptr || loads->kind != JsonValue::Kind::kArray) {
+    ctx.fail("missing per_lc_loads array");
+    return;
+  }
+  if (static_cast<double>(loads->array.size()) != psi) {
+    ctx.fail("per_lc_loads has %zu entries, psi is %.0f",
+             loads->array.size(), psi);
+    return;
+  }
+  double sum = 0.0, sum_sq = 0.0, max_load = 0.0;
+  for (const JsonValue& load : loads->array) {
+    if (load.kind != JsonValue::Kind::kNumber || load.number < 0.0) {
+      ctx.fail("per_lc_loads entry not a non-negative number");
+      return;
+    }
+    sum += load.number;
+    sum_sq += load.number * load.number;
+    if (load.number > max_load) max_load = load.number;
+  }
+  expect_close(ctx, "sum(per_lc_loads) vs total_weight", sum, total, 1e-6);
+  if (sum_sq > 0.0) {
+    expect_close(ctx, "jain_fairness vs (sum^2)/(psi*sum_sq)", jain,
+                 sum * sum / (psi * sum_sq), 1e-6);
+  }
+  if (sum > 0.0) {
+    expect_close(ctx, "max_share vs max(per_lc_loads)/sum", max_share,
+                 max_load / sum, 1e-6);
+    // 1/psi (perfect balance) bounds the share from below.
+    if (max_share * psi < 1.0 - 1e-6) {
+      ctx.fail("max_share %g below 1/psi", max_share);
+    }
+  }
+  const JsonValue* balance = result.find("balance");
+  if (balance == nullptr || balance->kind != JsonValue::Kind::kString ||
+      (balance->string != "count" && balance->string != "traffic")) {
+    ctx.fail("missing or invalid 'balance' (expected count|traffic)");
+  }
+}
+
 /// bench_parallel point: engine/threads/shards/wall_ms/speedup/identical live
 /// at the point level (the 'result' is a normal RouterResult, checked by the
 /// caller). Bit-identity with the sequential oracle is a hard invariant —
@@ -863,6 +956,8 @@ int run_check(const char* path) {
       check_scale_build(ctx, *result);
     } else if (kind != nullptr && kind->string == "tier_curve") {
       check_tier_curve(ctx, *result);
+    } else if (kind != nullptr && kind->string == "partition_balance") {
+      check_partition_balance(ctx, *result);
     } else {
       check_result(ctx, *result);
     }
